@@ -1,0 +1,143 @@
+// E6 (Fig 7, §4): performance testing via a layer-1 cross-connect.
+//
+// The same two traffic-generator ports exchange a frame burst across three
+// data paths:
+//   (a) layer-1 switch programmed to bridge the ports directly,
+//   (b) the normal RNL path: RIS -> Internet tunnel -> route server -> RIS,
+//   (c) the tunnel path with template compression enabled.
+// We report virtual one-way latency, bytes that crossed the Internet, and
+// the wall-clock cost per frame of simulating each path. The paper's point:
+// for performance testing, bridge at layer 1 and keep the tunnel for
+// control; compression shrinks what must cross the Internet when you can't.
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/testbed.h"
+#include "wire/layer1.h"
+
+using namespace rnl;
+
+namespace {
+
+constexpr std::size_t kFrames = 2000;
+constexpr std::size_t kFrameSize = 800;
+
+util::Bytes make_template_frame() {
+  packet::EthernetFrame frame;
+  frame.dst = packet::MacAddress::local(1);
+  frame.src = packet::MacAddress::local(2);
+  frame.ether_type = packet::EtherType::kIpv4;
+  frame.payload.resize(kFrameSize, 0x77);
+  return frame.serialize();
+}
+
+struct PathResult {
+  const char* name = "";
+  std::size_t delivered = 0;
+  double one_way_ms = 0;       // virtual latency of the last frame
+  double internet_bytes = 0;   // bytes that crossed the WAN tunnel
+  double wall_us_per_frame = 0;
+};
+
+/// (a) Direct layer-1 bridge: generator ports wired through the MCC.
+PathResult run_layer1() {
+  simnet::Network net(61);
+  devices::TrafficGenerator gen(net, "gen", 2);
+  wire::Layer1Switch xc(net, "mcc", 4);
+  net.connect(gen.port(0), xc.port(0));
+  net.connect(gen.port(1), xc.port(1));
+  xc.bridge(0, 1);
+
+  util::Bytes frame = make_template_frame();
+  auto wall_start = std::chrono::steady_clock::now();
+  devices::TrafficGenerator::Stream stream;
+  stream.template_frame = frame;
+  stream.count = kFrames;
+  stream.interval = util::Duration::microseconds(10);
+  stream.seq_offset = 20;
+  gen.start_stream(0, stream);
+  net.run_for(util::Duration::seconds(1));
+  double wall_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+
+  PathResult result;
+  result.name = "layer-1 bridge (Fig 7)";
+  result.delivered = gen.captured(1).size();
+  if (!gen.captured(1).empty()) {
+    // Latency = capture time - expected emit time of that frame index.
+    const auto& last = gen.captured(1).back();
+    util::SimTime emitted{static_cast<std::int64_t>(
+        (gen.captured(1).size() - 1) * 10'000)};
+    result.one_way_ms = (last.at - emitted).to_millis();
+  }
+  result.internet_bytes = 0;  // nothing crossed the WAN
+  result.wall_us_per_frame = wall_us / kFrames;
+  return result;
+}
+
+/// (b)/(c) Tunnel path through the route server, compression optional.
+PathResult run_tunnel(bool compression) {
+  core::Testbed bed(62, wire::NetemProfile::metro());
+  ris::RouterInterface& site = bed.add_site("perf");
+  devices::TrafficGenerator& gen = bed.add_traffgen(site, "gen", 2);
+  site.set_compression_enabled(compression);
+  bed.server().set_compression_enabled(compression);
+  bed.join_all();
+  bed.server().connect_ports(bed.port_id("perf/gen", "port1"),
+                             bed.port_id("perf/gen", "port2"));
+
+  util::Bytes frame = make_template_frame();
+  auto wall_start = std::chrono::steady_clock::now();
+  devices::TrafficGenerator::Stream stream;
+  stream.template_frame = frame;
+  stream.count = kFrames;
+  stream.interval = util::Duration::microseconds(10);
+  stream.seq_offset = 20;
+  util::SimTime start = bed.net().now();
+  gen.start_stream(0, stream);
+  bed.run_for(util::Duration::seconds(2));
+  double wall_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+
+  PathResult result;
+  result.name = compression ? "tunnel + compression" : "tunnel (plain)";
+  result.delivered = gen.captured(1).size();
+  if (!gen.captured(1).empty()) {
+    const auto& last = gen.captured(1).back();
+    util::SimTime emitted =
+        start + util::Duration::microseconds(
+                    static_cast<std::int64_t>(gen.captured(1).size() - 1) * 10);
+    result.one_way_ms = (last.at - emitted).to_millis();
+  }
+  // Bytes that crossed the Internet = what RIS shipped up + what came down.
+  const auto& cstats = site.compression_stats();
+  result.internet_bytes =
+      compression ? static_cast<double>(cstats.bytes_out)
+                  : static_cast<double>(site.stats().bytes_up);
+  result.wall_us_per_frame = wall_us / kFrames;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E6 / Fig 7 — layer-1 bridge vs Internet tunnel (%zu frames x %zuB)\n",
+              kFrames, kFrameSize);
+  std::printf("%-26s %10s %14s %16s %14s\n", "path", "delivered",
+              "one-way(ms)", "WAN-bytes(up)", "wall us/frame");
+  for (const PathResult& result :
+       {run_layer1(), run_tunnel(false), run_tunnel(true)}) {
+    std::printf("%-26s %7zu/%zu %14.3f %16.0f %14.2f\n", result.name,
+                result.delivered, kFrames, result.one_way_ms,
+                result.internet_bytes, result.wall_us_per_frame);
+  }
+  std::printf(
+      "\nShape check: the layer-1 bridge delivers with ~zero latency and\n"
+      "zero Internet traffic; the tunnel adds the WAN RTT share and ships\n"
+      "every byte; compression keeps the tunnel's latency but cuts WAN\n"
+      "bytes by an order of magnitude on template traffic.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// E8 (§4): "the route server can easily become the bottleneck. To scale the
+// route server, we are looking into a distributed architecture ... Since the
+// routing matrices between different users do not overlap, we can have one
+// route server per user."
+//
+// We measure exactly that trade-off. U independent users each run a
+// traffic-generator pair exchanging F frames:
+//   - CENTRAL: all U users' labs share one route server (one thread — the
+//     serialized capacity of the single funnel);
+//   - PER-USER: each user gets their own route server instance, and because
+//     matrices never overlap the U instances run on U OS threads.
+// Aggregate throughput (frames/sec of wall time) is the paper's quantity of
+// interest; per-user should scale with cores while central stays flat.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/testbed.h"
+
+using namespace rnl;
+
+namespace {
+
+constexpr std::size_t kFramesPerUser = 3000;
+
+util::Bytes test_frame() {
+  packet::EthernetFrame frame;
+  frame.dst = packet::MacAddress::local(1);
+  frame.src = packet::MacAddress::local(2);
+  frame.ether_type = packet::EtherType::kIpv4;
+  frame.payload.resize(512, 0x44);
+  return frame.serialize();
+}
+
+/// One user's workload against the given testbed (their own or shared).
+void add_user(core::Testbed& bed, std::size_t user) {
+  ris::RouterInterface& site = bed.add_site("u" + std::to_string(user));
+  bed.add_traffgen(site, "gen", 2);
+}
+
+std::size_t drive_user(core::Testbed& bed, std::size_t user) {
+  std::string name = "u" + std::to_string(user) + "/gen";
+  auto status = bed.server().connect_ports(bed.port_id(name, "port1"),
+                                           bed.port_id(name, "port2"));
+  if (!status.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", status.error().c_str());
+    std::exit(1);
+  }
+  return 0;
+}
+
+double run_central(std::size_t users) {
+  core::Testbed bed(70, wire::NetemProfile::lan());
+  for (std::size_t u = 0; u < users; ++u) add_user(bed, u);
+  bed.join_all();
+  std::vector<devices::TrafficGenerator*> gens;
+  for (std::size_t u = 0; u < users; ++u) {
+    drive_user(bed, u);
+  }
+  // Locate generators through the service inventory indirection-free path:
+  // the testbed owns them; re-create streams via injected frames instead.
+  util::Bytes frame = test_frame();
+  auto wall_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kFramesPerUser; ++i) {
+    for (std::size_t u = 0; u < users; ++u) {
+      bed.server().inject_frame(
+          bed.port_id("u" + std::to_string(u) + "/gen", "port2"), frame);
+    }
+    if (i % 64 == 0) bed.net().run_for(util::Duration::milliseconds(1));
+  }
+  bed.net().run_for(util::Duration::seconds(1));
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+  return static_cast<double>(users * kFramesPerUser) / wall_s;
+}
+
+double run_per_user(std::size_t users) {
+  auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(users);
+  for (std::size_t u = 0; u < users; ++u) {
+    threads.emplace_back([u] {
+      // Each user's world — devices, RIS, route server — is fully private,
+      // which is precisely why the paper's per-user split is sound.
+      core::Testbed bed(90 + u, wire::NetemProfile::lan());
+      add_user(bed, u);
+      bed.join_all();
+      drive_user(bed, u);
+      util::Bytes frame = test_frame();
+      for (std::size_t i = 0; i < kFramesPerUser; ++i) {
+        bed.server().inject_frame(
+            bed.port_id("u" + std::to_string(u) + "/gen", "port2"), frame);
+        if (i % 64 == 0) bed.net().run_for(util::Duration::milliseconds(1));
+      }
+      bed.net().run_for(util::Duration::seconds(1));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+  return static_cast<double>(users * kFramesPerUser) / wall_s;
+}
+
+}  // namespace
+
+int main() {
+  unsigned cores = std::thread::hardware_concurrency();
+  std::printf(
+      "E8 / §4 — central route server vs one-route-server-per-user\n"
+      "(%zu frames per user; aggregate wall-clock throughput; %u hardware "
+      "threads)\n\n",
+      kFramesPerUser, cores);
+  std::printf("%7s %22s %22s %10s\n", "users", "central (frames/s)",
+              "per-user (frames/s)", "speedup");
+  for (std::size_t users : {1, 2, 4, 8}) {
+    double central = run_central(users);
+    double per_user = run_per_user(users);
+    std::printf("%7zu %22.0f %22.0f %9.2fx\n", users, central, per_user,
+                per_user / central);
+  }
+  std::printf(
+      "\nShape check: central throughput is roughly flat in the user count\n"
+      "(one funnel), while per-user servers scale with available cores:\n"
+      "expect speedup ~= min(users, hardware threads). On a single-core\n"
+      "host the two columns coincide — the experiment then shows only that\n"
+      "splitting per user costs nothing, which is the paper's precondition.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#pragma once
+
+// Web-services interface (§2 "Programmable interface", §3.2).
+//
+// "The web services interface will support everything that is doable in the
+// web interface through a mouse, including router reservation and connecting
+// router ports. In addition, it will also support packet generation and
+// packet capture in and out of any router port."
+//
+// Requests and responses are JSON:
+//   {"method": "design.connect", "params": {"design_id": 1, "a": 3, "b": 7}}
+//   -> {"ok": true, "result": {...}}  |  {"ok": false, "error": "..."}
+//
+// With these calls a network administrator scripts the full nightly cycle:
+// reserve -> deploy -> configure -> inject/capture -> assert -> teardown.
+
+#include <string>
+
+#include "core/labservice.h"
+#include "util/json.h"
+
+namespace rnl::core {
+
+class ApiServer {
+ public:
+  explicit ApiServer(LabService& service) : service_(service) {}
+
+  /// Dispatches one request. Never throws; all failures surface as
+  /// {"ok": false, "error": ...}.
+  util::Json handle(const util::Json& request);
+  /// String-in/string-out convenience for transports.
+  std::string handle_text(const std::string& request_json);
+
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_served_;
+  }
+
+ private:
+  util::Json dispatch(const std::string& method, const util::Json& params);
+
+  LabService& service_;
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace rnl::core

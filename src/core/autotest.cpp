@@ -1,0 +1,194 @@
+#include "core/autotest.h"
+
+#include "util/strings.h"
+
+namespace rnl::core {
+
+bool TestReport::passed() const {
+  for (const auto& step : steps) {
+    if (!step.passed) return false;
+  }
+  return true;
+}
+
+std::size_t TestReport::failures() const {
+  std::size_t n = 0;
+  for (const auto& step : steps) {
+    if (!step.passed) ++n;
+  }
+  return n;
+}
+
+std::string TestReport::summary() const {
+  std::string out = "=== nightly test '" + test_name + "': " +
+                    (passed() ? "PASS" : "FAIL") + " (" +
+                    std::to_string(steps.size() - failures()) + "/" +
+                    std::to_string(steps.size()) + " steps)\n";
+  for (const auto& step : steps) {
+    out += util::format("  [%s] %-40s %s\n", step.passed ? "ok" : "FAIL",
+                        step.name.c_str(), step.detail.c_str());
+  }
+  return out;
+}
+
+util::Json NightlyTest::call(const std::string& method, util::Json params) {
+  util::Json request = util::Json::object();
+  request.set("method", method);
+  request.set("params", std::move(params));
+  return api_.handle(request);
+}
+
+std::size_t NightlyTest::count_capture(const util::Json& frames,
+                                       Direction direction) {
+  std::size_t n = 0;
+  for (const auto& frame : frames.as_array()) {
+    bool to_port = frame["to_port"].as_bool();
+    if (direction == Direction::kAny ||
+        (direction == Direction::kToPort && to_port) ||
+        (direction == Direction::kFromPort && !to_port)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+NightlyTest& NightlyTest::api_call(const std::string& step_name,
+                                   const std::string& method,
+                                   util::Json params) {
+  steps_.push_back(Step{
+      step_name, [this, step_name, method, params = std::move(params)] {
+        util::Json response = call(method, params);
+        StepResult result{step_name, response["ok"].as_bool(), ""};
+        if (!result.passed) result.detail = response["error"].as_string();
+        return result;
+      }});
+  return *this;
+}
+
+NightlyTest& NightlyTest::console(const std::string& step_name,
+                                  wire::RouterId router,
+                                  const std::string& line,
+                                  const std::string& expect_substring) {
+  steps_.push_back(Step{
+      step_name, [this, step_name, router, line, expect_substring] {
+        util::Json params = util::Json::object();
+        params.set("router_id", router);
+        params.set("line", line);
+        util::Json response = call("console.exec", std::move(params));
+        StepResult result{step_name, false, ""};
+        if (!response["ok"].as_bool()) {
+          result.detail = response["error"].as_string();
+          return result;
+        }
+        const std::string& output = response["result"]["output"].as_string();
+        if (output.find("% ") != std::string::npos) {
+          result.detail = "console error: " + output;
+          return result;
+        }
+        if (!expect_substring.empty() &&
+            output.find(expect_substring) == std::string::npos) {
+          result.detail = "missing '" + expect_substring + "' in: " + output;
+          return result;
+        }
+        result.passed = true;
+        return result;
+      }});
+  return *this;
+}
+
+NightlyTest& NightlyTest::inject(const std::string& step_name,
+                                 wire::PortId port, util::Bytes frame) {
+  steps_.push_back(Step{
+      step_name, [this, step_name, port, frame = std::move(frame)] {
+        util::Json params = util::Json::object();
+        params.set("port_id", port);
+        params.set("frame", util::to_hex(frame));
+        util::Json response = call("traffic.inject", std::move(params));
+        StepResult result{step_name, response["ok"].as_bool(), ""};
+        if (!result.passed) result.detail = response["error"].as_string();
+        return result;
+      }});
+  return *this;
+}
+
+NightlyTest& NightlyTest::expect_traffic(const std::string& step_name,
+                                         wire::PortId port,
+                                         util::Duration window,
+                                         std::size_t min_frames,
+                                         Direction direction) {
+  steps_.push_back(Step{
+      step_name, [this, step_name, port, window, min_frames, direction] {
+        util::Json start_params = util::Json::object();
+        start_params.set("port_id", port);
+        call("capture.start", start_params);
+        util::Json wait_params = util::Json::object();
+        wait_params.set("millis", window.nanos / 1'000'000);
+        call("run_for", std::move(wait_params));
+        util::Json response = call("capture.stop", std::move(start_params));
+        std::size_t seen =
+            count_capture(response["result"]["frames"], direction);
+        StepResult result{step_name, seen >= min_frames,
+                          util::format("%zu frame(s) captured", seen)};
+        return result;
+      }});
+  return *this;
+}
+
+NightlyTest& NightlyTest::expect_no_traffic(const std::string& step_name,
+                                            wire::PortId port,
+                                            util::Duration window,
+                                            Direction direction) {
+  steps_.push_back(Step{
+      step_name, [this, step_name, port, window, direction] {
+        util::Json start_params = util::Json::object();
+        start_params.set("port_id", port);
+        call("capture.start", start_params);
+        util::Json wait_params = util::Json::object();
+        wait_params.set("millis", window.nanos / 1'000'000);
+        call("run_for", std::move(wait_params));
+        util::Json response = call("capture.stop", std::move(start_params));
+        std::size_t seen =
+            count_capture(response["result"]["frames"], direction);
+        StepResult result{
+            step_name, seen == 0,
+            seen == 0 ? "port stayed silent"
+                      : util::format("POLICY VIOLATION: %zu frame(s) leaked",
+                                     seen)};
+        return result;
+      }});
+  return *this;
+}
+
+NightlyTest& NightlyTest::wait(util::Duration d) {
+  steps_.push_back(
+      Step{"wait " + util::to_string(d), [this, d] {
+             util::Json params = util::Json::object();
+             params.set("millis", d.nanos / 1'000'000);
+             util::Json response = call("run_for", std::move(params));
+             return StepResult{"wait " + util::to_string(d),
+                               response["ok"].as_bool(), ""};
+           }});
+  return *this;
+}
+
+NightlyTest& NightlyTest::check(
+    const std::string& step_name,
+    std::function<bool(std::string& detail)> predicate) {
+  steps_.push_back(Step{step_name, [step_name, predicate = std::move(predicate)] {
+                          StepResult result{step_name, false, ""};
+                          result.passed = predicate(result.detail);
+                          return result;
+                        }});
+  return *this;
+}
+
+TestReport NightlyTest::run() {
+  TestReport report;
+  report.test_name = name_;
+  for (const auto& step : steps_) {
+    report.steps.push_back(step.execute());
+  }
+  return report;
+}
+
+}  // namespace rnl::core

@@ -1,0 +1,89 @@
+#pragma once
+
+// Automated configuration testing (§3.2, Fig 6).
+//
+// "Similar to a nightly unit test commonly used in software development, RNL
+// enables these automated tests to be run regularly whenever a topology or
+// configuration change happens." A NightlyTest is an ordered script of steps
+// driven ENTIRELY through the web-services API — the same calls an external
+// CI system would make — so passing here means the automation story holds.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/api.h"
+#include "util/bytes.h"
+
+namespace rnl::core {
+
+struct StepResult {
+  std::string name;
+  bool passed = false;
+  std::string detail;
+};
+
+struct TestReport {
+  std::string test_name;
+  std::vector<StepResult> steps;
+
+  [[nodiscard]] bool passed() const;
+  [[nodiscard]] std::size_t failures() const;
+  /// The "log file in the morning" (§2): one line per step.
+  [[nodiscard]] std::string summary() const;
+};
+
+class NightlyTest {
+ public:
+  enum class Direction { kFromPort, kToPort, kAny };
+
+  NightlyTest(ApiServer& api, std::string name)
+      : api_(api), name_(std::move(name)) {}
+
+  /// Arbitrary API call that must return ok.
+  NightlyTest& api_call(const std::string& step_name,
+                        const std::string& method, util::Json params);
+  /// Console line; fails if `expect_substring` (when non-empty) is missing
+  /// from the output, or if the output contains an IOS "% " error.
+  NightlyTest& console(const std::string& step_name, wire::RouterId router,
+                       const std::string& line,
+                       const std::string& expect_substring = "");
+  /// Injects a raw frame into a router port (packet generation, §2.3).
+  NightlyTest& inject(const std::string& step_name, wire::PortId port,
+                      util::Bytes frame);
+  /// Captures on `port` for `window`; passes if at least `min_frames`
+  /// matching frames were seen.
+  NightlyTest& expect_traffic(const std::string& step_name, wire::PortId port,
+                              util::Duration window, std::size_t min_frames,
+                              Direction direction = Direction::kAny);
+  /// The Fig 6 policy assertion: captures for `window` and passes only if
+  /// NOTHING matching crossed the port.
+  NightlyTest& expect_no_traffic(const std::string& step_name,
+                                 wire::PortId port, util::Duration window,
+                                 Direction direction = Direction::kAny);
+  /// Lets the lab run (convergence, timers).
+  NightlyTest& wait(util::Duration d);
+  /// Custom predicate escape hatch.
+  NightlyTest& check(const std::string& step_name,
+                     std::function<bool(std::string& detail)> predicate);
+
+  /// Executes every step in order (a failed step does not stop the run —
+  /// the morning log should show everything that is broken).
+  TestReport run();
+
+ private:
+  struct Step {
+    std::string name;
+    std::function<StepResult()> execute;
+  };
+
+  util::Json call(const std::string& method, util::Json params);
+  std::size_t count_capture(const util::Json& frames, Direction direction);
+
+  ApiServer& api_;
+  std::string name_;
+  std::vector<Step> steps_;
+};
+
+}  // namespace rnl::core

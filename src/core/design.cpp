@@ -1,0 +1,115 @@
+#include "core/design.h"
+
+#include <algorithm>
+
+namespace rnl::core {
+
+util::Status TopologyDesign::add_router(wire::RouterId router) {
+  if (has_router(router)) {
+    return util::Error{"design: router already on the design plane"};
+  }
+  routers_.push_back(router);
+  return util::Status::Ok();
+}
+
+util::Status TopologyDesign::remove_router(wire::RouterId router) {
+  auto it = std::find(routers_.begin(), routers_.end(), router);
+  if (it == routers_.end()) {
+    return util::Error{"design: router not in design"};
+  }
+  routers_.erase(it);
+  return util::Status::Ok();
+}
+
+bool TopologyDesign::has_router(wire::RouterId router) const {
+  return std::find(routers_.begin(), routers_.end(), router) !=
+         routers_.end();
+}
+
+bool TopologyDesign::port_in_use(wire::PortId port) const {
+  return std::any_of(links_.begin(), links_.end(), [port](const DesignLink& l) {
+    return l.a == port || l.b == port;
+  });
+}
+
+util::Status TopologyDesign::connect(wire::PortId a, wire::PortId b,
+                                     wire::NetemProfile wan) {
+  if (a == b) return util::Error{"design: cannot connect a port to itself"};
+  if (port_in_use(a) || port_in_use(b)) {
+    return util::Error{"design: port already has a wire"};
+  }
+  links_.push_back(DesignLink{a, b, wan});
+  return util::Status::Ok();
+}
+
+util::Status TopologyDesign::disconnect(wire::PortId port) {
+  auto it = std::find_if(links_.begin(), links_.end(), [port](const DesignLink& l) {
+    return l.a == port || l.b == port;
+  });
+  if (it == links_.end()) return util::Error{"design: port has no wire"};
+  links_.erase(it);
+  return util::Status::Ok();
+}
+
+std::optional<wire::PortId> TopologyDesign::peer_of(wire::PortId port) const {
+  for (const auto& link : links_) {
+    if (link.a == port) return link.b;
+    if (link.b == port) return link.a;
+  }
+  return std::nullopt;
+}
+
+util::Json TopologyDesign::to_json() const {
+  util::Json nodes = util::Json::array();
+  for (auto router : routers_) nodes.push_back(router);
+  util::Json links = util::Json::array();
+  for (const auto& link : links_) {
+    util::Json l = util::Json::object();
+    l.set("a", link.a);
+    l.set("b", link.b);
+    if (link.wan.delay.nanos != 0 || link.wan.jitter.nanos != 0 ||
+        link.wan.loss_probability != 0) {
+      util::Json wan = util::Json::object();
+      wan.set("delay_us", link.wan.delay.nanos / 1000);
+      wan.set("jitter_us", link.wan.jitter.nanos / 1000);
+      wan.set("loss", link.wan.loss_probability);
+      wan.set("smoothing", link.wan.jitter_smoothing);
+      l.set("wan", std::move(wan));
+    }
+    links.push_back(std::move(l));
+  }
+  util::Json design = util::Json::object();
+  design.set("name", name_);
+  design.set("routers", std::move(nodes));
+  design.set("links", std::move(links));
+  return design;
+}
+
+util::Result<TopologyDesign> TopologyDesign::from_json(
+    const util::Json& json) {
+  if (!json.is_object()) return util::Error{"design: not an object"};
+  TopologyDesign design(json["name"].as_string());
+  for (const auto& node : json["routers"].as_array()) {
+    auto status =
+        design.add_router(static_cast<wire::RouterId>(node.as_int()));
+    if (!status.ok()) return util::Error{status.error()};
+  }
+  for (const auto& link : json["links"].as_array()) {
+    wire::NetemProfile wan;
+    if (link.contains("wan")) {
+      const auto& w = link["wan"];
+      wan.delay = util::Duration::microseconds(w["delay_us"].as_int());
+      wan.jitter = util::Duration::microseconds(w["jitter_us"].as_int());
+      wan.loss_probability = w["loss"].as_number();
+      wan.jitter_smoothing =
+          static_cast<int>(w["smoothing"].as_int(1));
+    }
+    auto status = design.connect(static_cast<wire::PortId>(link["a"].as_int()),
+                                 static_cast<wire::PortId>(link["b"].as_int()),
+                                 wan);
+    if (!status.ok()) return util::Error{status.error()};
+  }
+  return design;
+}
+
+}  // namespace rnl::core

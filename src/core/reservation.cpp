@@ -1,0 +1,135 @@
+#include "core/reservation.h"
+
+#include <algorithm>
+
+namespace rnl::core {
+
+bool ReservationCalendar::router_free(wire::RouterId router,
+                                      util::SimTime start,
+                                      util::SimTime end) const {
+  for (const auto& [id, reservation] : reservations_) {
+    if (reservation.cancelled) continue;
+    if (std::find(reservation.routers.begin(), reservation.routers.end(),
+                  router) == reservation.routers.end()) {
+      continue;
+    }
+    // Overlap test for half-open intervals.
+    if (start < reservation.end && reservation.start < end) return false;
+  }
+  return true;
+}
+
+util::Result<ReservationId> ReservationCalendar::reserve(
+    const std::string& user, std::vector<wire::RouterId> routers,
+    util::SimTime start, util::SimTime end) {
+  if (routers.empty()) return util::Error{"reserve: no routers listed"};
+  if (!(start < end)) return util::Error{"reserve: empty time window"};
+  for (auto router : routers) {
+    if (!router_free(router, start, end)) {
+      return util::Error{
+          "reserve: router " + std::to_string(router) +
+          " already booked in that window (pick the next free period)"};
+    }
+  }
+  Reservation reservation;
+  reservation.id = next_id_++;
+  reservation.user = user;
+  reservation.routers = std::move(routers);
+  reservation.start = start;
+  reservation.end = end;
+  ReservationId id = reservation.id;
+  reservations_[id] = std::move(reservation);
+  return id;
+}
+
+util::Status ReservationCalendar::cancel(ReservationId id) {
+  auto it = reservations_.find(id);
+  if (it == reservations_.end()) {
+    return util::Error{"cancel: no such reservation"};
+  }
+  it->second.cancelled = true;
+  return util::Status::Ok();
+}
+
+std::optional<Reservation> ReservationCalendar::get(ReservationId id) const {
+  auto it = reservations_.find(id);
+  if (it == reservations_.end()) return std::nullopt;
+  return it->second;
+}
+
+util::SimTime ReservationCalendar::next_common_free_slot(
+    const std::vector<wire::RouterId>& routers, util::Duration duration,
+    util::SimTime from) const {
+  // Candidate starts: `from` and the end of every relevant reservation.
+  std::vector<util::SimTime> candidates{from};
+  for (const auto& [id, reservation] : reservations_) {
+    if (reservation.cancelled) continue;
+    bool relevant = std::any_of(
+        routers.begin(), routers.end(), [&](wire::RouterId r) {
+          return std::find(reservation.routers.begin(),
+                           reservation.routers.end(),
+                           r) != reservation.routers.end();
+        });
+    if (relevant && reservation.end > from) {
+      candidates.push_back(reservation.end);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  for (util::SimTime start : candidates) {
+    bool all_free = std::all_of(
+        routers.begin(), routers.end(), [&](wire::RouterId router) {
+          return router_free(router, start, start + duration);
+        });
+    if (all_free) return start;
+  }
+  // Unreachable: the last candidate is after every reservation.
+  return candidates.back();
+}
+
+std::vector<Reservation> ReservationCalendar::schedule_for(
+    wire::RouterId router) const {
+  std::vector<Reservation> out;
+  for (const auto& [id, reservation] : reservations_) {
+    if (reservation.cancelled) continue;
+    if (std::find(reservation.routers.begin(), reservation.routers.end(),
+                  router) != reservation.routers.end()) {
+      out.push_back(reservation);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Reservation& a, const Reservation& b) {
+              return a.start < b.start;
+            });
+  return out;
+}
+
+std::optional<ReservationId> ReservationCalendar::covering(
+    const std::string& user, const std::vector<wire::RouterId>& routers,
+    util::SimTime t) const {
+  for (const auto& [id, reservation] : reservations_) {
+    if (reservation.user != user || !reservation.active_at(t)) continue;
+    bool covers_all = std::all_of(
+        routers.begin(), routers.end(), [&](wire::RouterId router) {
+          return std::find(reservation.routers.begin(),
+                           reservation.routers.end(),
+                           router) != reservation.routers.end();
+        });
+    if (covers_all) return id;
+  }
+  return std::nullopt;
+}
+
+std::vector<ReservationId> ReservationCalendar::expire(util::SimTime now) {
+  std::vector<ReservationId> expired;
+  for (auto it = reservations_.begin(); it != reservations_.end();) {
+    if (it->second.end <= now || it->second.cancelled) {
+      expired.push_back(it->first);
+      it = reservations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+}  // namespace rnl::core

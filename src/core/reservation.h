@@ -1,0 +1,81 @@
+#pragma once
+
+// Reservation calendar (§2.1): "The reserve button ... would bring up a
+// calendar similar to that in Microsoft Outlook, which lists all routers
+// used in the current design and, for each router, its current schedule. The
+// users could select the next free period for all routers and make a
+// reservation."
+//
+// A reservation atomically books a set of routers for [start, end). Deploys
+// are admitted only under a reservation that is active now and covers every
+// router in the design.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/time.h"
+#include "wire/tunnel.h"
+
+namespace rnl::core {
+
+using ReservationId = std::uint64_t;
+
+struct Reservation {
+  ReservationId id = 0;
+  std::string user;
+  std::vector<wire::RouterId> routers;
+  util::SimTime start{};
+  util::SimTime end{};
+  bool cancelled = false;
+
+  [[nodiscard]] bool active_at(util::SimTime t) const {
+    return !cancelled && start <= t && t < end;
+  }
+};
+
+class ReservationCalendar {
+ public:
+  /// Books `routers` for [start, end). Fails if any router already has an
+  /// overlapping reservation — all-or-nothing, like the UI's calendar.
+  util::Result<ReservationId> reserve(const std::string& user,
+                                      std::vector<wire::RouterId> routers,
+                                      util::SimTime start, util::SimTime end);
+
+  util::Status cancel(ReservationId id);
+
+  [[nodiscard]] std::optional<Reservation> get(ReservationId id) const;
+
+  /// The "next free period for all routers": earliest start >= `from` at
+  /// which every router is simultaneously free for `duration`.
+  [[nodiscard]] util::SimTime next_common_free_slot(
+      const std::vector<wire::RouterId>& routers, util::Duration duration,
+      util::SimTime from) const;
+
+  /// A router's schedule as the calendar UI would show it.
+  [[nodiscard]] std::vector<Reservation> schedule_for(
+      wire::RouterId router) const;
+
+  /// Active reservation by `user` at `t` covering every listed router, if
+  /// one exists — the deployment admission check.
+  [[nodiscard]] std::optional<ReservationId> covering(
+      const std::string& user, const std::vector<wire::RouterId>& routers,
+      util::SimTime t) const;
+
+  /// Drops reservations whose end time has passed. Returns the ids removed.
+  std::vector<ReservationId> expire(util::SimTime now);
+
+  [[nodiscard]] std::size_t size() const { return reservations_.size(); }
+
+ private:
+  [[nodiscard]] bool router_free(wire::RouterId router, util::SimTime start,
+                                 util::SimTime end) const;
+
+  std::map<ReservationId, Reservation> reservations_;
+  ReservationId next_id_ = 1;
+};
+
+}  // namespace rnl::core

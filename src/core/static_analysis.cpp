@@ -1,0 +1,170 @@
+#include "core/static_analysis.h"
+
+#include "util/strings.h"
+
+namespace rnl::core {
+
+std::string ReachabilityResult::to_string() const {
+  std::string out = reachable ? "REACHABLE\n" : "BLOCKED\n";
+  for (const auto& hop : trace) {
+    out += "  " + hop.router + ": " + hop.verdict + "\n";
+  }
+  return out;
+}
+
+void StaticReachabilityAnalyzer::add_router(
+    const devices::Ipv4Router* router) {
+  routers_[router->name()] = router;
+}
+
+void StaticReachabilityAnalyzer::add_adjacency(const std::string& router_a,
+                                               std::size_t port_a,
+                                               const std::string& router_b,
+                                               std::size_t port_b) {
+  adjacency_[{router_a, port_a}] = {router_b, port_b};
+  adjacency_[{router_b, port_b}] = {router_a, port_a};
+}
+
+bool StaticReachabilityAnalyzer::acl_permits(
+    const devices::Ipv4Router* router, int acl, const FlowQuery& flow) {
+  if (acl == 0) return true;
+  const auto* entries = router->acl_entries(acl);
+  if (entries == nullptr) return true;  // undefined list: IOS permits
+  for (const auto& entry : *entries) {
+    if (entry.protocol != 0 && entry.protocol != flow.protocol) continue;
+    if ((flow.src.value & ~entry.src_wildcard) !=
+        (entry.src.value & ~entry.src_wildcard)) {
+      continue;
+    }
+    if ((flow.dst.value & ~entry.dst_wildcard) !=
+        (entry.dst.value & ~entry.dst_wildcard)) {
+      continue;
+    }
+    if (entry.dst_port_eq.has_value()) {
+      if (!flow.dst_port.has_value() ||
+          *flow.dst_port != *entry.dst_port_eq) {
+        continue;
+      }
+    }
+    return entry.permit;
+  }
+  return false;  // implicit deny
+}
+
+ReachabilityResult StaticReachabilityAnalyzer::analyze(
+    const std::string& entry_router, std::size_t entry_port,
+    const FlowQuery& flow) const {
+  ReachabilityResult result;
+  std::string current = entry_router;
+  std::size_t in_port = entry_port;
+
+  for (int hop = 0; hop < 32; ++hop) {
+    auto router_it = routers_.find(current);
+    if (router_it == routers_.end()) {
+      result.trace.push_back({current, "unknown router"});
+      return result;
+    }
+    const devices::Ipv4Router* router = router_it->second;
+
+    // Ingress ACL as configured.
+    const auto& in_cfg = router->interface_config(in_port);
+    if (in_cfg.shutdown) {
+      result.trace.push_back(
+          {current, util::format("interface %zu is shutdown", in_port)});
+      return result;
+    }
+    if (!acl_permits(router, in_cfg.acl_in, flow)) {
+      result.trace.push_back(
+          {current, util::format("denied by access-list %d in", in_cfg.acl_in)});
+      return result;
+    }
+
+    // Local delivery?
+    bool is_local = false;
+    for (std::size_t i = 0; i < router->port_count(); ++i) {
+      const auto& cfg = router->interface_config(i);
+      if (cfg.address.has_value() && cfg.address->network == flow.dst) {
+        is_local = true;
+      }
+    }
+    if (is_local) {
+      result.trace.push_back({current, "destination is a local interface"});
+      result.reachable = true;
+      return result;
+    }
+
+    // Longest-prefix route over the CONFIGURED table.
+    std::optional<devices::Ipv4Router::RouteEntry> best;
+    for (const auto& route : router->routing_table()) {
+      if (!route.prefix.contains(flow.dst)) continue;
+      if (!best.has_value() || route.prefix.length > best->prefix.length) {
+        best = route;
+      }
+    }
+    if (!best.has_value()) {
+      result.trace.push_back({current, "no route to destination"});
+      return result;
+    }
+    packet::Ipv4Address next_hop =
+        best->next_hop.is_zero() ? flow.dst : best->next_hop;
+    int egress = best->interface;
+    if (egress < 0) {
+      for (std::size_t i = 0; i < router->port_count(); ++i) {
+        const auto& cfg = router->interface_config(i);
+        if (cfg.address.has_value() && !cfg.shutdown &&
+            cfg.address->contains(next_hop)) {
+          egress = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    if (egress < 0) {
+      result.trace.push_back({current, "next hop is not on any interface"});
+      return result;
+    }
+    const auto& out_cfg =
+        router->interface_config(static_cast<std::size_t>(egress));
+    if (out_cfg.shutdown) {
+      result.trace.push_back(
+          {current, util::format("egress interface %d is shutdown", egress)});
+      return result;
+    }
+    // Egress ACL *as configured* — static analysis trusts the config text
+    // and cannot know about firmware that ignores it.
+    if (!acl_permits(router, out_cfg.acl_out, flow)) {
+      result.trace.push_back(
+          {current,
+           util::format("denied by access-list %d out", out_cfg.acl_out)});
+      return result;
+    }
+
+    // Destination directly on the egress subnet: delivered.
+    if (out_cfg.address.has_value() && out_cfg.address->contains(flow.dst) &&
+        best->next_hop.is_zero()) {
+      result.trace.push_back(
+          {current, util::format("delivers onto connected subnet via port %d",
+                                 egress)});
+      result.reachable = true;
+      return result;
+    }
+
+    // Otherwise follow the wiring to the next router.
+    auto adjacent =
+        adjacency_.find({current, static_cast<std::size_t>(egress)});
+    if (adjacent == adjacency_.end()) {
+      result.trace.push_back(
+          {current,
+           util::format("egress port %d is not wired to a router", egress)});
+      return result;
+    }
+    result.trace.push_back(
+        {current, util::format("forwards via port %d toward %s", egress,
+                               adjacent->second.router.c_str())});
+    current = adjacent->second.router;
+    in_port = adjacent->second.port;
+  }
+  result.trace.push_back({current, "hop limit exceeded (routing loop?)"});
+  return result;
+}
+
+}  // namespace rnl::core

@@ -1,0 +1,84 @@
+#pragma once
+
+// Static reachability analysis over deployed router configurations —
+// the alternative approach the paper positions itself against (§5, citing
+// Xie et al.): "one could also use static configuration file analysis
+// techniques. However, the analysis is limited (only to reachability
+// analysis) and it cannot capture an individual router's behaviors."
+//
+// We implement that alternative faithfully so experiments can compare it
+// against RNL's dynamic testing. The analyzer reads each router's
+// *configuration* (routes + ACLs as written) and the deployed topology, and
+// decides whether a flow can reach its destination ON PAPER. It is blind to
+// anything the configuration doesn't say: firmware quirks (e.g. the
+// "outbound ACLs silently ignored" image), powered-off gear, L2 behaviour —
+// which is precisely the gap bench_static_vs_dynamic measures.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/design.h"
+#include "devices/router.h"
+#include "packet/addr.h"
+
+namespace rnl::core {
+
+/// A flow to analyze, in config-file terms.
+struct FlowQuery {
+  packet::Ipv4Address src;
+  packet::Ipv4Address dst;
+  std::uint8_t protocol = 1;  // ICMP by default
+  std::optional<std::uint16_t> dst_port;
+};
+
+struct HopTrace {
+  std::string router;
+  std::string verdict;  // "forwarded Gi0/2", "denied by acl 102 in", ...
+};
+
+struct ReachabilityResult {
+  bool reachable = false;
+  std::vector<HopTrace> trace;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Static analyzer over a set of routers and the physical adjacency between
+/// their interfaces. Interfaces are identified as (router name, port index).
+class StaticReachabilityAnalyzer {
+ public:
+  /// Registers a router's configuration (non-owning pointer; the analyzer
+  /// reads routing tables / ACLs / interface configs as *declared*).
+  void add_router(const devices::Ipv4Router* router);
+
+  /// Declares that router_a's interface `port_a` is wired (possibly through
+  /// L2 gear the analysis abstracts away) to router_b's `port_b`.
+  void add_adjacency(const std::string& router_a, std::size_t port_a,
+                     const std::string& router_b, std::size_t port_b);
+
+  /// Walks the flow hop by hop using each router's config: ingress ACL,
+  /// longest-prefix route, egress ACL, next hop. Starts at `entry_router`
+  /// as if the packet arrived on `entry_port`. Bounded by a hop limit.
+  [[nodiscard]] ReachabilityResult analyze(const std::string& entry_router,
+                                           std::size_t entry_port,
+                                           const FlowQuery& flow) const;
+
+ private:
+  struct Endpoint {
+    std::string router;
+    std::size_t port = 0;
+    bool operator<(const Endpoint& other) const {
+      return std::tie(router, port) < std::tie(other.router, other.port);
+    }
+  };
+
+  [[nodiscard]] static bool acl_permits(const devices::Ipv4Router* router,
+                                        int acl, const FlowQuery& flow);
+
+  std::map<std::string, const devices::Ipv4Router*> routers_;
+  std::map<Endpoint, Endpoint> adjacency_;
+};
+
+}  // namespace rnl::core

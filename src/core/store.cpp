@@ -1,0 +1,97 @@
+#include "core/store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "util/strings.h"
+
+namespace rnl::core {
+
+namespace fs = std::filesystem;
+
+FileStore::FileStore(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+}
+
+bool FileStore::valid_key(const std::string& key) {
+  if (key.empty()) return false;
+  for (const auto& segment : util::split(key, '/')) {
+    if (segment.empty()) return false;
+    bool all_dots = true;
+    for (char c : segment) {
+      bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+      if (!ok) return false;
+      if (c != '.') all_dots = false;
+    }
+    if (all_dots) return false;  // ".", "..", "..." are path tricks
+  }
+  return true;
+}
+
+std::string FileStore::path_for(const std::string& key) const {
+  return root_ + "/" + key + ".json";
+}
+
+util::Status FileStore::put(const std::string& key, const util::Json& value) {
+  if (!valid_key(key)) return util::Error{"store: invalid key '" + key + "'"};
+  fs::path path = path_for(key);
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  if (ec) return util::Error{"store: cannot create " + path.parent_path().string()};
+  // Write-then-rename for atomicity against readers.
+  fs::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return util::Error{"store: cannot open " + tmp.string()};
+    out << value.dump_pretty() << "\n";
+    if (!out.good()) return util::Error{"store: write failed"};
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) return util::Error{"store: rename failed: " + ec.message()};
+  return util::Status::Ok();
+}
+
+util::Result<util::Json> FileStore::get(const std::string& key) const {
+  if (!valid_key(key)) return util::Error{"store: invalid key '" + key + "'"};
+  std::ifstream in(path_for(key));
+  if (!in) return util::Error{"store: no such key '" + key + "'"};
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return util::Json::parse(text);
+}
+
+bool FileStore::contains(const std::string& key) const {
+  return valid_key(key) && fs::exists(path_for(key));
+}
+
+util::Status FileStore::remove(const std::string& key) {
+  if (!valid_key(key)) return util::Error{"store: invalid key"};
+  std::error_code ec;
+  if (!fs::remove(path_for(key), ec) || ec) {
+    return util::Error{"store: no such key '" + key + "'"};
+  }
+  return util::Status::Ok();
+}
+
+std::vector<std::string> FileStore::keys(const std::string& prefix) const {
+  std::vector<std::string> out;
+  fs::path base = prefix.empty() ? fs::path(root_) : fs::path(root_) / prefix;
+  std::error_code ec;
+  if (!fs::exists(base, ec)) return out;
+  for (const auto& entry : fs::recursive_directory_iterator(base, ec)) {
+    if (!entry.is_regular_file()) continue;
+    fs::path rel = fs::relative(entry.path(), root_, ec);
+    std::string key = rel.string();
+    if (key.size() > 5 && key.substr(key.size() - 5) == ".json") {
+      out.push_back(key.substr(0, key.size() - 5));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace rnl::core

@@ -1,0 +1,46 @@
+#pragma once
+
+// File-backed storage for the web server's durable state (§2.1: "The design
+// data is stored in the web server, but the users could export the data to
+// their local drive if desired"; saved router configurations likewise
+// survive between sessions).
+//
+// One JSON document per key, laid out as files under a root directory. Keys
+// look like "design/alice/failover-lab"; each path segment becomes a
+// directory, with the final segment a ".json" file. Key segments are
+// restricted to a safe character set so a hostile design name cannot climb
+// out of the root.
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/result.h"
+
+namespace rnl::core {
+
+class FileStore {
+ public:
+  /// `root` is created if missing.
+  explicit FileStore(std::string root);
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+
+  util::Status put(const std::string& key, const util::Json& value);
+  [[nodiscard]] util::Result<util::Json> get(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+  util::Status remove(const std::string& key);
+  /// All keys under `prefix` (e.g. "design/alice"), sorted.
+  [[nodiscard]] std::vector<std::string> keys(const std::string& prefix) const;
+
+  /// True iff every '/'-separated segment is non-empty and uses only
+  /// [A-Za-z0-9._-] (and '.' segments like ".." are rejected outright).
+  static bool valid_key(const std::string& key);
+
+ private:
+  [[nodiscard]] std::string path_for(const std::string& key) const;
+
+  std::string root_;
+};
+
+}  // namespace rnl::core

@@ -1,0 +1,107 @@
+#include "core/testbed.h"
+
+#include <stdexcept>
+
+namespace rnl::core {
+
+std::size_t Testbed::register_device(ris::RouterInterface& site,
+                                     devices::Device& device,
+                                     const std::string& description,
+                                     bool with_console) {
+  std::size_t index =
+      site.add_router(&device, description, device.name() + ".png");
+  for (std::size_t p = 0; p < device.port_count(); ++p) {
+    site.map_port(index, p, device.port_names()[p],
+                  /*rect_x=*/static_cast<int>(40 * p), /*rect_y=*/0);
+  }
+  if (with_console) site.attach_console(index);
+  return index;
+}
+
+devices::EthernetSwitch& Testbed::add_switch(ris::RouterInterface& site,
+                                             const std::string& name,
+                                             std::size_t ports,
+                                             devices::Firmware firmware) {
+  auto device = std::make_unique<devices::EthernetSwitch>(net_, name, ports,
+                                                          firmware);
+  devices::EthernetSwitch& ref = *device;
+  devices_.push_back(std::move(device));
+  register_device(site, ref, "Catalyst-class Ethernet switch", true);
+  return ref;
+}
+
+devices::Ipv4Router& Testbed::add_router(ris::RouterInterface& site,
+                                         const std::string& name,
+                                         std::size_t ports,
+                                         devices::Firmware firmware) {
+  auto device =
+      std::make_unique<devices::Ipv4Router>(net_, name, ports, firmware);
+  devices::Ipv4Router& ref = *device;
+  devices_.push_back(std::move(device));
+  register_device(site, ref, "IOS-class IPv4 router", true);
+  return ref;
+}
+
+devices::FirewallModule& Testbed::add_firewall(ris::RouterInterface& site,
+                                               const std::string& name) {
+  auto device = std::make_unique<devices::FirewallModule>(net_, name);
+  devices::FirewallModule& ref = *device;
+  devices_.push_back(std::move(device));
+  register_device(site, ref, "FWSM-class firewall service module", true);
+  return ref;
+}
+
+devices::Host& Testbed::add_host(ris::RouterInterface& site,
+                                 const std::string& name) {
+  auto device = std::make_unique<devices::Host>(net_, name);
+  devices::Host& ref = *device;
+  devices_.push_back(std::move(device));
+  register_device(site, ref, "general purpose server", true);
+  return ref;
+}
+
+devices::TrafficGenerator& Testbed::add_traffgen(ris::RouterInterface& site,
+                                                 const std::string& name,
+                                                 std::size_t ports) {
+  auto device = std::make_unique<devices::TrafficGenerator>(net_, name, ports);
+  devices::TrafficGenerator& ref = *device;
+  devices_.push_back(std::move(device));
+  register_device(site, ref, "IXIA-class traffic generator", false);
+  return ref;
+}
+
+void Testbed::join_all() {
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (sites_[i]->joined()) continue;
+    transport::SimStreamOptions options;
+    options.wan = site_wans_[i];
+    auto [ris_end, server_end] =
+        transport::make_sim_stream_pair(net_.scheduler(), options);
+    server_.accept(std::move(server_end));
+    sites_[i]->join(std::move(ris_end));
+  }
+  // Let JOIN / JOIN_ACK cross the WAN.
+  net_.run_for(util::Duration::seconds(2));
+}
+
+wire::RouterId Testbed::router_id(const std::string& name) const {
+  for (const auto& router : server_.inventory()) {
+    if (router.name == name) return router.id;
+  }
+  throw std::out_of_range("Testbed: no inventory router named '" + name +
+                          "'");
+}
+
+wire::PortId Testbed::port_id(const std::string& router_name,
+                              const std::string& port_name) const {
+  for (const auto& router : server_.inventory()) {
+    if (router.name != router_name) continue;
+    for (const auto& port : router.ports) {
+      if (port.name == port_name) return port.id;
+    }
+  }
+  throw std::out_of_range("Testbed: no port '" + port_name + "' on '" +
+                          router_name + "'");
+}
+
+}  // namespace rnl::core

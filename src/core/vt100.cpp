@@ -1,0 +1,197 @@
+#include "core/vt100.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace rnl::core {
+
+Vt100Terminal::Vt100Terminal(int cols, int rows) : cols_(cols), rows_(rows) {
+  reset();
+}
+
+void Vt100Terminal::reset() {
+  screen_.assign(static_cast<std::size_t>(rows_),
+                 std::string(static_cast<std::size_t>(cols_), ' '));
+  cursor_row_ = 0;
+  cursor_col_ = 0;
+  state_ = ParseState::kGround;
+  csi_params_.clear();
+  scrollback_.clear();
+}
+
+void Vt100Terminal::feed(const std::string& text) {
+  feed(util::BytesView(reinterpret_cast<const std::uint8_t*>(text.data()),
+                       text.size()));
+}
+
+void Vt100Terminal::feed(util::BytesView bytes) {
+  for (std::uint8_t byte : bytes) {
+    char c = static_cast<char>(byte);
+    switch (state_) {
+      case ParseState::kGround:
+        if (c == '\x1b') {
+          state_ = ParseState::kEscape;
+        } else {
+          put_char(c);
+        }
+        break;
+      case ParseState::kEscape:
+        if (c == '[') {
+          state_ = ParseState::kCsi;
+          csi_params_.clear();
+        } else {
+          state_ = ParseState::kGround;  // unsupported escape: swallow
+        }
+        break;
+      case ParseState::kCsi:
+        if ((c >= '0' && c <= '9') || c == ';' || c == '?') {
+          csi_params_.push_back(c);
+        } else {
+          execute_csi(csi_params_, c);
+          state_ = ParseState::kGround;
+        }
+        break;
+    }
+  }
+}
+
+void Vt100Terminal::put_char(char c) {
+  switch (c) {
+    case '\r':
+      cursor_col_ = 0;
+      return;
+    case '\n':
+      // ONLCR console semantics: device output uses bare LF meaning NL+CR.
+      newline();
+      cursor_col_ = 0;
+      return;
+    case '\b':
+      if (cursor_col_ > 0) --cursor_col_;
+      return;
+    case '\t':
+      cursor_col_ = std::min(cols_ - 1, (cursor_col_ / 8 + 1) * 8);
+      return;
+    case '\a':
+      return;  // bell: silence
+    default:
+      break;
+  }
+  if (c < 0x20) return;  // other control chars ignored
+  if (cursor_col_ >= cols_) {
+    cursor_col_ = 0;
+    newline();
+  }
+  screen_[static_cast<std::size_t>(cursor_row_)]
+         [static_cast<std::size_t>(cursor_col_)] = c;
+  ++cursor_col_;
+}
+
+void Vt100Terminal::newline() {
+  if (cursor_row_ + 1 < rows_) {
+    ++cursor_row_;
+    return;
+  }
+  // Scroll: top line leaves the screen into scrollback.
+  std::string top = screen_.front();
+  while (!top.empty() && top.back() == ' ') top.pop_back();
+  scrollback_ += top + "\n";
+  screen_.erase(screen_.begin());
+  screen_.emplace_back(static_cast<std::size_t>(cols_), ' ');
+}
+
+void Vt100Terminal::execute_csi(const std::string& params, char final) {
+  auto nums = [&]() {
+    std::vector<int> out;
+    for (const auto& part : util::split(params, ';')) {
+      out.push_back(util::is_number(part) ? std::stoi(part) : 0);
+    }
+    return out;
+  }();
+  auto arg = [&](std::size_t i, int fallback) {
+    return i < nums.size() && nums[i] > 0 ? nums[i] : fallback;
+  };
+
+  switch (final) {
+    case 'H':  // CUP: cursor position (1-based row;col)
+    case 'f':
+      cursor_row_ = std::clamp(arg(0, 1) - 1, 0, rows_ - 1);
+      cursor_col_ = std::clamp(arg(1, 1) - 1, 0, cols_ - 1);
+      break;
+    case 'A':
+      cursor_row_ = std::max(0, cursor_row_ - arg(0, 1));
+      break;
+    case 'B':
+      cursor_row_ = std::min(rows_ - 1, cursor_row_ + arg(0, 1));
+      break;
+    case 'C':
+      cursor_col_ = std::min(cols_ - 1, cursor_col_ + arg(0, 1));
+      break;
+    case 'D':
+      cursor_col_ = std::max(0, cursor_col_ - arg(0, 1));
+      break;
+    case 'J': {  // ED: erase display
+      int mode = nums.empty() ? 0 : nums[0];
+      if (mode == 2) {
+        for (auto& row : screen_) row.assign(static_cast<std::size_t>(cols_), ' ');
+        cursor_row_ = 0;
+        cursor_col_ = 0;
+      } else if (mode == 0) {
+        auto& row = screen_[static_cast<std::size_t>(cursor_row_)];
+        row.replace(static_cast<std::size_t>(cursor_col_),
+                    static_cast<std::size_t>(cols_ - cursor_col_),
+                    static_cast<std::size_t>(cols_ - cursor_col_), ' ');
+        for (int r = cursor_row_ + 1; r < rows_; ++r) {
+          screen_[static_cast<std::size_t>(r)].assign(
+              static_cast<std::size_t>(cols_), ' ');
+        }
+      } else if (mode == 1) {
+        for (int r = 0; r < cursor_row_; ++r) {
+          screen_[static_cast<std::size_t>(r)].assign(
+              static_cast<std::size_t>(cols_), ' ');
+        }
+        auto& row = screen_[static_cast<std::size_t>(cursor_row_)];
+        row.replace(0, static_cast<std::size_t>(cursor_col_ + 1),
+                    static_cast<std::size_t>(cursor_col_ + 1), ' ');
+      }
+      break;
+    }
+    case 'K': {  // EL: erase line
+      int mode = nums.empty() ? 0 : nums[0];
+      auto& row = screen_[static_cast<std::size_t>(cursor_row_)];
+      if (mode == 0) {
+        row.replace(static_cast<std::size_t>(cursor_col_),
+                    static_cast<std::size_t>(cols_ - cursor_col_),
+                    static_cast<std::size_t>(cols_ - cursor_col_), ' ');
+      } else if (mode == 1) {
+        row.replace(0, static_cast<std::size_t>(cursor_col_ + 1),
+                    static_cast<std::size_t>(cursor_col_ + 1), ' ');
+      } else if (mode == 2) {
+        row.assign(static_cast<std::size_t>(cols_), ' ');
+      }
+      break;
+    }
+    case 'm':  // SGR: attributes — parsed, discarded
+    default:
+      break;
+  }
+}
+
+std::string Vt100Terminal::line(int row) const {
+  if (row < 0 || row >= rows_) return "";
+  std::string out = screen_[static_cast<std::size_t>(row)];
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::string Vt100Terminal::render() const {
+  std::string out;
+  for (int r = 0; r < rows_; ++r) {
+    out += line(r);
+    if (r + 1 < rows_) out.push_back('\n');
+  }
+  while (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+}  // namespace rnl::core

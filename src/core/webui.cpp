@@ -1,0 +1,179 @@
+#include "core/webui.h"
+
+#include "util/strings.h"
+
+namespace rnl::core {
+
+std::optional<routeserver::InventoryRouter> WebUiSession::find_router(
+    const std::string& name) const {
+  return service_.router_by_name(name);
+}
+
+std::string WebUiSession::render_inventory() const {
+  const TopologyDesign* design =
+      design_id_ == 0 ? nullptr
+                      : const_cast<LabService&>(service_).design(design_id_);
+  std::string out = "=== Router Inventory ===\n";
+  for (const auto& router : service_.inventory()) {
+    if (design != nullptr && design->has_router(router.id)) {
+      continue;  // dragged onto the plane: gone from the column
+    }
+    out += util::format("  [%s] %s%s\n", router.name.c_str(),
+                        router.description.c_str(),
+                        router.has_console ? "  (console)" : "");
+  }
+  return out;
+}
+
+DesignId WebUiSession::open_design(const std::string& name) {
+  design_id_ = service_.create_design(user_, name);
+  deployment_.reset();
+  return design_id_;
+}
+
+util::Status WebUiSession::drag_router_to_plane(
+    const std::string& router_name) {
+  TopologyDesign* design = service_.design(design_id_);
+  if (design == nullptr) return util::Error{"ui: no design tab open"};
+  auto router = find_router(router_name);
+  if (!router.has_value()) {
+    return util::Error{"ui: '" + router_name + "' is not in the inventory"};
+  }
+  return design->add_router(router->id);
+}
+
+util::Result<wire::PortId> WebUiSession::click_port(
+    const std::string& router_name, int x, int y) const {
+  auto router = find_router(router_name);
+  if (!router.has_value()) return util::Error{"ui: unknown router"};
+  for (const auto& port : router->ports) {
+    if (port.hit(x, y)) return port.id;
+  }
+  return util::Error{
+      util::format("ui: (%d,%d) is not over a port region of %s", x, y,
+                   router_name.c_str())};
+}
+
+std::string WebUiSession::hover_text(const std::string& router_name, int x,
+                                     int y) const {
+  auto router = find_router(router_name);
+  if (!router.has_value()) return "";
+  for (const auto& port : router->ports) {
+    if (port.hit(x, y)) {
+      return port.name + (port.description.empty() ? ""
+                                                   : " - " + port.description);
+    }
+  }
+  return "";
+}
+
+util::Status WebUiSession::draw_wire(const std::string& router_a, int ax,
+                                     int ay, const std::string& router_b,
+                                     int bx, int by,
+                                     wire::NetemProfile wan) {
+  TopologyDesign* design = service_.design(design_id_);
+  if (design == nullptr) return util::Error{"ui: no design tab open"};
+  auto port_a = click_port(router_a, ax, ay);
+  if (!port_a.ok()) return util::Error{port_a.error()};
+  auto port_b = click_port(router_b, bx, by);
+  if (!port_b.ok()) return util::Error{port_b.error()};
+  return design->connect(*port_a, *port_b, wan);
+}
+
+std::string WebUiSession::render_design_plane() const {
+  const TopologyDesign* design =
+      design_id_ == 0 ? nullptr
+                      : const_cast<LabService&>(service_).design(design_id_);
+  if (design == nullptr) return "(no design open)\n";
+  std::string out = "=== Design: " + design->name() + " ===\n";
+  for (auto router_id : design->routers()) {
+    auto router = service_.route_server().find_router(router_id);
+    out += "  [router] " +
+           (router.has_value() ? router->name
+                               : "#" + std::to_string(router_id) +
+                                     " (offline)") +
+           "\n";
+  }
+  for (const auto& link : design->links()) {
+    out += util::format("  [wire] port %u <-> port %u%s\n", link.a, link.b,
+                        link.wan.delay.nanos != 0 ? "  (WAN impaired)" : "");
+  }
+  return out;
+}
+
+std::string WebUiSession::render_calendar(util::SimTime from,
+                                          int hours) const {
+  const TopologyDesign* design =
+      design_id_ == 0 ? nullptr
+                      : const_cast<LabService&>(service_).design(design_id_);
+  if (design == nullptr) return "(no design open)\n";
+  const ReservationCalendar& calendar =
+      const_cast<LabService&>(service_).calendar();
+  std::string out = "=== Calendar (next " + std::to_string(hours) +
+                    "h, '.'=free) ===\n";
+  for (auto router_id : design->routers()) {
+    auto router = service_.route_server().find_router(router_id);
+    std::string row = util::format(
+        "  %-20s ",
+        (router.has_value() ? router->name : std::to_string(router_id))
+            .c_str());
+    for (int h = 0; h < hours; ++h) {
+      util::SimTime slot_start = from + util::Duration::hours(h);
+      char cell = '.';
+      for (const auto& reservation :
+           calendar.schedule_for(router_id)) {
+        if (reservation.start < slot_start + util::Duration::hours(1) &&
+            slot_start < reservation.end) {
+          cell = reservation.user.empty()
+                     ? '#'
+                     : static_cast<char>(std::toupper(reservation.user[0]));
+          break;
+        }
+      }
+      row.push_back(cell);
+    }
+    out += row + "\n";
+  }
+  return out;
+}
+
+util::Result<ReservationId> WebUiSession::reserve_next_free(
+    util::Duration duration) {
+  if (design_id_ == 0) return util::Error{"ui: no design tab open"};
+  util::SimTime start = service_.next_free_slot(design_id_, duration);
+  return service_.reserve(design_id_, start, start + duration);
+}
+
+util::Result<DeploymentId> WebUiSession::press_deploy() {
+  auto deployment = service_.deploy(design_id_);
+  if (deployment.ok()) deployment_ = *deployment;
+  return deployment;
+}
+
+util::Status WebUiSession::press_teardown() {
+  if (!deployment_.has_value()) return util::Error{"ui: nothing deployed"};
+  auto status = service_.teardown(*deployment_);
+  deployment_.reset();
+  return status;
+}
+
+util::Status WebUiSession::press_save_design() {
+  return service_.save_design(design_id_);
+}
+
+Vt100Terminal& WebUiSession::terminal(wire::RouterId router) {
+  auto& slot = terminals_[router];
+  if (!slot) slot = std::make_unique<Vt100Terminal>(80, 24);
+  return *slot;
+}
+
+std::string WebUiSession::type_into_terminal(wire::RouterId router,
+                                             const std::string& line) {
+  Vt100Terminal& term = terminal(router);
+  term.feed(line + "\n");  // local echo, like the browser terminal
+  std::string output = service_.console_exec(router, line);
+  term.feed(output);
+  return output;
+}
+
+}  // namespace rnl::core

@@ -1,0 +1,189 @@
+#include "devices/cli.h"
+
+#include "util/strings.h"
+
+namespace rnl::devices {
+
+CliEngine::CliEngine(std::string hostname) : hostname_(std::move(hostname)) {}
+
+void CliEngine::register_command(CliMode mode, const std::string& verb,
+                                 Handler handler) {
+  commands_[mode][verb] = std::move(handler);
+}
+
+std::string CliEngine::prompt() const {
+  switch (mode_) {
+    case CliMode::kUserExec:
+      return hostname_ + ">";
+    case CliMode::kPrivExec:
+      return hostname_ + "#";
+    case CliMode::kGlobalConfig:
+      return hostname_ + "(config)#";
+    case CliMode::kInterfaceConfig:
+      return hostname_ + "(config-if)#";
+  }
+  return hostname_ + "?";
+}
+
+std::string CliEngine::execute(const std::string& raw_line) {
+  std::vector<std::string> tokens = util::split_ws(raw_line);
+  if (tokens.empty()) return "";
+
+  bool negated = false;
+  if (tokens[0] == "no") {
+    negated = true;
+    tokens.erase(tokens.begin());
+    if (tokens.empty()) return "% Incomplete command.\n";
+  }
+
+  const std::string& verb = tokens[0];
+
+  // Built-in mode navigation (never negated).
+  if (!negated) {
+    if (verb == "enable" && mode_ == CliMode::kUserExec) {
+      mode_ = CliMode::kPrivExec;
+      return "";
+    }
+    if (verb == "disable" && mode_ == CliMode::kPrivExec) {
+      mode_ = CliMode::kUserExec;
+      return "";
+    }
+    if ((verb == "configure" || verb == "conf") &&
+        mode_ == CliMode::kPrivExec) {
+      mode_ = CliMode::kGlobalConfig;
+      return "";
+    }
+    if (verb == "end") {
+      if (mode_ == CliMode::kGlobalConfig ||
+          mode_ == CliMode::kInterfaceConfig) {
+        mode_ = CliMode::kPrivExec;
+        current_interface_.clear();
+      }
+      return "";
+    }
+    if (verb == "exit") {
+      switch (mode_) {
+        case CliMode::kInterfaceConfig:
+          mode_ = CliMode::kGlobalConfig;
+          current_interface_.clear();
+          break;
+        case CliMode::kGlobalConfig:
+          mode_ = CliMode::kPrivExec;
+          break;
+        case CliMode::kPrivExec:
+          mode_ = CliMode::kUserExec;
+          break;
+        case CliMode::kUserExec:
+          break;
+      }
+      return "";
+    }
+    if (verb == "interface" && (mode_ == CliMode::kGlobalConfig ||
+                                mode_ == CliMode::kInterfaceConfig)) {
+      if (tokens.size() < 2) return "% Incomplete command.\n";
+      // Allow "interface GigabitEthernet 0/1" or "interface Gi0/1".
+      std::string ifname = tokens[1];
+      for (std::size_t i = 2; i < tokens.size(); ++i) ifname += tokens[i];
+      if (interface_exists_ && !interface_exists_(ifname)) {
+        return "% Invalid interface " + ifname + "\n";
+      }
+      current_interface_ = ifname;
+      mode_ = CliMode::kInterfaceConfig;
+      return "";
+    }
+    if (verb == "hostname" && mode_ == CliMode::kGlobalConfig) {
+      if (tokens.size() != 2) return "% Incomplete command.\n";
+      hostname_ = tokens[1];
+      return "";
+    }
+  }
+
+  return dispatch(mode_, tokens, negated);
+}
+
+std::string CliEngine::dispatch(CliMode mode,
+                                const std::vector<std::string>& tokens,
+                                bool negated) {
+  auto mode_it = commands_.find(mode);
+  if (mode_it != commands_.end()) {
+    // Longest-prefix verb match: try "a b c", then "a b", then "a".
+    for (std::size_t len = std::min<std::size_t>(tokens.size(), 3); len >= 1;
+         --len) {
+      std::string verb = tokens[0];
+      for (std::size_t i = 1; i < len; ++i) verb += " " + tokens[i];
+      auto cmd_it = mode_it->second.find(verb);
+      if (cmd_it != mode_it->second.end()) {
+        std::vector<std::string> args(tokens.begin() +
+                                          static_cast<std::ptrdiff_t>(len),
+                                      tokens.end());
+        return cmd_it->second(args, negated);
+      }
+    }
+  }
+  // User exec may run the read-only subset of privileged commands ("show",
+  // "ping"), as on real IOS.
+  if (mode == CliMode::kUserExec &&
+      (tokens[0] == "show" || tokens[0] == "ping")) {
+    auto priv_it = commands_.find(CliMode::kPrivExec);
+    if (priv_it != commands_.end()) {
+      for (std::size_t len = std::min<std::size_t>(tokens.size(), 3); len >= 1;
+           --len) {
+        std::string verb = tokens[0];
+        for (std::size_t i = 1; i < len; ++i) verb += " " + tokens[i];
+        auto cmd_it = priv_it->second.find(verb);
+        if (cmd_it != priv_it->second.end()) {
+          std::vector<std::string> args(
+              tokens.begin() + static_cast<std::ptrdiff_t>(len), tokens.end());
+          return cmd_it->second(args, negated);
+        }
+      }
+    }
+  }
+
+  // IOS semantics: a global-config command typed in interface mode pops back
+  // to global config and executes there. Needed so config dumps (where
+  // indentation is lost) re-apply cleanly.
+  if (mode == CliMode::kInterfaceConfig) {
+    auto global_it = commands_.find(CliMode::kGlobalConfig);
+    if (global_it != commands_.end()) {
+      for (std::size_t len = std::min<std::size_t>(tokens.size(), 3); len >= 1;
+           --len) {
+        std::string verb = tokens[0];
+        for (std::size_t i = 1; i < len; ++i) verb += " " + tokens[i];
+        auto cmd_it = global_it->second.find(verb);
+        if (cmd_it != global_it->second.end()) {
+          mode_ = CliMode::kGlobalConfig;
+          current_interface_.clear();
+          std::vector<std::string> args(
+              tokens.begin() + static_cast<std::ptrdiff_t>(len), tokens.end());
+          return cmd_it->second(args, negated);
+        }
+      }
+    }
+  }
+  // IOS allows exec commands (show/ping) from config modes via implicit "do";
+  // accept them directly, as many operators type them without "do".
+  if ((mode == CliMode::kGlobalConfig || mode == CliMode::kInterfaceConfig)) {
+    std::vector<std::string> t = tokens;
+    if (t[0] == "do") t.erase(t.begin());
+    if (!t.empty()) {
+      auto exec_it = commands_.find(CliMode::kPrivExec);
+      if (exec_it != commands_.end()) {
+        for (std::size_t len = std::min<std::size_t>(t.size(), 3); len >= 1;
+             --len) {
+          std::string verb = t[0];
+          for (std::size_t i = 1; i < len; ++i) verb += " " + t[i];
+          auto cmd_it = exec_it->second.find(verb);
+          if (cmd_it != exec_it->second.end()) {
+            std::vector<std::string> args(
+                t.begin() + static_cast<std::ptrdiff_t>(len), t.end());
+            return cmd_it->second(args, negated);
+          }
+        }
+      }
+    }
+  }
+  return "% Invalid input detected: '" + tokens[0] + "'\n";
+}
+
+}  // namespace rnl::devices

@@ -1,0 +1,120 @@
+#include "devices/device.h"
+
+#include "util/strings.h"
+
+namespace rnl::devices {
+
+Device::Device(simnet::Network& net, std::string name, Firmware firmware)
+    : net_(net),
+      scheduler_(net.scheduler()),
+      name_(std::move(name)),
+      firmware_(std::move(firmware)),
+      timer_epoch_(std::make_shared<int>(0)) {}
+
+Device::~Device() {
+  // Orphan outstanding timers.
+  timer_epoch_.reset();
+}
+
+void Device::flash_firmware(const Firmware& firmware) {
+  firmware_ = firmware;
+  power_off();
+  power_on();
+}
+
+int Device::find_port(const std::string& ifname) const {
+  for (std::size_t i = 0; i < port_names_.size(); ++i) {
+    if (port_names_[i] == ifname) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Device::apply_config(const std::string& config) {
+  std::string errors;
+  // Configuration dumps are written relative to global config mode.
+  exec("enable");
+  exec("configure terminal");
+  for (const auto& raw_line : util::split(config, '\n')) {
+    std::string line(util::trim(raw_line));
+    if (line.empty() || line[0] == '!') continue;  // comments/separators
+    std::string out = exec(line);
+    if (!out.empty() && out.find("% ") != std::string::npos) {
+      errors += line + ": " + out + "\n";
+    }
+  }
+  exec("end");
+  return errors;
+}
+
+void Device::power_off() {
+  if (!powered_) return;
+  powered_ = false;
+  // Cancel timers and drop dynamic state; admin port state is configuration
+  // and survives, but a powered-off device has no carrier.
+  timer_epoch_ = std::make_shared<int>(*timer_epoch_ + 1);
+  periodic_timers_.clear();
+  for (auto* port : ports_) port->set_up(false);
+  on_reset();
+}
+
+void Device::power_on() {
+  if (powered_) return;
+  powered_ = true;
+  for (auto* port : ports_) port->set_up(true);
+  on_reset();
+}
+
+std::optional<std::string> Device::handle_common_command(
+    const std::string& line) {
+  auto tokens = util::split_ws(line);
+  if (tokens.size() == 2 && tokens[0] == "flash") {
+    auto image = FirmwareCatalog::instance().find(tokens[1]);
+    if (!image.has_value()) {
+      return "% Unknown firmware image '" + tokens[1] + "'\n";
+    }
+    flash_firmware(*image);
+    return "Flashing " + tokens[1] + " ... done. Device reloaded.\n";
+  }
+  if (tokens.size() == 2 && tokens[0] == "show" && tokens[1] == "firmware") {
+    return "Running image: " + firmware_.version + "\n";
+  }
+  return std::nullopt;
+}
+
+simnet::Port& Device::add_port(const std::string& ifname) {
+  simnet::Port& port = net_.make_port(name_ + "/" + ifname);
+  ports_.push_back(&port);
+  port_names_.push_back(ifname);
+  return port;
+}
+
+void Device::schedule_periodic(util::Duration period,
+                               std::function<void()> fn) {
+  auto tick = std::make_shared<std::function<void()>>();
+  periodic_timers_.push_back(tick);
+  std::weak_ptr<std::function<void()>> weak = tick;
+  std::weak_ptr<int> epoch = timer_epoch_;
+  int armed_generation = *timer_epoch_;
+  *tick = [this, weak, epoch, armed_generation, period, fn = std::move(fn)] {
+    auto self = weak.lock();
+    if (!self) return;  // device destroyed or power-cycled
+    auto alive = epoch.lock();
+    if (!alive || *alive != armed_generation) return;
+    fn();
+    scheduler_.schedule_after(period, *self);
+  };
+  scheduler_.schedule_after(period, *tick);
+}
+
+void Device::schedule_once(util::Duration delay, std::function<void()> fn) {
+  std::weak_ptr<int> epoch = timer_epoch_;
+  int armed_generation = *timer_epoch_;
+  scheduler_.schedule_after(
+      delay, [epoch, armed_generation, fn = std::move(fn)] {
+        auto alive = epoch.lock();
+        if (!alive || *alive != armed_generation) return;
+        fn();
+      });
+}
+
+}  // namespace rnl::devices

@@ -1,0 +1,42 @@
+#include "devices/firmware.h"
+
+namespace rnl::devices {
+
+FirmwareCatalog::FirmwareCatalog() {
+  images_ = {
+      // Modern mainline: everything works.
+      {.version = "12.2(18)SXF", .supports_bpdu_forwarding = true},
+      // Older train: no BPDU forwarding through service modules (the Fig 5
+      // failover pitfall) and slower STP defaults.
+      {.version = "12.1(13)E",
+       .supports_bpdu_forwarding = false,
+       .stp_hello_seconds = 2,
+       .stp_forward_delay_seconds = 15,
+       .stp_max_age_seconds = 20},
+      // Customer-special bugfix image with its own regression.
+      {.version = "12.4(15)T-special",
+       .supports_bpdu_forwarding = true,
+       .bug_outbound_acl_ignored = true},
+      // Tuned image with fast STP timers.
+      {.version = "12.2(33)SXI-fast",
+       .supports_bpdu_forwarding = true,
+       .stp_hello_seconds = 1,
+       .stp_forward_delay_seconds = 4,
+       .stp_max_age_seconds = 6},
+  };
+}
+
+const FirmwareCatalog& FirmwareCatalog::instance() {
+  static FirmwareCatalog catalog;
+  return catalog;
+}
+
+std::optional<Firmware> FirmwareCatalog::find(
+    const std::string& version) const {
+  for (const auto& image : images_) {
+    if (image.version == version) return image;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rnl::devices

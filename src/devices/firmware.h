@@ -1,0 +1,55 @@
+#pragma once
+
+// Firmware version modelling.
+//
+// §1: "there are many firmware versions for a router ... and each behaves
+// slightly different. A design may work on paper, but it may not on routers
+// with a particular version of the firmware." RNL lets users flash the exact
+// version under test (§2.1). We reproduce the phenomenon with a registry of
+// versions whose feature flags gate device behaviour — most importantly the
+// Fig 5 pitfall: only some switch images support BPDU forwarding through a
+// firewall module.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rnl::devices {
+
+struct Firmware {
+  std::string version;  // e.g. "12.2(18)SXF"
+  /// Switch image supports forwarding BPDUs through service modules
+  /// (Fig 5: "a switch software that supports BPDU forwarding should be
+  /// used").
+  bool supports_bpdu_forwarding = true;
+  /// Default STP hello timer, seconds. Older images shipped slower hellos.
+  std::uint16_t stp_hello_seconds = 2;
+  /// Default STP forward-delay, seconds.
+  std::uint16_t stp_forward_delay_seconds = 15;
+  /// Default STP max-age, seconds.
+  std::uint16_t stp_max_age_seconds = 20;
+  /// Emulates a customer-special image bug: ACLs on *outbound* interfaces are
+  /// silently ignored (the class of subtle per-version defect §1 describes).
+  bool bug_outbound_acl_ignored = false;
+
+  bool operator==(const Firmware&) const = default;
+};
+
+/// Catalog of images a lab manager can flash. Mirrors the handful of IOS
+/// trains the paper name-drops; the specific flag values are our synthetic
+/// stand-ins for real per-version quirks.
+class FirmwareCatalog {
+ public:
+  static const FirmwareCatalog& instance();
+
+  [[nodiscard]] std::optional<Firmware> find(const std::string& version) const;
+  [[nodiscard]] const std::vector<Firmware>& all() const { return images_; }
+  [[nodiscard]] const Firmware& default_image() const { return images_.front(); }
+
+ private:
+  FirmwareCatalog();
+  std::vector<Firmware> images_;
+};
+
+}  // namespace rnl::devices

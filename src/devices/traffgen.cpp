@@ -1,0 +1,60 @@
+#include "devices/traffgen.h"
+
+#include "util/strings.h"
+
+namespace rnl::devices {
+
+TrafficGenerator::TrafficGenerator(simnet::Network& net, std::string name,
+                                   std::size_t num_ports)
+    : Device(net, std::move(name),
+             Firmware{.version = "ixia-like-1.0"}) {
+  captured_.resize(num_ports);
+  tx_counts_.resize(num_ports, 0);
+  for (std::size_t i = 0; i < num_ports; ++i) {
+    simnet::Port& p = add_port(util::format("port%zu", i + 1));
+    p.set_receive_handler([this, i](util::BytesView bytes) {
+      if (!powered()) return;
+      captured_[i].push_back(
+          Captured{util::Bytes(bytes.begin(), bytes.end()), scheduler_.now()});
+      if (captured_[i].size() > 1'000'000) captured_[i].pop_front();
+    });
+  }
+}
+
+std::string TrafficGenerator::exec(const std::string& line) {
+  return "% Traffic generators are driven via the web-services API (" + line +
+         ")\n";
+}
+
+std::string TrafficGenerator::prompt() const { return name() + "$"; }
+
+std::string TrafficGenerator::running_config() const {
+  return "! traffic generator " + name() + " has no persistent config\n";
+}
+
+void TrafficGenerator::start_stream(std::size_t port_index, Stream stream) {
+  emit(port_index, std::move(stream), 0);
+}
+
+void TrafficGenerator::emit(std::size_t port_index, Stream stream,
+                            std::uint32_t index) {
+  if (index >= stream.count || !powered()) return;
+  util::Bytes frame = stream.template_frame;
+  if (stream.seq_offset >= 0 &&
+      static_cast<std::size_t>(stream.seq_offset) + 4 <= frame.size()) {
+    auto off = static_cast<std::size_t>(stream.seq_offset);
+    frame[off] = static_cast<std::uint8_t>(index >> 24);
+    frame[off + 1] = static_cast<std::uint8_t>(index >> 16);
+    frame[off + 2] = static_cast<std::uint8_t>(index >> 8);
+    frame[off + 3] = static_cast<std::uint8_t>(index);
+  }
+  ++tx_counts_[port_index];
+  port(port_index).transmit(frame);
+  util::Duration interval = stream.interval;
+  schedule_once(interval, [this, port_index, stream = std::move(stream),
+                           index]() mutable {
+    emit(port_index, std::move(stream), index + 1);
+  });
+}
+
+}  // namespace rnl::devices

@@ -1,0 +1,65 @@
+#pragma once
+
+// IXIA-style hardware traffic generator/analyzer (§3.2: "the user could also
+// hook up an IXIA traffic generator to port R1.1 and R2.1").
+//
+// Streams transmit a template frame `count` times at a fixed `interval`,
+// stamping a 32-bit sequence number at `seq_offset` into the payload —
+// exactly the kind of "same template, different marking" traffic the paper's
+// compression scheme exploits (§4), so the compression bench reuses this.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "devices/device.h"
+#include "packet/ethernet.h"
+
+namespace rnl::devices {
+
+class TrafficGenerator : public Device {
+ public:
+  struct Stream {
+    util::Bytes template_frame;
+    std::uint32_t count = 0;
+    util::Duration interval{};
+    /// Byte offset where the per-frame sequence number is stamped; negative
+    /// disables stamping.
+    int seq_offset = -1;
+  };
+
+  struct Captured {
+    util::Bytes frame;
+    util::SimTime at{};
+  };
+
+  TrafficGenerator(simnet::Network& net, std::string name,
+                   std::size_t num_ports = 2);
+
+  std::string exec(const std::string& line) override;
+  [[nodiscard]] std::string prompt() const override;
+  [[nodiscard]] std::string running_config() const override;
+
+  /// Starts transmitting `stream` out of `port_index`.
+  void start_stream(std::size_t port_index, Stream stream);
+
+  [[nodiscard]] const std::deque<Captured>& captured(
+      std::size_t port_index) const {
+    return captured_.at(port_index);
+  }
+  void clear_captured(std::size_t port_index) {
+    captured_.at(port_index).clear();
+  }
+  [[nodiscard]] std::uint64_t tx_count(std::size_t port_index) const {
+    return tx_counts_.at(port_index);
+  }
+
+ private:
+  void emit(std::size_t port_index, Stream stream, std::uint32_t index);
+
+  std::vector<std::deque<Captured>> captured_;
+  std::vector<std::uint64_t> tx_counts_;
+};
+
+}  // namespace rnl::devices

@@ -1,0 +1,88 @@
+#include "packet/addr.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace rnl::packet {
+
+bool MacAddress::is_broadcast() const { return *this == broadcast(); }
+
+bool MacAddress::is_zero() const {
+  for (auto o : octets) {
+    if (o != 0) return false;
+  }
+  return true;
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets[0],
+                octets[1], octets[2], octets[3], octets[4], octets[5]);
+  return buf;
+}
+
+util::Result<MacAddress> MacAddress::parse(std::string_view text) {
+  auto parts = util::split(text, ':');
+  if (parts.size() != 6) {
+    return util::Error{"MAC must have 6 ':'-separated octets"};
+  }
+  MacAddress mac;
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (parts[i].size() != 2) return util::Error{"MAC octet must be 2 hex digits"};
+    char* end = nullptr;
+    long v = std::strtol(parts[i].c_str(), &end, 16);
+    if (end != parts[i].c_str() + 2 || v < 0 || v > 255) {
+      return util::Error{"invalid MAC octet '" + parts[i] + "'"};
+    }
+    mac.octets[i] = static_cast<std::uint8_t>(v);
+  }
+  return mac;
+}
+
+MacAddress MacAddress::local(std::uint32_t seed) {
+  // 0x02 => locally administered, unicast.
+  return {{0x02, 0x00, static_cast<std::uint8_t>(seed >> 24),
+           static_cast<std::uint8_t>(seed >> 16),
+           static_cast<std::uint8_t>(seed >> 8),
+           static_cast<std::uint8_t>(seed)}};
+}
+
+util::Result<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  auto parts = util::split(text, '.');
+  if (parts.size() != 4) return util::Error{"IPv4 must have 4 octets"};
+  std::uint32_t value = 0;
+  for (const auto& part : parts) {
+    if (!util::is_number(part) || part.size() > 3) {
+      return util::Error{"invalid IPv4 octet '" + part + "'"};
+    }
+    long v = std::strtol(part.c_str(), nullptr, 10);
+    if (v > 255) return util::Error{"IPv4 octet out of range"};
+    value = (value << 8) | static_cast<std::uint32_t>(v);
+  }
+  return Ipv4Address{value};
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", value >> 24,
+                (value >> 16) & 0xFF, (value >> 8) & 0xFF, value & 0xFF);
+  return buf;
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return network.to_string() + "/" + std::to_string(length);
+}
+
+util::Result<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  auto parts = util::split(text, '/');
+  if (parts.size() != 2) return util::Error{"prefix must be addr/len"};
+  auto addr = Ipv4Address::parse(parts[0]);
+  if (!addr.ok()) return util::Error{addr.error()};
+  if (!util::is_number(parts[1])) return util::Error{"invalid prefix length"};
+  long len = std::strtol(parts[1].c_str(), nullptr, 10);
+  if (len < 0 || len > 32) return util::Error{"prefix length out of range"};
+  return Ipv4Prefix{*addr, static_cast<std::uint8_t>(len)};
+}
+
+}  // namespace rnl::packet

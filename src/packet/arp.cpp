@@ -1,0 +1,81 @@
+#include "packet/arp.h"
+
+namespace rnl::packet {
+
+namespace {
+constexpr std::uint16_t kHtypeEthernet = 1;
+constexpr std::uint16_t kPtypeIpv4 = 0x0800;
+}  // namespace
+
+util::Bytes ArpPacket::serialize() const {
+  util::ByteWriter w(28);
+  w.u16(kHtypeEthernet);
+  w.u16(kPtypeIpv4);
+  w.u8(6);  // hlen
+  w.u8(4);  // plen
+  w.u16(static_cast<std::uint16_t>(op));
+  w.raw(sender_mac.octets.data(), 6);
+  w.u32(sender_ip.value);
+  w.raw(target_mac.octets.data(), 6);
+  w.u32(target_ip.value);
+  return std::move(w).take();
+}
+
+util::Result<ArpPacket> ArpPacket::parse(util::BytesView bytes) {
+  util::ByteReader r(bytes);
+  std::uint16_t htype = r.u16();
+  std::uint16_t ptype = r.u16();
+  std::uint8_t hlen = r.u8();
+  std::uint8_t plen = r.u8();
+  std::uint16_t op = r.u16();
+  ArpPacket arp;
+  auto smac = r.raw(6);
+  arp.sender_ip.value = r.u32();
+  auto tmac = r.raw(6);
+  arp.target_ip.value = r.u32();
+  if (!r.ok()) return util::Error{"arp: truncated packet"};
+  if (htype != kHtypeEthernet || ptype != kPtypeIpv4 || hlen != 6 || plen != 4) {
+    return util::Error{"arp: unsupported hardware/protocol type"};
+  }
+  if (op != 1 && op != 2) return util::Error{"arp: unknown opcode"};
+  arp.op = static_cast<Op>(op);
+  std::copy(smac.begin(), smac.end(), arp.sender_mac.octets.begin());
+  std::copy(tmac.begin(), tmac.end(), arp.target_mac.octets.begin());
+  return arp;
+}
+
+EthernetFrame ArpPacket::make_request(MacAddress sender_mac,
+                                      Ipv4Address sender_ip,
+                                      Ipv4Address target_ip) {
+  ArpPacket arp;
+  arp.op = Op::kRequest;
+  arp.sender_mac = sender_mac;
+  arp.sender_ip = sender_ip;
+  arp.target_ip = target_ip;
+  EthernetFrame frame;
+  frame.dst = MacAddress::broadcast();
+  frame.src = sender_mac;
+  frame.ether_type = EtherType::kArp;
+  frame.payload = arp.serialize();
+  return frame;
+}
+
+EthernetFrame ArpPacket::make_reply(MacAddress sender_mac,
+                                    Ipv4Address sender_ip,
+                                    MacAddress target_mac,
+                                    Ipv4Address target_ip) {
+  ArpPacket arp;
+  arp.op = Op::kReply;
+  arp.sender_mac = sender_mac;
+  arp.sender_ip = sender_ip;
+  arp.target_mac = target_mac;
+  arp.target_ip = target_ip;
+  EthernetFrame frame;
+  frame.dst = target_mac;
+  frame.src = sender_mac;
+  frame.ether_type = EtherType::kArp;
+  frame.payload = arp.serialize();
+  return frame;
+}
+
+}  // namespace rnl::packet

@@ -1,0 +1,37 @@
+#pragma once
+
+// ARP (RFC 826) for Ethernet/IPv4, as emitted by the router and host models.
+
+#include <cstdint>
+
+#include "packet/addr.h"
+#include "packet/ethernet.h"
+#include "util/bytes.h"
+
+namespace rnl::packet {
+
+struct ArpPacket {
+  enum class Op : std::uint16_t { kRequest = 1, kReply = 2 };
+
+  Op op = Op::kRequest;
+  MacAddress sender_mac;
+  Ipv4Address sender_ip;
+  MacAddress target_mac;  // zero in requests
+  Ipv4Address target_ip;
+
+  bool operator==(const ArpPacket&) const = default;
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static util::Result<ArpPacket> parse(util::BytesView bytes);
+
+  /// Builds the full broadcast Ethernet frame asking "who has target_ip?".
+  static EthernetFrame make_request(MacAddress sender_mac,
+                                    Ipv4Address sender_ip,
+                                    Ipv4Address target_ip);
+  /// Builds the unicast reply frame answering a request.
+  static EthernetFrame make_reply(MacAddress sender_mac, Ipv4Address sender_ip,
+                                  MacAddress target_mac,
+                                  Ipv4Address target_ip);
+};
+
+}  // namespace rnl::packet

@@ -1,0 +1,81 @@
+#include "packet/ethernet.h"
+
+#include "util/strings.h"
+
+namespace rnl::packet {
+
+util::Bytes EthernetFrame::serialize() const {
+  util::ByteWriter w(payload.size() + 18);
+  w.raw(dst.octets.data(), dst.octets.size());
+  w.raw(src.octets.data(), src.octets.size());
+  if (tag.has_value()) {
+    w.u16(static_cast<std::uint16_t>(EtherType::kVlan));
+    w.u16(static_cast<std::uint16_t>((tag->pcp << 13) | (tag->vlan & 0x0FFF)));
+  }
+  if (ether_type == EtherType::kLlc) {
+    // 802.3: the type field carries the payload length (<= 1500).
+    w.u16(static_cast<std::uint16_t>(payload.size()));
+  } else {
+    w.u16(static_cast<std::uint16_t>(ether_type));
+  }
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+util::Result<EthernetFrame> EthernetFrame::parse(util::BytesView bytes) {
+  util::ByteReader r(bytes);
+  EthernetFrame frame;
+  auto dst = r.raw(6);
+  auto src = r.raw(6);
+  std::uint16_t type = r.u16();
+  if (!r.ok()) return util::Error{"ethernet: truncated header"};
+  std::copy(dst.begin(), dst.end(), frame.dst.octets.begin());
+  std::copy(src.begin(), src.end(), frame.src.octets.begin());
+
+  if (type == static_cast<std::uint16_t>(EtherType::kVlan)) {
+    std::uint16_t tci = r.u16();
+    type = r.u16();
+    if (!r.ok()) return util::Error{"ethernet: truncated 802.1Q tag"};
+    frame.tag = VlanTag{static_cast<std::uint8_t>(tci >> 13),
+                        static_cast<std::uint16_t>(tci & 0x0FFF)};
+  }
+
+  if (type <= 1500) {
+    // 802.3 length + LLC payload.
+    if (r.remaining() < type) return util::Error{"ethernet: 802.3 length exceeds frame"};
+    frame.ether_type = EtherType::kLlc;
+    auto body = r.raw(type);
+    frame.payload.assign(body.begin(), body.end());
+  } else {
+    frame.ether_type = static_cast<EtherType>(type);
+    auto body = r.rest();
+    frame.payload.assign(body.begin(), body.end());
+  }
+  return frame;
+}
+
+std::string EthernetFrame::summary() const {
+  const char* kind = "?";
+  switch (ether_type) {
+    case EtherType::kIpv4:
+      kind = "IPv4";
+      break;
+    case EtherType::kArp:
+      kind = "ARP";
+      break;
+    case EtherType::kLlc:
+      kind = "LLC";
+      break;
+    case EtherType::kFailover:
+      kind = "FAILOVER";
+      break;
+    default:
+      kind = "other";
+  }
+  std::string out = src.to_string() + " -> " + dst.to_string();
+  if (tag.has_value()) out += util::format(" vlan%u", tag->vlan);
+  out += util::format(" %s %zuB", kind, payload.size());
+  return out;
+}
+
+}  // namespace rnl::packet

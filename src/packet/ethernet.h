@@ -1,0 +1,64 @@
+#pragma once
+
+// Ethernet II / 802.1Q framing.
+//
+// RNL's core claim is that virtual wires carry *complete* layer-2 frames so
+// devices cannot distinguish tunnel from cable (§2, "Virtual connection").
+// Everything that crosses a wire in this codebase is one of these frames,
+// serialized byte-exactly.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "packet/addr.h"
+#include "util/bytes.h"
+
+namespace rnl::packet {
+
+/// Well-known EtherType values used by the device models.
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  kVlan = 0x8100,
+  // IEEE 802.1 local-experimental ethertype carrying our FWSM-style
+  // failover hellos (real FWSM uses a proprietary encapsulation).
+  kFailover = 0x88B5,
+  // Values <= 1500 are 802.3 lengths; the device models use kLlc to mark a
+  // frame whose payload is LLC (e.g. STP BPDUs, DSAP/SSAP 0x42).
+  kLlc = 0x0000,
+};
+
+/// 802.1Q tag. pcp: priority code point (0-7); vlan: 1-4094.
+struct VlanTag {
+  std::uint8_t pcp = 0;
+  std::uint16_t vlan = 1;
+
+  constexpr auto operator<=>(const VlanTag&) const = default;
+};
+
+/// A parsed Ethernet frame. `ether_type` is the *inner* type when a VLAN tag
+/// is present. For LLC (802.3) frames, ether_type == kLlc and the payload
+/// starts with the LLC header (DSAP/SSAP/control).
+struct EthernetFrame {
+  MacAddress dst;
+  MacAddress src;
+  std::optional<VlanTag> tag;
+  EtherType ether_type = EtherType::kIpv4;
+  util::Bytes payload;
+
+  bool operator==(const EthernetFrame&) const = default;
+
+  /// Serializes to wire bytes (no preamble/FCS; the simulated PHY handles
+  /// those). LLC frames emit an 802.3 length field.
+  [[nodiscard]] util::Bytes serialize() const;
+
+  /// Parses wire bytes. Rejects frames shorter than the 14-byte header or
+  /// with truncated VLAN tags.
+  static util::Result<EthernetFrame> parse(util::BytesView bytes);
+
+  /// One-line human-readable summary ("aa:.. -> bb:.. vlan10 IPv4 60B").
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace rnl::packet

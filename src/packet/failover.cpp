@@ -1,0 +1,63 @@
+#include "packet/failover.h"
+
+namespace rnl::packet {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x464F4C48;  // "FOLH"
+}
+
+std::string to_string(FailoverState state) {
+  switch (state) {
+    case FailoverState::kInit:
+      return "init";
+    case FailoverState::kActive:
+      return "active";
+    case FailoverState::kStandby:
+      return "standby";
+    case FailoverState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+util::Bytes FailoverHello::serialize() const {
+  util::ByteWriter w(12);
+  w.u32(kMagic);
+  w.u8(unit_id);
+  w.u8(static_cast<std::uint8_t>(state));
+  w.u8(priority);
+  w.u8(static_cast<std::uint8_t>(peer_state));
+  w.u32(sequence);
+  return std::move(w).take();
+}
+
+util::Result<FailoverHello> FailoverHello::parse(util::BytesView bytes) {
+  util::ByteReader r(bytes);
+  std::uint32_t magic = r.u32();
+  FailoverHello hello;
+  hello.unit_id = r.u8();
+  std::uint8_t state = r.u8();
+  hello.priority = r.u8();
+  std::uint8_t peer_state = r.u8();
+  hello.sequence = r.u32();
+  if (!r.ok()) return util::Error{"failover: truncated hello"};
+  if (magic != kMagic) return util::Error{"failover: bad magic"};
+  if (state > 3 || peer_state > 3) return util::Error{"failover: bad state"};
+  hello.state = static_cast<FailoverState>(state);
+  hello.peer_state = static_cast<FailoverState>(peer_state);
+  return hello;
+}
+
+EthernetFrame FailoverHello::to_frame(MacAddress src,
+                                      std::uint16_t vlan) const {
+  EthernetFrame frame;
+  // Locally-administered multicast group for failover hellos.
+  frame.dst = MacAddress{{0x03, 0x00, 0x52, 0x4E, 0x4C, 0x01}};
+  frame.src = src;
+  frame.tag = VlanTag{.pcp = 7, .vlan = vlan};
+  frame.ether_type = EtherType::kFailover;
+  frame.payload = serialize();
+  return frame;
+}
+
+}  // namespace rnl::packet

@@ -1,0 +1,46 @@
+#pragma once
+
+// FWSM-style failover hello protocol (Fig 5).
+//
+// Real Catalyst 6500 FWSM pairs monitor each other over dedicated failover
+// VLANs. We reproduce the observable behaviour with a small hello protocol:
+// each unit periodically multicasts its state and priority on the failover
+// VLAN; a standby that misses `holdtime` of hellos promotes itself.
+
+#include <cstdint>
+#include <string>
+
+#include "packet/addr.h"
+#include "packet/ethernet.h"
+#include "util/bytes.h"
+
+namespace rnl::packet {
+
+enum class FailoverState : std::uint8_t {
+  kInit = 0,
+  kActive = 1,
+  kStandby = 2,
+  kFailed = 3,
+};
+
+std::string to_string(FailoverState state);
+
+struct FailoverHello {
+  std::uint8_t unit_id = 0;
+  FailoverState state = FailoverState::kInit;
+  std::uint8_t priority = 100;
+  std::uint32_t sequence = 0;
+  /// Sender's view of its peer (for split-brain diagnosis in tests).
+  FailoverState peer_state = FailoverState::kInit;
+
+  bool operator==(const FailoverHello&) const = default;
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static util::Result<FailoverHello> parse(util::BytesView bytes);
+
+  /// Multicast frame on the failover VLAN.
+  [[nodiscard]] EthernetFrame to_frame(MacAddress src,
+                                       std::uint16_t vlan) const;
+};
+
+}  // namespace rnl::packet

@@ -1,0 +1,221 @@
+#include "packet/ipv4.h"
+
+#include "util/strings.h"
+
+namespace rnl::packet {
+
+std::uint16_t internet_checksum(util::BytesView bytes) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(bytes[i]) << 8) | bytes[i + 1];
+  }
+  if (i < bytes.size()) {
+    sum += static_cast<std::uint32_t>(bytes[i]) << 8;
+  }
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum);
+}
+
+namespace {
+// Pseudo-header checksum shared by UDP and TCP.
+std::uint16_t l4_checksum(Ipv4Address src, Ipv4Address dst, IpProto proto,
+                          util::BytesView segment) {
+  util::ByteWriter w(12 + segment.size());
+  w.u32(src.value);
+  w.u32(dst.value);
+  w.u8(0);
+  w.u8(static_cast<std::uint8_t>(proto));
+  w.u16(static_cast<std::uint16_t>(segment.size()));
+  w.raw(segment);
+  return internet_checksum(w.view());
+}
+}  // namespace
+
+util::Bytes Ipv4Packet::serialize() const {
+  util::ByteWriter w(20 + payload.size());
+  w.u8(0x45);  // version 4, IHL 5 (no options)
+  w.u8(static_cast<std::uint8_t>(dscp << 2));
+  w.u16(static_cast<std::uint16_t>(20 + payload.size()));
+  w.u16(identification);
+  w.u16(dont_fragment ? 0x4000 : 0x0000);
+  w.u8(ttl);
+  w.u8(protocol);
+  w.u16(0);  // checksum placeholder
+  w.u32(src.value);
+  w.u32(dst.value);
+  std::uint16_t checksum = internet_checksum(w.view());
+  w.patch_u16(10, checksum);
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+util::Result<Ipv4Packet> Ipv4Packet::parse(util::BytesView bytes) {
+  util::ByteReader r(bytes);
+  std::uint8_t ver_ihl = r.u8();
+  std::uint8_t dscp_ecn = r.u8();
+  std::uint16_t total_length = r.u16();
+  std::uint16_t identification = r.u16();
+  std::uint16_t flags_frag = r.u16();
+  std::uint8_t ttl = r.u8();
+  std::uint8_t protocol = r.u8();
+  r.u16();  // checksum (verified over the raw header below)
+  Ipv4Packet pkt;
+  pkt.src.value = r.u32();
+  pkt.dst.value = r.u32();
+  if (!r.ok()) return util::Error{"ipv4: truncated header"};
+  if ((ver_ihl >> 4) != 4) return util::Error{"ipv4: not version 4"};
+  std::size_t ihl_bytes = static_cast<std::size_t>(ver_ihl & 0x0F) * 4;
+  if (ihl_bytes < 20 || ihl_bytes > bytes.size()) {
+    return util::Error{"ipv4: bad IHL"};
+  }
+  if (internet_checksum(bytes.subspan(0, ihl_bytes)) != 0) {
+    return util::Error{"ipv4: header checksum mismatch"};
+  }
+  if (total_length < ihl_bytes || total_length > bytes.size()) {
+    return util::Error{"ipv4: total length inconsistent with frame"};
+  }
+  if ((flags_frag & 0x3FFF) != 0 && (flags_frag & 0x2000) != 0) {
+    return util::Error{"ipv4: fragments unsupported"};
+  }
+  pkt.dscp = static_cast<std::uint8_t>(dscp_ecn >> 2);
+  pkt.identification = identification;
+  pkt.dont_fragment = (flags_frag & 0x4000) != 0;
+  pkt.ttl = ttl;
+  pkt.protocol = protocol;
+  // Skip options if present; payload is [ihl, total_length).
+  auto body = bytes.subspan(ihl_bytes, total_length - ihl_bytes);
+  pkt.payload.assign(body.begin(), body.end());
+  return pkt;
+}
+
+std::string Ipv4Packet::summary() const {
+  const char* proto_name = "ip";
+  switch (static_cast<IpProto>(protocol)) {
+    case IpProto::kIcmp:
+      proto_name = "icmp";
+      break;
+    case IpProto::kTcp:
+      proto_name = "tcp";
+      break;
+    case IpProto::kUdp:
+      proto_name = "udp";
+      break;
+  }
+  return util::format("%s %s -> %s ttl=%u %zuB", proto_name,
+                      src.to_string().c_str(), dst.to_string().c_str(), ttl,
+                      payload.size());
+}
+
+util::Bytes IcmpPacket::serialize() const {
+  util::ByteWriter w(8 + payload.size());
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(code);
+  w.u16(0);  // checksum placeholder
+  w.u16(identifier);
+  w.u16(sequence);
+  w.raw(payload);
+  std::uint16_t checksum = internet_checksum(w.view());
+  w.patch_u16(2, checksum);
+  return std::move(w).take();
+}
+
+util::Result<IcmpPacket> IcmpPacket::parse(util::BytesView bytes) {
+  if (bytes.size() < 8) return util::Error{"icmp: truncated"};
+  if (internet_checksum(bytes) != 0) {
+    return util::Error{"icmp: checksum mismatch"};
+  }
+  util::ByteReader r(bytes);
+  IcmpPacket pkt;
+  pkt.type = static_cast<Type>(r.u8());
+  pkt.code = r.u8();
+  r.u16();  // checksum
+  pkt.identifier = r.u16();
+  pkt.sequence = r.u16();
+  auto body = r.rest();
+  pkt.payload.assign(body.begin(), body.end());
+  return pkt;
+}
+
+util::Bytes UdpDatagram::serialize(Ipv4Address src, Ipv4Address dst) const {
+  util::ByteWriter w(8 + payload.size());
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(static_cast<std::uint16_t>(8 + payload.size()));
+  w.u16(0);  // checksum placeholder
+  w.raw(payload);
+  std::uint16_t checksum = l4_checksum(src, dst, IpProto::kUdp, w.view());
+  if (checksum == 0) checksum = 0xFFFF;  // RFC 768: 0 means "no checksum"
+  w.patch_u16(6, checksum);
+  return std::move(w).take();
+}
+
+util::Result<UdpDatagram> UdpDatagram::parse(util::BytesView bytes) {
+  util::ByteReader r(bytes);
+  UdpDatagram udp;
+  udp.src_port = r.u16();
+  udp.dst_port = r.u16();
+  std::uint16_t length = r.u16();
+  r.u16();  // checksum: not verified (src/dst addresses unavailable here)
+  if (!r.ok()) return util::Error{"udp: truncated header"};
+  if (length < 8 || length > bytes.size()) {
+    return util::Error{"udp: bad length field"};
+  }
+  auto body = bytes.subspan(8, length - 8);
+  udp.payload.assign(body.begin(), body.end());
+  return udp;
+}
+
+util::Bytes TcpSegment::serialize(Ipv4Address src, Ipv4Address dst) const {
+  util::ByteWriter w(20 + payload.size());
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  std::uint8_t flags = 0;
+  if (fin) flags |= 0x01;
+  if (syn) flags |= 0x02;
+  if (rst) flags |= 0x04;
+  if (psh) flags |= 0x08;
+  if (ack_flag) flags |= 0x10;
+  w.u8(0x50);  // data offset 5 words, no options
+  w.u8(flags);
+  w.u16(window);
+  w.u16(0);  // checksum placeholder
+  w.u16(0);  // urgent pointer
+  w.raw(payload);
+  std::uint16_t checksum = l4_checksum(src, dst, IpProto::kTcp, w.view());
+  w.patch_u16(16, checksum);
+  return std::move(w).take();
+}
+
+util::Result<TcpSegment> TcpSegment::parse(util::BytesView bytes) {
+  util::ByteReader r(bytes);
+  TcpSegment seg;
+  seg.src_port = r.u16();
+  seg.dst_port = r.u16();
+  seg.seq = r.u32();
+  seg.ack = r.u32();
+  std::uint8_t offset = r.u8();
+  std::uint8_t flags = r.u8();
+  seg.window = r.u16();
+  r.u16();  // checksum: not verified here (needs pseudo-header)
+  r.u16();  // urgent
+  if (!r.ok()) return util::Error{"tcp: truncated header"};
+  std::size_t header_bytes = static_cast<std::size_t>(offset >> 4) * 4;
+  if (header_bytes < 20 || header_bytes > bytes.size()) {
+    return util::Error{"tcp: bad data offset"};
+  }
+  seg.fin = (flags & 0x01) != 0;
+  seg.syn = (flags & 0x02) != 0;
+  seg.rst = (flags & 0x04) != 0;
+  seg.psh = (flags & 0x08) != 0;
+  seg.ack_flag = (flags & 0x10) != 0;
+  auto body = bytes.subspan(header_bytes);
+  seg.payload.assign(body.begin(), body.end());
+  return seg;
+}
+
+}  // namespace rnl::packet

@@ -1,0 +1,103 @@
+#pragma once
+
+// IPv4 (RFC 791), ICMP (RFC 792), UDP (RFC 768), and TCP (RFC 793) headers.
+// Enough of each protocol for configuration testing: the device models route,
+// filter, and answer pings; the traffic generator crafts arbitrary L4 flows.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "packet/addr.h"
+#include "util/bytes.h"
+
+namespace rnl::packet {
+
+/// RFC 1071 internet checksum over `bytes` (odd lengths zero-padded).
+std::uint16_t internet_checksum(util::BytesView bytes);
+
+/// Common IP protocol numbers.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct Ipv4Packet {
+  std::uint8_t dscp = 0;
+  std::uint16_t identification = 0;
+  bool dont_fragment = true;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = static_cast<std::uint8_t>(IpProto::kUdp);
+  Ipv4Address src;
+  Ipv4Address dst;
+  util::Bytes payload;
+
+  bool operator==(const Ipv4Packet&) const = default;
+
+  /// Serializes with a correct header checksum. No options, no fragmentation
+  /// (every RNL virtual wire carries whole frames; the device models enforce
+  /// a 9000-byte MTU instead of fragmenting).
+  [[nodiscard]] util::Bytes serialize() const;
+
+  /// Parses and *verifies* the header checksum; returns an error on mismatch
+  /// so corrupted tunnel payloads are caught at the edge.
+  static util::Result<Ipv4Packet> parse(util::BytesView bytes);
+
+  [[nodiscard]] std::string summary() const;
+};
+
+struct IcmpPacket {
+  enum class Type : std::uint8_t {
+    kEchoReply = 0,
+    kDestUnreachable = 3,
+    kEchoRequest = 8,
+    kTimeExceeded = 11,
+  };
+
+  Type type = Type::kEchoRequest;
+  std::uint8_t code = 0;
+  std::uint16_t identifier = 0;  // echo only
+  std::uint16_t sequence = 0;    // echo only
+  util::Bytes payload;
+
+  bool operator==(const IcmpPacket&) const = default;
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static util::Result<IcmpPacket> parse(util::BytesView bytes);
+};
+
+struct UdpDatagram {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  util::Bytes payload;
+
+  bool operator==(const UdpDatagram&) const = default;
+
+  /// Serializes with the IPv4 pseudo-header checksum.
+  [[nodiscard]] util::Bytes serialize(Ipv4Address src, Ipv4Address dst) const;
+  static util::Result<UdpDatagram> parse(util::BytesView bytes);
+};
+
+/// TCP header only — enough for the traffic generator to emit SYN/data
+/// segments and for ACL matching on ports and flags. No retransmission state.
+struct TcpSegment {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  bool syn = false;
+  bool fin = false;
+  bool rst = false;
+  bool psh = false;
+  bool ack_flag = false;
+  std::uint16_t window = 65535;
+  util::Bytes payload;
+
+  bool operator==(const TcpSegment&) const = default;
+
+  [[nodiscard]] util::Bytes serialize(Ipv4Address src, Ipv4Address dst) const;
+  static util::Result<TcpSegment> parse(util::BytesView bytes);
+};
+
+}  // namespace rnl::packet

@@ -1,0 +1,97 @@
+#include "packet/stp.h"
+
+#include "util/strings.h"
+
+namespace rnl::packet {
+
+namespace {
+constexpr std::uint8_t kLlcDsapStp = 0x42;
+constexpr std::uint8_t kLlcUi = 0x03;
+}  // namespace
+
+std::string BridgeId::to_string() const {
+  return util::format("%04x.", priority) + mac.to_string();
+}
+
+util::Bytes Bpdu::serialize_llc() const {
+  util::ByteWriter w(38);
+  w.u8(kLlcDsapStp);
+  w.u8(kLlcDsapStp);
+  w.u8(kLlcUi);
+  w.u16(0);  // protocol identifier: spanning tree
+  w.u8(0);   // protocol version: 802.1D
+  w.u8(static_cast<std::uint8_t>(type));
+  if (type == Type::kTcn) {
+    return std::move(w).take();
+  }
+  std::uint8_t flags = 0;
+  if (topology_change) flags |= 0x01;
+  if (topology_change_ack) flags |= 0x80;
+  w.u8(flags);
+  w.u16(root.priority);
+  w.raw(root.mac.octets.data(), 6);
+  w.u32(root_path_cost);
+  w.u16(bridge.priority);
+  w.raw(bridge.mac.octets.data(), 6);
+  w.u16(port_id);
+  w.u16(static_cast<std::uint16_t>(message_age_seconds * 256));
+  w.u16(static_cast<std::uint16_t>(max_age_seconds * 256));
+  w.u16(static_cast<std::uint16_t>(hello_time_seconds * 256));
+  w.u16(static_cast<std::uint16_t>(forward_delay_seconds * 256));
+  return std::move(w).take();
+}
+
+util::Result<Bpdu> Bpdu::parse_llc(util::BytesView bytes) {
+  util::ByteReader r(bytes);
+  std::uint8_t dsap = r.u8();
+  std::uint8_t ssap = r.u8();
+  std::uint8_t control = r.u8();
+  if (!r.ok()) return util::Error{"bpdu: truncated LLC header"};
+  if (dsap != kLlcDsapStp || ssap != kLlcDsapStp || control != kLlcUi) {
+    return util::Error{"bpdu: not an STP LLC frame"};
+  }
+  std::uint16_t protocol = r.u16();
+  std::uint8_t version = r.u8();
+  std::uint8_t type = r.u8();
+  if (!r.ok()) return util::Error{"bpdu: truncated BPDU header"};
+  if (protocol != 0) return util::Error{"bpdu: unknown protocol id"};
+  if (version != 0) return util::Error{"bpdu: unsupported STP version"};
+  Bpdu bpdu;
+  if (type == static_cast<std::uint8_t>(Type::kTcn)) {
+    bpdu.type = Type::kTcn;
+    return bpdu;
+  }
+  if (type != static_cast<std::uint8_t>(Type::kConfig)) {
+    return util::Error{"bpdu: unknown BPDU type"};
+  }
+  bpdu.type = Type::kConfig;
+  std::uint8_t flags = r.u8();
+  bpdu.root.priority = r.u16();
+  auto root_mac = r.raw(6);
+  bpdu.root_path_cost = r.u32();
+  bpdu.bridge.priority = r.u16();
+  auto bridge_mac = r.raw(6);
+  bpdu.port_id = r.u16();
+  bpdu.message_age_seconds = static_cast<std::uint16_t>(r.u16() / 256);
+  bpdu.max_age_seconds = static_cast<std::uint16_t>(r.u16() / 256);
+  bpdu.hello_time_seconds = static_cast<std::uint16_t>(r.u16() / 256);
+  bpdu.forward_delay_seconds = static_cast<std::uint16_t>(r.u16() / 256);
+  if (!r.ok()) return util::Error{"bpdu: truncated config BPDU"};
+  bpdu.topology_change = (flags & 0x01) != 0;
+  bpdu.topology_change_ack = (flags & 0x80) != 0;
+  std::copy(root_mac.begin(), root_mac.end(), bpdu.root.mac.octets.begin());
+  std::copy(bridge_mac.begin(), bridge_mac.end(),
+            bpdu.bridge.mac.octets.begin());
+  return bpdu;
+}
+
+EthernetFrame Bpdu::to_frame(MacAddress src) const {
+  EthernetFrame frame;
+  frame.dst = MacAddress::stp_multicast();
+  frame.src = src;
+  frame.ether_type = EtherType::kLlc;
+  frame.payload = serialize_llc();
+  return frame;
+}
+
+}  // namespace rnl::packet

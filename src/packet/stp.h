@@ -1,0 +1,61 @@
+#pragma once
+
+// IEEE 802.1D Spanning Tree BPDUs.
+//
+// Fig 5's failover use case hinges on BPDUs crossing the virtual wire
+// ("an Ethernet switch will exchange BPDU messages with neighboring switches
+// during its topology discovery. We have to capture and replay these messages
+// as if the two switches are directly connected"). The switch model emits
+// real Configuration/TCN BPDUs in LLC frames to the 01:80:C2:00:00:00 group.
+
+#include <cstdint>
+#include <string>
+
+#include "packet/addr.h"
+#include "packet/ethernet.h"
+#include "util/bytes.h"
+
+namespace rnl::packet {
+
+/// 8-byte STP bridge identifier: 16-bit priority + bridge MAC.
+struct BridgeId {
+  std::uint16_t priority = 0x8000;
+  MacAddress mac;
+
+  constexpr auto operator<=>(const BridgeId&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct Bpdu {
+  enum class Type : std::uint8_t {
+    kConfig = 0x00,
+    kTcn = 0x80,  // Topology Change Notification
+  };
+
+  Type type = Type::kConfig;
+  // Config BPDU fields (ignored for TCN):
+  bool topology_change = false;
+  bool topology_change_ack = false;
+  BridgeId root;
+  std::uint32_t root_path_cost = 0;
+  BridgeId bridge;
+  std::uint16_t port_id = 0;
+  // 802.1D carries these in 1/256ths of a second; we keep whole-second
+  // semantics at the API and convert on the wire.
+  std::uint16_t message_age_seconds = 0;
+  std::uint16_t max_age_seconds = 20;
+  std::uint16_t hello_time_seconds = 2;
+  std::uint16_t forward_delay_seconds = 15;
+
+  bool operator==(const Bpdu&) const = default;
+
+  /// Serializes the LLC-encapsulated BPDU payload (DSAP/SSAP 0x42, UI).
+  [[nodiscard]] util::Bytes serialize_llc() const;
+  /// Parses an LLC payload as produced by serialize_llc.
+  static util::Result<Bpdu> parse_llc(util::BytesView bytes);
+
+  /// Wraps in the 802.3 frame addressed to the STP multicast group.
+  [[nodiscard]] EthernetFrame to_frame(MacAddress src) const;
+};
+
+}  // namespace rnl::packet

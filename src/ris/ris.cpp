@@ -1,0 +1,352 @@
+#include "ris/ris.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace rnl::ris {
+
+namespace {
+constexpr const char* kLog = "ris";
+}
+
+RouterInterface::RouterInterface(simnet::Network& net, std::string site_name)
+    : net_(net), site_name_(std::move(site_name)) {}
+
+RouterInterface::~RouterInterface() {
+  if (joined_) leave();
+}
+
+std::size_t RouterInterface::add_router(devices::Device* device,
+                                        std::string description,
+                                        std::string image_file) {
+  Router router;
+  router.device = device;
+  router.declaration.name = site_name_ + "/" + device->name();
+  router.declaration.description = std::move(description);
+  router.declaration.image_file = std::move(image_file);
+  routers_.push_back(std::move(router));
+  return routers_.size() - 1;
+}
+
+void RouterInterface::map_port(std::size_t router_index,
+                               std::size_t device_port, std::string description,
+                               int rect_x, int rect_y, int rect_w,
+                               int rect_h) {
+  Router& router = routers_.at(router_index);
+  MappedPort mapped;
+  mapped.device_port = device_port;
+  const std::string& port_name = router.device->port_names().at(device_port);
+  // One dedicated NIC per router port (§2.2). The cable is the physical
+  // patch lead between the PC adapter and the router's socket.
+  std::string nic_name =
+      util::format("%s-nic%zu", site_name_.c_str(), ++nic_counter_);
+  mapped.nic = &net_.make_port(nic_name);
+  net_.connect(*mapped.nic, router.device->port(device_port));
+  mapped.declaration.name = port_name;
+  mapped.declaration.description = std::move(description);
+  mapped.declaration.nic = nic_name;
+  mapped.declaration.rect_x = rect_x;
+  mapped.declaration.rect_y = rect_y;
+  mapped.declaration.rect_w = rect_w;
+  mapped.declaration.rect_h = rect_h;
+
+  std::size_t slot = router.ports.size();
+  mapped.nic->set_receive_handler(
+      [this, router_index, slot](util::BytesView frame) {
+        on_nic_frame(router_index, slot, frame);
+      });
+  router.ports.push_back(std::move(mapped));
+  router.declaration.ports.push_back(router.ports.back().declaration);
+}
+
+void RouterInterface::attach_console(std::size_t router_index,
+                                     std::string com_port) {
+  Router& router = routers_.at(router_index);
+  router.console = true;
+  router.declaration.console_com = std::move(com_port);
+}
+
+util::Status RouterInterface::declare_slices(
+    std::size_t router_index,
+    const std::vector<std::vector<std::size_t>>& slices) {
+  if (router_index >= routers_.size()) {
+    return util::Error{"declare_slices: no such router"};
+  }
+  if (joined_) {
+    return util::Error{"declare_slices: cannot re-slice after joining"};
+  }
+  std::vector<bool> used(routers_[router_index].ports.size(), false);
+  for (const auto& slice : slices) {
+    for (std::size_t port : slice) {
+      if (port >= used.size()) {
+        return util::Error{"declare_slices: port index out of range"};
+      }
+      if (used[port]) {
+        return util::Error{"declare_slices: slices must be disjoint"};
+      }
+      used[port] = true;
+    }
+  }
+  for (std::size_t s = 0; s < slices.size(); ++s) {
+    Router slice_router;
+    const Router& parent = routers_[router_index];
+    slice_router.device = parent.device;
+    slice_router.parent = router_index;
+    slice_router.slice_ports = slices[s];
+    slice_router.declaration.name =
+        parent.declaration.name + util::format(":slice%zu", s + 1);
+    slice_router.declaration.description =
+        "logical router slice of " + parent.declaration.name;
+    slice_router.declaration.image_file = parent.declaration.image_file;
+    for (std::size_t port : slices[s]) {
+      slice_router.declaration.ports.push_back(
+          parent.declaration.ports.at(port));
+    }
+    routers_.push_back(std::move(slice_router));
+  }
+  return util::Status::Ok();
+}
+
+util::Json RouterInterface::config_json() const {
+  util::Json config = util::Json::object();
+  config.set("site", site_name_);
+  config.set("server", server_address_);
+  wire::JoinRequest request;
+  request.site_name = site_name_;
+  for (const auto& router : routers_) {
+    request.routers.push_back(router.declaration);
+  }
+  config.set("join", request.to_json());
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Tunnel plumbing
+// ---------------------------------------------------------------------------
+
+void RouterInterface::join(
+    std::unique_ptr<transport::Transport> transport) {
+  transport_ = std::move(transport);
+  transport_->set_receive_handler(
+      [this](util::BytesView chunk) { on_transport_data(chunk); });
+  transport_->set_close_handler([this] {
+    joined_ = false;
+    RNL_LOG(kWarn, kLog) << site_name_ << ": tunnel to route server lost";
+  });
+
+  wire::JoinRequest request;
+  request.site_name = site_name_;
+  for (const auto& router : routers_) {
+    request.routers.push_back(router.declaration);
+  }
+  wire::TunnelMessage join_msg;
+  join_msg.type = wire::MessageType::kJoin;
+  std::string json = request.to_json().dump();
+  join_msg.payload.assign(json.begin(), json.end());
+  send_message(join_msg, /*compressible=*/false);
+
+  // Heartbeat loop so the server can tell a silent site from a dead one.
+  // The loop function is owned by the member; scheduled copies hold only a
+  // weak reference, so destroying the RIS cancels the loop (and nothing
+  // leaks through a self-reference cycle).
+  keepalive_loop_ = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak = keepalive_loop_;
+  *keepalive_loop_ = [this, weak] {
+    auto self = weak.lock();
+    if (!self) return;
+    if (transport_ && transport_->is_open()) {
+      wire::TunnelMessage keepalive;
+      keepalive.type = wire::MessageType::kKeepalive;
+      send_message(keepalive, false);
+      net_.scheduler().schedule_after(keepalive_interval_, *self);
+    }
+  };
+  net_.scheduler().schedule_after(keepalive_interval_, *keepalive_loop_);
+}
+
+void RouterInterface::leave() {
+  if (transport_ && transport_->is_open()) {
+    wire::TunnelMessage msg;
+    msg.type = wire::MessageType::kLeave;
+    send_message(msg, false);
+    // An orderly departure is not a lost tunnel: silence the close handler.
+    transport_->set_close_handler(nullptr);
+    transport_->close();
+  }
+  joined_ = false;
+}
+
+void RouterInterface::send_message(const wire::TunnelMessage& message,
+                                   bool compressible) {
+  if (!transport_ || !transport_->is_open()) return;
+  if (compressible) {
+    // The compressor ring advances on *every* data frame (compressed or
+    // not) so encoder and decoder histories stay aligned even when
+    // compression is toggled.
+    auto compressed = compressor_.compress(message.payload);
+    if (compression_enabled_ && compressed.has_value()) {
+      util::Bytes wire_bytes = wire::encode_message(message, &*compressed);
+      transport_->send(wire_bytes);
+      return;
+    }
+  }
+  util::Bytes wire_bytes = wire::encode_message(message);
+  transport_->send(wire_bytes);
+}
+
+void RouterInterface::on_transport_data(util::BytesView chunk) {
+  auto messages = decoder_.feed(chunk);
+  if (decoder_.failed()) {
+    ++stats_.decode_errors;
+    RNL_LOG(kError, kLog) << site_name_ << ": " << decoder_.error();
+    transport_->close();
+    return;
+  }
+  for (const auto& decoded : messages) handle_message(decoded);
+}
+
+void RouterInterface::handle_message(
+    const wire::MessageDecoder::Decoded& decoded) {
+  const wire::TunnelMessage& msg = decoded.message;
+  switch (msg.type) {
+    case wire::MessageType::kJoinAck: {
+      std::string json(msg.payload.begin(), msg.payload.end());
+      auto parsed = util::Json::parse(json);
+      if (!parsed.ok()) {
+        ++stats_.decode_errors;
+        return;
+      }
+      auto ack = wire::JoinAck::from_json(*parsed);
+      if (!ack.ok() || ack->routers.size() != routers_.size()) {
+        ++stats_.decode_errors;
+        return;
+      }
+      id_to_slot_.clear();
+      for (std::size_t r = 0; r < routers_.size(); ++r) {
+        routers_[r].assigned_id = ack->routers[r].router_id;
+        const auto& port_ids = ack->routers[r].port_ids;
+        Router& router = routers_[r];
+        std::size_t expected = router.parent == npos
+                                   ? router.ports.size()
+                                   : router.slice_ports.size();
+        if (port_ids.size() != expected) {
+          ++stats_.decode_errors;
+          continue;
+        }
+        for (std::size_t p = 0; p < port_ids.size(); ++p) {
+          if (router.parent == npos) {
+            router.ports[p].assigned_id = port_ids[p];
+            id_to_slot_[{router.assigned_id, port_ids[p]}] = {r, p};
+          } else {
+            // Slice: traffic lands on the parent's NIC slot.
+            id_to_slot_[{router.assigned_id, port_ids[p]}] = {
+                router.parent, router.slice_ports[p]};
+            routers_[router.parent].ports[router.slice_ports[p]].assigned_id =
+                port_ids[p];
+            slice_owner_[{router.parent, router.slice_ports[p]}] = r;
+          }
+        }
+      }
+      joined_ = true;
+      RNL_LOG(kInfo, kLog) << site_name_ << ": joined labs, "
+                           << routers_.size() << " routers registered";
+      return;
+    }
+    case wire::MessageType::kData: {
+      util::Bytes frame;
+      if (decoded.compressed) {
+        auto inflated = decompressor_.decompress(msg.payload);
+        if (!inflated.ok()) {
+          ++stats_.decode_errors;
+          return;
+        }
+        frame = std::move(inflated).take();
+      } else {
+        decompressor_.note_raw(msg.payload);
+        frame = msg.payload;
+      }
+      auto slot = id_to_slot_.find({msg.router_id, msg.port_id});
+      if (slot == id_to_slot_.end()) {
+        ++stats_.unknown_port_drops;
+        return;
+      }
+      auto [router_index, port_slot] = slot->second;
+      ++stats_.frames_down;
+      stats_.bytes_down += frame.size();
+      // Replay the complete L2 frame out of the NIC into the router port.
+      routers_[router_index].ports[port_slot].nic->transmit(frame);
+      return;
+    }
+    case wire::MessageType::kConsoleData: {
+      for (auto& router : routers_) {
+        if (router.assigned_id == msg.router_id &&
+            (router.console || router.parent != npos)) {
+          handle_console_input(router, msg.payload);
+          return;
+        }
+      }
+      ++stats_.unknown_port_drops;
+      return;
+    }
+    case wire::MessageType::kError: {
+      RNL_LOG(kWarn, kLog) << site_name_ << ": server error: "
+                           << std::string(msg.payload.begin(),
+                                          msg.payload.end());
+      return;
+    }
+    default:
+      return;  // kJoin/kKeepalive/kLeave are not expected server->RIS
+  }
+}
+
+void RouterInterface::handle_console_input(Router& router,
+                                           util::BytesView bytes) {
+  devices::Device* device =
+      router.parent == npos ? router.device : routers_[router.parent].device;
+  std::string output;
+  for (std::uint8_t b : bytes) {
+    char c = static_cast<char>(b);
+    if (c == '\r') continue;
+    if (c == '\n') {
+      output += device->exec(router.console_line_buffer);
+      output += device->prompt() + " ";
+      router.console_line_buffer.clear();
+    } else {
+      router.console_line_buffer.push_back(c);
+    }
+  }
+  if (output.empty()) return;
+  wire::TunnelMessage reply;
+  reply.type = wire::MessageType::kConsoleData;
+  reply.router_id = router.assigned_id;
+  reply.payload.assign(output.begin(), output.end());
+  send_message(reply, false);
+}
+
+void RouterInterface::on_nic_frame(std::size_t router_index,
+                                   std::size_t port_slot,
+                                   util::BytesView frame) {
+  if (!joined_) return;
+  const Router& router = routers_[router_index];
+  const MappedPort& mapped = router.ports[port_slot];
+  if (mapped.assigned_id == 0) return;  // not yet acked / not in any slice
+
+  // Logical-router demultiplexing: if the port belongs to a slice, the
+  // frame is attributed to the slice's router id (§4).
+  wire::RouterId router_id = router.assigned_id;
+  auto slice = slice_owner_.find({router_index, port_slot});
+  if (slice != slice_owner_.end()) {
+    router_id = routers_[slice->second].assigned_id;
+  }
+
+  wire::TunnelMessage msg;
+  msg.type = wire::MessageType::kData;
+  msg.router_id = router_id;
+  msg.port_id = mapped.assigned_id;
+  msg.payload.assign(frame.begin(), frame.end());
+  ++stats_.frames_up;
+  stats_.bytes_up += frame.size();
+  send_message(msg, /*compressible=*/true);
+}
+
+}  // namespace rnl::ris

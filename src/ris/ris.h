@@ -1,0 +1,150 @@
+#pragma once
+
+// Router Interface Software (§2.2, Fig 3) — the agent on the PC that sits in
+// front of each router.
+//
+// The lab manager wires device ports to the PC's NICs (here: simnet cables),
+// describes each router (description, back-panel image, port rectangles),
+// optionally attaches the console COM port, and clicks "Join Labs". From
+// then on RIS:
+//   - captures every frame a router port emits (full L2, libpcap-style),
+//     wraps it with the server-assigned router/port ids, and ships it up the
+//     tunnel (always dialing out, so firewalls don't matter);
+//   - unwraps frames arriving from the route server and replays them into
+//     the right router port;
+//   - proxies console bytes between the tunnel and the device CLI;
+//   - can advertise *slices* of a virtualization-capable router as separate
+//     inventory entries (§4 logical routers), multiplexing their traffic.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "devices/device.h"
+#include "simnet/network.h"
+#include "transport/transport.h"
+#include "wire/compression.h"
+#include "wire/tunnel.h"
+
+namespace rnl::ris {
+
+struct RisStats {
+  std::uint64_t frames_up = 0;      // router port -> tunnel
+  std::uint64_t frames_down = 0;    // tunnel -> router port
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+  std::uint64_t unknown_port_drops = 0;
+  std::uint64_t decode_errors = 0;
+};
+
+class RouterInterface {
+ public:
+  RouterInterface(simnet::Network& net, std::string site_name);
+  ~RouterInterface();
+  RouterInterface(const RouterInterface&) = delete;
+  RouterInterface& operator=(const RouterInterface&) = delete;
+
+  // -- Lab-manager configuration (Fig 3) --
+
+  /// Registers a router with its description and back-panel image. The
+  /// device pointer is non-owning and must outlive the RIS.
+  std::size_t add_router(devices::Device* device, std::string description,
+                         std::string image_file);
+
+  /// Wires `device_port` of router `router_index` to a fresh PC NIC and
+  /// declares the port (description + clickable rectangle on the image).
+  void map_port(std::size_t router_index, std::size_t device_port,
+                std::string description, int rect_x = 0, int rect_y = 0,
+                int rect_w = 40, int rect_h = 20);
+
+  /// Declares the console COM connection for a router so web users can log
+  /// in to the CLI through the tunnel.
+  void attach_console(std::size_t router_index, std::string com_port = "COM1");
+
+  /// §4 logical routers: advertise `slices` (disjoint sets of already-mapped
+  /// device port indices) as separate inventory routers named
+  /// "<name>:sliceN". The underlying device is shared; RIS multiplexes.
+  util::Status declare_slices(std::size_t router_index,
+                              const std::vector<std::vector<std::size_t>>& slices);
+
+  void set_server_address(std::string address) { server_address_ = std::move(address); }
+  [[nodiscard]] const std::string& server_address() const { return server_address_; }
+
+  /// Fig 3 "save the current configuration": the whole RIS setup as JSON.
+  [[nodiscard]] util::Json config_json() const;
+
+  // -- Joining the labs (§2.2) --
+
+  /// "Join Labs": sends the JOIN over `transport` and starts forwarding once
+  /// the ack arrives. RIS keeps the transport for its lifetime and sends a
+  /// keepalive every `keepalive_interval` (§2.2: RIS "initiates and
+  /// maintains a TCP connection to the route server").
+  void join(std::unique_ptr<transport::Transport> transport);
+  void set_keepalive_interval(util::Duration interval) {
+    keepalive_interval_ = interval;
+  }
+  [[nodiscard]] bool joined() const { return joined_; }
+  /// Orderly departure (kLeave + close).
+  void leave();
+
+  void set_compression_enabled(bool enabled) { compression_enabled_ = enabled; }
+  [[nodiscard]] const RisStats& stats() const { return stats_; }
+  [[nodiscard]] const wire::CompressionStats& compression_stats() const {
+    return compressor_.stats();
+  }
+  [[nodiscard]] std::size_t router_count() const { return routers_.size(); }
+
+ private:
+  struct MappedPort {
+    std::size_t device_port = 0;
+    simnet::Port* nic = nullptr;  // the PC adapter wired to the device port
+    wire::PortDeclaration declaration;
+    wire::PortId assigned_id = 0;
+  };
+  struct Router {
+    devices::Device* device = nullptr;
+    wire::RouterDeclaration declaration;
+    std::vector<MappedPort> ports;
+    bool console = false;
+    wire::RouterId assigned_id = 0;
+    /// For slices: index into routers_ of the physical parent, or npos.
+    std::size_t parent = npos;
+    std::vector<std::size_t> slice_ports;  // parent-port indices
+    std::string console_line_buffer;
+  };
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  void send_message(const wire::TunnelMessage& message, bool compressible);
+  void on_transport_data(util::BytesView chunk);
+  void handle_message(const wire::MessageDecoder::Decoded& decoded);
+  void on_nic_frame(std::size_t router_index, std::size_t port_slot,
+                    util::BytesView frame);
+  void handle_console_input(Router& router, util::BytesView bytes);
+
+  simnet::Network& net_;
+  std::string site_name_;
+  std::string server_address_ = "netlabs.accenture.com";
+  std::vector<Router> routers_;
+  std::unique_ptr<transport::Transport> transport_;
+  wire::MessageDecoder decoder_;
+  wire::TemplateCompressor compressor_;
+  wire::TemplateDecompressor decompressor_;
+  bool compression_enabled_ = false;
+  bool joined_ = false;
+  util::Duration keepalive_interval_{util::Duration::seconds(10)};
+  // Owns the heartbeat loop; scheduled copies hold weak references.
+  std::shared_ptr<std::function<void()>> keepalive_loop_;
+  RisStats stats_;
+  std::size_t nic_counter_ = 0;
+  // (router_id, port_id) -> (router index, port slot) after the ack.
+  std::map<std::pair<wire::RouterId, wire::PortId>,
+           std::pair<std::size_t, std::size_t>>
+      id_to_slot_;
+  // (physical router index, port slot) -> slice router index owning it.
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> slice_owner_;
+};
+
+}  // namespace rnl::ris

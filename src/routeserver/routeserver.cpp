@@ -1,0 +1,393 @@
+#include "routeserver/routeserver.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rnl::routeserver {
+
+namespace {
+constexpr const char* kLog = "routeserver";
+}
+
+RouteServer::RouteServer(simnet::Scheduler& scheduler)
+    : scheduler_(scheduler) {}
+
+RouteServer::~RouteServer() {
+  // Detach handlers before member destruction so a closing transport cannot
+  // re-enter a half-destroyed server.
+  for (auto& site : sites_) {
+    if (site->transport) {
+      site->transport->set_receive_handler(nullptr);
+      site->transport->set_close_handler(nullptr);
+    }
+  }
+}
+
+void RouteServer::accept(std::unique_ptr<transport::Transport> transport) {
+  purge_dead_sites();
+  auto site = std::make_unique<Site>();
+  Site* raw = site.get();
+  site->last_heard = scheduler_.now();
+  site->transport = std::move(transport);
+  site->transport->set_receive_handler(
+      [this, raw](util::BytesView chunk) { on_site_data(raw, chunk); });
+  site->transport->set_close_handler([this, raw] { drop_site(raw); });
+  sites_.push_back(std::move(site));
+}
+
+void RouteServer::set_liveness_timeout(util::Duration timeout) {
+  liveness_timeout_ = timeout;
+  liveness_loop_.reset();  // cancels any previous sweep
+  if (timeout.nanos <= 0) return;
+  liveness_loop_ = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak = liveness_loop_;
+  *liveness_loop_ = [this, weak] {
+    auto self = weak.lock();
+    if (!self) return;
+    for (auto& site : sites_) {
+      if (site->dead || !site->joined) continue;
+      if (scheduler_.now() - site->last_heard > liveness_timeout_) {
+        RNL_LOG(kWarn, kLog) << "site '" << site->name
+                             << "' silent beyond the liveness timeout";
+        site->transport->close();  // close handler marks it dead
+      }
+    }
+    scheduler_.schedule_after(liveness_timeout_ / 4, *self);
+  };
+  scheduler_.schedule_after(liveness_timeout_ / 4, *liveness_loop_);
+}
+
+void RouteServer::on_site_data(Site* site, util::BytesView chunk) {
+  if (site->dead) return;
+  site->last_heard = scheduler_.now();
+  auto messages = site->decoder.feed(chunk);
+  if (site->decoder.failed()) {
+    ++stats_.decode_errors;
+    RNL_LOG(kError, kLog) << "site '" << site->name
+                          << "': " << site->decoder.error();
+    site->transport->close();  // close handler marks the site dead
+    return;
+  }
+  for (const auto& decoded : messages) {
+    handle_message(site, decoded);
+    if (site->dead) break;  // kLeave or error mid-batch
+  }
+  // NOTE: no purge here — this frame was entered from the site's own
+  // transport, which must not be destroyed while it is on the stack. Dead
+  // sites are reaped at the next accept() (or with the server).
+}
+
+void RouteServer::handle_message(
+    Site* site, const wire::MessageDecoder::Decoded& decoded) {
+  switch (decoded.message.type) {
+    case wire::MessageType::kJoin:
+      handle_join(site, decoded.message);
+      return;
+    case wire::MessageType::kData:
+      handle_data(site, decoded.message, decoded.compressed);
+      return;
+    case wire::MessageType::kConsoleData:
+      if (console_output_) {
+        console_output_(decoded.message.router_id, decoded.message.payload);
+      }
+      return;
+    case wire::MessageType::kKeepalive:
+      return;
+    case wire::MessageType::kLeave:
+      drop_site(site);
+      return;
+    default:
+      ++stats_.decode_errors;
+      return;
+  }
+}
+
+void RouteServer::handle_join(Site* site, const wire::TunnelMessage& msg) {
+  std::string json(msg.payload.begin(), msg.payload.end());
+  auto parsed = util::Json::parse(json);
+  if (!parsed.ok()) {
+    ++stats_.decode_errors;
+    return;
+  }
+  auto request = wire::JoinRequest::from_json(*parsed);
+  if (!request.ok()) {
+    ++stats_.decode_errors;
+    RNL_LOG(kWarn, kLog) << "rejecting malformed JOIN: " << request.error();
+    wire::TunnelMessage error;
+    error.type = wire::MessageType::kError;
+    std::string text = "malformed join: " + request.error();
+    error.payload.assign(text.begin(), text.end());
+    util::Bytes wire_bytes = wire::encode_message(error);
+    site->transport->send(wire_bytes);
+    return;
+  }
+
+  site->name = request->site_name;
+  wire::JoinAck ack;
+  for (const auto& declared : request->routers) {
+    InventoryRouter router;
+    router.id = next_router_id_++;
+    router.site = request->site_name;
+    router.name = declared.name;
+    router.description = declared.description;
+    router.image_file = declared.image_file;
+    router.has_console = !declared.console_com.empty();
+    wire::JoinAck::RouterIds ids;
+    ids.router_id = router.id;
+    for (const auto& declared_port : declared.ports) {
+      InventoryPort port;
+      port.id = next_port_id_++;
+      port.name = declared_port.name;
+      port.description = declared_port.description;
+      port.rect_x = declared_port.rect_x;
+      port.rect_y = declared_port.rect_y;
+      port.rect_w = declared_port.rect_w;
+      port.rect_h = declared_port.rect_h;
+      router.ports.push_back(port);
+      ids.port_ids.push_back(port.id);
+      ports_[port.id] =
+          PortRecord{site, router.id, port.name, port.description};
+    }
+    routers_[router.id] = std::move(router);
+    router_sites_[ids.router_id] = site;
+    site->router_ids.push_back(ids.router_id);
+    ack.routers.push_back(std::move(ids));
+  }
+  site->joined = true;
+  ++stats_.sites_joined;
+
+  wire::TunnelMessage reply;
+  reply.type = wire::MessageType::kJoinAck;
+  std::string ack_json = ack.to_json().dump();
+  reply.payload.assign(ack_json.begin(), ack_json.end());
+  util::Bytes wire_bytes = wire::encode_message(reply);
+  site->transport->send(wire_bytes);
+
+  RNL_LOG(kInfo, kLog) << "site '" << site->name << "' joined with "
+                       << request->routers.size() << " routers";
+  if (inventory_changed_) inventory_changed_();
+}
+
+void RouteServer::handle_data(Site* site, const wire::TunnelMessage& msg,
+                              bool compressed) {
+  util::Bytes frame;
+  if (compressed) {
+    auto inflated = site->decompressor.decompress(msg.payload);
+    if (!inflated.ok()) {
+      ++stats_.decode_errors;
+      return;
+    }
+    frame = std::move(inflated).take();
+  } else {
+    site->decompressor.note_raw(msg.payload);
+    frame = msg.payload;
+  }
+
+  note_capture(msg.port_id, /*to_port=*/false, frame);
+
+  auto wire_end = matrix_.find(msg.port_id);
+  if (wire_end == matrix_.end()) {
+    ++stats_.unrouted_drops;
+    return;
+  }
+  ++stats_.frames_routed;
+  stats_.bytes_routed += frame.size();
+  wire::PortId dest = wire_end->second.peer;
+  if (wire_end->second.netem != nullptr) {
+    wire_end->second.netem->send(frame);  // sink delivers to `dest`
+  } else {
+    deliver_to_port(dest, frame);
+  }
+}
+
+void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame) {
+  auto record = ports_.find(port);
+  if (record == ports_.end()) return;  // site vanished mid-flight
+  Site* site = record->second.site;
+  if (site == nullptr || site->dead || !site->transport->is_open()) return;
+
+  note_capture(port, /*to_port=*/true, frame);
+
+  wire::TunnelMessage msg;
+  msg.type = wire::MessageType::kData;
+  msg.router_id = record->second.router;
+  msg.port_id = port;
+  msg.payload.assign(frame.begin(), frame.end());
+
+  auto compressed = site->compressor.compress(msg.payload);
+  if (compression_enabled_ && compressed.has_value()) {
+    util::Bytes wire_bytes = wire::encode_message(msg, &*compressed);
+    site->transport->send(wire_bytes);
+  } else {
+    util::Bytes wire_bytes = wire::encode_message(msg);
+    site->transport->send(wire_bytes);
+  }
+}
+
+void RouteServer::drop_site(Site* site) {
+  if (site->dead) return;
+  site->dead = true;
+
+  // Remove the site's routers from inventory and tear down their wires
+  // ("those specialized equipment defined by users could come and go at any
+  // time", §2.3). The Site object itself is freed at the next safe point.
+  for (wire::RouterId router_id : site->router_ids) {
+    auto router = routers_.find(router_id);
+    if (router != routers_.end()) {
+      for (const auto& port : router->second.ports) {
+        disconnect_port(port.id);
+        ports_.erase(port.id);
+        captures_.erase(port.id);
+      }
+      routers_.erase(router);
+    }
+    router_sites_.erase(router_id);
+  }
+  ++stats_.sites_lost;
+  RNL_LOG(kInfo, kLog) << "site '" << site->name << "' left the labs";
+  if (inventory_changed_) inventory_changed_();
+}
+
+void RouteServer::purge_dead_sites() {
+  std::erase_if(sites_, [](const std::unique_ptr<Site>& s) {
+    if (!s->dead) return false;
+    if (s->transport) {
+      s->transport->set_receive_handler(nullptr);
+      s->transport->set_close_handler(nullptr);
+    }
+    return true;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Inventory
+// ---------------------------------------------------------------------------
+
+std::vector<InventoryRouter> RouteServer::inventory() const {
+  std::vector<InventoryRouter> out;
+  out.reserve(routers_.size());
+  for (const auto& [id, router] : routers_) out.push_back(router);
+  return out;
+}
+
+std::optional<InventoryRouter> RouteServer::find_router(
+    wire::RouterId id) const {
+  auto it = routers_.find(id);
+  if (it == routers_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool RouteServer::port_exists(wire::PortId id) const {
+  return ports_.contains(id);
+}
+
+// ---------------------------------------------------------------------------
+// Routing matrix
+// ---------------------------------------------------------------------------
+
+util::Status RouteServer::connect_ports(wire::PortId a, wire::PortId b,
+                                        wire::NetemProfile wan) {
+  if (a == b) return util::Error{"connect_ports: port cannot loop to itself"};
+  if (!ports_.contains(a) || !ports_.contains(b)) {
+    return util::Error{"connect_ports: unknown port id"};
+  }
+  if (matrix_.contains(a) || matrix_.contains(b)) {
+    return util::Error{
+        "connect_ports: port already wired (deployed labs must be mutually "
+        "exclusive)"};
+  }
+  auto make_end = [this, wan](wire::PortId dest) {
+    WireEnd end;
+    end.peer = dest;
+    bool impaired = wan.delay.nanos != 0 || wan.jitter.nanos != 0 ||
+                    wan.loss_probability != 0;
+    if (impaired) {
+      end.netem = std::make_unique<wire::Netem>(
+          scheduler_, wan,
+          [this, dest](util::Bytes frame) { deliver_to_port(dest, frame); });
+    }
+    return end;
+  };
+  matrix_[a] = make_end(b);
+  matrix_[b] = make_end(a);
+  return util::Status::Ok();
+}
+
+void RouteServer::disconnect_port(wire::PortId port) {
+  auto it = matrix_.find(port);
+  if (it == matrix_.end()) return;
+  wire::PortId peer = it->second.peer;
+  matrix_.erase(it);
+  matrix_.erase(peer);
+}
+
+std::optional<wire::PortId> RouteServer::connected_to(
+    wire::PortId port) const {
+  auto it = matrix_.find(port);
+  if (it == matrix_.end()) return std::nullopt;
+  return it->second.peer;
+}
+
+std::size_t RouteServer::wire_count() const { return matrix_.size() / 2; }
+
+// ---------------------------------------------------------------------------
+// Capture & generation
+// ---------------------------------------------------------------------------
+
+void RouteServer::start_capture(wire::PortId port) {
+  captures_[port];  // creates (or keeps) the buffer
+}
+
+std::vector<CapturedFrame> RouteServer::stop_capture(wire::PortId port) {
+  auto it = captures_.find(port);
+  if (it == captures_.end()) return {};
+  std::vector<CapturedFrame> out = std::move(it->second);
+  captures_.erase(it);
+  return out;
+}
+
+std::size_t RouteServer::capture_size(wire::PortId port) const {
+  auto it = captures_.find(port);
+  return it == captures_.end() ? 0 : it->second.size();
+}
+
+void RouteServer::note_capture(wire::PortId port, bool to_port,
+                               util::BytesView frame) {
+  auto it = captures_.find(port);
+  if (it == captures_.end()) return;
+  it->second.push_back(CapturedFrame{
+      port, to_port, util::Bytes(frame.begin(), frame.end()),
+      scheduler_.now()});
+}
+
+util::Status RouteServer::inject_frame(wire::PortId port,
+                                       util::BytesView frame) {
+  if (!ports_.contains(port)) {
+    return util::Error{"inject_frame: unknown port id"};
+  }
+  ++stats_.injected_frames;
+  deliver_to_port(port, frame);
+  return util::Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Console relay
+// ---------------------------------------------------------------------------
+
+util::Status RouteServer::console_send(wire::RouterId router,
+                                       util::BytesView bytes) {
+  auto site = router_sites_.find(router);
+  if (site == router_sites_.end()) {
+    return util::Error{"console_send: unknown router id"};
+  }
+  wire::TunnelMessage msg;
+  msg.type = wire::MessageType::kConsoleData;
+  msg.router_id = router;
+  msg.payload.assign(bytes.begin(), bytes.end());
+  util::Bytes wire_bytes = wire::encode_message(msg);
+  site->second->transport->send(wire_bytes);
+  return util::Status::Ok();
+}
+
+}  // namespace rnl::routeserver

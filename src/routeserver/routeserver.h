@@ -1,0 +1,203 @@
+#pragma once
+
+// The central back-end (§2.3, netlabs.accenture.com): inventory registry and
+// packet route server.
+//
+// Responsibilities, straight from the paper:
+//   - track every router RIS sites announce ("some of which ... could come
+//     and go at any time");
+//   - assign unique router/port ids at JOIN;
+//   - maintain the routing matrix built from deployed designs and forward
+//     each wrapped frame to the RIS at the other end of its virtual wire;
+//   - per-wire WAN impairment injection (§3.5);
+//   - traffic capture and generation on any port (§2.3: "the users can
+//     generate arbitrary packets and send them to any router port.
+//     Similarly, the user can specify which router port to monitor");
+//   - console relay to any router with an attached console;
+//   - optional per-user *distributed* route servers (§4): each user's
+//     deployment can be pinned to its own forwarding instance, since
+//     routing matrices of different users never overlap.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simnet/scheduler.h"
+#include "transport/transport.h"
+#include "wire/compression.h"
+#include "wire/netem.h"
+#include "wire/tunnel.h"
+
+namespace rnl::routeserver {
+
+/// Inventory as shown in the web UI's left-hand column (Fig 2).
+struct InventoryPort {
+  wire::PortId id = 0;
+  std::string name;
+  std::string description;
+  /// Clickable rectangle on the router's back-panel image, as declared by
+  /// the lab manager in the RIS configuration (Fig 3).
+  int rect_x = 0, rect_y = 0, rect_w = 0, rect_h = 0;
+
+  [[nodiscard]] bool hit(int x, int y) const {
+    return x >= rect_x && x < rect_x + rect_w && y >= rect_y &&
+           y < rect_y + rect_h;
+  }
+};
+
+struct InventoryRouter {
+  wire::RouterId id = 0;
+  std::string site;
+  std::string name;
+  std::string description;
+  std::string image_file;
+  bool has_console = false;
+  bool online = true;
+  std::vector<InventoryPort> ports;
+};
+
+struct CapturedFrame {
+  wire::PortId port = 0;
+  bool to_port = false;  // false: captured leaving the port; true: entering
+  util::Bytes frame;
+  util::SimTime at{};
+};
+
+struct RouteServerStats {
+  std::uint64_t frames_routed = 0;
+  std::uint64_t bytes_routed = 0;
+  std::uint64_t unrouted_drops = 0;   // no matrix entry for source port
+  std::uint64_t injected_frames = 0;
+  std::uint64_t decode_errors = 0;
+  std::uint64_t sites_joined = 0;
+  std::uint64_t sites_lost = 0;
+};
+
+class RouteServer {
+ public:
+  using ConsoleOutputHandler =
+      std::function<void(wire::RouterId, util::BytesView)>;
+  using InventoryChangedHandler = std::function<void()>;
+
+  explicit RouteServer(simnet::Scheduler& scheduler);
+  ~RouteServer();
+  RouteServer(const RouteServer&) = delete;
+  RouteServer& operator=(const RouteServer&) = delete;
+
+  /// Accepts a new RIS connection (transport ownership transfers).
+  void accept(std::unique_ptr<transport::Transport> transport);
+
+  void set_compression_enabled(bool enabled) { compression_enabled_ = enabled; }
+  /// Sites silent longer than `timeout` are presumed dead and dropped
+  /// (checked once per `timeout`/4 of simulated time). Zero disables.
+  void set_liveness_timeout(util::Duration timeout);
+  void set_console_output_handler(ConsoleOutputHandler handler) {
+    console_output_ = std::move(handler);
+  }
+  void set_inventory_changed_handler(InventoryChangedHandler handler) {
+    inventory_changed_ = std::move(handler);
+  }
+
+  // -- Inventory --
+  [[nodiscard]] std::vector<InventoryRouter> inventory() const;
+  [[nodiscard]] std::optional<InventoryRouter> find_router(
+      wire::RouterId id) const;
+  [[nodiscard]] bool port_exists(wire::PortId id) const;
+
+  // -- Routing matrix --
+  /// Connects two ports with a virtual wire. Fails if either port is already
+  /// wired (matrix entries of simultaneous test labs must not overlap) or
+  /// unknown. `wan` impairs the wire in both directions (§3.5).
+  util::Status connect_ports(wire::PortId a, wire::PortId b,
+                             wire::NetemProfile wan = {});
+  /// Tears down the wire at `port` (both directions). No-op if unwired.
+  void disconnect_port(wire::PortId port);
+  [[nodiscard]] std::optional<wire::PortId> connected_to(
+      wire::PortId port) const;
+  [[nodiscard]] std::size_t wire_count() const;
+
+  // -- Capture & generation (§2.3) --
+  void start_capture(wire::PortId port);
+  /// Stops capturing and returns everything seen.
+  std::vector<CapturedFrame> stop_capture(wire::PortId port);
+  [[nodiscard]] std::size_t capture_size(wire::PortId port) const;
+  /// Injects a frame *into* the given router port, as if it arrived on the
+  /// port's virtual wire.
+  util::Status inject_frame(wire::PortId port, util::BytesView frame);
+
+  // -- Console --
+  /// Sends bytes to a router's console; output arrives via the handler.
+  util::Status console_send(wire::RouterId router, util::BytesView bytes);
+
+  [[nodiscard]] const RouteServerStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+
+ private:
+  struct Site {
+    std::unique_ptr<transport::Transport> transport;
+    wire::MessageDecoder decoder;
+    // Per-direction codecs: decompress what the site sends, compress what
+    // we send to it.
+    wire::TemplateDecompressor decompressor;
+    wire::TemplateCompressor compressor;
+    std::string name;
+    std::vector<wire::RouterId> router_ids;
+    bool joined = false;
+    /// Logically removed; physically destroyed at the next safe point (a
+    /// site is often dropped from inside its own transport callback, so it
+    /// cannot be freed synchronously).
+    bool dead = false;
+    /// Liveness: last time any message (incl. kKeepalive) arrived.
+    util::SimTime last_heard{};
+  };
+
+  struct PortRecord {
+    Site* site = nullptr;
+    wire::RouterId router = 0;
+    std::string name;
+    std::string description;
+  };
+
+  struct WireEnd {
+    wire::PortId peer = 0;
+    std::unique_ptr<wire::Netem> netem;  // impairment toward `peer`
+  };
+
+  void on_site_data(Site* site, util::BytesView chunk);
+  void handle_message(Site* site,
+                      const wire::MessageDecoder::Decoded& decoded);
+  void handle_join(Site* site, const wire::TunnelMessage& msg);
+  void handle_data(Site* site, const wire::TunnelMessage& msg,
+                   bool compressed);
+  void drop_site(Site* site);
+  /// Frees sites marked dead. Only called from contexts where no site
+  /// transport callback can be on the stack (accept, destruction).
+  void purge_dead_sites();
+  /// Ships a frame to the RIS owning `port` (direction: into the port).
+  void deliver_to_port(wire::PortId port, util::BytesView frame);
+  void note_capture(wire::PortId port, bool to_port, util::BytesView frame);
+
+  simnet::Scheduler& scheduler_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::map<wire::RouterId, InventoryRouter> routers_;
+  std::map<wire::RouterId, Site*> router_sites_;
+  std::map<wire::PortId, PortRecord> ports_;
+  std::map<wire::PortId, WireEnd> matrix_;
+  std::map<wire::PortId, std::vector<CapturedFrame>> captures_;
+  ConsoleOutputHandler console_output_;
+  InventoryChangedHandler inventory_changed_;
+  bool compression_enabled_ = false;
+  util::Duration liveness_timeout_{};
+  // Owns the liveness sweep loop; scheduled copies hold weak references.
+  std::shared_ptr<std::function<void()>> liveness_loop_;
+  wire::RouterId next_router_id_ = 1;
+  wire::PortId next_port_id_ = 1;
+  RouteServerStats stats_;
+};
+
+}  // namespace rnl::routeserver

@@ -1,0 +1,28 @@
+#include "simnet/network.h"
+
+#include <algorithm>
+
+namespace rnl::simnet {
+
+Port& Network::make_port(std::string name) {
+  ports_.push_back(std::make_unique<Port>(scheduler_, std::move(name)));
+  return *ports_.back();
+}
+
+Cable& Network::connect(Port& a, Port& b, CableProperties props) {
+  cables_.push_back(std::make_unique<Cable>(scheduler_, a, b, props));
+  return *cables_.back();
+}
+
+void Network::disconnect(Port& port) {
+  Cable* cable = port.cable();
+  if (cable == nullptr) return;
+  auto it = std::find_if(
+      cables_.begin(), cables_.end(),
+      [cable](const std::unique_ptr<Cable>& c) { return c.get() == cable; });
+  if (it != cables_.end()) cables_.erase(it);
+}
+
+std::size_t Network::cable_count() const { return cables_.size(); }
+
+}  // namespace rnl::simnet

@@ -1,0 +1,49 @@
+#pragma once
+
+// The simulated world: owns the scheduler, every port, and every cable.
+//
+// Ownership note: ports live for the lifetime of the Network (a lab session);
+// cables come and go as topologies are deployed and torn down. Destroying a
+// cable while frames are in flight is safe (in-flight frames are dropped, as
+// on a real unplugged fiber).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simnet/port.h"
+#include "simnet/scheduler.h"
+
+namespace rnl::simnet {
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 1) : scheduler_(seed) {}
+
+  Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] SimTime now() const { return scheduler_.now(); }
+
+  /// Creates a new unwired port.
+  Port& make_port(std::string name);
+
+  /// Wires two ports together. Throws std::logic_error if either is wired.
+  Cable& connect(Port& a, Port& b, CableProperties props = {});
+
+  /// Unplugs the cable attached to `port` (no-op if unwired).
+  void disconnect(Port& port);
+
+  std::size_t run_for(Duration d) { return scheduler_.run_for(d); }
+  std::size_t run_all(std::size_t max_events = 10'000'000) {
+    return scheduler_.run_all(max_events);
+  }
+
+  [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
+  [[nodiscard]] std::size_t cable_count() const;
+
+ private:
+  Scheduler scheduler_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::vector<std::unique_ptr<Cable>> cables_;
+};
+
+}  // namespace rnl::simnet

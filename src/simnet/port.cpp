@@ -1,0 +1,103 @@
+#include "simnet/port.h"
+
+#include "simnet/scheduler.h"
+#include "util/logging.h"
+
+namespace rnl::simnet {
+
+Port::Port(Scheduler& scheduler, std::string name)
+    : scheduler_(scheduler), name_(std::move(name)) {}
+
+Port::~Port() {
+  // Unplug: the cable outlives neither endpoint in normal use, but guard
+  // against teardown order by detaching explicitly.
+  if (cable_ != nullptr) {
+    Cable* cable = cable_;
+    cable->a_.cable_ = nullptr;
+    cable->b_.cable_ = nullptr;
+  }
+}
+
+bool Port::has_carrier() const {
+  return cable_ != nullptr && cable_->other(*this).is_up();
+}
+
+void Port::transmit(util::BytesView frame) {
+  if (!up_ || cable_ == nullptr) {
+    ++stats_.drops;
+    return;
+  }
+  ++stats_.tx_frames;
+  stats_.tx_bytes += frame.size();
+  if (tap_) tap_(true, frame);
+  cable_->carry(*this, frame);
+}
+
+void Port::deliver(util::BytesView frame) {
+  if (!up_) {
+    ++stats_.drops;
+    return;
+  }
+  ++stats_.rx_frames;
+  stats_.rx_bytes += frame.size();
+  if (tap_) tap_(false, frame);
+  if (receive_handler_) receive_handler_(frame);
+}
+
+Cable::Cable(Scheduler& scheduler, Port& a, Port& b, CableProperties props)
+    : scheduler_(scheduler), a_(a), b_(b), props_(props) {
+  if (a_.cable_ != nullptr || b_.cable_ != nullptr) {
+    throw std::logic_error("Cable: port already wired: " + a.name() + " / " +
+                           b.name());
+  }
+  a_.cable_ = this;
+  b_.cable_ = this;
+  next_delivery_a_to_b_ = scheduler.now();
+  next_delivery_b_to_a_ = scheduler.now();
+}
+
+Cable::~Cable() {
+  if (a_.cable_ == this) a_.cable_ = nullptr;
+  if (b_.cable_ == this) b_.cable_ = nullptr;
+}
+
+void Cable::carry(Port& from, util::BytesView frame) {
+  Port& to = other(from);
+  if (props_.loss_probability > 0 &&
+      scheduler_.rng().chance(props_.loss_probability)) {
+    ++from.stats_.drops;
+    return;
+  }
+  util::Duration latency = props_.delay;
+  if (props_.jitter.nanos > 0) {
+    latency += util::Duration{scheduler_.rng().range(-props_.jitter.nanos,
+                                                     props_.jitter.nanos)};
+  }
+  if (latency.nanos < 0) latency = {};
+  util::Duration serialization{};
+  if (props_.bandwidth_bps > 0) {
+    serialization = util::Duration{static_cast<std::int64_t>(
+        static_cast<double>(frame.size()) * 8.0 * 1e9 /
+        static_cast<double>(props_.bandwidth_bps))};
+  }
+  util::SimTime& fifo_floor =
+      &from == &a_ ? next_delivery_a_to_b_ : next_delivery_b_to_a_;
+  util::SimTime arrival = scheduler_.now() + serialization + latency;
+  if (arrival < fifo_floor) arrival = fifo_floor;  // a cable never reorders
+  fifo_floor = arrival;
+
+  // The scheduled delivery must survive neither endpoint being torn down
+  // mid-flight (reservation expiry can unwire a live lab): the cable pointer
+  // is re-validated at delivery time via the destination port's cable link.
+  util::Bytes copy(frame.begin(), frame.end());
+  Cable* self = this;
+  Port* dest = &to;
+  scheduler_.schedule_at(arrival, [self, dest, copy = std::move(copy)] {
+    // If the cable was unplugged (or re-plugged elsewhere) while the frame
+    // was in flight, the photon dies in the fiber.
+    if (dest->cable_ != self) return;
+    dest->deliver(copy);
+  });
+}
+
+}  // namespace rnl::simnet

@@ -1,0 +1,36 @@
+#include "simnet/scheduler.h"
+
+namespace rnl::simnet {
+
+void Scheduler::schedule_at(SimTime when, Action action) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+std::size_t Scheduler::run_until(SimTime deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    // Copy out before pop: the action may schedule new events.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.action();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+std::size_t Scheduler::run_all(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && executed < max_events) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.action();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace rnl::simnet

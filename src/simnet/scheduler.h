@@ -1,0 +1,67 @@
+#pragma once
+
+// Discrete-event scheduler: the single source of time for the whole RNL
+// simulation. Events at equal timestamps run in insertion order, so a given
+// seed always replays identically.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace rnl::simnet {
+
+using util::Duration;
+using util::SimTime;
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  explicit Scheduler(std::uint64_t seed = 1) : rng_(seed) {}
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  util::Rng& rng() { return rng_; }
+
+  /// Schedules `action` at absolute time `when` (clamped to now).
+  void schedule_at(SimTime when, Action action);
+  void schedule_after(Duration delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Runs events until the queue is empty or virtual time passes `deadline`.
+  /// Returns the number of events executed.
+  std::size_t run_until(SimTime deadline);
+  std::size_t run_for(Duration duration) { return run_until(now_ + duration); }
+  /// Runs until the queue drains (bounded by `max_events` as a runaway
+  /// stop). CAUTION: self-rescheduling periodic timers (device hellos, the
+  /// lab service's expiry sweep) never drain — with such timers armed,
+  /// prefer run_for/run_until.
+  std::size_t run_all(std::size_t max_events = 10'000'000);
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  util::Rng rng_;
+};
+
+}  // namespace rnl::simnet

@@ -1,0 +1,129 @@
+#include "transport/sim_stream.h"
+
+#include <deque>
+
+namespace rnl::transport {
+
+namespace {
+
+class SimStreamEnd;
+
+/// State shared by both ends; destroyed when both ends are gone, while
+/// in-flight deliveries hold weak references.
+struct SharedState {
+  simnet::Scheduler* scheduler = nullptr;
+  SimStreamOptions options;
+  SimStreamEnd* end_a = nullptr;
+  SimStreamEnd* end_b = nullptr;
+  bool open = true;
+  // Per-direction FIFO floors (a->b, b->a) preserving stream order.
+  util::SimTime floor_ab{};
+  util::SimTime floor_ba{};
+};
+
+class SimStreamEnd final : public Transport {
+ public:
+  SimStreamEnd(std::shared_ptr<SharedState> state, bool is_a)
+      : state_(std::move(state)), is_a_(is_a) {}
+
+  ~SimStreamEnd() override {
+    close();
+    if (is_a_) {
+      state_->end_a = nullptr;
+    } else {
+      state_->end_b = nullptr;
+    }
+  }
+
+  void send(util::BytesView bytes) override {
+    if (!state_->open || bytes.empty()) return;
+    // Compute arrival through the WAN model. Loss = retransmission delay.
+    const wire::NetemProfile& wan = state_->options.wan;
+    simnet::Scheduler& sched = *state_->scheduler;
+    util::Duration latency = wan.delay;
+    if (wan.jitter.nanos > 0) {
+      int n = wan.jitter_smoothing < 1 ? 1 : wan.jitter_smoothing;
+      std::int64_t sum = 0;
+      for (int i = 0; i < n; ++i) {
+        sum += sched.rng().range(-wan.jitter.nanos, wan.jitter.nanos);
+      }
+      latency += util::Duration{sum / n};
+    }
+    if (wan.loss_probability > 0 && sched.rng().chance(wan.loss_probability)) {
+      latency += state_->options.retransmit_delay;
+    }
+    if (latency.nanos < 0) latency = {};
+    util::SimTime& floor = is_a_ ? state_->floor_ab : state_->floor_ba;
+    util::SimTime arrival = sched.now() + latency;
+    if (arrival < floor) arrival = floor;
+    floor = arrival;
+
+    util::Bytes copy(bytes.begin(), bytes.end());
+    std::weak_ptr<SharedState> weak = state_;
+    bool to_b = is_a_;
+    sched.schedule_at(arrival, [weak, to_b, copy = std::move(copy)] {
+      auto state = weak.lock();
+      if (!state || !state->open) return;
+      SimStreamEnd* dest = to_b ? state->end_b : state->end_a;
+      if (dest != nullptr) dest->deliver(copy);
+    });
+  }
+
+  void close() override {
+    if (!state_->open) return;
+    state_->open = false;
+    SimStreamEnd* peer = is_a_ ? state_->end_b : state_->end_a;
+    if (peer != nullptr && peer->close_handler_) peer->close_handler_();
+    if (close_handler_) close_handler_();
+  }
+
+  [[nodiscard]] bool is_open() const override { return state_->open; }
+
+  void set_receive_handler(ReceiveHandler handler) override {
+    receive_handler_ = std::move(handler);
+    flush_pending();
+  }
+
+  void set_close_handler(CloseHandler handler) override {
+    close_handler_ = std::move(handler);
+  }
+
+ private:
+  void deliver(const util::Bytes& bytes) {
+    if (receive_handler_) {
+      receive_handler_(bytes);
+    } else {
+      pending_.insert(pending_.end(), bytes.begin(), bytes.end());
+    }
+  }
+
+  void flush_pending() {
+    if (!receive_handler_ || pending_.empty()) return;
+    util::Bytes chunk(pending_.begin(), pending_.end());
+    pending_.clear();
+    receive_handler_(chunk);
+  }
+
+  std::shared_ptr<SharedState> state_;
+  bool is_a_;
+  ReceiveHandler receive_handler_;
+  CloseHandler close_handler_;
+  std::deque<std::uint8_t> pending_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_sim_stream_pair(simnet::Scheduler& scheduler,
+                     const SimStreamOptions& options) {
+  auto state = std::make_shared<SharedState>();
+  state->scheduler = &scheduler;
+  state->options = options;
+  auto a = std::make_unique<SimStreamEnd>(state, true);
+  auto b = std::make_unique<SimStreamEnd>(state, false);
+  state->end_a = a.get();
+  state->end_b = b.get();
+  return {std::move(a), std::move(b)};
+}
+
+}  // namespace rnl::transport

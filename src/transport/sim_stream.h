@@ -1,0 +1,30 @@
+#pragma once
+
+// Simulated reliable byte stream between two endpoints, carried over the
+// discrete-event scheduler with WAN impairment. Models the TCP connection a
+// RIS keeps open to the route server (§2.2) — including that loss shows up
+// as added delay (retransmission), never as missing or reordered bytes.
+
+#include <memory>
+#include <utility>
+
+#include "simnet/scheduler.h"
+#include "transport/transport.h"
+#include "wire/netem.h"
+
+namespace rnl::transport {
+
+struct SimStreamOptions {
+  wire::NetemProfile wan;
+  /// Emulated TCP retransmission timeout: a "lost" chunk arrives this much
+  /// later instead of disappearing.
+  util::Duration retransmit_delay{util::Duration::milliseconds(200)};
+};
+
+/// Creates a connected pair of stream ends. Both ends must not outlive the
+/// scheduler.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_sim_stream_pair(simnet::Scheduler& scheduler,
+                     const SimStreamOptions& options = {});
+
+}  // namespace rnl::transport

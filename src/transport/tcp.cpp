@@ -1,0 +1,246 @@
+#include "transport/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace rnl::transport {
+
+namespace {
+void set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpEventLoop
+// ---------------------------------------------------------------------------
+
+void TcpEventLoop::watch(int fd, IoHandler readable, IoHandler writable) {
+  watches_[fd] = Watch{std::move(readable), std::move(writable), false};
+}
+
+void TcpEventLoop::update_write_interest(int fd, bool interested) {
+  auto it = watches_.find(fd);
+  if (it != watches_.end()) it->second.want_write = interested;
+}
+
+void TcpEventLoop::unwatch(int fd) { watches_.erase(fd); }
+
+std::size_t TcpEventLoop::run_once(int timeout_ms) {
+  if (watches_.empty()) return 0;
+  std::vector<pollfd> fds;
+  fds.reserve(watches_.size());
+  for (const auto& [fd, watch] : watches_) {
+    short events = 0;
+    if (watch.readable) events |= POLLIN;
+    if (watch.want_write && watch.writable) events |= POLLOUT;
+    fds.push_back(pollfd{fd, events, 0});
+  }
+  int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) return 0;
+  std::size_t dispatched = 0;
+  for (const auto& pfd : fds) {
+    // The handler may unwatch fds (including its own); re-check membership.
+    auto it = watches_.find(pfd.fd);
+    if (it == watches_.end()) continue;
+    if ((pfd.revents & (POLLIN | POLLERR | POLLHUP)) != 0 &&
+        it->second.readable) {
+      it->second.readable();
+      ++dispatched;
+    }
+    it = watches_.find(pfd.fd);
+    if (it == watches_.end()) continue;
+    if ((pfd.revents & POLLOUT) != 0 && it->second.writable) {
+      it->second.writable();
+      ++dispatched;
+    }
+  }
+  return dispatched;
+}
+
+bool TcpEventLoop::run_until(const std::function<bool()>& predicate,
+                             int max_iterations, int timeout_ms) {
+  for (int i = 0; i < max_iterations; ++i) {
+    if (predicate()) return true;
+    run_once(timeout_ms);
+  }
+  return predicate();
+}
+
+// ---------------------------------------------------------------------------
+// TcpTransport
+// ---------------------------------------------------------------------------
+
+TcpTransport::TcpTransport(TcpEventLoop& loop, int fd) : loop_(loop), fd_(fd) {
+  set_nonblocking(fd_);
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  loop_.watch(
+      fd_, [this] { on_readable(); }, [this] { on_writable(); });
+}
+
+TcpTransport::~TcpTransport() { close(); }
+
+void TcpTransport::send(util::BytesView bytes) {
+  if (fd_ < 0 || bytes.empty()) return;
+  if (write_buffer_.empty()) {
+    // Fast path: try a direct write first.
+    ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n == static_cast<ssize_t>(bytes.size())) return;
+    if (n < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        close();
+        return;
+      }
+      n = 0;
+    }
+    bytes = bytes.subspan(static_cast<std::size_t>(n));
+  }
+  write_buffer_.insert(write_buffer_.end(), bytes.begin(), bytes.end());
+  loop_.update_write_interest(fd_, true);
+}
+
+void TcpTransport::on_writable() {
+  if (fd_ < 0 || write_buffer_.empty()) {
+    loop_.update_write_interest(fd_, false);
+    return;
+  }
+  ssize_t n =
+      ::send(fd_, write_buffer_.data(), write_buffer_.size(), MSG_NOSIGNAL);
+  if (n < 0) {
+    if (errno != EAGAIN && errno != EWOULDBLOCK) close();
+    return;
+  }
+  write_buffer_.erase(write_buffer_.begin(), write_buffer_.begin() + n);
+  if (write_buffer_.empty()) loop_.update_write_interest(fd_, false);
+}
+
+void TcpTransport::on_readable() {
+  std::uint8_t buffer[16 * 1024];
+  while (fd_ >= 0) {
+    ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+    if (n > 0) {
+      util::BytesView view(buffer, static_cast<std::size_t>(n));
+      if (receive_handler_) {
+        receive_handler_(view);
+      } else {
+        read_spill_.insert(read_spill_.end(), view.begin(), view.end());
+      }
+      continue;
+    }
+    if (n == 0) {  // orderly shutdown by peer
+      close();
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    close();
+    return;
+  }
+}
+
+void TcpTransport::set_receive_handler(ReceiveHandler handler) {
+  receive_handler_ = std::move(handler);
+  if (receive_handler_ && !read_spill_.empty()) {
+    util::Bytes spill = std::move(read_spill_);
+    read_spill_.clear();
+    receive_handler_(spill);
+  }
+}
+
+void TcpTransport::set_close_handler(CloseHandler handler) {
+  close_handler_ = std::move(handler);
+}
+
+void TcpTransport::close() {
+  if (fd_ < 0) return;
+  loop_.unwatch(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  if (close_handler_) close_handler_();
+}
+
+// ---------------------------------------------------------------------------
+// TcpListener
+// ---------------------------------------------------------------------------
+
+TcpListener::TcpListener(TcpEventLoop& loop) : loop_(loop) {}
+
+TcpListener::~TcpListener() { stop(); }
+
+util::Status TcpListener::listen(std::uint16_t port,
+                                 AcceptHandler on_accept) {
+  on_accept_ = std::move(on_accept);
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return util::Error{"socket() failed"};
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return util::Error{std::string("bind() failed: ") + std::strerror(errno)};
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd_, 16) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return util::Error{"listen() failed"};
+  }
+  set_nonblocking(fd_);
+  loop_.watch(
+      fd_,
+      [this] {
+        while (true) {
+          int client = ::accept(fd_, nullptr, nullptr);
+          if (client < 0) return;
+          if (on_accept_) {
+            on_accept_(std::make_unique<TcpTransport>(loop_, client));
+          } else {
+            ::close(client);
+          }
+        }
+      },
+      nullptr);
+  return util::Status::Ok();
+}
+
+void TcpListener::stop() {
+  if (fd_ < 0) return;
+  loop_.unwatch(fd_);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+util::Result<std::unique_ptr<TcpTransport>> tcp_connect(TcpEventLoop& loop,
+                                                        std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return util::Error{"socket() failed"};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return util::Error{std::string("connect() failed: ") +
+                       std::strerror(errno)};
+  }
+  return std::make_unique<TcpTransport>(loop, fd);
+}
+
+}  // namespace rnl::transport

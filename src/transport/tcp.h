@@ -1,0 +1,99 @@
+#pragma once
+
+// Real TCP transport over loopback, with a single-threaded poll() event loop.
+//
+// This is the deployment-shaped path: RIS initiates and maintains a TCP
+// connection to the route server (§2.2), so the server listens and RIS
+// dials. Non-blocking sockets, buffered writes, edge-free readiness via
+// level-triggered poll().
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "transport/transport.h"
+#include "util/result.h"
+
+namespace rnl::transport {
+
+/// Level-triggered poll() loop. Single-threaded: all callbacks run inside
+/// run_once() on the calling thread.
+class TcpEventLoop {
+ public:
+  using IoHandler = std::function<void()>;
+
+  /// Registers interest; `readable`/`writable` may be empty.
+  void watch(int fd, IoHandler readable, IoHandler writable);
+  void update_write_interest(int fd, bool interested);
+  void unwatch(int fd);
+
+  /// Polls once with `timeout_ms` and dispatches ready handlers. Returns the
+  /// number of handlers dispatched.
+  std::size_t run_once(int timeout_ms);
+  /// Runs until `predicate()` is true or `max_iterations` run out.
+  bool run_until(const std::function<bool()>& predicate,
+                 int max_iterations = 10'000, int timeout_ms = 10);
+
+ private:
+  struct Watch {
+    IoHandler readable;
+    IoHandler writable;
+    bool want_write = false;
+  };
+  std::map<int, Watch> watches_;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// Takes ownership of a connected non-blocking socket.
+  TcpTransport(TcpEventLoop& loop, int fd);
+  ~TcpTransport() override;
+
+  void send(util::BytesView bytes) override;
+  void close() override;
+  [[nodiscard]] bool is_open() const override { return fd_ >= 0; }
+  void set_receive_handler(ReceiveHandler handler) override;
+  void set_close_handler(CloseHandler handler) override;
+
+ private:
+  void on_readable();
+  void on_writable();
+
+  TcpEventLoop& loop_;
+  int fd_;
+  ReceiveHandler receive_handler_;
+  CloseHandler close_handler_;
+  util::Bytes write_buffer_;
+  util::Bytes read_spill_;  // bytes received before a handler was installed
+};
+
+/// Listening socket on 127.0.0.1. Accepted connections are handed to the
+/// callback as ready-to-use transports.
+class TcpListener {
+ public:
+  using AcceptHandler = std::function<void(std::unique_ptr<TcpTransport>)>;
+
+  TcpListener(TcpEventLoop& loop);
+  ~TcpListener();
+
+  /// Binds and listens; port 0 picks an ephemeral port (see port()).
+  util::Status listen(std::uint16_t port, AcceptHandler on_accept);
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  void stop();
+
+ private:
+  TcpEventLoop& loop_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  AcceptHandler on_accept_;
+};
+
+/// Blocking-ish connect to 127.0.0.1:port (loopback connects complete
+/// immediately in practice); returns a ready transport.
+util::Result<std::unique_ptr<TcpTransport>> tcp_connect(TcpEventLoop& loop,
+                                                        std::uint16_t port);
+
+}  // namespace rnl::transport

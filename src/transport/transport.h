@@ -1,0 +1,40 @@
+#pragma once
+
+// Byte-stream transport abstraction.
+//
+// Everything above this layer (tunnel protocol, RIS, route server) is
+// transport-agnostic. Two implementations exist:
+//   - SimStream: a reliable, ordered byte stream over the discrete-event
+//     scheduler with a NetemProfile modelling the Internet path between a
+//     RIS site and the route server (deterministic; used by experiments).
+//   - TcpTransport: real POSIX sockets over loopback with a poll()-based
+//     event loop (used by integration tests to prove the byte-level
+//     protocol runs on an actual network stack).
+
+#include <functional>
+#include <memory>
+
+#include "util/bytes.h"
+
+namespace rnl::transport {
+
+class Transport {
+ public:
+  using ReceiveHandler = std::function<void(util::BytesView)>;
+  using CloseHandler = std::function<void()>;
+
+  virtual ~Transport() = default;
+
+  /// Queues bytes for delivery to the peer. Streams are reliable and
+  /// ordered; chunk boundaries are NOT preserved (like TCP).
+  virtual void send(util::BytesView bytes) = 0;
+  virtual void close() = 0;
+  [[nodiscard]] virtual bool is_open() const = 0;
+
+  /// Bytes received before a handler is installed are buffered and flushed
+  /// on installation.
+  virtual void set_receive_handler(ReceiveHandler handler) = 0;
+  virtual void set_close_handler(CloseHandler handler) = 0;
+};
+
+}  // namespace rnl::transport

@@ -1,0 +1,183 @@
+#include "util/bytes.h"
+
+#include <cctype>
+#include <cstring>
+#include <stdexcept>
+
+namespace rnl::util {
+
+void ByteWriter::u16(std::uint16_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::raw(BytesView bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::raw(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + len);
+}
+
+void ByteWriter::str16(std::string_view s) {
+  if (s.size() > 0xFFFF) {
+    throw std::length_error("str16: string exceeds 64 KiB");
+  }
+  u16(static_cast<std::uint16_t>(s.size()));
+  raw(s.data(), s.size());
+}
+
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  if (offset + 2 > buffer_.size()) {
+    throw std::out_of_range("patch_u16: offset out of range");
+  }
+  buffer_[offset] = static_cast<std::uint8_t>(v >> 8);
+  buffer_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
+  if (offset + 4 > buffer_.size()) {
+    throw std::out_of_range("patch_u32: offset out of range");
+  }
+  buffer_[offset] = static_cast<std::uint8_t>(v >> 24);
+  buffer_[offset + 1] = static_cast<std::uint8_t>(v >> 16);
+  buffer_[offset + 2] = static_cast<std::uint8_t>(v >> 8);
+  buffer_[offset + 3] = static_cast<std::uint8_t>(v);
+}
+
+bool ByteReader::require(std::size_t len) {
+  if (!ok_ || data_.size() - offset_ < len) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  if (!require(1)) return 0;
+  return data_[offset_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  if (!require(2)) return 0;
+  std::uint16_t v = static_cast<std::uint16_t>(data_[offset_] << 8) |
+                    static_cast<std::uint16_t>(data_[offset_ + 1]);
+  offset_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  if (!require(4)) return 0;
+  std::uint32_t v = (static_cast<std::uint32_t>(data_[offset_]) << 24) |
+                    (static_cast<std::uint32_t>(data_[offset_ + 1]) << 16) |
+                    (static_cast<std::uint32_t>(data_[offset_ + 2]) << 8) |
+                    static_cast<std::uint32_t>(data_[offset_ + 3]);
+  offset_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint64_t hi = u32();
+  std::uint64_t lo = u32();
+  return (hi << 32) | lo;
+}
+
+BytesView ByteReader::raw(std::size_t len) {
+  if (!require(len)) return {};
+  BytesView view = data_.subspan(offset_, len);
+  offset_ += len;
+  return view;
+}
+
+std::string ByteReader::str16() {
+  std::uint16_t len = u16();
+  BytesView view = raw(len);
+  return std::string(reinterpret_cast<const char*>(view.data()), view.size());
+}
+
+void ByteReader::skip(std::size_t len) {
+  if (require(len)) offset_ += len;
+}
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(BytesView bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 3);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (i != 0) out.push_back(':');
+    out.push_back(kHexDigits[bytes[i] >> 4]);
+    out.push_back(kHexDigits[bytes[i] & 0xF]);
+  }
+  return out;
+}
+
+Result<Bytes> from_hex(std::string_view text) {
+  Bytes out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == ':') {
+      ++i;
+      continue;
+    }
+    if (i + 1 >= text.size()) {
+      return Error{"from_hex: dangling nibble"};
+    }
+    int hi = hex_value(text[i]);
+    int lo = hex_value(text[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Error{"from_hex: invalid hex digit"};
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+std::string hex_dump(BytesView bytes) {
+  std::string out;
+  for (std::size_t row = 0; row < bytes.size(); row += 16) {
+    char offset_buf[24];
+    std::snprintf(offset_buf, sizeof offset_buf, "%06zx  ", row);
+    out += offset_buf;
+    std::string ascii;
+    for (std::size_t col = 0; col < 16; ++col) {
+      if (row + col < bytes.size()) {
+        std::uint8_t b = bytes[row + col];
+        out.push_back(kHexDigits[b >> 4]);
+        out.push_back(kHexDigits[b & 0xF]);
+        out.push_back(' ');
+        ascii.push_back(std::isprint(b) != 0 ? static_cast<char>(b) : '.');
+      } else {
+        out += "   ";
+      }
+      if (col == 7) out.push_back(' ');
+    }
+    out += " |" + ascii + "|\n";
+  }
+  return out;
+}
+
+}  // namespace rnl::util

@@ -1,0 +1,19 @@
+#pragma once
+
+// CRC-32 (IEEE 802.3 polynomial, reflected) used for Ethernet FCS emulation
+// and tunnel-frame integrity checks.
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace rnl::util {
+
+/// One-shot CRC-32 over `bytes` (init 0xFFFFFFFF, final xor 0xFFFFFFFF),
+/// identical to zlib's crc32() and the Ethernet FCS.
+std::uint32_t crc32(BytesView bytes);
+
+/// Incremental form: feed `crc` from a previous call (start with 0).
+std::uint32_t crc32_update(std::uint32_t crc, BytesView bytes);
+
+}  // namespace rnl::util

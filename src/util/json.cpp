@@ -1,0 +1,481 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace rnl::util {
+
+namespace {
+const Json& shared_null() {
+  static const Json null;
+  return null;
+}
+const std::string& shared_empty_string() {
+  static const std::string empty;
+  return empty;
+}
+const JsonArray& shared_empty_array() {
+  static const JsonArray empty;
+  return empty;
+}
+const JsonObject& shared_empty_object() {
+  static const JsonObject empty;
+  return empty;
+}
+}  // namespace
+
+Json::Json(JsonArray a)
+    : type_(Type::kArray), array_(std::make_shared<JsonArray>(std::move(a))) {}
+
+Json::Json(JsonObject o)
+    : type_(Type::kObject),
+      object_(std::make_shared<JsonObject>(std::move(o))) {}
+
+bool Json::as_bool(bool fallback) const {
+  return is_bool() ? bool_ : fallback;
+}
+
+double Json::as_number(double fallback) const {
+  return is_number() ? number_ : fallback;
+}
+
+std::int64_t Json::as_int(std::int64_t fallback) const {
+  return is_number() ? static_cast<std::int64_t>(std::llround(number_))
+                     : fallback;
+}
+
+const std::string& Json::as_string() const {
+  return is_string() ? string_ : shared_empty_string();
+}
+
+const JsonArray& Json::as_array() const {
+  return is_array() && array_ ? *array_ : shared_empty_array();
+}
+
+const JsonObject& Json::as_object() const {
+  return is_object() && object_ ? *object_ : shared_empty_object();
+}
+
+const Json& Json::operator[](std::string_view key) const {
+  if (!is_object() || !object_) return shared_null();
+  auto it = object_->find(std::string(key));
+  return it == object_->end() ? shared_null() : it->second;
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (!is_array() || !array_ || index >= array_->size()) return shared_null();
+  return (*array_)[index];
+}
+
+bool Json::contains(std::string_view key) const {
+  return is_object() && object_ &&
+         object_->find(std::string(key)) != object_->end();
+}
+
+Json& Json::set(std::string key, Json value) {
+  if (!is_object()) {
+    type_ = Type::kObject;
+    object_ = std::make_shared<JsonObject>();
+  } else if (!object_) {
+    object_ = std::make_shared<JsonObject>();
+  } else if (object_.use_count() > 1) {
+    // Copy-on-write: containers are shared between copies of Json values;
+    // never mutate a container another Json can still see.
+    object_ = std::make_shared<JsonObject>(*object_);
+  }
+  (*object_)[std::move(key)] = std::move(value);
+  return *this;
+}
+
+Json& Json::push_back(Json value) {
+  if (!is_array()) {
+    type_ = Type::kArray;
+    array_ = std::make_shared<JsonArray>();
+  } else if (!array_) {
+    array_ = std::make_shared<JsonArray>();
+  } else if (array_.use_count() > 1) {
+    array_ = std::make_shared<JsonArray>(*array_);
+  }
+  array_->push_back(std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return as_array().size();
+  if (is_object()) return as_object().size();
+  return 0;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return number_ == other.number_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return as_array() == other.as_array();
+    case Type::kObject:
+      return as_object() == other.as_object();
+  }
+  return false;
+}
+
+namespace {
+
+void escape_string(const std::string& in, std::string& out) {
+  out.push_back('"');
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(double value, std::string& out) {
+  // Integers (the overwhelmingly common case in RNL payloads: ids, ports,
+  // timestamps) serialize without a decimal point.
+  if (value == std::floor(value) && std::abs(value) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    out += buf;
+  }
+}
+
+void append_indent(std::string& out, int indent, int depth) {
+  if (indent > 0) {
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+  }
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      append_number(number_, out);
+      return;
+    case Type::kString:
+      escape_string(string_, out);
+      return;
+    case Type::kArray: {
+      const auto& arr = as_array();
+      if (arr.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      bool first = true;
+      for (const auto& element : arr) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_indent(out, indent, depth + 1);
+        element.dump_to(out, indent, depth + 1);
+      }
+      append_indent(out, indent, depth);
+      out.push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      const auto& obj = as_object();
+      if (obj.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : obj) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_indent(out, indent, depth + 1);
+        escape_string(key, out);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        value.dump_to(out, indent, depth + 1);
+      }
+      append_indent(out, indent, depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out, 0, 0);
+  return out;
+}
+
+std::string Json::dump_pretty() const {
+  std::string out;
+  dump_to(out, 2, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> parse() {
+    skip_ws();
+    auto value = parse_value(0);
+    if (!value.ok()) return value;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return Error{err("trailing characters after JSON value")};
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  std::string err(const std::string& what) const {
+    return "json parse error at offset " + std::to_string(pos_) + ": " + what;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> parse_value(int depth) {
+    if (depth > kMaxDepth) return Error{err("nesting too deep")};
+    if (pos_ >= text_.size()) return Error{err("unexpected end of input")};
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"': {
+        auto s = parse_string();
+        if (!s.ok()) return Error{s.error()};
+        return Json(std::move(s).take());
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return Json(true);
+        }
+        return Error{err("invalid literal")};
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return Json(false);
+        }
+        return Error{err("invalid literal")};
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return Json(nullptr);
+        }
+        return Error{err("invalid literal")};
+      default:
+        return parse_number();
+    }
+  }
+
+  Result<Json> parse_object(int depth) {
+    consume('{');
+    JsonObject obj;
+    skip_ws();
+    if (consume('}')) return Json(std::move(obj));
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key.ok()) return Error{key.error()};
+      skip_ws();
+      if (!consume(':')) return Error{err("expected ':' in object")};
+      skip_ws();
+      auto value = parse_value(depth + 1);
+      if (!value.ok()) return value;
+      obj[std::move(key).take()] = std::move(value).take();
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return Json(std::move(obj));
+      return Error{err("expected ',' or '}' in object")};
+    }
+  }
+
+  Result<Json> parse_array(int depth) {
+    consume('[');
+    JsonArray arr;
+    skip_ws();
+    if (consume(']')) return Json(std::move(arr));
+    while (true) {
+      skip_ws();
+      auto value = parse_value(depth + 1);
+      if (!value.ok()) return value;
+      arr.push_back(std::move(value).take());
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return Json(std::move(arr));
+      return Error{err("expected ',' or ']' in array")};
+    }
+  }
+
+  Result<std::string> parse_string() {
+    if (!consume('"')) return Error{err("expected string")};
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error{err("bad \\u escape")};
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error{err("bad hex digit in \\u escape")};
+              }
+            }
+            if (code >= 0xD800 && code <= 0xDFFF) {
+              return Error{err("surrogate-pair escapes unsupported")};
+            }
+            // UTF-8 encode the BMP code point.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Error{err("bad escape character")};
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Error{err("unterminated string")};
+  }
+
+  Result<Json> parse_number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error{err("expected value")};
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Error{err("invalid number '" + token + "'")};
+    }
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::parse(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace rnl::util

@@ -1,0 +1,103 @@
+#pragma once
+
+// Minimal JSON value, parser, and serializer.
+//
+// Used for: saved topology designs (Fig 2 "export the data to their local
+// drive"), RIS configuration files (Fig 3), and the web-services API payloads
+// (§2 "programmable interface"). Supports the full JSON grammar minus
+// surrogate-pair \u escapes (non-BMP text never appears in RNL payloads; the
+// parser rejects it explicitly rather than mangling it).
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace rnl::util {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// std::map keeps object keys ordered, making serialization deterministic —
+// important for design-file diffs and golden tests.
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}                    // NOLINT
+  Json(bool b) : type_(Type::kBool), bool_(b) {}                  // NOLINT
+  Json(double d) : type_(Type::kNumber), number_(d) {}            // NOLINT
+  Json(int i) : type_(Type::kNumber), number_(i) {}               // NOLINT
+  Json(std::int64_t i)                                            // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  Json(std::uint64_t i)                                           // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  Json(std::uint32_t i) : type_(Type::kNumber), number_(i) {}     // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {}       // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Json(std::string_view s) : type_(Type::kString), string_(s) {}  // NOLINT
+  Json(JsonArray a);                                              // NOLINT
+  Json(JsonObject o);                                             // NOLINT
+
+  static Json array() { return Json(JsonArray{}); }
+  static Json object() { return Json(JsonObject{}); }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors: return the value if this node has the matching type,
+  // otherwise a caller-provided default. Keeps call sites total.
+  [[nodiscard]] bool as_bool(bool fallback = false) const;
+  [[nodiscard]] double as_number(double fallback = 0) const;
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+
+  /// Object field lookup; returns a shared null for missing keys / non-objects.
+  [[nodiscard]] const Json& operator[](std::string_view key) const;
+  /// Array element lookup; shared null when out of range.
+  [[nodiscard]] const Json& at(std::size_t index) const;
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  /// Mutating object field access (creates the field, converts null->object).
+  Json& set(std::string key, Json value);
+  /// Appends to an array (converts null->array).
+  Json& push_back(Json value);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Compact serialization (no whitespace).
+  [[nodiscard]] std::string dump() const;
+  /// Pretty serialization with 2-space indent.
+  [[nodiscard]] std::string dump_pretty() const;
+
+  static Result<Json> parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  // Indirection keeps sizeof(Json) modest and allows recursive containment.
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+}  // namespace rnl::util

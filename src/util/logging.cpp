@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace rnl::util {
+
+namespace {
+std::mutex g_sink_mutex;
+}
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& line) {
+    std::fprintf(stderr, "[%s] %s\n", std::string(to_string(level)).c_str(),
+                 line.c_str());
+  };
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  sink_ = std::move(sink);
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view msg) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (sink_) {
+    std::string line;
+    line.reserve(component.size() + msg.size() + 2);
+    line.append(component);
+    line.append(": ");
+    line.append(msg);
+    sink_(level, line);
+  }
+}
+
+}  // namespace rnl::util

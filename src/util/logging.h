@@ -1,0 +1,70 @@
+#pragma once
+
+// Minimal leveled logger. Thread-safe sink, printf-free (streams assembled
+// per call). Default sink is stderr; tests swap in a capture sink.
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace rnl::util {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError };
+
+std::string_view to_string(LogLevel level);
+
+/// Global log configuration. Messages below `threshold` are dropped before
+/// formatting. The sink is invoked with the fully formatted line.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_threshold(LogLevel level) { threshold_ = level; }
+  [[nodiscard]] LogLevel threshold() const { return threshold_; }
+  void set_sink(Sink sink);
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level >= threshold_;
+  }
+  void write(LogLevel level, std::string_view component, std::string_view msg);
+
+ private:
+  Logger();
+  LogLevel threshold_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+/// Stream-style log statement builder:
+///   RNL_LOG(kInfo, "routeserver") << "router " << id << " joined";
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogStatement() {
+    Logger::instance().write(level_, component_, stream_.str());
+  }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace rnl::util
+
+#define RNL_LOG(level, component)                                       \
+  if (!::rnl::util::Logger::instance().enabled(                        \
+          ::rnl::util::LogLevel::level)) {                             \
+  } else                                                               \
+    ::rnl::util::LogStatement(::rnl::util::LogLevel::level, (component))

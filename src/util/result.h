@@ -1,0 +1,77 @@
+#pragma once
+
+// Small Result<T> type used for fallible operations where an exception is
+// inappropriate (e.g. parsing untrusted bytes off the wire, where failure is
+// an expected outcome, not an error in the program).
+//
+// Modeled loosely on std::expected (C++23), reduced to what this codebase
+// needs: a value or an error string, with monadic-free, explicit access.
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rnl::util {
+
+/// Error payload for Result<T>. A human-readable message; wire-facing code
+/// attaches enough context to diagnose malformed input from logs.
+struct Error {
+  std::string message;
+};
+
+/// A value of type T or an Error. Check ok() before dereferencing.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(storage_).message;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Specialization-free helper for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error.message)), failed_(true) {}  // NOLINT
+
+  static Status Ok() { return Status{}; }
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  std::string error_;
+  bool failed_ = false;
+};
+
+}  // namespace rnl::util

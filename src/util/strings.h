@@ -1,0 +1,28 @@
+#pragma once
+
+// String helpers used by the CLI parser, config files, and the API layer.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rnl::util {
+
+/// Splits on `sep`; empty fields are kept ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on runs of whitespace; empty fields never produced.
+std::vector<std::string> split_ws(std::string_view text);
+
+std::string_view trim(std::string_view text);
+std::string to_lower(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// True if `text` is a non-empty string of decimal digits.
+bool is_number(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace rnl::util

@@ -1,0 +1,25 @@
+#include "util/time.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rnl::util {
+
+std::string to_string(Duration d) {
+  char buf[48];
+  double abs_nanos = std::abs(static_cast<double>(d.nanos));
+  if (abs_nanos >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fs", d.to_seconds());
+  } else if (abs_nanos >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fms", d.to_millis());
+  } else if (abs_nanos >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3fus", d.to_micros());
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(d.nanos));
+  }
+  return buf;
+}
+
+std::string to_string(SimTime t) { return "t+" + to_string(Duration{t.nanos}); }
+
+}  // namespace rnl::util

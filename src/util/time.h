@@ -1,0 +1,55 @@
+#pragma once
+
+// Simulation time. The whole RNL reproduction runs on virtual time driven by
+// the discrete-event scheduler (src/simnet), so experiments are deterministic
+// and independent of host load. Nanosecond resolution, 64-bit: ~292 years of
+// virtual time, far beyond any lab session.
+
+#include <cstdint>
+#include <string>
+
+namespace rnl::util {
+
+/// A duration in virtual nanoseconds. Strong type (not std::chrono) so that
+/// simulated time can never be mixed with wall-clock time by accident.
+struct Duration {
+  std::int64_t nanos = 0;
+
+  static constexpr Duration nanoseconds(std::int64_t n) { return {n}; }
+  static constexpr Duration microseconds(std::int64_t us) { return {us * 1'000}; }
+  static constexpr Duration milliseconds(std::int64_t ms) { return {ms * 1'000'000}; }
+  static constexpr Duration seconds(std::int64_t s) { return {s * 1'000'000'000}; }
+  static constexpr Duration minutes(std::int64_t m) { return seconds(m * 60); }
+  static constexpr Duration hours(std::int64_t h) { return seconds(h * 3600); }
+
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(nanos) / 1e9; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(nanos) / 1e6; }
+  [[nodiscard]] constexpr double to_micros() const { return static_cast<double>(nanos) / 1e3; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration other) const { return {nanos + other.nanos}; }
+  constexpr Duration operator-(Duration other) const { return {nanos - other.nanos}; }
+  constexpr Duration operator*(std::int64_t k) const { return {nanos * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return {nanos / k}; }
+  Duration& operator+=(Duration other) { nanos += other.nanos; return *this; }
+  Duration& operator-=(Duration other) { nanos -= other.nanos; return *this; }
+};
+
+/// An instant on the virtual timeline (nanoseconds since simulation start).
+struct SimTime {
+  std::int64_t nanos = 0;
+
+  static constexpr SimTime zero() { return {0}; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(Duration d) const { return {nanos + d.nanos}; }
+  constexpr SimTime operator-(Duration d) const { return {nanos - d.nanos}; }
+  constexpr Duration operator-(SimTime other) const { return {nanos - other.nanos}; }
+  SimTime& operator+=(Duration d) { nanos += d.nanos; return *this; }
+};
+
+/// "12.345ms"-style rendering for logs and bench output.
+std::string to_string(Duration d);
+std::string to_string(SimTime t);
+
+}  // namespace rnl::util

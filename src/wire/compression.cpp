@@ -1,0 +1,184 @@
+#include "wire/compression.h"
+
+#include <algorithm>
+
+namespace rnl::wire {
+
+namespace {
+
+void put_varint(util::ByteWriter& w, std::uint32_t value) {
+  while (value >= 0x80) {
+    w.u8(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  w.u8(static_cast<std::uint8_t>(value));
+}
+
+bool get_varint(util::ByteReader& r, std::uint32_t& value) {
+  value = 0;
+  for (int shift = 0; shift < 35; shift += 7) {
+    std::uint8_t byte = r.u8();
+    if (!r.ok()) return false;
+    value |= static_cast<std::uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return true;
+  }
+  return false;  // varint too long
+}
+
+/// Cost (bytes) of diffing `frame` against `ref` with the copy/literal
+/// scheme; bails out early once `budget` is exceeded.
+std::size_t diff_cost(util::BytesView frame, util::BytesView ref,
+                      std::size_t budget) {
+  std::size_t cost = 2;  // scheme byte + ref age
+  std::size_t i = 0;
+  std::size_t overlap = std::min(frame.size(), ref.size());
+  while (i < frame.size()) {
+    // Copy run.
+    std::size_t copy = 0;
+    while (i + copy < overlap && frame[i + copy] == ref[i + copy]) ++copy;
+    // Literal run: until the next worthwhile copy (>= 4 bytes) or the end.
+    std::size_t lit = 0;
+    std::size_t j = i + copy;
+    while (j + lit < frame.size()) {
+      if (j + lit < overlap && frame[j + lit] == ref[j + lit]) {
+        std::size_t run = 1;
+        while (j + lit + run < overlap &&
+               frame[j + lit + run] == ref[j + lit + run]) {
+          ++run;
+        }
+        if (run >= 4) break;
+        lit += run;
+        continue;
+      }
+      ++lit;
+    }
+    cost += 2 + lit;  // ~1-2 varint bytes each + literals
+    if (cost > budget) return cost;
+    i = j + lit;
+  }
+  return cost;
+}
+
+}  // namespace
+
+std::optional<util::Bytes> TemplateCompressor::compress(
+    util::BytesView frame) {
+  ++stats_.frames_in;
+  stats_.bytes_in += frame.size();
+
+  // Pick the cheapest reference among the most recent frames.
+  std::size_t best_age = 0;  // 0 = none
+  std::size_t best_cost = frame.size();  // must beat raw
+  std::size_t depth = static_cast<std::size_t>(
+      std::min<std::uint64_t>(count_, search_depth_));
+  for (std::size_t age = 1; age <= depth; ++age) {
+    const util::Bytes& ref = ring_[(count_ - age) % kRingSize];
+    if (ref.empty()) continue;
+    std::size_t cost = diff_cost(frame, ref, best_cost);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_age = age;
+    }
+  }
+
+  std::optional<util::Bytes> result;
+  if (best_age != 0) {
+    const util::Bytes& ref = ring_[(count_ - best_age) % kRingSize];
+    util::ByteWriter w(best_cost + 8);
+    w.u8(0x01);  // scheme: template diff
+    w.u8(static_cast<std::uint8_t>(best_age));
+    put_varint(w, static_cast<std::uint32_t>(frame.size()));
+    std::size_t i = 0;
+    std::size_t overlap = std::min(frame.size(), ref.size());
+    while (i < frame.size()) {
+      std::size_t copy = 0;
+      while (i + copy < overlap && frame[i + copy] == ref[i + copy]) ++copy;
+      std::size_t lit = 0;
+      std::size_t j = i + copy;
+      while (j + lit < frame.size()) {
+        if (j + lit < overlap && frame[j + lit] == ref[j + lit]) {
+          std::size_t run = 1;
+          while (j + lit + run < overlap &&
+                 frame[j + lit + run] == ref[j + lit + run]) {
+            ++run;
+          }
+          if (run >= 4) break;
+          lit += run;
+          continue;
+        }
+        ++lit;
+      }
+      put_varint(w, static_cast<std::uint32_t>(copy));
+      put_varint(w, static_cast<std::uint32_t>(lit));
+      w.raw(frame.subspan(j, lit));
+      i = j + lit;
+    }
+    if (w.size() < frame.size()) {
+      ++stats_.frames_compressed;
+      stats_.bytes_out += w.size();
+      result = std::move(w).take();
+    } else {
+      stats_.bytes_out += frame.size();
+    }
+  } else {
+    stats_.bytes_out += frame.size();
+  }
+
+  ring_[count_ % kRingSize].assign(frame.begin(), frame.end());
+  ++count_;
+  return result;
+}
+
+util::Result<util::Bytes> TemplateDecompressor::decompress(
+    util::BytesView encoded) {
+  util::ByteReader r(encoded);
+  std::uint8_t scheme = r.u8();
+  std::uint8_t age = r.u8();
+  if (!r.ok() || scheme != 0x01) {
+    return util::Error{"decompress: unknown scheme"};
+  }
+  if (age == 0 || age > TemplateCompressor::kRingSize || age > count_) {
+    return util::Error{"decompress: reference age out of range"};
+  }
+  const util::Bytes& ref = ring_[(count_ - age) % TemplateCompressor::kRingSize];
+  std::uint32_t total_len = 0;
+  if (!get_varint(r, total_len)) {
+    return util::Error{"decompress: bad length varint"};
+  }
+  if (total_len > 64 * 1024) {
+    return util::Error{"decompress: implausible frame length"};
+  }
+  util::Bytes out;
+  out.reserve(total_len);
+  while (out.size() < total_len) {
+    std::uint32_t copy = 0;
+    std::uint32_t lit = 0;
+    if (!get_varint(r, copy) || !get_varint(r, lit)) {
+      return util::Error{"decompress: truncated op"};
+    }
+    if (out.size() + copy > total_len || out.size() + copy > ref.size()) {
+      return util::Error{"decompress: copy run exceeds reference"};
+    }
+    out.insert(out.end(), ref.begin() + static_cast<std::ptrdiff_t>(out.size()),
+               ref.begin() + static_cast<std::ptrdiff_t>(out.size() + copy));
+    auto literal = r.raw(lit);
+    if (!r.ok() || out.size() + lit > total_len) {
+      return util::Error{"decompress: truncated literals"};
+    }
+    out.insert(out.end(), literal.begin(), literal.end());
+    if (copy == 0 && lit == 0) {
+      return util::Error{"decompress: zero-progress op"};
+    }
+  }
+  ring_[count_ % TemplateCompressor::kRingSize] = out;
+  ++count_;
+  return out;
+}
+
+void TemplateDecompressor::note_raw(util::BytesView frame) {
+  ring_[count_ % TemplateCompressor::kRingSize].assign(frame.begin(),
+                                                       frame.end());
+  ++count_;
+}
+
+}  // namespace rnl::wire

@@ -1,0 +1,83 @@
+#pragma once
+
+// Template-based packet compression (§4, "Compression").
+//
+// "Performance testing packets often look similar to one another. They are
+// often generated from the same template, where each packet may have a
+// slight different marking, for example, having a different sequence number.
+// By exploiting the similarities across packets, we could achieve a high
+// compression ratio."
+//
+// Scheme: each side of a tunnel connection keeps a ring of the last
+// kRingSize frames that crossed it (in stream order — the transport is
+// reliable and ordered, so encoder and decoder rings stay in lockstep). A
+// frame is encoded as a byte-aligned diff against the best recent reference:
+// alternating copy-from-reference / literal runs. Template traffic collapses
+// to a few bytes; incompressible traffic is sent raw (the codec returns
+// nullopt and the caller clears the compressed flag).
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace rnl::wire {
+
+struct CompressionStats {
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_compressed = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;  // compressed frames only
+
+  [[nodiscard]] double ratio() const {
+    return bytes_out == 0 ? 1.0
+                          : static_cast<double>(bytes_in) /
+                                static_cast<double>(bytes_out);
+  }
+};
+
+class TemplateCompressor {
+ public:
+  /// Ring capacity is a protocol constant (the decoder must be able to
+  /// resolve any reference age the encoder emits); the encoder's search
+  /// depth is a local cost/ratio trade-off and is tunable per instance
+  /// (see bench_ablation_compression).
+  static constexpr std::size_t kRingSize = 16;
+  static constexpr std::size_t kDefaultSearchDepth = 8;
+
+  explicit TemplateCompressor(
+      std::size_t search_depth = kDefaultSearchDepth)
+      : search_depth_(search_depth > kRingSize ? kRingSize : search_depth) {}
+
+  /// Attempts to compress `frame`. Returns the encoded bytes if strictly
+  /// smaller than the original, nullopt otherwise. Either way the caller
+  /// MUST send the frame (raw or compressed) and the codec records it as
+  /// the newest ring entry — encoder and decoder see the same history.
+  std::optional<util::Bytes> compress(util::BytesView frame);
+
+  [[nodiscard]] const CompressionStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t search_depth() const { return search_depth_; }
+
+ private:
+  std::size_t search_depth_;
+  std::array<util::Bytes, kRingSize> ring_;
+  std::uint64_t count_ = 0;  // frames committed so far
+  CompressionStats stats_;
+};
+
+class TemplateDecompressor {
+ public:
+  /// Inflates an encoded frame. On success the original is recorded in the
+  /// ring. Raw (uncompressed) frames must be recorded via note_raw so the
+  /// rings stay aligned.
+  util::Result<util::Bytes> decompress(util::BytesView encoded);
+  void note_raw(util::BytesView frame);
+
+ private:
+  std::array<util::Bytes, TemplateCompressor::kRingSize> ring_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace rnl::wire

@@ -1,0 +1,49 @@
+#include "wire/layer1.h"
+
+#include "util/strings.h"
+
+namespace rnl::wire {
+
+Layer1Switch::Layer1Switch(simnet::Network& net, std::string name,
+                           std::size_t num_ports)
+    : name_(std::move(name)) {
+  for (std::size_t i = 0; i < num_ports; ++i) {
+    simnet::Port& p = net.make_port(name_ + "/xc" + std::to_string(i + 1));
+    ports_.push_back(&p);
+    p.set_receive_handler(
+        [this, i](util::BytesView bits) { repeat(i, bits); });
+  }
+}
+
+void Layer1Switch::bridge(std::size_t a, std::size_t b) {
+  if (a >= ports_.size() || b >= ports_.size() || a == b) {
+    throw std::out_of_range("Layer1Switch::bridge: invalid port pair");
+  }
+  unbridge(a);
+  unbridge(b);
+  crossconnect_[a] = b;
+  crossconnect_[b] = a;
+}
+
+void Layer1Switch::unbridge(std::size_t port_index) {
+  auto it = crossconnect_.find(port_index);
+  if (it == crossconnect_.end()) return;
+  crossconnect_.erase(it->second);
+  crossconnect_.erase(port_index);
+}
+
+std::optional<std::size_t> Layer1Switch::bridged_to(
+    std::size_t port_index) const {
+  auto it = crossconnect_.find(port_index);
+  if (it == crossconnect_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Layer1Switch::repeat(std::size_t ingress, util::BytesView bits) {
+  auto it = crossconnect_.find(ingress);
+  if (it == crossconnect_.end()) return;  // unprogrammed port: bits die
+  ++frames_bridged_;
+  ports_[it->second]->transmit(bits);
+}
+
+}  // namespace rnl::wire

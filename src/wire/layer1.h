@@ -1,0 +1,50 @@
+#pragma once
+
+// Programmable layer-1 cross-connect (§4, Fig 7) — MRV Media Cross Connect
+// stand-in.
+//
+// "During performance testing (selectable by user), the layer 1 switch can
+// be programmed to directly bridge the two ports. Alternatively, the layer 1
+// switch could connect the router port to RIS." A cross-connect repeats raw
+// bits between two of its ports with negligible latency and full link
+// bandwidth — no tunneling, no route-server hop.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simnet/network.h"
+
+namespace rnl::wire {
+
+class Layer1Switch {
+ public:
+  Layer1Switch(simnet::Network& net, std::string name, std::size_t num_ports);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
+  simnet::Port& port(std::size_t index) { return *ports_.at(index); }
+
+  /// Programs a bidirectional bridge between ports `a` and `b`. Either port's
+  /// previous mapping is cleared. Programmable through the same web-services
+  /// API as everything else (§4).
+  void bridge(std::size_t a, std::size_t b);
+  /// Removes the mapping involving `port_index` (if any).
+  void unbridge(std::size_t port_index);
+  [[nodiscard]] std::optional<std::size_t> bridged_to(
+      std::size_t port_index) const;
+
+  [[nodiscard]] std::uint64_t frames_bridged() const { return frames_bridged_; }
+
+ private:
+  void repeat(std::size_t ingress, util::BytesView bits);
+
+  std::string name_;
+  std::vector<simnet::Port*> ports_;
+  std::map<std::size_t, std::size_t> crossconnect_;
+  std::uint64_t frames_bridged_ = 0;
+};
+
+}  // namespace rnl::wire

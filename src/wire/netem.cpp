@@ -1,0 +1,35 @@
+#include "wire/netem.h"
+
+namespace rnl::wire {
+
+void Netem::send(util::BytesView frame) {
+  if (profile_.loss_probability > 0 &&
+      scheduler_.rng().chance(profile_.loss_probability)) {
+    ++lost_;
+    return;
+  }
+  util::Duration latency = profile_.delay;
+  if (profile_.jitter.nanos > 0) {
+    int n = profile_.jitter_smoothing < 1 ? 1 : profile_.jitter_smoothing;
+    std::int64_t sum = 0;
+    for (int i = 0; i < n; ++i) {
+      sum += scheduler_.rng().range(-profile_.jitter.nanos,
+                                    profile_.jitter.nanos);
+    }
+    latency += util::Duration{sum / n};
+  }
+  if (latency.nanos < 0) latency = {};
+  util::SimTime arrival = scheduler_.now() + latency;
+  if (arrival < fifo_floor_) arrival = fifo_floor_;  // stream order holds
+  fifo_floor_ = arrival;
+  util::Bytes copy(frame.begin(), frame.end());
+  std::weak_ptr<int> alive = alive_;
+  scheduler_.schedule_at(
+      arrival, [this, alive, copy = std::move(copy)]() mutable {
+        if (alive.expired()) return;  // wire torn down: frame dies in flight
+        ++delivered_;
+        sink_(std::move(copy));
+      });
+}
+
+}  // namespace rnl::wire

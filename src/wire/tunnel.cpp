@@ -1,0 +1,172 @@
+#include "wire/tunnel.h"
+
+namespace rnl::wire {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x524E4C31;  // "RNL1"
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 2 + 4 + 4 + 4;
+}  // namespace
+
+util::Bytes encode_message(const TunnelMessage& message,
+                           const util::Bytes* compressed_payload) {
+  const util::Bytes& payload =
+      compressed_payload != nullptr ? *compressed_payload : message.payload;
+  util::ByteWriter w(kHeaderSize + payload.size());
+  w.u32(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(message.type));
+  w.u16(compressed_payload != nullptr ? kFlagCompressed : 0);
+  w.u32(message.router_id);
+  w.u32(message.port_id);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+std::vector<MessageDecoder::Decoded> MessageDecoder::feed(
+    util::BytesView chunk) {
+  std::vector<Decoded> out;
+  if (failed_) return out;
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+
+  std::size_t offset = 0;
+  while (buffer_.size() - offset >= kHeaderSize) {
+    util::ByteReader r(util::BytesView(buffer_).subspan(offset));
+    std::uint32_t magic = r.u32();
+    std::uint8_t version = r.u8();
+    std::uint8_t type = r.u8();
+    std::uint16_t flags = r.u16();
+    std::uint32_t router_id = r.u32();
+    std::uint32_t port_id = r.u32();
+    std::uint32_t length = r.u32();
+    if (magic != kMagic) {
+      failed_ = true;
+      error_ = "tunnel: bad magic (stream desynchronized)";
+      return out;
+    }
+    if (version != kVersion) {
+      failed_ = true;
+      error_ = "tunnel: unsupported protocol version";
+      return out;
+    }
+    if (type < 1 || type > 7) {
+      failed_ = true;
+      error_ = "tunnel: unknown message type";
+      return out;
+    }
+    if (length > kMaxPayload) {
+      failed_ = true;
+      error_ = "tunnel: payload length exceeds maximum";
+      return out;
+    }
+    if (buffer_.size() - offset < kHeaderSize + length) break;  // need more
+
+    Decoded decoded;
+    decoded.message.type = static_cast<MessageType>(type);
+    decoded.message.router_id = router_id;
+    decoded.message.port_id = port_id;
+    auto body = r.raw(length);
+    decoded.message.payload.assign(body.begin(), body.end());
+    decoded.compressed = (flags & kFlagCompressed) != 0;
+    out.push_back(std::move(decoded));
+    offset += kHeaderSize + length;
+  }
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(offset));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JOIN / JOIN_ACK JSON payloads
+// ---------------------------------------------------------------------------
+
+util::Json JoinRequest::to_json() const {
+  util::Json routers_json = util::Json::array();
+  for (const auto& router : routers) {
+    util::Json ports_json = util::Json::array();
+    for (const auto& port : router.ports) {
+      util::Json p = util::Json::object();
+      p.set("name", port.name);
+      p.set("description", port.description);
+      p.set("nic", port.nic);
+      p.set("rect", util::Json(util::JsonArray{
+                        port.rect_x, port.rect_y, port.rect_w, port.rect_h}));
+      ports_json.push_back(std::move(p));
+    }
+    util::Json r = util::Json::object();
+    r.set("name", router.name);
+    r.set("description", router.description);
+    r.set("image", router.image_file);
+    r.set("console", router.console_com);
+    r.set("ports", std::move(ports_json));
+    routers_json.push_back(std::move(r));
+  }
+  util::Json join = util::Json::object();
+  join.set("site", site_name);
+  join.set("routers", std::move(routers_json));
+  return join;
+}
+
+util::Result<JoinRequest> JoinRequest::from_json(const util::Json& json) {
+  if (!json.is_object()) return util::Error{"join: not an object"};
+  JoinRequest request;
+  request.site_name = json["site"].as_string();
+  if (request.site_name.empty()) return util::Error{"join: missing site"};
+  for (const auto& r : json["routers"].as_array()) {
+    RouterDeclaration router;
+    router.name = r["name"].as_string();
+    if (router.name.empty()) return util::Error{"join: router missing name"};
+    router.description = r["description"].as_string();
+    router.image_file = r["image"].as_string();
+    router.console_com = r["console"].as_string();
+    for (const auto& p : r["ports"].as_array()) {
+      PortDeclaration port;
+      port.name = p["name"].as_string();
+      if (port.name.empty()) return util::Error{"join: port missing name"};
+      port.description = p["description"].as_string();
+      port.nic = p["nic"].as_string();
+      const auto& rect = p["rect"].as_array();
+      if (rect.size() == 4) {
+        port.rect_x = static_cast<int>(rect[0].as_int());
+        port.rect_y = static_cast<int>(rect[1].as_int());
+        port.rect_w = static_cast<int>(rect[2].as_int());
+        port.rect_h = static_cast<int>(rect[3].as_int());
+      }
+      router.ports.push_back(std::move(port));
+    }
+    request.routers.push_back(std::move(router));
+  }
+  return request;
+}
+
+util::Json JoinAck::to_json() const {
+  util::Json routers_json = util::Json::array();
+  for (const auto& ids : routers) {
+    util::Json ports = util::Json::array();
+    for (auto pid : ids.port_ids) ports.push_back(pid);
+    util::Json r = util::Json::object();
+    r.set("router_id", ids.router_id);
+    r.set("port_ids", std::move(ports));
+    routers_json.push_back(std::move(r));
+  }
+  util::Json ack = util::Json::object();
+  ack.set("routers", std::move(routers_json));
+  return ack;
+}
+
+util::Result<JoinAck> JoinAck::from_json(const util::Json& json) {
+  if (!json.is_object()) return util::Error{"join_ack: not an object"};
+  JoinAck ack;
+  for (const auto& r : json["routers"].as_array()) {
+    RouterIds ids;
+    ids.router_id = static_cast<RouterId>(r["router_id"].as_int());
+    for (const auto& p : r["port_ids"].as_array()) {
+      ids.port_ids.push_back(static_cast<PortId>(p.as_int()));
+    }
+    ack.routers.push_back(std::move(ids));
+  }
+  return ack;
+}
+
+}  // namespace rnl::wire

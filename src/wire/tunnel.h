@@ -1,0 +1,135 @@
+#pragma once
+
+// The RNL tunnel protocol: how RIS instances and the route server talk.
+//
+// §2.2-2.3: "We capture all packets coming from the port, wrap the complete
+// packet in an IP packet which includes the port's and router's unique id and
+// send the packet to the route server." This header defines that wrapping —
+// a versioned, length-prefixed message format carried over any reliable byte
+// stream (the in-process simulated WAN or a real TCP connection; RIS always
+// dials out, so it works from behind corporate firewalls).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace rnl::wire {
+
+using RouterId = std::uint32_t;
+using PortId = std::uint32_t;
+
+enum class MessageType : std::uint8_t {
+  kJoin = 1,          // RIS -> server: site registration (JSON config, §2.2)
+  kJoinAck = 2,       // server -> RIS: assigned router/port ids
+  kData = 3,          // captured L2 frame, either direction
+  kConsoleData = 4,   // console byte stream, either direction
+  kKeepalive = 5,     // RIS -> server heartbeat
+  kLeave = 6,         // RIS -> server: orderly departure
+  kError = 7,         // server -> RIS: protocol error report
+};
+
+/// Header flag bits.
+constexpr std::uint16_t kFlagCompressed = 0x0001;
+
+/// A parsed tunnel message. For kData, `router_id`/`port_id` identify the
+/// source (RIS->server) or destination (server->RIS) port and `payload` is
+/// the complete layer-2 frame. For kJoin/kJoinAck the payload is JSON.
+struct TunnelMessage {
+  MessageType type = MessageType::kKeepalive;
+  RouterId router_id = 0;
+  PortId port_id = 0;
+  util::Bytes payload;
+
+  bool operator==(const TunnelMessage&) const = default;
+};
+
+/// Serializes one message into its wire form:
+///   magic(u32) ver(u8) type(u8) flags(u16) router(u32) port(u32) len(u32)
+///   payload(len bytes)
+/// If `compressed_payload` is given it is used with kFlagCompressed set
+/// (compression happens in TunnelCodec; this function only frames).
+util::Bytes encode_message(const TunnelMessage& message,
+                           const util::Bytes* compressed_payload = nullptr);
+
+/// Incremental decoder for a byte stream of messages. Feed arbitrary chunks;
+/// complete messages come out. Malformed input poisons the stream (a framing
+/// error on TCP is unrecoverable) — check error().
+class MessageDecoder {
+ public:
+  /// Appends stream bytes; returns messages completed by this chunk.
+  /// Compressed payloads are surfaced still-compressed with the flag in
+  /// `compressed`; TunnelCodec handles inflation.
+  struct Decoded {
+    TunnelMessage message;
+    bool compressed = false;
+  };
+  std::vector<Decoded> feed(util::BytesView chunk);
+
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  /// Bytes buffered waiting for a complete frame.
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+  /// Maximum accepted payload. Data frames are bounded by jumbo-frame size,
+  /// but JOIN payloads scale with the site's inventory (a PC can front many
+  /// routers, §2.2), so the cap is generous. Anything larger is a protocol
+  /// violation, not a big message.
+  static constexpr std::uint32_t kMaxPayload = 8 * 1024 * 1024;
+
+ private:
+  util::Bytes buffer_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// JOIN payload helpers (§2.2, Fig 3)
+// ---------------------------------------------------------------------------
+
+/// One router port as declared by the lab manager in the RIS configuration.
+struct PortDeclaration {
+  std::string name;         // e.g. "Gi0/1"
+  std::string description;  // tooltip text in the web UI
+  std::string nic;          // which PC network adapter it is wired to
+  // Rectangle on the router back-panel image (web UI active region).
+  int rect_x = 0, rect_y = 0, rect_w = 0, rect_h = 0;
+};
+
+/// One router as declared in the RIS configuration.
+struct RouterDeclaration {
+  std::string name;
+  std::string description;
+  std::string image_file;      // back-panel picture shown in the web UI
+  std::string console_com;     // "" if no console connection
+  std::vector<PortDeclaration> ports;
+};
+
+/// The kJoin payload.
+struct JoinRequest {
+  std::string site_name;
+  std::vector<RouterDeclaration> routers;
+
+  [[nodiscard]] util::Json to_json() const;
+  static util::Result<JoinRequest> from_json(const util::Json& json);
+};
+
+/// The kJoinAck payload: ids assigned by the route server (§2.2: "The route
+/// server will assign a unique id to each router and a unique id to each
+/// port").
+struct JoinAck {
+  struct RouterIds {
+    RouterId router_id = 0;
+    std::vector<PortId> port_ids;  // parallel to RouterDeclaration::ports
+  };
+  std::vector<RouterIds> routers;
+
+  [[nodiscard]] util::Json to_json() const;
+  static util::Result<JoinAck> from_json(const util::Json& json);
+};
+
+}  // namespace rnl::wire

@@ -1,0 +1,168 @@
+// Remaining web-services API coverage: reservation search, design
+// export/import through the API, capture edge cases, stats, and input
+// validation for every method family.
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+
+namespace rnl::core {
+namespace {
+
+using util::Duration;
+
+class ApiFixture : public ::testing::Test {
+ protected:
+  ApiFixture() : bed(1501, wire::NetemProfile::lan()) {
+    auto& site = bed.add_site("hq");
+    bed.add_host(site, "h1");
+    bed.add_host(site, "h2");
+    bed.join_all();
+  }
+
+  util::Json call(const std::string& method, util::Json params) {
+    util::Json request = util::Json::object();
+    request.set("method", method);
+    request.set("params", std::move(params));
+    return bed.api().handle(request);
+  }
+
+  std::int64_t make_design() {
+    util::Json params = util::Json::object();
+    params.set("user", "api");
+    params.set("name", "lab");
+    util::Json created = call("design.create", std::move(params));
+    std::int64_t id = created["result"]["design_id"].as_int();
+    for (const char* router : {"hq/h1", "hq/h2"}) {
+      util::Json add = util::Json::object();
+      add.set("design_id", id);
+      add.set("router_id", bed.router_id(router));
+      call("design.add_router", std::move(add));
+    }
+    return id;
+  }
+
+  Testbed bed;
+};
+
+TEST_F(ApiFixture, ReserveNextFreeRespectsExistingBookings) {
+  std::int64_t design = make_design();
+  // Block hour [0,1) on h1 directly through the calendar.
+  util::SimTime now = bed.net().now();
+  ASSERT_TRUE(bed.service()
+                  .calendar()
+                  .reserve("someone", {bed.router_id("hq/h1")}, now,
+                           now + Duration::hours(1))
+                  .ok());
+  util::Json params = util::Json::object();
+  params.set("design_id", design);
+  params.set("duration_s", 3600);
+  util::Json response = call("reserve.next_free", std::move(params));
+  ASSERT_TRUE(response["ok"].as_bool());
+  EXPECT_EQ(response["result"]["start_s"].as_int(),
+            (now + Duration::hours(1)).nanos / 1'000'000'000);
+}
+
+TEST_F(ApiFixture, DesignExportImportRoundTripViaApi) {
+  std::int64_t design = make_design();
+  util::Json link = util::Json::object();
+  link.set("design_id", design);
+  link.set("a", bed.port_id("hq/h1", "eth0"));
+  link.set("b", bed.port_id("hq/h2", "eth0"));
+  ASSERT_TRUE(call("design.connect", std::move(link))["ok"].as_bool());
+
+  util::Json export_params = util::Json::object();
+  export_params.set("design_id", design);
+  util::Json exported = call("design.export", std::move(export_params));
+  ASSERT_TRUE(exported["ok"].as_bool());
+
+  util::Json import_params = util::Json::object();
+  import_params.set("user", "other");
+  import_params.set("design", exported["result"]["design"].as_string());
+  util::Json imported = call("design.import", std::move(import_params));
+  ASSERT_TRUE(imported["ok"].as_bool());
+  auto* copy = bed.service().design(
+      static_cast<DesignId>(imported["result"]["design_id"].as_int()));
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->links().size(), 1u);
+  EXPECT_EQ(copy->routers().size(), 2u);
+}
+
+TEST_F(ApiFixture, DesignDisconnectAndSaveLoad) {
+  std::int64_t design = make_design();
+  util::Json link = util::Json::object();
+  link.set("design_id", design);
+  link.set("a", bed.port_id("hq/h1", "eth0"));
+  link.set("b", bed.port_id("hq/h2", "eth0"));
+  ASSERT_TRUE(call("design.connect", std::move(link))["ok"].as_bool());
+  util::Json disconnect = util::Json::object();
+  disconnect.set("design_id", design);
+  disconnect.set("port", bed.port_id("hq/h1", "eth0"));
+  ASSERT_TRUE(call("design.disconnect", std::move(disconnect))["ok"].as_bool());
+  util::Json save = util::Json::object();
+  save.set("design_id", design);
+  ASSERT_TRUE(call("design.save", std::move(save))["ok"].as_bool());
+  util::Json load = util::Json::object();
+  load.set("user", "api");
+  load.set("name", "lab");
+  util::Json loaded = call("design.load", std::move(load));
+  ASSERT_TRUE(loaded["ok"].as_bool());
+  auto* copy = bed.service().design(
+      static_cast<DesignId>(loaded["result"]["design_id"].as_int()));
+  EXPECT_TRUE(copy->links().empty());
+}
+
+TEST_F(ApiFixture, CaptureStopWithoutStartIsEmptyNotError) {
+  util::Json params = util::Json::object();
+  params.set("port_id", bed.port_id("hq/h1", "eth0"));
+  util::Json response = call("capture.stop", std::move(params));
+  ASSERT_TRUE(response["ok"].as_bool());
+  EXPECT_EQ(response["result"]["frames"].size(), 0u);
+}
+
+TEST_F(ApiFixture, StatsReportRoutedTraffic) {
+  util::Json stats = call("stats", util::Json::object());
+  ASSERT_TRUE(stats["ok"].as_bool());
+  EXPECT_EQ(stats["result"]["sites"].as_int(), 1);
+  EXPECT_GE(stats["result"]["frames_routed"].as_int(), 0);
+}
+
+TEST_F(ApiFixture, ValidationErrorsAreCleanNotFatal) {
+  // Missing/garbage parameters across method families.
+  EXPECT_FALSE(call("design.add_router", util::Json::object())["ok"].as_bool());
+  EXPECT_FALSE(call("design.connect", util::Json::object())["ok"].as_bool());
+  EXPECT_FALSE(call("deploy", util::Json::object())["ok"].as_bool());
+  EXPECT_FALSE(call("teardown", util::Json::object())["ok"].as_bool());
+  EXPECT_FALSE(call("design.load", util::Json::object())["ok"].as_bool());
+  util::Json bad_inject = util::Json::object();
+  bad_inject.set("port_id", 424242);
+  bad_inject.set("frame", "00:11:22");
+  EXPECT_FALSE(call("traffic.inject", std::move(bad_inject))["ok"].as_bool());
+  util::Json no_method = util::Json::object();
+  EXPECT_FALSE(bed.api().handle(no_method)["ok"].as_bool());
+  EXPECT_FALSE(bed.api().handle(util::Json(5))["ok"].as_bool());
+  // handle_text is the outermost shell: garbage in, JSON error out.
+  EXPECT_NE(bed.api().handle_text("not json").find("\"ok\":false"),
+            std::string::npos);
+}
+
+TEST_F(ApiFixture, ConsoleExecForUnknownRouterFailsInline) {
+  util::Json params = util::Json::object();
+  params.set("router_id", 999999);
+  params.set("line", "enable");
+  util::Json response = call("console.exec", std::move(params));
+  // console_exec reports the routing failure in the output text.
+  ASSERT_TRUE(response["ok"].as_bool());
+  EXPECT_NE(response["result"]["output"].as_string().find("unknown router"),
+            std::string::npos);
+}
+
+TEST_F(ApiFixture, RequestCounterAdvances) {
+  std::uint64_t before = bed.api().requests_served();
+  call("stats", util::Json::object());
+  call("stats", util::Json::object());
+  EXPECT_EQ(bed.api().requests_served(), before + 2);
+}
+
+}  // namespace
+}  // namespace rnl::core

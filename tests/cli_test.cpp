@@ -1,0 +1,164 @@
+// Dedicated tests for the IOS-style CLI mode machine (devices/cli.h).
+
+#include <gtest/gtest.h>
+
+#include "devices/cli.h"
+
+namespace rnl::devices {
+namespace {
+
+class CliFixture : public ::testing::Test {
+ protected:
+  CliFixture() : cli("router") {
+    cli.set_interface_validator(
+        [](const std::string& name) { return name == "Gi0/1"; });
+    cli.register_command(
+        CliMode::kPrivExec, "show clock",
+        [](const std::vector<std::string>&, bool) { return "12:00\n"; });
+    cli.register_command(
+        CliMode::kPrivExec, "ping",
+        [this](const std::vector<std::string>& args, bool) {
+          last_ping = args.empty() ? "" : args[0];
+          return "!!!!!\n";
+        });
+    cli.register_command(
+        CliMode::kGlobalConfig, "banner",
+        [this](const std::vector<std::string>& args, bool negated) {
+          banner = negated ? "" : (args.empty() ? "" : args[0]);
+          return std::string{};
+        });
+    cli.register_command(
+        CliMode::kInterfaceConfig, "mtu",
+        [this](const std::vector<std::string>& args, bool) {
+          mtu_interface = cli.current_interface();
+          mtu = args.empty() ? 0 : std::stoi(args[0]);
+          return std::string{};
+        });
+  }
+
+  CliEngine cli;
+  std::string last_ping;
+  std::string banner;
+  std::string mtu_interface;
+  int mtu = 0;
+};
+
+TEST_F(CliFixture, PromptTracksMode) {
+  EXPECT_EQ(cli.prompt(), "router>");
+  cli.execute("enable");
+  EXPECT_EQ(cli.prompt(), "router#");
+  cli.execute("configure terminal");
+  EXPECT_EQ(cli.prompt(), "router(config)#");
+  cli.execute("interface Gi0/1");
+  EXPECT_EQ(cli.prompt(), "router(config-if)#");
+  cli.execute("end");
+  EXPECT_EQ(cli.prompt(), "router#");
+  cli.execute("disable");
+  EXPECT_EQ(cli.prompt(), "router>");
+}
+
+TEST_F(CliFixture, ExitWalksOneLevel) {
+  cli.execute("enable");
+  cli.execute("conf t");
+  cli.execute("interface Gi0/1");
+  cli.execute("exit");
+  EXPECT_EQ(cli.mode(), CliMode::kGlobalConfig);
+  cli.execute("exit");
+  EXPECT_EQ(cli.mode(), CliMode::kPrivExec);
+  cli.execute("exit");
+  EXPECT_EQ(cli.mode(), CliMode::kUserExec);
+  cli.execute("exit");  // no-op at the bottom
+  EXPECT_EQ(cli.mode(), CliMode::kUserExec);
+}
+
+TEST_F(CliFixture, CommandsRequireTheirMode) {
+  // banner is a config command; unavailable in exec modes.
+  EXPECT_NE(cli.execute("banner hi").find("% Invalid input"),
+            std::string::npos);
+  cli.execute("enable");
+  cli.execute("configure terminal");
+  EXPECT_EQ(cli.execute("banner hi"), "");
+  EXPECT_EQ(banner, "hi");
+}
+
+TEST_F(CliFixture, NoNegationReachesHandler) {
+  cli.execute("enable");
+  cli.execute("configure terminal");
+  cli.execute("banner hello");
+  cli.execute("no banner");
+  EXPECT_EQ(banner, "");
+  EXPECT_NE(cli.execute("no").find("% Incomplete"), std::string::npos);
+}
+
+TEST_F(CliFixture, InterfaceValidatorRejectsUnknown) {
+  cli.execute("enable");
+  cli.execute("configure terminal");
+  EXPECT_NE(cli.execute("interface Fa9/9").find("% Invalid interface"),
+            std::string::npos);
+  EXPECT_EQ(cli.mode(), CliMode::kGlobalConfig);
+  EXPECT_EQ(cli.execute("interface Gi0/1"), "");
+  EXPECT_EQ(cli.current_interface(), "Gi0/1");
+}
+
+TEST_F(CliFixture, SplitInterfaceNameTokensJoin) {
+  cli.execute("enable");
+  cli.execute("configure terminal");
+  EXPECT_EQ(cli.execute("interface Gi0 /1"), "");  // "Gi0" + "/1"
+  EXPECT_EQ(cli.current_interface(), "Gi0/1");
+}
+
+TEST_F(CliFixture, InterfaceCommandSeesContext) {
+  cli.execute("enable");
+  cli.execute("configure terminal");
+  cli.execute("interface Gi0/1");
+  cli.execute("mtu 9000");
+  EXPECT_EQ(mtu, 9000);
+  EXPECT_EQ(mtu_interface, "Gi0/1");
+}
+
+TEST_F(CliFixture, ShowAndPingWorkFromUserExecAndConfigModes) {
+  // user exec: read-only subset allowed
+  EXPECT_EQ(cli.execute("show clock"), "12:00\n");
+  EXPECT_EQ(cli.execute("ping 10.0.0.1"), "!!!!!\n");
+  EXPECT_EQ(last_ping, "10.0.0.1");
+  // config mode: implicit "do"
+  cli.execute("enable");
+  cli.execute("configure terminal");
+  EXPECT_EQ(cli.execute("show clock"), "12:00\n");
+  EXPECT_EQ(cli.execute("do show clock"), "12:00\n");
+}
+
+TEST_F(CliFixture, GlobalCommandFromInterfaceModePopsBack) {
+  cli.execute("enable");
+  cli.execute("configure terminal");
+  cli.execute("interface Gi0/1");
+  EXPECT_EQ(cli.execute("banner deep"), "");
+  EXPECT_EQ(banner, "deep");
+  EXPECT_EQ(cli.mode(), CliMode::kGlobalConfig);
+  EXPECT_EQ(cli.current_interface(), "");
+}
+
+TEST_F(CliFixture, HostnameChangesPrompt) {
+  cli.execute("enable");
+  cli.execute("configure terminal");
+  cli.execute("hostname core1");
+  EXPECT_EQ(cli.prompt(), "core1(config)#");
+  EXPECT_EQ(cli.hostname(), "core1");
+}
+
+TEST_F(CliFixture, EmptyAndWhitespaceLinesAreSilent) {
+  EXPECT_EQ(cli.execute(""), "");
+  EXPECT_EQ(cli.execute("   "), "");
+}
+
+TEST_F(CliFixture, LongestVerbWins) {
+  cli.register_command(
+      CliMode::kPrivExec, "show",
+      [](const std::vector<std::string>&, bool) { return "generic\n"; });
+  cli.execute("enable");
+  EXPECT_EQ(cli.execute("show clock"), "12:00\n");   // 2-token beats 1-token
+  EXPECT_EQ(cli.execute("show version"), "generic\n");
+}
+
+}  // namespace
+}  // namespace rnl::devices

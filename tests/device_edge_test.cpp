@@ -1,0 +1,251 @@
+// Edge-case device behaviour: 802.1Q trunking details, the firmware gate on
+// service-module ports, STP topology-change aging, firewall connection
+// expiry, and host-stack corner cases.
+
+#include <gtest/gtest.h>
+
+#include "devices/firewall.h"
+#include "devices/host.h"
+#include "devices/switch.h"
+#include "packet/builder.h"
+#include "packet/stp.h"
+#include "simnet/network.h"
+
+namespace rnl::devices {
+namespace {
+
+using packet::Ipv4Address;
+using packet::Ipv4Prefix;
+
+Ipv4Address ip(const char* s) { return *Ipv4Address::parse(s); }
+Ipv4Prefix prefix(const char* s) { return *Ipv4Prefix::parse(s); }
+
+/// Two switches joined by a trunk; hosts in VLAN 10 and 20 on each side.
+class TrunkingFixture : public ::testing::Test {
+ protected:
+  TrunkingFixture()
+      : sw1(net, "sw1", 4),
+        sw2(net, "sw2", 4),
+        a10(net, "a10"),
+        a20(net, "a20"),
+        b10(net, "b10"),
+        b20(net, "b20") {
+    net.connect(sw1.port(0), sw2.port(0));
+    for (auto* sw : {&sw1, &sw2}) {
+      sw->port_config(0).trunk = true;
+      sw->port_config(1).access_vlan = 10;
+      sw->port_config(2).access_vlan = 20;
+    }
+    net.connect(a10.port(0), sw1.port(1));
+    net.connect(a20.port(0), sw1.port(2));
+    net.connect(b10.port(0), sw2.port(1));
+    net.connect(b20.port(0), sw2.port(2));
+    a10.configure(prefix("10.0.10.1/24"), ip("10.0.10.254"));
+    b10.configure(prefix("10.0.10.2/24"), ip("10.0.10.254"));
+    a20.configure(prefix("10.0.10.3/24"), ip("10.0.10.254"));  // same subnet!
+    b20.configure(prefix("10.0.10.4/24"), ip("10.0.10.254"));
+    net.run_for(util::Duration::seconds(40));  // STP settles
+  }
+
+  simnet::Network net{77};
+  EthernetSwitch sw1;
+  EthernetSwitch sw2;
+  Host a10, a20, b10, b20;
+};
+
+TEST_F(TrunkingFixture, VlanCrossesTrunkTagged) {
+  a10.ping(ip("10.0.10.2"), 2);  // vlan 10 -> vlan 10 across the trunk
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(a10.ping_replies().size(), 2u);
+}
+
+TEST_F(TrunkingFixture, VlansStayIsolatedEvenOnSameSubnet) {
+  // a10 (VLAN 10) pings b20's address (VLAN 20): same IP subnet, different
+  // broadcast domain -> ARP can never resolve.
+  a10.ping(ip("10.0.10.4"), 2);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(a10.ping_replies().size(), 0u);
+}
+
+TEST_F(TrunkingFixture, TrunkAllowedListFiltersVlans) {
+  sw1.port_config(0).allowed_vlans = {20};  // VLAN 10 pruned off the trunk
+  a10.ping(ip("10.0.10.2"), 2);
+  a20.ping(ip("10.0.10.4"), 2);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(a10.ping_replies().size(), 0u);  // pruned
+  EXPECT_EQ(a20.ping_replies().size(), 2u);  // allowed
+}
+
+TEST_F(TrunkingFixture, NativeVlanTravelsUntagged) {
+  for (auto* sw : {&sw1, &sw2}) sw->port_config(0).native_vlan = 10;
+  // Tap the trunk wire: VLAN-10 frames must be untagged, VLAN-20 tagged.
+  bool saw_vlan10_tagged = false;
+  bool saw_vlan20_tagged = false;
+  sw1.port(0).set_tap([&](bool is_tx, util::BytesView bytes) {
+    if (!is_tx) return;
+    auto frame = packet::EthernetFrame::parse(bytes);
+    if (!frame.ok()) return;
+    if (frame->tag.has_value()) {
+      if (frame->tag->vlan == 10) saw_vlan10_tagged = true;
+      if (frame->tag->vlan == 20) saw_vlan20_tagged = true;
+    }
+  });
+  a10.ping(ip("10.0.10.2"), 1);
+  a20.ping(ip("10.0.10.4"), 1);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(a10.ping_replies().size(), 1u);
+  EXPECT_EQ(a20.ping_replies().size(), 1u);
+  EXPECT_FALSE(saw_vlan10_tagged);  // native: untagged on the wire
+  EXPECT_TRUE(saw_vlan20_tagged);
+}
+
+TEST(ServiceModuleGate, OldFirmwareDropsBpdusOnModulePorts) {
+  simnet::Network net(78);
+  auto old_image = FirmwareCatalog::instance().find("12.1(13)E");
+  ASSERT_TRUE(old_image.has_value());
+  ASSERT_FALSE(old_image->supports_bpdu_forwarding);
+  EthernetSwitch sw(net, "sw", 2, *old_image);
+  sw.port_config(0).service_module = true;
+
+  // Feed a superior BPDU into both ports; only the non-module port listens.
+  packet::Bpdu superior;
+  superior.root = packet::BridgeId{0x0100, packet::MacAddress::local(1)};
+  superior.bridge = superior.root;
+  util::Bytes frame =
+      superior.to_frame(packet::MacAddress::local(1)).serialize();
+
+  simnet::Port& feeder0 = net.make_port("f0");
+  simnet::Port& feeder1 = net.make_port("f1");
+  net.connect(feeder0, sw.port(0));
+  net.connect(feeder1, sw.port(1));
+  feeder0.transmit(frame);
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_TRUE(sw.is_root_bridge());  // module port dropped the BPDU
+  feeder1.transmit(frame);
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_FALSE(sw.is_root_bridge());  // normal port processed it
+
+  // Same config, modern firmware: the module port listens too.
+  EthernetSwitch modern(net, "sw2", 2);
+  modern.port_config(0).service_module = true;
+  simnet::Port& feeder2 = net.make_port("f2");
+  net.connect(feeder2, modern.port(0));
+  feeder2.transmit(frame);
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_FALSE(modern.is_root_bridge());
+}
+
+TEST(TopologyChange, TcFlagShortensMacAging) {
+  simnet::Network net(79);
+  EthernetSwitch sw(net, "sw", 4);
+  sw.set_bridge_priority(0x8000);
+  Host h1(net, "h1");
+  Host h2(net, "h2");
+  net.connect(h1.port(0), sw.port(0));
+  net.connect(h2.port(0), sw.port(1));
+  h1.configure(prefix("10.0.0.1/24"), ip("10.0.0.254"));
+  h2.configure(prefix("10.0.0.2/24"), ip("10.0.0.254"));
+  net.run_for(util::Duration::seconds(35));
+  h1.ping(ip("10.0.0.2"), 1);
+  net.run_for(util::Duration::seconds(2));
+  ASSERT_GT(sw.mac_table_size(), 0u);
+
+  // A port coming up elsewhere is a topology change: MAC aging drops to
+  // forward_delay (15 s), so silent entries vanish quickly instead of
+  // after 300 s.
+  Host h3(net, "h3");
+  net.connect(h3.port(0), sw.port(2));
+  net.run_for(util::Duration::seconds(40));  // TC + aging window
+  EXPECT_EQ(sw.lookup_mac(1, h1.mac()), std::nullopt);
+}
+
+TEST(FirewallExpiry, IdleConnectionsStopAdmittingReturnTraffic) {
+  simnet::Network net(80);
+  FirewallModule fw(net, "fw");
+  Host inside(net, "in");
+  Host outside(net, "out");
+  net.connect(inside.port(0), fw.port(FirewallModule::kInside));
+  net.connect(outside.port(0), fw.port(FirewallModule::kOutside));
+  inside.configure(prefix("10.0.0.1/24"), ip("10.0.0.254"));
+  outside.configure(prefix("10.0.0.2/24"), ip("10.0.0.254"));
+
+  // Establish a UDP flow inside-out.
+  util::Bytes payload{1};
+  inside.send_udp(ip("10.0.0.2"), 1111, 2222, payload);
+  net.run_for(util::Duration::seconds(1));
+  ASSERT_EQ(outside.received_udp().size(), 1u);
+
+  // Reply within the idle window: admitted.
+  outside.send_udp(ip("10.0.0.1"), 2222, 1111, payload);
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_EQ(inside.received_udp().size(), 1u);
+
+  // After 6 minutes of silence (> 300 s idle timeout) the same reply is
+  // refused.
+  net.run_for(util::Duration::minutes(6));
+  outside.send_udp(ip("10.0.0.1"), 2222, 1111, payload);
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_EQ(inside.received_udp().size(), 1u);  // unchanged
+  EXPECT_GT(fw.counters().denied, 0u);
+}
+
+TEST(HostStack, OffLinkTrafficUsesGatewayMac) {
+  simnet::Network net(81);
+  Host h(net, "h");
+  Host gw(net, "gw");
+  net.connect(h.port(0), gw.port(0));
+  h.configure(prefix("10.0.0.1/24"), ip("10.0.0.254"));
+  gw.configure(prefix("10.0.0.254/24"), ip("10.0.0.254"));
+  // Destination far off-link: the frame must be MAC-addressed to the
+  // gateway even though the IP is remote.
+  packet::MacAddress observed_dst{};
+  gw.port(0).set_tap([&](bool is_tx, util::BytesView bytes) {
+    if (is_tx) return;
+    auto frame = packet::EthernetFrame::parse(bytes);
+    if (frame.ok() && frame->ether_type == packet::EtherType::kIpv4) {
+      observed_dst = frame->dst;
+    }
+  });
+  h.send_udp(ip("192.168.99.99"), 1, 2, util::Bytes{9});
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_EQ(observed_dst, gw.mac());
+}
+
+TEST(HostStack, PowerCycleLosesArpButRecovers) {
+  simnet::Network net(82);
+  Host h1(net, "h1");
+  Host h2(net, "h2");
+  net.connect(h1.port(0), h2.port(0));
+  h1.configure(prefix("10.0.0.1/24"), ip("10.0.0.254"));
+  h2.configure(prefix("10.0.0.2/24"), ip("10.0.0.254"));
+  h1.ping(ip("10.0.0.2"), 1);
+  net.run_for(util::Duration::seconds(1));
+  ASSERT_EQ(h1.ping_replies().size(), 1u);
+  h1.power_off();
+  h1.power_on();
+  h1.ping(ip("10.0.0.2"), 1);  // must re-ARP from scratch
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(h1.ping_replies().size(), 2u);
+}
+
+TEST(SwitchRunts, GarbledFramesAreDiscardedNotForwarded) {
+  simnet::Network net(83);
+  EthernetSwitch sw(net, "sw", 2);
+  simnet::Port& a = net.make_port("a");
+  simnet::Port& b = net.make_port("b");
+  net.connect(a, sw.port(0));
+  net.connect(b, sw.port(1));
+  util::Bytes runt(7, 0xFF);  // shorter than an Ethernet header
+  int runts_forwarded = 0;
+  b.set_receive_handler([&](util::BytesView bytes) {
+    // BPDUs from the switch itself are expected; count only the runt.
+    if (bytes.size() == runt.size()) ++runts_forwarded;
+  });
+  net.run_for(util::Duration::seconds(35));
+  a.transmit(runt);
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_EQ(runts_forwarded, 0);
+}
+
+}  // namespace
+}  // namespace rnl::devices

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "devices/firewall.h"
+#include "devices/host.h"
+#include "packet/stp.h"
+#include "simnet/network.h"
+
+namespace rnl::devices {
+namespace {
+
+using packet::Ipv4Address;
+using packet::Ipv4Prefix;
+
+Ipv4Address ip(const char* s) { return *Ipv4Address::parse(s); }
+Ipv4Prefix prefix(const char* s) { return *Ipv4Prefix::parse(s); }
+
+/// inside host -- fw -- outside host (transparent firewall: same subnet).
+class FirewallData : public ::testing::Test {
+ protected:
+  FirewallData() : fw(net, "fw1"), in(net, "in"), out(net, "out") {
+    net.connect(in.port(0), fw.port(FirewallModule::kInside));
+    net.connect(out.port(0), fw.port(FirewallModule::kOutside));
+    in.configure(prefix("10.0.0.1/24"), ip("10.0.0.254"));
+    out.configure(prefix("10.0.0.2/24"), ip("10.0.0.254"));
+  }
+
+  simnet::Network net{11};
+  FirewallModule fw;
+  Host in;
+  Host out;
+};
+
+TEST_F(FirewallData, InsideInitiatedTrafficFlowsBothWays) {
+  in.ping(ip("10.0.0.2"), 3);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(in.ping_replies().size(), 3u);
+  EXPECT_GT(fw.counters().inside_out, 0u);
+  EXPECT_GT(fw.counters().outside_in, 0u);  // replies matched state
+}
+
+TEST_F(FirewallData, OutsideInitiatedTrafficIsDenied) {
+  out.ping(ip("10.0.0.1"), 3);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(out.ping_replies().size(), 0u);
+  EXPECT_GT(fw.counters().denied, 0u);
+}
+
+TEST_F(FirewallData, InboundPermitOpensAPort) {
+  in.set_udp_echo(true);
+  util::Bytes payload{0x42};
+  out.send_udp(ip("10.0.0.1"), 5555, 8080, payload);
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_EQ(out.received_udp().size(), 0u);  // closed
+
+  fw.permit_inbound(17, 8080);
+  out.send_udp(ip("10.0.0.1"), 5555, 8080, payload);
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_EQ(out.received_udp().size(), 1u);  // open (echo came back)
+}
+
+TEST_F(FirewallData, StatefulEntryTracksUdpFlows) {
+  out.set_udp_echo(true);
+  util::Bytes payload{1};
+  in.send_udp(ip("10.0.0.2"), 1234, 9999, payload);
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_EQ(in.received_udp().size(), 1u);
+  EXPECT_GT(fw.connection_count(), 0u);
+}
+
+TEST_F(FirewallData, BpduForwardingIsConfigGated) {
+  // Hand-craft a BPDU frame and push it at the inside port.
+  packet::Bpdu bpdu;
+  bpdu.bridge.mac = packet::MacAddress::local(1);
+  bpdu.root = bpdu.bridge;
+  util::Bytes frame = bpdu.to_frame(packet::MacAddress::local(1)).serialize();
+  in.port(0).transmit(frame);  // host port is wired to fw inside
+  net.run_for(util::Duration::milliseconds(10));
+  EXPECT_EQ(fw.counters().bpdus_dropped, 1u);
+  EXPECT_EQ(fw.counters().bpdus_forwarded, 0u);
+
+  fw.set_bpdu_forward(true);
+  in.port(0).transmit(frame);
+  net.run_for(util::Duration::milliseconds(10));
+  EXPECT_EQ(fw.counters().bpdus_forwarded, 1u);
+}
+
+TEST_F(FirewallData, CliRoundTrip) {
+  fw.exec("enable");
+  fw.exec("configure terminal");
+  EXPECT_EQ(fw.exec("bpdu-forward"), "");
+  EXPECT_EQ(fw.exec("permit-inbound tcp 443"), "");
+  EXPECT_EQ(fw.exec("failover lan unit secondary"), "");
+  EXPECT_EQ(fw.exec("failover polltime msec 300"), "");
+  EXPECT_EQ(fw.exec("failover holdtime msec 900"), "");
+  fw.exec("end");
+  std::string config = fw.running_config();
+  EXPECT_NE(config.find("bpdu-forward"), std::string::npos);
+  EXPECT_NE(config.find("permit-inbound tcp 443"), std::string::npos);
+  EXPECT_NE(config.find("failover lan unit secondary"), std::string::npos);
+
+  FirewallModule clone(net, "fw2");
+  EXPECT_EQ(clone.apply_config(config), "");
+  EXPECT_EQ(clone.running_config(), config);
+}
+
+/// An active/standby pair joined on their failover ports.
+class FailoverPair : public ::testing::Test {
+ protected:
+  FailoverPair() : fw1(net, "fw1"), fw2(net, "fw2") {
+    net.connect(fw1.port(FirewallModule::kFailover),
+                fw2.port(FirewallModule::kFailover));
+    fw1.set_unit(0, 110);  // primary, higher priority
+    fw2.set_unit(1, 100);
+    fw1.set_failover_enabled(true);
+    fw2.set_failover_enabled(true);
+  }
+
+  simnet::Network net{12};
+  FirewallModule fw1;
+  FirewallModule fw2;
+};
+
+TEST_F(FailoverPair, ElectsExactlyOneActive) {
+  net.run_for(util::Duration::seconds(5));
+  EXPECT_EQ(fw1.state(), packet::FailoverState::kActive);
+  EXPECT_EQ(fw2.state(), packet::FailoverState::kStandby);
+}
+
+TEST_F(FailoverPair, StandbyDropsDataTraffic) {
+  net.run_for(util::Duration::seconds(5));
+  Host h(net, "h");
+  net.connect(h.port(0), fw2.port(FirewallModule::kInside));
+  h.configure(prefix("10.0.0.9/24"), ip("10.0.0.254"));
+  h.ping(ip("10.0.0.200"), 1);
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_GT(fw2.counters().dropped_standby, 0u);
+}
+
+TEST_F(FailoverPair, StandbyTakesOverWhenActiveDies) {
+  net.run_for(util::Duration::seconds(5));
+  ASSERT_EQ(fw2.state(), packet::FailoverState::kStandby);
+  util::SimTime death = net.now();
+  fw1.power_off();
+  net.run_for(util::Duration::seconds(10));
+  EXPECT_EQ(fw2.state(), packet::FailoverState::kActive);
+  util::Duration convergence = fw2.last_became_active() - death;
+  // Takeover should happen within about holdtime (1.5 s default) plus a
+  // couple of poll intervals — nowhere near the full 10 s we waited.
+  EXPECT_LT(convergence.nanos, util::Duration::seconds(3).nanos);
+  EXPECT_GT(convergence.nanos, 0);
+}
+
+TEST_F(FailoverPair, RecoveredUnitBecomesStandbyNotSplitBrain) {
+  net.run_for(util::Duration::seconds(5));
+  fw1.power_off();
+  net.run_for(util::Duration::seconds(10));
+  ASSERT_EQ(fw2.state(), packet::FailoverState::kActive);
+  fw1.power_on();
+  fw1.set_failover_enabled(true);
+  net.run_for(util::Duration::seconds(10));
+  // Exactly one active.
+  int actives = (fw1.state() == packet::FailoverState::kActive ? 1 : 0) +
+                (fw2.state() == packet::FailoverState::kActive ? 1 : 0);
+  EXPECT_EQ(actives, 1);
+}
+
+TEST_F(FailoverPair, TighterTimersConvergeFaster) {
+  fw1.set_failover_timers(util::Duration::milliseconds(100),
+                          util::Duration::milliseconds(300));
+  fw2.set_failover_timers(util::Duration::milliseconds(100),
+                          util::Duration::milliseconds(300));
+  net.run_for(util::Duration::seconds(5));
+  ASSERT_EQ(fw2.state(), packet::FailoverState::kStandby);
+  util::SimTime death = net.now();
+  fw1.power_off();
+  net.run_for(util::Duration::seconds(5));
+  ASSERT_EQ(fw2.state(), packet::FailoverState::kActive);
+  util::Duration convergence = fw2.last_became_active() - death;
+  EXPECT_LT(convergence.nanos, util::Duration::milliseconds(800).nanos);
+}
+
+TEST_F(FailoverPair, ShowFailoverReportsState) {
+  net.run_for(util::Duration::seconds(5));
+  fw1.exec("enable");
+  EXPECT_NE(fw1.exec("show failover").find("active"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rnl::devices

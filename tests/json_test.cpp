@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace rnl::util {
+namespace {
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_TRUE(Json::parse("true")->as_bool());
+  EXPECT_FALSE(Json::parse("false")->as_bool(true));
+  EXPECT_DOUBLE_EQ(Json::parse("3.5")->as_number(), 3.5);
+  EXPECT_EQ(Json::parse("-42")->as_int(), -42);
+  EXPECT_EQ(Json::parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, ParseNested) {
+  auto parsed = Json::parse(R"({"a": [1, 2, {"b": "c"}], "d": null})");
+  ASSERT_TRUE(parsed.ok());
+  const Json& json = *parsed;
+  EXPECT_EQ(json["a"].size(), 3u);
+  EXPECT_EQ(json["a"].at(2)["b"].as_string(), "c");
+  EXPECT_TRUE(json["d"].is_null());
+  EXPECT_TRUE(json["missing"].is_null());
+}
+
+TEST(Json, StringEscapes) {
+  auto parsed = Json::parse(R"("a\n\t\"\\A")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_string(), "a\n\t\"\\A");
+}
+
+TEST(Json, UnicodeEscapeUtf8) {
+  auto parsed = Json::parse(R"("é€")");  // é €
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_string(), "\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_FALSE(Json::parse("").ok());
+  EXPECT_FALSE(Json::parse("{").ok());
+  EXPECT_FALSE(Json::parse("[1,]").ok());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::parse("tru").ok());
+  EXPECT_FALSE(Json::parse("1 2").ok());
+  EXPECT_FALSE(Json::parse("\"\\ud800\"").ok());  // surrogate: unsupported
+}
+
+TEST(Json, RejectsDeepNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Json::parse(deep).ok());
+}
+
+TEST(Json, DumpCompactAndPretty) {
+  Json obj = Json::object();
+  obj.set("b", 2);
+  obj.set("a", Json(JsonArray{1, 2}));
+  EXPECT_EQ(obj.dump(), R"({"a":[1,2],"b":2})");
+  EXPECT_NE(obj.dump_pretty().find("\n  \"a\""), std::string::npos);
+}
+
+TEST(Json, IntegersSerializeWithoutDecimalPoint) {
+  EXPECT_EQ(Json(7).dump(), "7");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+}
+
+TEST(Json, CopyOnWriteIsolation) {
+  Json a = Json::object();
+  a.set("x", 1);
+  Json b = a;  // shares storage
+  b.set("x", 2);
+  EXPECT_EQ(a["x"].as_int(), 1);
+  EXPECT_EQ(b["x"].as_int(), 2);
+
+  Json arr = Json::array();
+  arr.push_back(1);
+  Json arr2 = arr;
+  arr2.push_back(2);
+  EXPECT_EQ(arr.size(), 1u);
+  EXPECT_EQ(arr2.size(), 2u);
+}
+
+TEST(Json, SetConvertsNullToObject) {
+  Json j;
+  j.set("k", "v");
+  EXPECT_TRUE(j.is_object());
+  EXPECT_EQ(j["k"].as_string(), "v");
+}
+
+TEST(Json, Equality) {
+  auto a = Json::parse(R"({"x":[1,2],"y":"z"})");
+  auto b = Json::parse(R"({ "y" : "z", "x" : [ 1, 2 ] })");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+// Property: any value built from the generator survives dump -> parse.
+Json random_json(Rng& rng, int depth) {
+  switch (depth <= 0 ? rng.below(4) : rng.below(6)) {
+    case 0:
+      return Json(nullptr);
+    case 1:
+      return Json(rng.chance(0.5));
+    case 2:
+      return Json(static_cast<std::int64_t>(rng.range(-1'000'000, 1'000'000)));
+    case 3: {
+      std::string s;
+      std::size_t len = rng.below(12);
+      for (std::size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng.range(32, 126)));
+      }
+      return Json(s);
+    }
+    case 4: {
+      Json arr = Json::array();
+      std::size_t n = rng.below(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        arr.push_back(random_json(rng, depth - 1));
+      }
+      return arr;
+    }
+    default: {
+      Json obj = Json::object();
+      std::size_t n = rng.below(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        obj.set("k" + std::to_string(i), random_json(rng, depth - 1));
+      }
+      return obj;
+    }
+  }
+}
+
+class JsonRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonRoundTrip, DumpParseIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    Json original = random_json(rng, 4);
+    auto reparsed = Json::parse(original.dump());
+    ASSERT_TRUE(reparsed.ok()) << original.dump();
+    EXPECT_EQ(original, *reparsed) << original.dump();
+    auto repretty = Json::parse(original.dump_pretty());
+    ASSERT_TRUE(repretty.ok());
+    EXPECT_EQ(original, *repretty);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace rnl::util

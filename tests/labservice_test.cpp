@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "core/autotest.h"
+#include "core/testbed.h"
+
+namespace rnl::core {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+using packet::Ipv4Address;
+using packet::Ipv4Prefix;
+
+Ipv4Address ip(const char* s) { return *Ipv4Address::parse(s); }
+Ipv4Prefix prefix(const char* s) { return *Ipv4Prefix::parse(s); }
+
+/// Full service stack with two hosts in one site.
+class ServiceFlow : public ::testing::Test {
+ protected:
+  ServiceFlow() : bed(71) {
+    auto& site = bed.add_site("hq");
+    h1 = &bed.add_host(site, "h1");
+    h2 = &bed.add_host(site, "h2");
+    h1->configure(prefix("10.0.0.1/24"), ip("10.0.0.254"));
+    h2->configure(prefix("10.0.0.2/24"), ip("10.0.0.254"));
+    bed.join_all();
+  }
+
+  Testbed bed;
+  devices::Host* h1 = nullptr;
+  devices::Host* h2 = nullptr;
+};
+
+TEST_F(ServiceFlow, FullLifecycleDesignReserveDeployPingTeardown) {
+  LabService& service = bed.service();
+  DesignId design_id = service.create_design("alice", "smoke");
+  TopologyDesign* design = service.design(design_id);
+  ASSERT_NE(design, nullptr);
+  ASSERT_TRUE(design->add_router(bed.router_id("hq/h1")).ok());
+  ASSERT_TRUE(design->add_router(bed.router_id("hq/h2")).ok());
+  ASSERT_TRUE(
+      design->connect(bed.port_id("hq/h1", "eth0"), bed.port_id("hq/h2", "eth0"))
+          .ok());
+
+  // No reservation -> deploy refused.
+  EXPECT_FALSE(service.deploy(design_id).ok());
+
+  auto reservation = service.reserve(design_id, bed.net().now(),
+                                     bed.net().now() + Duration::hours(1));
+  ASSERT_TRUE(reservation.ok()) << reservation.error();
+  auto deployment = service.deploy(design_id);
+  ASSERT_TRUE(deployment.ok()) << deployment.error();
+  EXPECT_EQ(bed.server().wire_count(), 1u);
+
+  h1->ping(ip("10.0.0.2"), 3);
+  bed.run_for(Duration::seconds(3));
+  EXPECT_EQ(h1->ping_replies().size(), 3u);
+
+  ASSERT_TRUE(service.teardown(*deployment).ok());
+  EXPECT_EQ(bed.server().wire_count(), 0u);
+  EXPECT_FALSE(service.teardown(*deployment).ok());  // already down
+  h1->ping(ip("10.0.0.2"), 1);
+  bed.run_for(Duration::seconds(2));
+  EXPECT_EQ(h1->ping_replies().size(), 3u);  // no new reply
+}
+
+TEST_F(ServiceFlow, RoutersAreMutuallyExclusiveAcrossDeployments) {
+  LabService& service = bed.service();
+  DesignId alice = service.create_design("alice", "a");
+  service.design(alice)->add_router(bed.router_id("hq/h1"));
+  service.design(alice)->add_router(bed.router_id("hq/h2"));
+  service.design(alice)->connect(bed.port_id("hq/h1", "eth0"),
+                                 bed.port_id("hq/h2", "eth0"));
+  ASSERT_TRUE(service
+                  .reserve(alice, bed.net().now(),
+                           bed.net().now() + Duration::hours(1))
+                  .ok());
+  ASSERT_TRUE(service.deploy(alice).ok());
+
+  // Bob wants h2 in the same window: reservation already blocks him.
+  DesignId bob = service.create_design("bob", "b");
+  service.design(bob)->add_router(bed.router_id("hq/h2"));
+  EXPECT_FALSE(service
+                   .reserve(bob, bed.net().now(),
+                            bed.net().now() + Duration::minutes(30))
+                   .ok());
+  // And even with a future reservation he cannot deploy *now*.
+  ASSERT_TRUE(service
+                  .reserve(bob, bed.net().now() + Duration::hours(2),
+                           bed.net().now() + Duration::hours(3))
+                  .ok());
+  EXPECT_FALSE(service.deploy(bob).ok());
+}
+
+TEST_F(ServiceFlow, ExpiredReservationTearsDownAutomatically) {
+  LabService& service = bed.service();
+  DesignId design_id = service.create_design("alice", "short");
+  service.design(design_id)->add_router(bed.router_id("hq/h1"));
+  service.design(design_id)->add_router(bed.router_id("hq/h2"));
+  service.design(design_id)->connect(bed.port_id("hq/h1", "eth0"),
+                                     bed.port_id("hq/h2", "eth0"));
+  ASSERT_TRUE(service
+                  .reserve(design_id, bed.net().now(),
+                           bed.net().now() + Duration::minutes(2))
+                  .ok());
+  ASSERT_TRUE(service.deploy(design_id).ok());
+  EXPECT_EQ(bed.server().wire_count(), 1u);
+  // The minute sweeper reclaims the lab after the reservation lapses.
+  bed.run_for(Duration::minutes(5));
+  EXPECT_EQ(bed.server().wire_count(), 0u);
+}
+
+TEST_F(ServiceFlow, DesignSaveLoadExportImport) {
+  LabService& service = bed.service();
+  DesignId id = service.create_design("alice", "keeper");
+  service.design(id)->add_router(bed.router_id("hq/h1"));
+  ASSERT_TRUE(service.save_design(id).ok());
+  auto loaded = service.load_design("alice", "keeper");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(service.design(*loaded)->has_router(bed.router_id("hq/h1")));
+  EXPECT_FALSE(service.load_design("bob", "keeper").ok());  // per user
+
+  auto exported = service.export_design(id);
+  ASSERT_TRUE(exported.ok());
+  auto imported = service.import_design("carol", *exported);
+  ASSERT_TRUE(imported.ok());
+  EXPECT_EQ(service.design(*imported)->name(), "keeper");
+  EXPECT_FALSE(service.import_design("carol", "{broken").ok());
+}
+
+TEST_F(ServiceFlow, ConsoleExecRunsThroughTheTunnel) {
+  LabService& service = bed.service();
+  std::string output =
+      service.console_exec(bed.router_id("hq/h1"), "show running-config");
+  EXPECT_NE(output.find("hostname h1"), std::string::npos);
+  EXPECT_NE(service.console_log(bed.router_id("hq/h1")).size(), 0u);
+}
+
+TEST_F(ServiceFlow, ConfigSaveAndAutoRestoreOnDeploy) {
+  LabService& service = bed.service();
+  wire::RouterId h1_id = bed.router_id("hq/h1");
+  // Configure h1 through the console, then archive (the UI's save).
+  service.console_exec(h1_id, "enable");
+  service.console_exec(h1_id, "configure terminal");
+  service.console_exec(h1_id, "ip address 10.0.0.1/24 10.0.0.254");
+  service.console_exec(h1_id, "end");
+  ASSERT_TRUE(service.save_router_config(h1_id).ok());
+  auto archived = service.archived_config(h1_id);
+  ASSERT_TRUE(archived.has_value());
+  EXPECT_NE(archived->find("ip address 10.0.0.1/24"), std::string::npos);
+
+  // Wipe the device (power cycle loses nothing persistent here, so change
+  // the config instead) and verify deploy pushes the archive back.
+  h1->configure(prefix("192.168.9.9/24"), ip("192.168.9.1"));
+  DesignId design_id = service.create_design("alice", "restore");
+  service.design(design_id)->add_router(h1_id);
+  service.design(design_id)->add_router(bed.router_id("hq/h2"));
+  service.design(design_id)->connect(bed.port_id("hq/h1", "eth0"),
+                                     bed.port_id("hq/h2", "eth0"));
+  ASSERT_TRUE(service
+                  .reserve(design_id, bed.net().now(),
+                           bed.net().now() + Duration::hours(1))
+                  .ok());
+  ASSERT_TRUE(service.deploy(design_id).ok());
+  EXPECT_EQ(h1->address().to_string(), "10.0.0.1");  // restored
+
+  h1->ping(ip("10.0.0.2"), 2);
+  bed.run_for(Duration::seconds(2));
+  EXPECT_EQ(h1->ping_replies().size(), 2u);
+}
+
+TEST_F(ServiceFlow, ApiDrivesTheWholeFlow) {
+  ApiServer& api = bed.api();
+  auto call = [&](const std::string& method, util::Json params) {
+    util::Json request = util::Json::object();
+    request.set("method", method);
+    request.set("params", std::move(params));
+    return api.handle(request);
+  };
+
+  util::Json inv = call("inventory.list", util::Json::object());
+  ASSERT_TRUE(inv["ok"].as_bool());
+  ASSERT_EQ(inv["result"]["routers"].size(), 2u);
+  std::int64_t r1 = inv["result"]["routers"].at(0)["id"].as_int();
+  std::int64_t r2 = inv["result"]["routers"].at(1)["id"].as_int();
+  std::int64_t p1 = inv["result"]["routers"].at(0)["ports"].at(0)["id"].as_int();
+  std::int64_t p2 = inv["result"]["routers"].at(1)["ports"].at(0)["id"].as_int();
+
+  util::Json create_params = util::Json::object();
+  create_params.set("user", "api-user");
+  create_params.set("name", "api-lab");
+  util::Json created = call("design.create", std::move(create_params));
+  ASSERT_TRUE(created["ok"].as_bool());
+  std::int64_t design_id = created["result"]["design_id"].as_int();
+
+  for (std::int64_t router : {r1, r2}) {
+    util::Json p = util::Json::object();
+    p.set("design_id", design_id);
+    p.set("router_id", router);
+    ASSERT_TRUE(call("design.add_router", std::move(p))["ok"].as_bool());
+  }
+  util::Json link = util::Json::object();
+  link.set("design_id", design_id);
+  link.set("a", p1);
+  link.set("b", p2);
+  ASSERT_TRUE(call("design.connect", std::move(link))["ok"].as_bool());
+
+  util::Json reserve = util::Json::object();
+  reserve.set("design_id", design_id);
+  reserve.set("start_s", 0);
+  reserve.set("end_s", 3600);
+  ASSERT_TRUE(call("reserve", std::move(reserve))["ok"].as_bool());
+
+  util::Json deploy_params = util::Json::object();
+  deploy_params.set("design_id", design_id);
+  util::Json deployed = call("deploy", std::move(deploy_params));
+  ASSERT_TRUE(deployed["ok"].as_bool()) << deployed["error"].as_string();
+
+  // Console through the API.
+  util::Json console = util::Json::object();
+  console.set("router_id", r1);
+  console.set("line", "show running-config");
+  util::Json console_out = call("console.exec", std::move(console));
+  ASSERT_TRUE(console_out["ok"].as_bool());
+  EXPECT_NE(console_out["result"]["output"].as_string().find("hostname"),
+            std::string::npos);
+
+  // Unknown method and malformed request handled gracefully.
+  EXPECT_FALSE(call("no.such.method", util::Json::object())["ok"].as_bool());
+  EXPECT_NE(api.handle_text("{oops").find("\"ok\":false"), std::string::npos);
+
+  util::Json teardown = util::Json::object();
+  teardown.set("deployment_id", deployed["result"]["deployment_id"].as_int());
+  EXPECT_TRUE(call("teardown", std::move(teardown))["ok"].as_bool());
+}
+
+TEST_F(ServiceFlow, NightlyTestHarnessReportsStepOutcomes) {
+  LabService& service = bed.service();
+  DesignId design_id = service.create_design("alice", "nightly");
+  service.design(design_id)->add_router(bed.router_id("hq/h1"));
+  service.design(design_id)->add_router(bed.router_id("hq/h2"));
+  service.design(design_id)->connect(bed.port_id("hq/h1", "eth0"),
+                                     bed.port_id("hq/h2", "eth0"));
+  ASSERT_TRUE(service
+                  .reserve(design_id, bed.net().now(),
+                           bed.net().now() + Duration::hours(1))
+                  .ok());
+  ASSERT_TRUE(service.deploy(design_id).ok());
+
+  wire::PortId h2_port = bed.port_id("hq/h2", "eth0");
+  // Probe injected INTO h1's port: an echo request addressed to h1, spoofed
+  // from h2's address — h1's reply (and the ARP it triggers) must cross the
+  // virtual wire and show up in the capture at h2's port.
+  packet::EthernetFrame probe = packet::make_icmp_echo(
+      packet::MacAddress::local(5), packet::MacAddress::broadcast(),
+      ip("10.0.0.2"), ip("10.0.0.1"), 9, 1);
+
+  NightlyTest test(bed.api(), "connectivity");
+  test.console("h1 replies to console", bed.router_id("hq/h1"),
+               "show running-config", "hostname h1")
+      .inject("probe toward h2", bed.port_id("hq/h1", "eth0"),
+              probe.serialize())
+      .expect_traffic("h2 port saw traffic", h2_port, Duration::seconds(1), 1)
+      .expect_no_traffic("no stray traffic after quiet period", h2_port,
+                         Duration::seconds(1));
+  TestReport report = test.run();
+  EXPECT_TRUE(report.passed()) << report.summary();
+  EXPECT_EQ(report.steps.size(), 4u);
+  EXPECT_NE(report.summary().find("PASS"), std::string::npos);
+
+  // A failing expectation is reported, not swallowed.
+  NightlyTest failing(bed.api(), "must-fail");
+  failing.expect_traffic("expects ghosts", h2_port, Duration::seconds(1), 5);
+  TestReport bad = failing.run();
+  EXPECT_FALSE(bad.passed());
+  EXPECT_EQ(bad.failures(), 1u);
+  EXPECT_NE(bad.summary().find("FAIL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rnl::core

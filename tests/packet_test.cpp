@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "packet/arp.h"
+#include "packet/builder.h"
+#include "packet/ethernet.h"
+#include "packet/failover.h"
+#include "packet/ipv4.h"
+#include "packet/stp.h"
+#include "util/rng.h"
+
+namespace rnl::packet {
+namespace {
+
+TEST(Addr, MacParseAndPrint) {
+  auto mac = MacAddress::parse("aa:bb:cc:00:11:22");
+  ASSERT_TRUE(mac.ok());
+  EXPECT_EQ(mac->to_string(), "aa:bb:cc:00:11:22");
+  EXPECT_FALSE(MacAddress::parse("aa:bb").ok());
+  EXPECT_FALSE(MacAddress::parse("gg:bb:cc:00:11:22").ok());
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddress::stp_multicast().is_multicast());
+  EXPECT_FALSE(MacAddress::local(7).is_multicast());
+}
+
+TEST(Addr, Ipv4ParseAndPrint) {
+  auto ip = Ipv4Address::parse("10.1.2.3");
+  ASSERT_TRUE(ip.ok());
+  EXPECT_EQ(ip->to_string(), "10.1.2.3");
+  EXPECT_EQ(ip->value, 0x0A010203u);
+  EXPECT_FALSE(Ipv4Address::parse("10.1.2").ok());
+  EXPECT_FALSE(Ipv4Address::parse("10.1.2.256").ok());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").ok());
+}
+
+TEST(Addr, PrefixContainment) {
+  auto prefix = Ipv4Prefix::parse("192.168.10.0/24");
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_TRUE(prefix->contains(*Ipv4Address::parse("192.168.10.77")));
+  EXPECT_FALSE(prefix->contains(*Ipv4Address::parse("192.168.11.1")));
+  auto all = Ipv4Prefix::parse("0.0.0.0/0");
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->contains(*Ipv4Address::parse("8.8.8.8")));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33").ok());
+}
+
+TEST(Ethernet, PlainRoundTrip) {
+  EthernetFrame frame;
+  frame.dst = MacAddress::local(1);
+  frame.src = MacAddress::local(2);
+  frame.ether_type = EtherType::kIpv4;
+  frame.payload = {1, 2, 3, 4};
+  auto bytes = frame.serialize();
+  auto parsed = EthernetFrame::parse(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, frame);
+}
+
+TEST(Ethernet, VlanTagRoundTrip) {
+  EthernetFrame frame;
+  frame.dst = MacAddress::broadcast();
+  frame.src = MacAddress::local(3);
+  frame.tag = VlanTag{.pcp = 5, .vlan = 100};
+  frame.ether_type = EtherType::kArp;
+  frame.payload = {9};
+  auto bytes = frame.serialize();
+  // 802.1Q TPID present
+  EXPECT_EQ(bytes[12], 0x81);
+  EXPECT_EQ(bytes[13], 0x00);
+  auto parsed = EthernetFrame::parse(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, frame);
+}
+
+TEST(Ethernet, LlcLengthEncoding) {
+  EthernetFrame frame;
+  frame.dst = MacAddress::stp_multicast();
+  frame.src = MacAddress::local(4);
+  frame.ether_type = EtherType::kLlc;
+  frame.payload = util::Bytes(35, 0x42);
+  auto bytes = frame.serialize();
+  EXPECT_EQ(bytes[12], 0x00);
+  EXPECT_EQ(bytes[13], 35);
+  auto parsed = EthernetFrame::parse(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ether_type, EtherType::kLlc);
+  EXPECT_EQ(parsed->payload.size(), 35u);
+}
+
+TEST(Ethernet, RejectsTruncation) {
+  EXPECT_FALSE(EthernetFrame::parse(util::Bytes(10, 0)).ok());
+  // VLAN TPID but missing tag body
+  util::Bytes truncated(14, 0);
+  truncated[12] = 0x81;
+  truncated[13] = 0x00;
+  EXPECT_FALSE(EthernetFrame::parse(truncated).ok());
+}
+
+TEST(Arp, RequestReplyRoundTrip) {
+  EthernetFrame request = ArpPacket::make_request(
+      MacAddress::local(1), *Ipv4Address::parse("10.0.0.1"),
+      *Ipv4Address::parse("10.0.0.2"));
+  EXPECT_TRUE(request.dst.is_broadcast());
+  auto arp = ArpPacket::parse(request.payload);
+  ASSERT_TRUE(arp.ok());
+  EXPECT_EQ(arp->op, ArpPacket::Op::kRequest);
+  EXPECT_EQ(arp->target_ip.to_string(), "10.0.0.2");
+
+  EthernetFrame reply = ArpPacket::make_reply(
+      MacAddress::local(9), *Ipv4Address::parse("10.0.0.2"),
+      arp->sender_mac, arp->sender_ip);
+  auto parsed = ArpPacket::parse(reply.payload);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->op, ArpPacket::Op::kReply);
+  EXPECT_EQ(parsed->sender_ip.to_string(), "10.0.0.2");
+}
+
+TEST(Arp, RejectsBadOpcode) {
+  ArpPacket arp;
+  auto bytes = arp.serialize();
+  bytes[7] = 9;  // opcode low byte
+  EXPECT_FALSE(ArpPacket::parse(bytes).ok());
+}
+
+TEST(Ipv4, ChecksumValidAndVerified) {
+  Ipv4Packet pkt;
+  pkt.src = *Ipv4Address::parse("1.2.3.4");
+  pkt.dst = *Ipv4Address::parse("5.6.7.8");
+  pkt.payload = {0xAA, 0xBB};
+  auto bytes = pkt.serialize();
+  EXPECT_EQ(internet_checksum(util::BytesView(bytes).subspan(0, 20)), 0);
+  auto parsed = Ipv4Packet::parse(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, pkt);
+}
+
+TEST(Ipv4, DetectsCorruptHeader) {
+  Ipv4Packet pkt;
+  pkt.src = *Ipv4Address::parse("1.2.3.4");
+  pkt.dst = *Ipv4Address::parse("5.6.7.8");
+  auto bytes = pkt.serialize();
+  bytes[8] ^= 0xFF;  // flip TTL
+  EXPECT_FALSE(Ipv4Packet::parse(bytes).ok());
+}
+
+TEST(Ipv4, RejectsBadLengths) {
+  Ipv4Packet pkt;
+  auto bytes = pkt.serialize();
+  bytes.resize(10);
+  EXPECT_FALSE(Ipv4Packet::parse(bytes).ok());
+}
+
+TEST(Icmp, EchoRoundTripAndChecksum) {
+  IcmpPacket echo;
+  echo.type = IcmpPacket::Type::kEchoRequest;
+  echo.identifier = 77;
+  echo.sequence = 3;
+  echo.payload = {1, 2, 3};
+  auto bytes = echo.serialize();
+  EXPECT_EQ(internet_checksum(bytes), 0);
+  auto parsed = IcmpPacket::parse(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, echo);
+  bytes[4] ^= 1;
+  EXPECT_FALSE(IcmpPacket::parse(bytes).ok());
+}
+
+TEST(Udp, RoundTripWithPseudoHeaderChecksum) {
+  UdpDatagram udp;
+  udp.src_port = 1111;
+  udp.dst_port = 53;
+  udp.payload = {9, 9, 9};
+  auto src = *Ipv4Address::parse("10.0.0.1");
+  auto dst = *Ipv4Address::parse("10.0.0.2");
+  auto bytes = udp.serialize(src, dst);
+  auto parsed = UdpDatagram::parse(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, udp);
+  bytes[4] = 0;  // break length
+  bytes[5] = 3;
+  EXPECT_FALSE(UdpDatagram::parse(bytes).ok());
+}
+
+TEST(Tcp, FlagsRoundTrip) {
+  TcpSegment seg;
+  seg.src_port = 4000;
+  seg.dst_port = 80;
+  seg.seq = 0xDEADBEEF;
+  seg.syn = true;
+  seg.ack_flag = true;
+  seg.payload = {0x55};
+  auto src = *Ipv4Address::parse("10.0.0.1");
+  auto dst = *Ipv4Address::parse("10.0.0.2");
+  auto bytes = seg.serialize(src, dst);
+  auto parsed = TcpSegment::parse(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, seg);
+}
+
+TEST(Stp, ConfigBpduRoundTrip) {
+  Bpdu bpdu;
+  bpdu.root = BridgeId{0x1000, MacAddress::local(1)};
+  bpdu.root_path_cost = 38;
+  bpdu.bridge = BridgeId{0x8000, MacAddress::local(2)};
+  bpdu.port_id = 0x8003;
+  bpdu.topology_change = true;
+  auto llc = bpdu.serialize_llc();
+  auto parsed = Bpdu::parse_llc(llc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, bpdu);
+}
+
+TEST(Stp, TcnRoundTripAndFraming) {
+  Bpdu tcn;
+  tcn.type = Bpdu::Type::kTcn;
+  EthernetFrame frame = tcn.to_frame(MacAddress::local(5));
+  EXPECT_EQ(frame.dst, MacAddress::stp_multicast());
+  EXPECT_EQ(frame.ether_type, EtherType::kLlc);
+  auto parsed = Bpdu::parse_llc(frame.payload);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->type, Bpdu::Type::kTcn);
+}
+
+TEST(Stp, RejectsNonStpLlc) {
+  util::Bytes llc{0xAA, 0xAA, 0x03, 0, 0, 0};
+  EXPECT_FALSE(Bpdu::parse_llc(llc).ok());
+}
+
+TEST(Failover, HelloRoundTrip) {
+  FailoverHello hello;
+  hello.unit_id = 1;
+  hello.state = FailoverState::kStandby;
+  hello.priority = 120;
+  hello.sequence = 99;
+  hello.peer_state = FailoverState::kActive;
+  auto bytes = hello.serialize();
+  auto parsed = FailoverHello::parse(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, hello);
+  EthernetFrame frame = hello.to_frame(MacAddress::local(2), 10);
+  ASSERT_TRUE(frame.tag.has_value());
+  EXPECT_EQ(frame.tag->vlan, 10);
+  EXPECT_EQ(frame.ether_type, EtherType::kFailover);
+}
+
+TEST(Failover, RejectsBadMagic) {
+  FailoverHello hello;
+  auto bytes = hello.serialize();
+  bytes[0] = 0;
+  EXPECT_FALSE(FailoverHello::parse(bytes).ok());
+}
+
+TEST(Builder, IcmpEchoIsFullyParseable) {
+  EthernetFrame frame = make_icmp_echo(
+      MacAddress::local(1), MacAddress::local(2),
+      *Ipv4Address::parse("10.0.0.1"), *Ipv4Address::parse("10.0.0.2"), 7, 1);
+  auto eth = EthernetFrame::parse(frame.serialize());
+  ASSERT_TRUE(eth.ok());
+  auto ip = Ipv4Packet::parse(eth->payload);
+  ASSERT_TRUE(ip.ok());
+  EXPECT_EQ(ip->protocol, static_cast<std::uint8_t>(IpProto::kIcmp));
+  auto icmp = IcmpPacket::parse(ip->payload);
+  ASSERT_TRUE(icmp.ok());
+  EXPECT_EQ(icmp->identifier, 7);
+}
+
+// Property: random Ethernet frames round-trip byte-exactly — the foundation
+// of "capture and replay the complete packet".
+class FrameRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FrameRoundTrip, SerializeParseIdentity) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    EthernetFrame frame;
+    for (auto& o : frame.dst.octets) o = static_cast<std::uint8_t>(rng.next_u32());
+    for (auto& o : frame.src.octets) o = static_cast<std::uint8_t>(rng.next_u32());
+    if (rng.chance(0.4)) {
+      frame.tag = VlanTag{static_cast<std::uint8_t>(rng.below(8)),
+                          static_cast<std::uint16_t>(1 + rng.below(4094))};
+    }
+    if (rng.chance(0.25)) {
+      frame.ether_type = EtherType::kLlc;
+      frame.payload.resize(rng.below(100));
+    } else {
+      frame.ether_type = rng.chance(0.5) ? EtherType::kIpv4 : EtherType::kArp;
+      frame.payload.resize(rng.below(1500));
+    }
+    for (auto& b : frame.payload) b = static_cast<std::uint8_t>(rng.next_u32());
+    auto parsed = EthernetFrame::parse(frame.serialize());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, frame);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameRoundTrip,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace rnl::packet

@@ -1,0 +1,230 @@
+// Property-based suites over randomized inputs:
+//   - STP on random connected switch topologies converges to a loop-free,
+//     spanning set of active links (the invariant that makes Fig 5 labs
+//     safe at all);
+//   - wire-facing parsers never crash or over-read on fuzzed bytes;
+//   - the compression decoder rejects arbitrary garbage without UB.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "devices/switch.h"
+#include "packet/arp.h"
+#include "packet/builder.h"
+#include "packet/ethernet.h"
+#include "packet/failover.h"
+#include "packet/ipv4.h"
+#include "packet/stp.h"
+#include "simnet/network.h"
+#include "util/rng.h"
+#include "wire/compression.h"
+#include "wire/tunnel.h"
+
+namespace rnl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// STP spanning-tree property
+// ---------------------------------------------------------------------------
+
+struct UnionFind {
+  std::vector<std::size_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  /// Returns false if x and y were already connected (a cycle).
+  bool unite(std::size_t x, std::size_t y) {
+    std::size_t rx = find(x);
+    std::size_t ry = find(y);
+    if (rx == ry) return false;
+    parent[rx] = ry;
+    return true;
+  }
+};
+
+class StpRandomTopology : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StpRandomTopology, ActiveLinksFormASpanningTree) {
+  util::Rng rng(GetParam());
+  simnet::Network net(GetParam());
+  std::size_t n = 3 + rng.below(5);  // 3..7 switches
+  std::vector<std::unique_ptr<devices::EthernetSwitch>> switches;
+  std::size_t ports_per_switch = 8;
+  for (std::size_t i = 0; i < n; ++i) {
+    switches.push_back(std::make_unique<devices::EthernetSwitch>(
+        net, "sw" + std::to_string(i), ports_per_switch));
+  }
+
+  // Random connected multigraph: a spanning chain plus random extra links.
+  struct Link {
+    std::size_t sw_a, port_a, sw_b, port_b;
+  };
+  std::vector<Link> links;
+  std::vector<std::size_t> next_port(n, 0);
+  auto add_link = [&](std::size_t a, std::size_t b) {
+    if (next_port[a] >= ports_per_switch || next_port[b] >= ports_per_switch) {
+      return;
+    }
+    Link link{a, next_port[a]++, b, next_port[b]++};
+    net.connect(switches[a]->port(link.port_a), switches[b]->port(link.port_b));
+    links.push_back(link);
+  };
+  for (std::size_t i = 1; i < n; ++i) {
+    add_link(rng.below(i), i);  // guarantees connectivity
+  }
+  std::size_t extra = 1 + rng.below(2 * n);
+  for (std::size_t e = 0; e < extra; ++e) {
+    std::size_t a = rng.below(n);
+    std::size_t b = rng.below(n);
+    if (a != b) add_link(a, b);
+  }
+
+  // Two full max_age + forward-delay cycles: plenty for 802.1D.
+  net.run_for(util::Duration::seconds(90));
+
+  // Exactly one root bridge.
+  int roots = 0;
+  for (const auto& sw : switches) {
+    if (sw->is_root_bridge()) ++roots;
+  }
+  EXPECT_EQ(roots, 1);
+
+  // Active links (forwarding on BOTH ends) must be acyclic and spanning.
+  UnionFind uf(n);
+  std::size_t active = 0;
+  for (const auto& link : links) {
+    bool a_forwards = switches[link.sw_a]->stp_state(link.port_a) ==
+                      devices::StpPortState::kForwarding;
+    bool b_forwards = switches[link.sw_b]->stp_state(link.port_b) ==
+                      devices::StpPortState::kForwarding;
+    if (a_forwards && b_forwards) {
+      ++active;
+      EXPECT_TRUE(uf.unite(link.sw_a, link.sw_b))
+          << "cycle through active links (seed " << GetParam() << ")";
+    }
+  }
+  EXPECT_EQ(active, n - 1) << "active links must exactly span " << n
+                           << " switches";
+  std::size_t root0 = uf.find(0);
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_EQ(uf.find(i), root0) << "switch " << i << " partitioned";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StpRandomTopology,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+// ---------------------------------------------------------------------------
+// Parser fuzz: random bytes must never crash and must fail cleanly
+// ---------------------------------------------------------------------------
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, RandomBytesNeverCrashParsers) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    util::Bytes bytes(rng.below(128));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u32());
+    (void)packet::EthernetFrame::parse(bytes);
+    (void)packet::ArpPacket::parse(bytes);
+    (void)packet::Ipv4Packet::parse(bytes);
+    (void)packet::IcmpPacket::parse(bytes);
+    (void)packet::UdpDatagram::parse(bytes);
+    (void)packet::TcpSegment::parse(bytes);
+    (void)packet::Bpdu::parse_llc(bytes);
+    (void)packet::FailoverHello::parse(bytes);
+  }
+}
+
+TEST_P(ParserFuzz, MutatedValidFramesParseOrFailCleanly) {
+  util::Rng rng(GetParam() * 31 + 7);
+  packet::EthernetFrame frame = packet::make_icmp_echo(
+      packet::MacAddress::local(1), packet::MacAddress::local(2),
+      packet::Ipv4Address{0x0A000001}, packet::Ipv4Address{0x0A000002}, 1, 1);
+  util::Bytes valid = frame.serialize();
+  for (int i = 0; i < 2000; ++i) {
+    util::Bytes mutated = valid;
+    std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    auto parsed = packet::EthernetFrame::parse(mutated);
+    if (parsed.ok() && parsed->ether_type == packet::EtherType::kIpv4) {
+      auto ip = packet::Ipv4Packet::parse(parsed->payload);
+      if (ip.ok()) {
+        // The checksum survived the flips or the flips were in the payload;
+        // ICMP checksum gives a second chance to catch corruption.
+        (void)packet::IcmpPacket::parse(ip->payload);
+      }
+    }
+  }
+}
+
+TEST_P(ParserFuzz, TunnelDecoderSurvivesGarbageStreams) {
+  util::Rng rng(GetParam() * 17 + 3);
+  for (int round = 0; round < 50; ++round) {
+    wire::MessageDecoder decoder;
+    // Start with some valid traffic, then garbage.
+    for (int m = 0; m < 3; ++m) {
+      wire::TunnelMessage msg;
+      msg.type = wire::MessageType::kData;
+      msg.payload.resize(rng.below(64));
+      util::Bytes wire_bytes = wire::encode_message(msg);
+      auto out = decoder.feed(wire_bytes);
+      EXPECT_EQ(out.size(), 1u);
+    }
+    util::Bytes garbage(rng.below(256));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next_u32());
+    (void)decoder.feed(garbage);
+    // Once poisoned (or still lucky-valid), further feeds never throw.
+    (void)decoder.feed(garbage);
+  }
+}
+
+TEST_P(ParserFuzz, DecompressorSurvivesGarbage) {
+  util::Rng rng(GetParam() * 13 + 11);
+  wire::TemplateDecompressor decompressor;
+  util::Bytes primer(200, 0x42);
+  decompressor.note_raw(primer);
+  for (int i = 0; i < 2000; ++i) {
+    util::Bytes garbage(rng.below(64));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next_u32());
+    auto result = decompressor.decompress(garbage);
+    if (result.ok()) {
+      // Acceptable: garbage can be a valid encoding; output stays bounded.
+      EXPECT_LE(result->size(), 64u * 1024u);
+    }
+  }
+}
+
+TEST_P(ParserFuzz, JsonParserSurvivesGarbage) {
+  util::Rng rng(GetParam() * 7 + 1);
+  for (int i = 0; i < 500; ++i) {
+    std::string text;
+    std::size_t len = rng.below(64);
+    const char alphabet[] = "{}[]\",:0123456789.eE+-truefalsn \\u\n";
+    for (std::size_t c = 0; c < len; ++c) {
+      text.push_back(alphabet[rng.below(sizeof alphabet - 1)]);
+    }
+    auto parsed = util::Json::parse(text);
+    if (parsed.ok()) {
+      // If it parsed, it must round-trip.
+      auto again = util::Json::parse(parsed->dump());
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(*again, *parsed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Values(100, 200, 300));
+
+}  // namespace
+}  // namespace rnl

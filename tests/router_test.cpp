@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "devices/host.h"
+#include "devices/router.h"
+#include "simnet/network.h"
+
+namespace rnl::devices {
+namespace {
+
+using packet::Ipv4Address;
+using packet::Ipv4Prefix;
+
+Ipv4Address ip(const char* s) { return *Ipv4Address::parse(s); }
+Ipv4Prefix prefix(const char* s) { return *Ipv4Prefix::parse(s); }
+
+/// h1 -- r1 -- h2 across two subnets.
+class RouterBasic : public ::testing::Test {
+ protected:
+  RouterBasic() : r1(net, "r1", 2), h1(net, "h1"), h2(net, "h2") {
+    net.connect(h1.port(0), r1.port(0));
+    net.connect(h2.port(0), r1.port(1));
+    r1.set_interface_address(0, prefix("10.0.1.254/24"));
+    r1.set_interface_address(1, prefix("10.0.2.254/24"));
+    h1.configure(prefix("10.0.1.1/24"), ip("10.0.1.254"));
+    h2.configure(prefix("10.0.2.1/24"), ip("10.0.2.254"));
+  }
+
+  simnet::Network net{5};
+  Ipv4Router r1;
+  Host h1;
+  Host h2;
+};
+
+TEST_F(RouterBasic, RoutesBetweenConnectedSubnets) {
+  h1.ping(ip("10.0.2.1"), 5);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(h1.ping_replies().size(), 5u);
+  EXPECT_GT(r1.counters().forwarded, 0u);
+}
+
+TEST_F(RouterBasic, AnswersPingToItsOwnInterfaces) {
+  h1.ping(ip("10.0.1.254"), 2);  // near side
+  h1.ping(ip("10.0.2.254"), 2);  // far side (still the router)
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(h1.ping_replies().size(), 4u);
+}
+
+TEST_F(RouterBasic, ArpResolvesAndCaches) {
+  h1.ping(ip("10.0.2.1"), 1);
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_TRUE(r1.arp_lookup(ip("10.0.2.1")).has_value());
+  EXPECT_TRUE(r1.arp_lookup(ip("10.0.1.1")).has_value());
+}
+
+TEST_F(RouterBasic, ArpFailureCountsAfterRetries) {
+  h1.ping(ip("10.0.2.77"), 1);  // no such host
+  net.run_for(util::Duration::seconds(5));
+  EXPECT_GT(r1.counters().arp_failures, 0u);
+  EXPECT_EQ(h1.ping_replies().size(), 0u);
+}
+
+TEST_F(RouterBasic, NoRouteCountsAndStaysSilent) {
+  h1.ping(ip("172.16.0.1"), 1);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(h1.ping_replies().size(), 0u);
+  EXPECT_GT(r1.counters().no_route, 0u);
+}
+
+TEST_F(RouterBasic, InboundAclDeniesIcmp) {
+  AclEntry deny_icmp;
+  deny_icmp.permit = false;
+  deny_icmp.protocol = 1;
+  r1.add_acl_entry(101, deny_icmp);
+  AclEntry permit_all;
+  r1.add_acl_entry(101, permit_all);
+  r1.set_interface_acl(0, /*inbound=*/true, 101);
+  h1.ping(ip("10.0.2.1"), 3);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(h1.ping_replies().size(), 0u);
+  EXPECT_GE(r1.counters().acl_denied, 3u);
+
+  // UDP still flows (the ACL only denies ICMP).
+  h2.set_udp_echo(true);
+  util::Bytes payload{1, 2, 3};
+  h1.send_udp(ip("10.0.2.1"), 4000, 9000, payload);
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_EQ(h1.received_udp().size(), 1u);
+}
+
+TEST_F(RouterBasic, OutboundAclHonoredUnlessFirmwareBuggy) {
+  AclEntry deny_to_h2;
+  deny_to_h2.permit = false;
+  deny_to_h2.dst = ip("10.0.2.1");
+  deny_to_h2.dst_wildcard = 0;
+  r1.add_acl_entry(102, deny_to_h2);
+  r1.set_interface_acl(1, /*inbound=*/false, 102);
+  h1.ping(ip("10.0.2.1"), 2);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(h1.ping_replies().size(), 0u);
+
+  // The customer-special image ignores outbound ACLs (§1 firmware quirk):
+  // same config, different firmware, different behaviour.
+  auto buggy = FirmwareCatalog::instance().find("12.4(15)T-special");
+  ASSERT_TRUE(buggy.has_value());
+  r1.flash_firmware(*buggy);
+  net.run_for(util::Duration::seconds(1));
+  h1.ping(ip("10.0.2.1"), 2);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(h1.ping_replies().size(), 2u);
+}
+
+TEST_F(RouterBasic, AclWildcardMatchesSubnet) {
+  AclEntry deny_subnet;
+  deny_subnet.permit = false;
+  deny_subnet.src = ip("10.0.1.0");
+  deny_subnet.src_wildcard = 0x000000FF;  // /24 wildcard
+  deny_subnet.dst = ip("10.0.2.0");
+  deny_subnet.dst_wildcard = 0x000000FF;
+  r1.add_acl_entry(110, deny_subnet);
+  r1.set_interface_acl(0, true, 110);
+  h1.ping(ip("10.0.2.1"), 1);
+  // Ping to the router itself is NOT subnet-B destined: implicit deny bites.
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(h1.ping_replies().size(), 0u);
+}
+
+TEST_F(RouterBasic, UndefinedAclPermitsEverything) {
+  r1.set_interface_acl(0, true, 199);  // never defined
+  h1.ping(ip("10.0.2.1"), 2);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(h1.ping_replies().size(), 2u);
+}
+
+TEST_F(RouterBasic, CliConfiguresEverything) {
+  Ipv4Router r2(net, "r2", 2);
+  r2.exec("enable");
+  r2.exec("configure terminal");
+  EXPECT_EQ(r2.exec("access-list 105 deny icmp any any"), "");
+  EXPECT_EQ(r2.exec("access-list 105 permit ip any any"), "");
+  EXPECT_EQ(r2.exec("ip route 192.168.0.0 255.255.0.0 10.0.1.1"), "");
+  r2.exec("interface Gi0/1");
+  EXPECT_EQ(r2.exec("ip address 10.9.9.1 255.255.255.0"), "");
+  EXPECT_EQ(r2.exec("ip access-group 105 in"), "");
+  r2.exec("end");
+  std::string config = r2.running_config();
+  EXPECT_NE(config.find("access-list 105 deny icmp any any"),
+            std::string::npos);
+  EXPECT_NE(config.find("ip route 192.168.0.0 255.255.0.0 10.0.1.1"),
+            std::string::npos);
+  EXPECT_NE(config.find(" ip address 10.9.9.1 255.255.255.0"),
+            std::string::npos);
+  EXPECT_NE(config.find(" ip access-group 105 in"), std::string::npos);
+
+  // Round trip: a fresh router configured from the dump dumps the same.
+  Ipv4Router r3(net, "r3", 2);
+  EXPECT_EQ(r3.apply_config(config), "");
+  EXPECT_EQ(r3.running_config(), config);
+}
+
+TEST_F(RouterBasic, CliShowCommands) {
+  r1.exec("enable");
+  EXPECT_NE(r1.exec("show ip route").find("directly connected"),
+            std::string::npos);
+  h1.ping(ip("10.0.2.1"), 1);
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_NE(r1.exec("show ip arp").find("10.0.1.1"), std::string::npos);
+  r1.exec("ping 10.0.1.1");
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_NE(r1.exec("show ping").find("5/5"), std::string::npos);
+}
+
+TEST_F(RouterBasic, FlashUnknownImageFails) {
+  EXPECT_NE(r1.exec("flash no-such-image").find("% Unknown firmware"),
+            std::string::npos);
+  EXPECT_NE(r1.exec("show firmware").find("12.2(18)SXF"), std::string::npos);
+}
+
+/// Two routers in series: h1 -- r1 -- r2 -- h2 (static routes, TTL).
+class RouterChain : public ::testing::Test {
+ protected:
+  RouterChain()
+      : r1(net, "r1", 2), r2(net, "r2", 2), h1(net, "h1"), h2(net, "h2") {
+    net.connect(h1.port(0), r1.port(0));
+    net.connect(r1.port(1), r2.port(0));
+    net.connect(r2.port(1), h2.port(0));
+    r1.set_interface_address(0, prefix("10.0.1.254/24"));
+    r1.set_interface_address(1, prefix("10.0.12.1/30"));
+    r2.set_interface_address(0, prefix("10.0.12.2/30"));
+    r2.set_interface_address(1, prefix("10.0.2.254/24"));
+    r1.add_static_route(prefix("10.0.2.0/24"), ip("10.0.12.2"));
+    r2.add_static_route(prefix("10.0.1.0/24"), ip("10.0.12.1"));
+    h1.configure(prefix("10.0.1.1/24"), ip("10.0.1.254"));
+    h2.configure(prefix("10.0.2.1/24"), ip("10.0.2.254"));
+  }
+
+  simnet::Network net{6};
+  Ipv4Router r1;
+  Ipv4Router r2;
+  Host h1;
+  Host h2;
+};
+
+TEST_F(RouterChain, StaticRoutesCarryTrafficEndToEnd) {
+  h1.ping(ip("10.0.2.1"), 4);
+  net.run_for(util::Duration::seconds(3));
+  EXPECT_EQ(h1.ping_replies().size(), 4u);
+}
+
+TEST_F(RouterChain, LongestPrefixMatchWins) {
+  // Add a /32 black-hole route for one address via a dead next hop.
+  r1.add_static_route(prefix("10.0.2.1/32"), ip("10.0.12.99"));
+  h1.ping(ip("10.0.2.1"), 2);
+  net.run_for(util::Duration::seconds(3));
+  EXPECT_EQ(h1.ping_replies().size(), 0u);  // /32 beats /24
+  r1.remove_static_route(prefix("10.0.2.1/32"));
+  h1.ping(ip("10.0.2.1"), 2);
+  net.run_for(util::Duration::seconds(3));
+  EXPECT_EQ(h1.ping_replies().size(), 2u);
+}
+
+TEST_F(RouterChain, RoutingLoopExpiresTtl) {
+  // Deliberate loop: r1 sends unknown traffic to r2, r2 sends it back.
+  r1.add_static_route(prefix("172.16.0.0/16"), ip("10.0.12.2"));
+  r2.add_static_route(prefix("172.16.0.0/16"), ip("10.0.12.1"));
+  h1.ping(ip("172.16.5.5"), 1);
+  net.run_for(util::Duration::seconds(3));
+  EXPECT_EQ(h1.ping_replies().size(), 0u);
+  EXPECT_GT(r1.counters().ttl_expired + r2.counters().ttl_expired, 0u);
+}
+
+TEST_F(RouterChain, TracerouteEnumeratesHops) {
+  h1.traceroute(ip("10.0.2.1"), 8);
+  net.run_for(util::Duration::seconds(3));
+  const auto& hops = h1.traceroute_hops();
+  // Hop 1 = r1 (TTL expired there), hop 2 = r2, hop 3 = the target host.
+  ASSERT_GE(hops.size(), 3u);
+  EXPECT_EQ(hops.at(1).to_string(), "10.0.1.254");
+  EXPECT_EQ(hops.at(2).to_string(), "10.0.12.2");
+  EXPECT_EQ(hops.at(3).to_string(), "10.0.2.1");
+  // Traceroute probes must not pollute ping statistics.
+  EXPECT_EQ(h1.ping_replies().size(), 0u);
+
+  // The CLI front-end renders the same data.
+  h1.exec("enable");
+  h1.exec("traceroute 10.0.2.1");
+  net.run_for(util::Duration::seconds(3));
+  std::string rendered = h1.exec("show traceroute");
+  EXPECT_NE(rendered.find("10.0.12.2"), std::string::npos);
+}
+
+TEST_F(RouterChain, InterfaceShutdownBlackholes) {
+  r1.set_interface_shutdown(1, true);
+  h1.ping(ip("10.0.2.1"), 2);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(h1.ping_replies().size(), 0u);
+  r1.set_interface_shutdown(1, false);
+  h1.ping(ip("10.0.2.1"), 2);
+  net.run_for(util::Duration::seconds(3));
+  EXPECT_EQ(h1.ping_replies().size(), 2u);
+}
+
+}  // namespace
+}  // namespace rnl::devices

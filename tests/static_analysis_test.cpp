@@ -1,0 +1,166 @@
+// Unit tests for the static reachability analyzer (core/static_analysis.h).
+
+#include <gtest/gtest.h>
+
+#include "core/static_analysis.h"
+#include "simnet/network.h"
+
+namespace rnl::core {
+namespace {
+
+using packet::Ipv4Address;
+using packet::Ipv4Prefix;
+
+Ipv4Address ip(const char* s) { return *Ipv4Address::parse(s); }
+Ipv4Prefix prefix(const char* s) { return *Ipv4Prefix::parse(s); }
+
+/// r1 -- r2 -- r3 chain, subnets at both ends.
+class AnalyzerFixture : public ::testing::Test {
+ protected:
+  AnalyzerFixture()
+      : r1(net, "r1", 3), r2(net, "r2", 3), r3(net, "r3", 3) {
+    r1.set_interface_address(0, prefix("10.1.0.254/24"));
+    r1.set_interface_address(1, prefix("10.12.0.1/30"));
+    r2.set_interface_address(0, prefix("10.12.0.2/30"));
+    r2.set_interface_address(1, prefix("10.23.0.1/30"));
+    r3.set_interface_address(0, prefix("10.23.0.2/30"));
+    r3.set_interface_address(1, prefix("10.3.0.254/24"));
+    r1.add_static_route(prefix("10.3.0.0/24"), ip("10.12.0.2"));
+    r2.add_static_route(prefix("10.3.0.0/24"), ip("10.23.0.2"));
+    r2.add_static_route(prefix("10.1.0.0/24"), ip("10.12.0.1"));
+    r3.add_static_route(prefix("10.1.0.0/24"), ip("10.23.0.1"));
+    analyzer.add_router(&r1);
+    analyzer.add_router(&r2);
+    analyzer.add_router(&r3);
+    analyzer.add_adjacency("r1", 1, "r2", 0);
+    analyzer.add_adjacency("r2", 1, "r3", 0);
+  }
+
+  FlowQuery a_to_c() {
+    FlowQuery flow;
+    flow.src = ip("10.1.0.5");
+    flow.dst = ip("10.3.0.5");
+    return flow;
+  }
+
+  simnet::Network net{91};
+  devices::Ipv4Router r1, r2, r3;
+  StaticReachabilityAnalyzer analyzer;
+};
+
+TEST_F(AnalyzerFixture, CleanChainIsReachable) {
+  auto result = analyzer.analyze("r1", 0, a_to_c());
+  EXPECT_TRUE(result.reachable) << result.to_string();
+  // Trace mentions each router once.
+  ASSERT_EQ(result.trace.size(), 3u);
+  EXPECT_EQ(result.trace[0].router, "r1");
+  EXPECT_EQ(result.trace[2].router, "r3");
+}
+
+TEST_F(AnalyzerFixture, InboundAclBlocksAtEntry) {
+  devices::AclEntry deny;
+  deny.permit = false;
+  r2.add_acl_entry(110, deny);  // deny everything
+  r2.set_interface_acl(0, /*inbound=*/true, 110);
+  auto result = analyzer.analyze("r1", 0, a_to_c());
+  EXPECT_FALSE(result.reachable);
+  EXPECT_NE(result.to_string().find("access-list 110 in"), std::string::npos);
+}
+
+TEST_F(AnalyzerFixture, OutboundAclBlocksAtExit) {
+  devices::AclEntry deny;
+  deny.permit = false;
+  deny.dst = ip("10.3.0.0");
+  deny.dst_wildcard = 0xFF;
+  r2.add_acl_entry(120, deny);
+  devices::AclEntry permit;
+  r2.add_acl_entry(120, permit);
+  r2.set_interface_acl(1, /*inbound=*/false, 120);
+  auto result = analyzer.analyze("r1", 0, a_to_c());
+  EXPECT_FALSE(result.reachable);
+  EXPECT_NE(result.to_string().find("access-list 120 out"),
+            std::string::npos);
+  // The reverse direction is unaffected.
+  FlowQuery back;
+  back.src = ip("10.3.0.5");
+  back.dst = ip("10.1.0.5");
+  EXPECT_TRUE(analyzer.analyze("r3", 1, back).reachable);
+}
+
+TEST_F(AnalyzerFixture, MissingRouteReported) {
+  r2.remove_static_route(prefix("10.3.0.0/24"));
+  auto result = analyzer.analyze("r1", 0, a_to_c());
+  EXPECT_FALSE(result.reachable);
+  EXPECT_NE(result.to_string().find("no route"), std::string::npos);
+}
+
+TEST_F(AnalyzerFixture, ShutdownInterfaceBlocks) {
+  r2.set_interface_shutdown(1, true);
+  auto result = analyzer.analyze("r1", 0, a_to_c());
+  EXPECT_FALSE(result.reachable);
+}
+
+TEST_F(AnalyzerFixture, RoutingLoopHitsHopLimit) {
+  // r1 and r2 point an unknown prefix at each other.
+  r1.add_static_route(prefix("172.16.0.0/16"), ip("10.12.0.2"));
+  r2.add_static_route(prefix("172.16.0.0/16"), ip("10.12.0.1"));
+  FlowQuery flow;
+  flow.src = ip("10.1.0.5");
+  flow.dst = ip("172.16.9.9");
+  auto result = analyzer.analyze("r1", 0, flow);
+  EXPECT_FALSE(result.reachable);
+  EXPECT_NE(result.to_string().find("hop limit"), std::string::npos);
+}
+
+TEST_F(AnalyzerFixture, UnwiredEgressReported) {
+  analyzer = StaticReachabilityAnalyzer();  // rebuild without r2-r3 link
+  analyzer.add_router(&r1);
+  analyzer.add_router(&r2);
+  analyzer.add_router(&r3);
+  analyzer.add_adjacency("r1", 1, "r2", 0);
+  auto result = analyzer.analyze("r1", 0, a_to_c());
+  EXPECT_FALSE(result.reachable);
+  EXPECT_NE(result.to_string().find("not wired"), std::string::npos);
+}
+
+TEST_F(AnalyzerFixture, PortSpecificAclEntriesRespectEq) {
+  devices::AclEntry deny_http;
+  deny_http.permit = false;
+  deny_http.protocol = 6;
+  deny_http.dst_port_eq = 80;
+  r2.add_acl_entry(130, deny_http);
+  devices::AclEntry permit;
+  r2.add_acl_entry(130, permit);
+  r2.set_interface_acl(0, true, 130);
+
+  FlowQuery http = a_to_c();
+  http.protocol = 6;
+  http.dst_port = 80;
+  EXPECT_FALSE(analyzer.analyze("r1", 0, http).reachable);
+  FlowQuery https = http;
+  https.dst_port = 443;
+  EXPECT_TRUE(analyzer.analyze("r1", 0, https).reachable);
+  // ICMP untouched by the tcp/eq rule.
+  EXPECT_TRUE(analyzer.analyze("r1", 0, a_to_c()).reachable);
+}
+
+TEST_F(AnalyzerFixture, StaticAnalysisIsBlindToFirmwareQuirks) {
+  // The paper's core point, at unit-test scale: flash the buggy image on
+  // r2 — the analyzer's verdict must NOT change, because the config text
+  // did not change. (The dynamic divergence is shown in
+  // bench_static_vs_dynamic and the firmware tests.)
+  devices::AclEntry deny;
+  deny.permit = false;
+  r2.add_acl_entry(140, deny);
+  r2.set_interface_acl(1, false, 140);
+  auto before = analyzer.analyze("r1", 0, a_to_c());
+  auto buggy = devices::FirmwareCatalog::instance().find("12.4(15)T-special");
+  ASSERT_TRUE(buggy.has_value());
+  r2.flash_firmware(*buggy);
+  auto after = analyzer.analyze("r1", 0, a_to_c());
+  EXPECT_EQ(before.reachable, after.reachable);
+  EXPECT_FALSE(after.reachable);
+}
+
+}  // namespace
+}  // namespace rnl::core

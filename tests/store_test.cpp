@@ -1,0 +1,155 @@
+// Tests for the file-backed store and LabService persistence.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/store.h"
+#include "core/testbed.h"
+
+namespace rnl::core {
+namespace {
+
+using util::Duration;
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string pattern = std::filesystem::temp_directory_path() /
+                          "rnl-store-XXXXXX";
+    std::vector<char> buffer(pattern.begin(), pattern.end());
+    buffer.push_back('\0');
+    path_ = mkdtemp(buffer.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(FileStoreTest, PutGetRoundTrip) {
+  TempDir dir;
+  FileStore store(dir.path() + "/data");
+  util::Json value = util::Json::object();
+  value.set("answer", 42);
+  ASSERT_TRUE(store.put("design/alice/lab1", value).ok());
+  ASSERT_TRUE(store.contains("design/alice/lab1"));
+  auto back = store.get("design/alice/lab1");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)["answer"].as_int(), 42);
+}
+
+TEST(FileStoreTest, OverwriteReplacesContent) {
+  TempDir dir;
+  FileStore store(dir.path());
+  ASSERT_TRUE(store.put("k", util::Json(1)).ok());
+  ASSERT_TRUE(store.put("k", util::Json(2)).ok());
+  EXPECT_EQ(store.get("k")->as_int(), 2);
+}
+
+TEST(FileStoreTest, KeysListsByPrefixSorted) {
+  TempDir dir;
+  FileStore store(dir.path());
+  store.put("design/bob/b", util::Json(1));
+  store.put("design/alice/a2", util::Json(1));
+  store.put("design/alice/a1", util::Json(1));
+  store.put("config/hq/r1", util::Json(1));
+  auto all_designs = store.keys("design");
+  ASSERT_EQ(all_designs.size(), 3u);
+  EXPECT_EQ(all_designs[0], "design/alice/a1");
+  EXPECT_EQ(all_designs[2], "design/bob/b");
+  EXPECT_EQ(store.keys("design/alice").size(), 2u);
+  EXPECT_TRUE(store.keys("nothing").empty());
+}
+
+TEST(FileStoreTest, RemoveDeletes) {
+  TempDir dir;
+  FileStore store(dir.path());
+  store.put("k", util::Json(1));
+  ASSERT_TRUE(store.remove("k").ok());
+  EXPECT_FALSE(store.contains("k"));
+  EXPECT_FALSE(store.remove("k").ok());
+  EXPECT_FALSE(store.get("k").ok());
+}
+
+TEST(FileStoreTest, RejectsHostileKeys) {
+  TempDir dir;
+  FileStore store(dir.path());
+  for (const char* key :
+       {"", "..", "a/../b", "a//b", "a/./b", "a b", "a\\b", "key\n"}) {
+    EXPECT_FALSE(store.put(key, util::Json(1)).ok()) << key;
+    EXPECT_FALSE(store.get(key).ok()) << key;
+  }
+  EXPECT_TRUE(FileStore::valid_key("design/alice/my-lab_v2.1"));
+}
+
+TEST(FileStoreTest, SurvivesReopen) {
+  TempDir dir;
+  {
+    FileStore store(dir.path());
+    store.put("design/a/x", util::Json("persisted"));
+  }
+  FileStore reopened(dir.path());
+  EXPECT_EQ(reopened.get("design/a/x")->as_string(), "persisted");
+}
+
+TEST(Persistence, DesignsSurviveServiceRestart) {
+  TempDir dir;
+  FileStore store(dir.path());
+  wire::RouterId router_id = 0;
+  {
+    Testbed bed(1401, wire::NetemProfile::lan());
+    auto& site = bed.add_site("hq");
+    bed.add_host(site, "h1");
+    bed.join_all();
+    bed.service().attach_store(&store);
+    router_id = bed.router_id("hq/h1");
+    DesignId id = bed.service().create_design("alice", "durable");
+    bed.service().design(id)->add_router(router_id);
+    ASSERT_TRUE(bed.service().save_design(id).ok());
+  }
+  // A brand-new world (fresh service, fresh ids) sees the stored design.
+  Testbed bed2(1402, wire::NetemProfile::lan());
+  auto& site2 = bed2.add_site("hq");
+  bed2.add_host(site2, "h1");
+  bed2.join_all();
+  bed2.service().attach_store(&store);
+  auto loaded = bed2.service().load_design("alice", "durable");
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  EXPECT_EQ(bed2.service().design(*loaded)->name(), "durable");
+}
+
+TEST(Persistence, ConfigArchiveSurvivesRestartByName) {
+  TempDir dir;
+  FileStore store(dir.path());
+  {
+    Testbed bed(1403, wire::NetemProfile::lan());
+    auto& site = bed.add_site("hq");
+    bed.add_host(site, "h1");
+    bed.join_all();
+    bed.service().attach_store(&store);
+    wire::RouterId id = bed.router_id("hq/h1");
+    bed.service().console_exec(id, "enable");
+    bed.service().console_exec(id, "configure terminal");
+    bed.service().console_exec(id, "ip address 10.5.5.5/24 10.5.5.1");
+    bed.service().console_exec(id, "end");
+    ASSERT_TRUE(bed.service().save_router_config(id).ok());
+  }
+  Testbed bed2(1404, wire::NetemProfile::lan());
+  auto& site2 = bed2.add_site("hq");
+  bed2.add_host(site2, "h1");
+  bed2.join_all();
+  bed2.service().attach_store(&store);
+  // Different run, different router id — the name-keyed archive resolves.
+  auto archived = bed2.service().archived_config(bed2.router_id("hq/h1"));
+  ASSERT_TRUE(archived.has_value());
+  EXPECT_NE(archived->find("ip address 10.5.5.5/24"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rnl::core

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "devices/host.h"
+#include "devices/switch.h"
+#include "simnet/network.h"
+
+namespace rnl::devices {
+namespace {
+
+using packet::Ipv4Address;
+using packet::Ipv4Prefix;
+
+Ipv4Address ip(const char* s) { return *Ipv4Address::parse(s); }
+Ipv4Prefix prefix(const char* s) { return *Ipv4Prefix::parse(s); }
+
+/// Two hosts on one switch.
+class SwitchBasic : public ::testing::Test {
+ protected:
+  SwitchBasic()
+      : sw(net, "sw1", 4), h1(net, "h1"), h2(net, "h2") {
+    net.connect(h1.port(0), sw.port(0));
+    net.connect(h2.port(0), sw.port(1));
+    h1.configure(prefix("10.0.0.1/24"), ip("10.0.0.254"));
+    h2.configure(prefix("10.0.0.2/24"), ip("10.0.0.254"));
+    // Let STP move the edge ports to forwarding (2 * forward_delay).
+    net.run_for(util::Duration::seconds(35));
+  }
+
+  simnet::Network net{1};
+  EthernetSwitch sw;
+  Host h1;
+  Host h2;
+};
+
+TEST_F(SwitchBasic, SoloSwitchIsRootAndForwards) {
+  EXPECT_TRUE(sw.is_root_bridge());
+  EXPECT_EQ(sw.stp_state(0), StpPortState::kForwarding);
+  EXPECT_EQ(sw.stp_state(1), StpPortState::kForwarding);
+}
+
+TEST_F(SwitchBasic, PingAcrossSwitchLearnsMacs) {
+  h1.ping(ip("10.0.0.2"), 3);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(h1.ping_replies().size(), 3u);
+  EXPECT_TRUE(sw.lookup_mac(1, h1.mac()).has_value());
+  EXPECT_TRUE(sw.lookup_mac(1, h2.mac()).has_value());
+  EXPECT_EQ(*sw.lookup_mac(1, h1.mac()), 0u);
+  EXPECT_EQ(*sw.lookup_mac(1, h2.mac()), 1u);
+}
+
+TEST_F(SwitchBasic, KnownUnicastIsNotFlooded) {
+  h1.ping(ip("10.0.0.2"), 1);
+  net.run_for(util::Duration::seconds(1));
+  std::uint64_t floods_after_learn = sw.flood_count();
+  h1.ping(ip("10.0.0.2"), 5);
+  net.run_for(util::Duration::seconds(2));
+  // MACs are learned now: further pings unicast-forward.
+  EXPECT_GT(sw.forwarded_count(), 0u);
+  EXPECT_EQ(sw.flood_count(), floods_after_learn);
+}
+
+TEST_F(SwitchBasic, VlanIsolationBlocksCrossVlanTraffic) {
+  sw.port_config(1).access_vlan = 20;  // h2 moved to VLAN 20
+  h1.ping(ip("10.0.0.2"), 3);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(h1.ping_replies().size(), 0u);
+}
+
+TEST_F(SwitchBasic, ShutdownPortStopsTraffic) {
+  sw.set_port_shutdown(1, true);
+  h1.ping(ip("10.0.0.2"), 2);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(h1.ping_replies().size(), 0u);
+  sw.set_port_shutdown(1, false);
+  net.run_for(util::Duration::seconds(35));  // listening->learning->forwarding
+  h1.ping(ip("10.0.0.2"), 2);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(h1.ping_replies().size(), 2u);
+}
+
+TEST_F(SwitchBasic, PowerCycleClearsMacTable) {
+  h1.ping(ip("10.0.0.2"), 1);
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_GT(sw.mac_table_size(), 0u);
+  sw.power_off();
+  EXPECT_EQ(sw.mac_table_size(), 0u);
+  sw.power_on();
+  net.run_for(util::Duration::seconds(35));
+  h1.ping(ip("10.0.0.2"), 1);
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_EQ(h1.ping_replies().size(), 2u);  // one before + one after the cycle
+}
+
+TEST_F(SwitchBasic, CliConfigRoundTrip) {
+  sw.exec("enable");
+  sw.exec("configure terminal");
+  sw.exec("spanning-tree priority 4096");
+  sw.exec("interface Gi0/3");
+  sw.exec("switchport mode trunk");
+  sw.exec("switchport trunk allowed vlan 10,11");
+  sw.exec("exit");
+  sw.exec("interface Gi0/4");
+  sw.exec("switchport access vlan 99");
+  sw.exec("shutdown");
+  sw.exec("end");
+  std::string config = sw.running_config();
+  EXPECT_NE(config.find("spanning-tree priority 4096"), std::string::npos);
+  EXPECT_NE(config.find("switchport trunk allowed vlan 10,11"),
+            std::string::npos);
+  EXPECT_NE(config.find("switchport access vlan 99"), std::string::npos);
+  EXPECT_NE(config.find(" shutdown"), std::string::npos);
+
+  // Re-applying the dump to a fresh switch reproduces it (§2.1 save/restore).
+  EthernetSwitch clone(net, "sw2", 4);
+  std::string errors = clone.apply_config(config);
+  EXPECT_EQ(errors, "");
+  EXPECT_EQ(clone.running_config(),
+            config);  // identical except hostname line...
+}
+
+TEST_F(SwitchBasic, CliRejectsUnknownCommands) {
+  sw.exec("enable");
+  EXPECT_NE(sw.exec("frobnicate").find("% Invalid input"), std::string::npos);
+  sw.exec("configure terminal");
+  EXPECT_NE(sw.exec("interface Nope0/9").find("% Invalid interface"),
+            std::string::npos);
+}
+
+TEST_F(SwitchBasic, ShowCommandsRender) {
+  sw.exec("enable");
+  EXPECT_NE(sw.exec("show spanning-tree").find("this bridge is the root"),
+            std::string::npos);
+  h1.ping(ip("10.0.0.2"), 1);
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_NE(sw.exec("show mac address-table").find("Gi0/1"),
+            std::string::npos);
+  EXPECT_NE(sw.exec("show version").find("firmware"), std::string::npos);
+}
+
+/// Two switches joined by two parallel links: STP must block one.
+class SwitchRedundant : public ::testing::Test {
+ protected:
+  SwitchRedundant() : sw1(net, "sw1", 4), sw2(net, "sw2", 4) {
+    sw1.set_bridge_priority(0x1000);  // sw1 wins root
+    net.connect(sw1.port(0), sw2.port(0));
+    net.connect(sw1.port(1), sw2.port(1));
+  }
+
+  int forwarding_count(EthernetSwitch& sw) {
+    int n = 0;
+    for (std::size_t i = 0; i < 2; ++i) {
+      if (sw.stp_state(i) == StpPortState::kForwarding) ++n;
+    }
+    return n;
+  }
+
+  simnet::Network net{2};
+  EthernetSwitch sw1;
+  EthernetSwitch sw2;
+};
+
+TEST_F(SwitchRedundant, StpBlocksTheRedundantLink) {
+  net.run_for(util::Duration::seconds(60));
+  EXPECT_TRUE(sw1.is_root_bridge());
+  EXPECT_FALSE(sw2.is_root_bridge());
+  // Root forwards on both designated ports; the non-root blocks exactly one.
+  EXPECT_EQ(forwarding_count(sw1), 2);
+  EXPECT_EQ(forwarding_count(sw2), 1);
+  int blocked = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (sw2.stp_state(i) == StpPortState::kBlocking) ++blocked;
+  }
+  EXPECT_EQ(blocked, 1);
+}
+
+TEST_F(SwitchRedundant, ReconvergesAfterActiveLinkFails) {
+  net.run_for(util::Duration::seconds(60));
+  // Root port on sw2 is the lower-cost path; kill it.
+  std::size_t root_port = sw2.stp_role(0) == StpPortRole::kRoot ? 0 : 1;
+  std::size_t standby = 1 - root_port;
+  EXPECT_EQ(sw2.stp_state(standby), StpPortState::kBlocking);
+  sw1.set_port_shutdown(root_port, true);
+  // Reconvergence: max_age (20 s) to expire stale info + 2x forward delay.
+  net.run_for(util::Duration::seconds(60));
+  EXPECT_EQ(sw2.stp_state(standby), StpPortState::kForwarding);
+}
+
+TEST_F(SwitchRedundant, NoStpMeansBroadcastStorm) {
+  sw1.set_stp_enabled(false);
+  sw2.set_stp_enabled(false);
+  net.run_for(util::Duration::seconds(5));
+  Host h1(net, "h1");
+  net.connect(h1.port(0), sw1.port(2));
+  h1.configure(prefix("10.0.0.1/24"), ip("10.0.0.254"));
+  // One broadcast ARP enters the loop and circulates forever.
+  h1.ping(ip("10.0.0.99"), 1);
+  net.run_for(util::Duration::milliseconds(50));
+  std::uint64_t floods = sw1.flood_count() + sw2.flood_count();
+  // The single ARP request should have been flooded thousands of times —
+  // the §3.1 transient loop, reproduced.
+  EXPECT_GT(floods, 1000u);
+}
+
+TEST_F(SwitchRedundant, FastTimersConvergeFaster) {
+  // Firmware with 1 s hello / 4 s forward delay (the "tuned image").
+  auto fast = FirmwareCatalog::instance().find("12.2(33)SXI-fast");
+  ASSERT_TRUE(fast.has_value());
+  simnet::Network fast_net{3};
+  EthernetSwitch a(fast_net, "a", 2, *fast);
+  EthernetSwitch b(fast_net, "b", 2, *fast);
+  a.set_bridge_priority(0x1000);
+  fast_net.connect(a.port(0), b.port(0));
+  fast_net.run_for(util::Duration::seconds(10));
+  EXPECT_EQ(b.stp_state(0), StpPortState::kForwarding);
+}
+
+}  // namespace
+}  // namespace rnl::devices

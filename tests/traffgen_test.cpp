@@ -1,0 +1,119 @@
+// Tests for the IXIA-style traffic generator and its use via the lab stack.
+
+#include <gtest/gtest.h>
+
+#include "devices/traffgen.h"
+#include "simnet/network.h"
+
+namespace rnl::devices {
+namespace {
+
+class TraffgenFixture : public ::testing::Test {
+ protected:
+  TraffgenFixture() : gen(net, "ixia", 2) {
+    net.connect(gen.port(0), gen.port(1));  // loop back on itself
+  }
+
+  util::Bytes frame(std::size_t size) {
+    util::Bytes f(size, 0xAA);
+    return f;
+  }
+
+  simnet::Network net{3};
+  TrafficGenerator gen;
+};
+
+TEST_F(TraffgenFixture, StreamEmitsExactCountAtInterval) {
+  TrafficGenerator::Stream stream;
+  stream.template_frame = frame(100);
+  stream.count = 10;
+  stream.interval = util::Duration::milliseconds(5);
+  gen.start_stream(0, stream);
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_EQ(gen.tx_count(0), 10u);
+  ASSERT_EQ(gen.captured(1).size(), 10u);
+  // Spacing: consecutive captures 5 ms apart.
+  for (std::size_t i = 1; i < 10; ++i) {
+    EXPECT_EQ((gen.captured(1)[i].at - gen.captured(1)[i - 1].at).nanos,
+              5'000'000);
+  }
+}
+
+TEST_F(TraffgenFixture, SequenceStampingWritesDistinctMarkings) {
+  TrafficGenerator::Stream stream;
+  stream.template_frame = frame(64);
+  stream.count = 5;
+  stream.interval = util::Duration::microseconds(10);
+  stream.seq_offset = 16;
+  gen.start_stream(0, stream);
+  net.run_for(util::Duration::seconds(1));
+  ASSERT_EQ(gen.captured(1).size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    const util::Bytes& f = gen.captured(1)[i].frame;
+    std::uint32_t stamp = (static_cast<std::uint32_t>(f[16]) << 24) |
+                          (static_cast<std::uint32_t>(f[17]) << 16) |
+                          (static_cast<std::uint32_t>(f[18]) << 8) |
+                          static_cast<std::uint32_t>(f[19]);
+    EXPECT_EQ(stamp, i);
+  }
+}
+
+TEST_F(TraffgenFixture, SeqOffsetBeyondFrameIsIgnored) {
+  TrafficGenerator::Stream stream;
+  stream.template_frame = frame(10);
+  stream.count = 2;
+  stream.interval = util::Duration::microseconds(1);
+  stream.seq_offset = 8;  // 8+4 > 10: no stamping
+  gen.start_stream(0, stream);
+  net.run_for(util::Duration::seconds(1));
+  ASSERT_EQ(gen.captured(1).size(), 2u);
+  EXPECT_EQ(gen.captured(1)[0].frame, gen.captured(1)[1].frame);
+}
+
+TEST_F(TraffgenFixture, PowerOffStopsAStreamMidway) {
+  TrafficGenerator::Stream stream;
+  stream.template_frame = frame(64);
+  stream.count = 100;
+  stream.interval = util::Duration::milliseconds(10);
+  gen.start_stream(0, stream);
+  net.run_for(util::Duration::milliseconds(95));  // ~10 emitted
+  gen.power_off();
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_LT(gen.tx_count(0), 15u);
+}
+
+TEST_F(TraffgenFixture, ClearCapturedResetsBuffer) {
+  TrafficGenerator::Stream stream;
+  stream.template_frame = frame(64);
+  stream.count = 3;
+  stream.interval = util::Duration::microseconds(1);
+  gen.start_stream(0, stream);
+  net.run_for(util::Duration::milliseconds(10));
+  EXPECT_EQ(gen.captured(1).size(), 3u);
+  gen.clear_captured(1);
+  EXPECT_TRUE(gen.captured(1).empty());
+}
+
+TEST_F(TraffgenFixture, ConsoleIsApiOnly) {
+  EXPECT_NE(gen.exec("anything").find("web-services API"), std::string::npos);
+  EXPECT_EQ(gen.prompt(), "ixia$");
+  EXPECT_NE(gen.running_config().find("no persistent config"),
+            std::string::npos);
+}
+
+TEST_F(TraffgenFixture, ParallelStreamsOnBothPorts) {
+  TrafficGenerator::Stream a;
+  a.template_frame = frame(64);
+  a.count = 7;
+  a.interval = util::Duration::microseconds(3);
+  TrafficGenerator::Stream b = a;
+  b.count = 11;
+  gen.start_stream(0, a);
+  gen.start_stream(1, b);
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_EQ(gen.captured(1).size(), 7u);   // from port 0
+  EXPECT_EQ(gen.captured(0).size(), 11u);  // from port 1
+}
+
+}  // namespace
+}  // namespace rnl::devices

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "transport/sim_stream.h"
+#include "transport/tcp.h"
+#include "wire/tunnel.h"
+
+namespace rnl::transport {
+namespace {
+
+TEST(SimStream, DeliversInOrderWithDelay) {
+  simnet::Scheduler sched(1);
+  SimStreamOptions options;
+  options.wan.delay = util::Duration::milliseconds(25);
+  auto [a, b] = make_sim_stream_pair(sched, options);
+  util::Bytes received;
+  util::SimTime first_arrival{};
+  b->set_receive_handler([&](util::BytesView chunk) {
+    if (received.empty()) first_arrival = sched.now();
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  });
+  util::Bytes m1{1, 2};
+  util::Bytes m2{3};
+  a->send(m1);
+  a->send(m2);
+  sched.run_all();
+  EXPECT_EQ(received, (util::Bytes{1, 2, 3}));
+  EXPECT_EQ(first_arrival.nanos, 25'000'000);
+}
+
+TEST(SimStream, LossBecomesRetransmitDelayNotCorruption) {
+  simnet::Scheduler sched(2);
+  SimStreamOptions options;
+  options.wan.loss_probability = 0.2;
+  options.wan.delay = util::Duration::milliseconds(10);
+  auto [a, b] = make_sim_stream_pair(sched, options);
+  util::Bytes received;
+  b->set_receive_handler([&](util::BytesView chunk) {
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  });
+  util::Bytes expected;
+  for (std::uint8_t i = 0; i < 200; ++i) {
+    util::Bytes chunk{i};
+    expected.push_back(i);
+    a->send(chunk);
+  }
+  sched.run_all();
+  // TCP semantics: every byte arrives, in order, despite "loss".
+  EXPECT_EQ(received, expected);
+}
+
+TEST(SimStream, BuffersUntilHandlerInstalled) {
+  simnet::Scheduler sched(3);
+  auto [a, b] = make_sim_stream_pair(sched);
+  util::Bytes data{1, 2, 3};
+  a->send(data);
+  sched.run_all();
+  util::Bytes received;
+  b->set_receive_handler([&](util::BytesView chunk) {
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  });
+  EXPECT_EQ(received, data);
+}
+
+TEST(SimStream, CloseNotifiesBothEnds) {
+  simnet::Scheduler sched(4);
+  auto [a, b] = make_sim_stream_pair(sched);
+  bool a_closed = false;
+  bool b_closed = false;
+  a->set_close_handler([&] { a_closed = true; });
+  b->set_close_handler([&] { b_closed = true; });
+  a->close();
+  EXPECT_TRUE(a_closed);
+  EXPECT_TRUE(b_closed);
+  EXPECT_FALSE(a->is_open());
+  EXPECT_FALSE(b->is_open());
+  // Sends after close are dropped silently.
+  util::Bytes data{1};
+  a->send(data);
+  sched.run_all();
+}
+
+TEST(SimStream, InFlightBytesSurviveEndDestructionGracefully) {
+  simnet::Scheduler sched(5);
+  auto [a, b] = make_sim_stream_pair(sched);
+  util::Bytes data{1};
+  a->send(data);
+  b.reset();  // destination destroyed with bytes in flight
+  sched.run_all();  // must not crash
+  a->send(data);
+  sched.run_all();
+}
+
+TEST(TcpLoopback, EchoRoundTrip) {
+  TcpEventLoop loop;
+  TcpListener listener(loop);
+  std::unique_ptr<TcpTransport> server_side;
+  auto status = listener.listen(0, [&](std::unique_ptr<TcpTransport> t) {
+    server_side = std::move(t);
+    server_side->set_receive_handler([&](util::BytesView chunk) {
+      server_side->send(chunk);  // echo
+    });
+  });
+  ASSERT_TRUE(status.ok()) << status.error();
+  auto client = tcp_connect(loop, listener.port());
+  ASSERT_TRUE(client.ok()) << client.error();
+  util::Bytes received;
+  (*client)->set_receive_handler([&](util::BytesView chunk) {
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  });
+  util::Bytes message(1000, 0xAB);
+  (*client)->send(message);
+  ASSERT_TRUE(loop.run_until([&] { return received.size() == 1000; }));
+  EXPECT_EQ(received, message);
+}
+
+TEST(TcpLoopback, TunnelMessagesSurviveRealSockets) {
+  TcpEventLoop loop;
+  TcpListener listener(loop);
+  std::unique_ptr<TcpTransport> server_side;
+  wire::MessageDecoder server_decoder;
+  std::vector<wire::TunnelMessage> server_got;
+  auto status = listener.listen(0, [&](std::unique_ptr<TcpTransport> t) {
+    server_side = std::move(t);
+    server_side->set_receive_handler([&](util::BytesView chunk) {
+      for (auto& decoded : server_decoder.feed(chunk)) {
+        server_got.push_back(std::move(decoded.message));
+      }
+    });
+  });
+  ASSERT_TRUE(status.ok());
+  auto client = tcp_connect(loop, listener.port());
+  ASSERT_TRUE(client.ok());
+
+  std::vector<wire::TunnelMessage> sent;
+  for (int i = 0; i < 50; ++i) {
+    wire::TunnelMessage msg;
+    msg.type = wire::MessageType::kData;
+    msg.router_id = static_cast<wire::RouterId>(i);
+    msg.port_id = static_cast<wire::PortId>(i * 2);
+    msg.payload.assign(static_cast<std::size_t>(17 * i % 400), 0xC3);
+    sent.push_back(msg);
+    util::Bytes wire_bytes = wire::encode_message(msg);
+    (*client)->send(wire_bytes);
+  }
+  ASSERT_TRUE(loop.run_until([&] { return server_got.size() == sent.size(); }));
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(server_got[i], sent[i]);
+  }
+}
+
+TEST(TcpLoopback, PeerCloseDetected) {
+  TcpEventLoop loop;
+  TcpListener listener(loop);
+  std::unique_ptr<TcpTransport> server_side;
+  ASSERT_TRUE(listener
+                  .listen(0, [&](std::unique_ptr<TcpTransport> t) {
+                    server_side = std::move(t);
+                  })
+                  .ok());
+  auto client = tcp_connect(loop, listener.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(loop.run_until([&] { return server_side != nullptr; }));
+  bool closed = false;
+  server_side->set_close_handler([&] { closed = true; });
+  server_side->set_receive_handler([](util::BytesView) {});
+  (*client)->close();
+  ASSERT_TRUE(loop.run_until([&] { return closed; }));
+  EXPECT_FALSE(server_side->is_open());
+}
+
+TEST(TcpLoopback, LargeWriteBuffersAndDrains) {
+  TcpEventLoop loop;
+  TcpListener listener(loop);
+  std::unique_ptr<TcpTransport> server_side;
+  std::size_t server_received = 0;
+  ASSERT_TRUE(listener
+                  .listen(0, [&](std::unique_ptr<TcpTransport> t) {
+                    server_side = std::move(t);
+                    server_side->set_receive_handler(
+                        [&](util::BytesView chunk) {
+                          server_received += chunk.size();
+                        });
+                  })
+                  .ok());
+  auto client = tcp_connect(loop, listener.port());
+  ASSERT_TRUE(client.ok());
+  // 8 MiB: guaranteed to overflow socket buffers and exercise POLLOUT.
+  util::Bytes big(8 * 1024 * 1024, 0x7E);
+  (*client)->send(big);
+  ASSERT_TRUE(loop.run_until([&] { return server_received == big.size(); },
+                             100'000, 10));
+}
+
+TEST(TcpLoopback, ConnectToClosedPortFails) {
+  TcpEventLoop loop;
+  // Grab an ephemeral port then close it.
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(loop);
+    ASSERT_TRUE(listener.listen(0, nullptr).ok());
+    dead_port = listener.port();
+  }
+  auto client = tcp_connect(loop, dead_port);
+  EXPECT_FALSE(client.ok());
+}
+
+}  // namespace
+}  // namespace rnl::transport

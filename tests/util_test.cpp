@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/crc32.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/time.h"
+
+namespace rnl::util {
+namespace {
+
+TEST(ByteWriter, BigEndianEncoding) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u32(0x04050607);
+  w.u64(0x08090A0B0C0D0E0Full);
+  const Bytes& b = w.bytes();
+  ASSERT_EQ(b.size(), 15u);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[1], 0x02);
+  EXPECT_EQ(b[2], 0x03);
+  EXPECT_EQ(b[3], 0x04);
+  EXPECT_EQ(b[6], 0x07);
+  EXPECT_EQ(b[7], 0x08);
+  EXPECT_EQ(b[14], 0x0F);
+}
+
+TEST(ByteReader, RoundTripsWriter) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xCDEF);
+  w.u32(0x12345678);
+  w.u64(0x1122334455667788ull);
+  w.str16("hello");
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xCDEF);
+  EXPECT_EQ(r.u32(), 0x12345678u);
+  EXPECT_EQ(r.u64(), 0x1122334455667788ull);
+  EXPECT_EQ(r.str16(), "hello");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, UnderrunIsMonotonicFailure) {
+  Bytes data{0x01, 0x02};
+  ByteReader r(data);
+  EXPECT_EQ(r.u32(), 0u);  // needs 4, only 2 present
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);  // stays failed even though a byte existed
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, RawAndRest) {
+  Bytes data{1, 2, 3, 4, 5};
+  ByteReader r(data);
+  auto head = r.raw(2);
+  ASSERT_EQ(head.size(), 2u);
+  EXPECT_EQ(head[1], 2);
+  auto rest = r.rest();
+  EXPECT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0], 3);
+}
+
+TEST(ByteWriter, PatchFixesLengthFields) {
+  ByteWriter w;
+  w.u16(0);  // placeholder
+  w.raw("abcd", 4);
+  w.patch_u16(0, 4);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u16(), 4);
+}
+
+TEST(ByteWriter, PatchOutOfRangeThrows) {
+  ByteWriter w;
+  w.u8(1);
+  EXPECT_THROW(w.patch_u16(0, 1), std::out_of_range);
+  EXPECT_THROW(w.patch_u32(5, 1), std::out_of_range);
+}
+
+TEST(Hex, RoundTrip) {
+  Bytes data{0xDE, 0xAD, 0xBE, 0xEF};
+  std::string hex = to_hex(data);
+  EXPECT_EQ(hex, "de:ad:be:ef");
+  auto back = from_hex(hex);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Hex, RejectsInvalid) {
+  EXPECT_FALSE(from_hex("zz").ok());
+  EXPECT_FALSE(from_hex("a").ok());
+  EXPECT_TRUE(from_hex("").ok());
+}
+
+TEST(HexDump, FormatsRows) {
+  Bytes data(20, 0x41);
+  std::string dump = hex_dump(data);
+  EXPECT_NE(dump.find("|AAAAAAAAAAAAAAAA|"), std::string::npos);
+  EXPECT_NE(dump.find("000010"), std::string::npos);
+}
+
+TEST(Crc32, KnownVectors) {
+  // "123456789" -> 0xCBF43926 (standard CRC-32 check value)
+  const char* check = "123456789";
+  Bytes data(check, check + 9);
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+  EXPECT_EQ(crc32(Bytes{}), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Bytes data;
+  for (int i = 0; i < 100; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  std::uint32_t whole = crc32(data);
+  std::uint32_t split = crc32_update(0, BytesView(data).subspan(0, 37));
+  split = crc32_update(split, BytesView(data).subspan(37));
+  EXPECT_EQ(whole, split);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, RangeStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Strings, Split) {
+  auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitWs) {
+  auto parts = split_ws("  ip  route   10.0.0.0 ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "10.0.0.0");
+}
+
+TEST(Strings, TrimAndLowerAndNumber) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_TRUE(is_number("123"));
+  EXPECT_FALSE(is_number(""));
+  EXPECT_FALSE(is_number("12a"));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(format("%s", std::string(300, 'y').c_str()).size(), 300u);
+}
+
+TEST(Time, Arithmetic) {
+  SimTime t{};
+  t += Duration::milliseconds(5);
+  EXPECT_EQ(t.nanos, 5'000'000);
+  Duration d = (t + Duration::seconds(1)) - t;
+  EXPECT_EQ(d.nanos, 1'000'000'000);
+  EXPECT_DOUBLE_EQ(Duration::microseconds(1500).to_millis(), 1.5);
+}
+
+TEST(Time, Formatting) {
+  EXPECT_EQ(to_string(Duration::seconds(2)), "2.000s");
+  EXPECT_EQ(to_string(Duration::milliseconds(12)), "12.000ms");
+  EXPECT_EQ(to_string(Duration::nanoseconds(7)), "7ns");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> good(5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 5);
+  Result<int> bad(Error{"nope"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "nope");
+  Status status = Status::Ok();
+  EXPECT_TRUE(status.ok());
+  Status failed = Error{"x"};
+  EXPECT_FALSE(failed.ok());
+}
+
+}  // namespace
+}  // namespace rnl::util
