@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_compression"
+  "../bench/bench_compression.pdb"
+  "CMakeFiles/bench_compression.dir/bench_compression.cpp.o"
+  "CMakeFiles/bench_compression.dir/bench_compression.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_delay_jitter"
+  "../bench/bench_delay_jitter.pdb"
+  "CMakeFiles/bench_delay_jitter.dir/bench_delay_jitter.cpp.o"
+  "CMakeFiles/bench_delay_jitter.dir/bench_delay_jitter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delay_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_service"
+  "../bench/bench_fig2_service.pdb"
+  "CMakeFiles/bench_fig2_service.dir/bench_fig2_service.cpp.o"
+  "CMakeFiles/bench_fig2_service.dir/bench_fig2_service.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_packet_flow"
+  "../bench/bench_fig4_packet_flow.pdb"
+  "CMakeFiles/bench_fig4_packet_flow.dir/bench_fig4_packet_flow.cpp.o"
+  "CMakeFiles/bench_fig4_packet_flow.dir/bench_fig4_packet_flow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_packet_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

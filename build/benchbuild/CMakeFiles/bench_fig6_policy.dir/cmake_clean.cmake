@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_policy"
+  "../bench/bench_fig6_policy.pdb"
+  "CMakeFiles/bench_fig6_policy.dir/bench_fig6_policy.cpp.o"
+  "CMakeFiles/bench_fig6_policy.dir/bench_fig6_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_lab.dir/failover_lab.cpp.o"
+  "CMakeFiles/failover_lab.dir/failover_lab.cpp.o.d"
+  "failover_lab"
+  "failover_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

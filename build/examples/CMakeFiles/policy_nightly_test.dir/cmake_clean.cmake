@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_nightly_test.dir/policy_nightly_test.cpp.o"
+  "CMakeFiles/policy_nightly_test.dir/policy_nightly_test.cpp.o.d"
+  "policy_nightly_test"
+  "policy_nightly_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_nightly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_equipment.dir/remote_equipment.cpp.o"
+  "CMakeFiles/remote_equipment.dir/remote_equipment.cpp.o.d"
+  "remote_equipment"
+  "remote_equipment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_equipment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_lab.dir/training_lab.cpp.o"
+  "CMakeFiles/training_lab.dir/training_lab.cpp.o.d"
+  "training_lab"
+  "training_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

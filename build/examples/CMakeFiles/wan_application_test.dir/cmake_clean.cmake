@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_application_test.dir/wan_application_test.cpp.o"
+  "CMakeFiles/wan_application_test.dir/wan_application_test.cpp.o.d"
+  "wan_application_test"
+  "wan_application_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_application_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

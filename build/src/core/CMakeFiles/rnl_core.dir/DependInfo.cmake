@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/api.cpp" "src/core/CMakeFiles/rnl_core.dir/api.cpp.o" "gcc" "src/core/CMakeFiles/rnl_core.dir/api.cpp.o.d"
+  "/root/repo/src/core/autotest.cpp" "src/core/CMakeFiles/rnl_core.dir/autotest.cpp.o" "gcc" "src/core/CMakeFiles/rnl_core.dir/autotest.cpp.o.d"
+  "/root/repo/src/core/design.cpp" "src/core/CMakeFiles/rnl_core.dir/design.cpp.o" "gcc" "src/core/CMakeFiles/rnl_core.dir/design.cpp.o.d"
+  "/root/repo/src/core/labservice.cpp" "src/core/CMakeFiles/rnl_core.dir/labservice.cpp.o" "gcc" "src/core/CMakeFiles/rnl_core.dir/labservice.cpp.o.d"
+  "/root/repo/src/core/reservation.cpp" "src/core/CMakeFiles/rnl_core.dir/reservation.cpp.o" "gcc" "src/core/CMakeFiles/rnl_core.dir/reservation.cpp.o.d"
+  "/root/repo/src/core/static_analysis.cpp" "src/core/CMakeFiles/rnl_core.dir/static_analysis.cpp.o" "gcc" "src/core/CMakeFiles/rnl_core.dir/static_analysis.cpp.o.d"
+  "/root/repo/src/core/store.cpp" "src/core/CMakeFiles/rnl_core.dir/store.cpp.o" "gcc" "src/core/CMakeFiles/rnl_core.dir/store.cpp.o.d"
+  "/root/repo/src/core/testbed.cpp" "src/core/CMakeFiles/rnl_core.dir/testbed.cpp.o" "gcc" "src/core/CMakeFiles/rnl_core.dir/testbed.cpp.o.d"
+  "/root/repo/src/core/vt100.cpp" "src/core/CMakeFiles/rnl_core.dir/vt100.cpp.o" "gcc" "src/core/CMakeFiles/rnl_core.dir/vt100.cpp.o.d"
+  "/root/repo/src/core/webui.cpp" "src/core/CMakeFiles/rnl_core.dir/webui.cpp.o" "gcc" "src/core/CMakeFiles/rnl_core.dir/webui.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routeserver/CMakeFiles/rnl_routeserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ris/CMakeFiles/rnl_ris.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/rnl_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/rnl_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/rnl_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/rnl_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rnl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/rnl_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

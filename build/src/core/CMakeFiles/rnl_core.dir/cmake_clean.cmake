@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnl_core.dir/api.cpp.o"
+  "CMakeFiles/rnl_core.dir/api.cpp.o.d"
+  "CMakeFiles/rnl_core.dir/autotest.cpp.o"
+  "CMakeFiles/rnl_core.dir/autotest.cpp.o.d"
+  "CMakeFiles/rnl_core.dir/design.cpp.o"
+  "CMakeFiles/rnl_core.dir/design.cpp.o.d"
+  "CMakeFiles/rnl_core.dir/labservice.cpp.o"
+  "CMakeFiles/rnl_core.dir/labservice.cpp.o.d"
+  "CMakeFiles/rnl_core.dir/reservation.cpp.o"
+  "CMakeFiles/rnl_core.dir/reservation.cpp.o.d"
+  "CMakeFiles/rnl_core.dir/static_analysis.cpp.o"
+  "CMakeFiles/rnl_core.dir/static_analysis.cpp.o.d"
+  "CMakeFiles/rnl_core.dir/store.cpp.o"
+  "CMakeFiles/rnl_core.dir/store.cpp.o.d"
+  "CMakeFiles/rnl_core.dir/testbed.cpp.o"
+  "CMakeFiles/rnl_core.dir/testbed.cpp.o.d"
+  "CMakeFiles/rnl_core.dir/vt100.cpp.o"
+  "CMakeFiles/rnl_core.dir/vt100.cpp.o.d"
+  "CMakeFiles/rnl_core.dir/webui.cpp.o"
+  "CMakeFiles/rnl_core.dir/webui.cpp.o.d"
+  "librnl_core.a"
+  "librnl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

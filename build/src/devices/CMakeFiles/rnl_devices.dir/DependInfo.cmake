@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/cli.cpp" "src/devices/CMakeFiles/rnl_devices.dir/cli.cpp.o" "gcc" "src/devices/CMakeFiles/rnl_devices.dir/cli.cpp.o.d"
+  "/root/repo/src/devices/device.cpp" "src/devices/CMakeFiles/rnl_devices.dir/device.cpp.o" "gcc" "src/devices/CMakeFiles/rnl_devices.dir/device.cpp.o.d"
+  "/root/repo/src/devices/firewall.cpp" "src/devices/CMakeFiles/rnl_devices.dir/firewall.cpp.o" "gcc" "src/devices/CMakeFiles/rnl_devices.dir/firewall.cpp.o.d"
+  "/root/repo/src/devices/firmware.cpp" "src/devices/CMakeFiles/rnl_devices.dir/firmware.cpp.o" "gcc" "src/devices/CMakeFiles/rnl_devices.dir/firmware.cpp.o.d"
+  "/root/repo/src/devices/host.cpp" "src/devices/CMakeFiles/rnl_devices.dir/host.cpp.o" "gcc" "src/devices/CMakeFiles/rnl_devices.dir/host.cpp.o.d"
+  "/root/repo/src/devices/router.cpp" "src/devices/CMakeFiles/rnl_devices.dir/router.cpp.o" "gcc" "src/devices/CMakeFiles/rnl_devices.dir/router.cpp.o.d"
+  "/root/repo/src/devices/switch.cpp" "src/devices/CMakeFiles/rnl_devices.dir/switch.cpp.o" "gcc" "src/devices/CMakeFiles/rnl_devices.dir/switch.cpp.o.d"
+  "/root/repo/src/devices/traffgen.cpp" "src/devices/CMakeFiles/rnl_devices.dir/traffgen.cpp.o" "gcc" "src/devices/CMakeFiles/rnl_devices.dir/traffgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/packet/CMakeFiles/rnl_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/rnl_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rnl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnl_devices.dir/cli.cpp.o"
+  "CMakeFiles/rnl_devices.dir/cli.cpp.o.d"
+  "CMakeFiles/rnl_devices.dir/device.cpp.o"
+  "CMakeFiles/rnl_devices.dir/device.cpp.o.d"
+  "CMakeFiles/rnl_devices.dir/firewall.cpp.o"
+  "CMakeFiles/rnl_devices.dir/firewall.cpp.o.d"
+  "CMakeFiles/rnl_devices.dir/firmware.cpp.o"
+  "CMakeFiles/rnl_devices.dir/firmware.cpp.o.d"
+  "CMakeFiles/rnl_devices.dir/host.cpp.o"
+  "CMakeFiles/rnl_devices.dir/host.cpp.o.d"
+  "CMakeFiles/rnl_devices.dir/router.cpp.o"
+  "CMakeFiles/rnl_devices.dir/router.cpp.o.d"
+  "CMakeFiles/rnl_devices.dir/switch.cpp.o"
+  "CMakeFiles/rnl_devices.dir/switch.cpp.o.d"
+  "CMakeFiles/rnl_devices.dir/traffgen.cpp.o"
+  "CMakeFiles/rnl_devices.dir/traffgen.cpp.o.d"
+  "librnl_devices.a"
+  "librnl_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnl_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

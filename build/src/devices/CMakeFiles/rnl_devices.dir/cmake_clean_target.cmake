@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librnl_devices.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/addr.cpp" "src/packet/CMakeFiles/rnl_packet.dir/addr.cpp.o" "gcc" "src/packet/CMakeFiles/rnl_packet.dir/addr.cpp.o.d"
+  "/root/repo/src/packet/arp.cpp" "src/packet/CMakeFiles/rnl_packet.dir/arp.cpp.o" "gcc" "src/packet/CMakeFiles/rnl_packet.dir/arp.cpp.o.d"
+  "/root/repo/src/packet/builder.cpp" "src/packet/CMakeFiles/rnl_packet.dir/builder.cpp.o" "gcc" "src/packet/CMakeFiles/rnl_packet.dir/builder.cpp.o.d"
+  "/root/repo/src/packet/ethernet.cpp" "src/packet/CMakeFiles/rnl_packet.dir/ethernet.cpp.o" "gcc" "src/packet/CMakeFiles/rnl_packet.dir/ethernet.cpp.o.d"
+  "/root/repo/src/packet/failover.cpp" "src/packet/CMakeFiles/rnl_packet.dir/failover.cpp.o" "gcc" "src/packet/CMakeFiles/rnl_packet.dir/failover.cpp.o.d"
+  "/root/repo/src/packet/ipv4.cpp" "src/packet/CMakeFiles/rnl_packet.dir/ipv4.cpp.o" "gcc" "src/packet/CMakeFiles/rnl_packet.dir/ipv4.cpp.o.d"
+  "/root/repo/src/packet/stp.cpp" "src/packet/CMakeFiles/rnl_packet.dir/stp.cpp.o" "gcc" "src/packet/CMakeFiles/rnl_packet.dir/stp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rnl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnl_packet.dir/addr.cpp.o"
+  "CMakeFiles/rnl_packet.dir/addr.cpp.o.d"
+  "CMakeFiles/rnl_packet.dir/arp.cpp.o"
+  "CMakeFiles/rnl_packet.dir/arp.cpp.o.d"
+  "CMakeFiles/rnl_packet.dir/builder.cpp.o"
+  "CMakeFiles/rnl_packet.dir/builder.cpp.o.d"
+  "CMakeFiles/rnl_packet.dir/ethernet.cpp.o"
+  "CMakeFiles/rnl_packet.dir/ethernet.cpp.o.d"
+  "CMakeFiles/rnl_packet.dir/failover.cpp.o"
+  "CMakeFiles/rnl_packet.dir/failover.cpp.o.d"
+  "CMakeFiles/rnl_packet.dir/ipv4.cpp.o"
+  "CMakeFiles/rnl_packet.dir/ipv4.cpp.o.d"
+  "CMakeFiles/rnl_packet.dir/stp.cpp.o"
+  "CMakeFiles/rnl_packet.dir/stp.cpp.o.d"
+  "librnl_packet.a"
+  "librnl_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnl_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnl_ris.dir/ris.cpp.o"
+  "CMakeFiles/rnl_ris.dir/ris.cpp.o.d"
+  "librnl_ris.a"
+  "librnl_ris.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnl_ris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

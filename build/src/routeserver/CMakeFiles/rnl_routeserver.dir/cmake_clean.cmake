@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnl_routeserver.dir/routeserver.cpp.o"
+  "CMakeFiles/rnl_routeserver.dir/routeserver.cpp.o.d"
+  "librnl_routeserver.a"
+  "librnl_routeserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnl_routeserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

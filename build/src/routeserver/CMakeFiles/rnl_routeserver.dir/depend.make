@@ -1,0 +1,2 @@
+# Empty dependencies file for rnl_routeserver.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnl_simnet.dir/network.cpp.o"
+  "CMakeFiles/rnl_simnet.dir/network.cpp.o.d"
+  "CMakeFiles/rnl_simnet.dir/port.cpp.o"
+  "CMakeFiles/rnl_simnet.dir/port.cpp.o.d"
+  "CMakeFiles/rnl_simnet.dir/scheduler.cpp.o"
+  "CMakeFiles/rnl_simnet.dir/scheduler.cpp.o.d"
+  "librnl_simnet.a"
+  "librnl_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnl_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

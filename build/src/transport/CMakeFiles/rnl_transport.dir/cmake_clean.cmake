@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnl_transport.dir/sim_stream.cpp.o"
+  "CMakeFiles/rnl_transport.dir/sim_stream.cpp.o.d"
+  "CMakeFiles/rnl_transport.dir/tcp.cpp.o"
+  "CMakeFiles/rnl_transport.dir/tcp.cpp.o.d"
+  "librnl_transport.a"
+  "librnl_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnl_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnl_util.dir/bytes.cpp.o"
+  "CMakeFiles/rnl_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/rnl_util.dir/crc32.cpp.o"
+  "CMakeFiles/rnl_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/rnl_util.dir/json.cpp.o"
+  "CMakeFiles/rnl_util.dir/json.cpp.o.d"
+  "CMakeFiles/rnl_util.dir/logging.cpp.o"
+  "CMakeFiles/rnl_util.dir/logging.cpp.o.d"
+  "CMakeFiles/rnl_util.dir/strings.cpp.o"
+  "CMakeFiles/rnl_util.dir/strings.cpp.o.d"
+  "CMakeFiles/rnl_util.dir/time.cpp.o"
+  "CMakeFiles/rnl_util.dir/time.cpp.o.d"
+  "librnl_util.a"
+  "librnl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/compression.cpp" "src/wire/CMakeFiles/rnl_wire.dir/compression.cpp.o" "gcc" "src/wire/CMakeFiles/rnl_wire.dir/compression.cpp.o.d"
+  "/root/repo/src/wire/layer1.cpp" "src/wire/CMakeFiles/rnl_wire.dir/layer1.cpp.o" "gcc" "src/wire/CMakeFiles/rnl_wire.dir/layer1.cpp.o.d"
+  "/root/repo/src/wire/netem.cpp" "src/wire/CMakeFiles/rnl_wire.dir/netem.cpp.o" "gcc" "src/wire/CMakeFiles/rnl_wire.dir/netem.cpp.o.d"
+  "/root/repo/src/wire/tunnel.cpp" "src/wire/CMakeFiles/rnl_wire.dir/tunnel.cpp.o" "gcc" "src/wire/CMakeFiles/rnl_wire.dir/tunnel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/rnl_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rnl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

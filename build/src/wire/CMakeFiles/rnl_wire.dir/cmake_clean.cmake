@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnl_wire.dir/compression.cpp.o"
+  "CMakeFiles/rnl_wire.dir/compression.cpp.o.d"
+  "CMakeFiles/rnl_wire.dir/layer1.cpp.o"
+  "CMakeFiles/rnl_wire.dir/layer1.cpp.o.d"
+  "CMakeFiles/rnl_wire.dir/netem.cpp.o"
+  "CMakeFiles/rnl_wire.dir/netem.cpp.o.d"
+  "CMakeFiles/rnl_wire.dir/tunnel.cpp.o"
+  "CMakeFiles/rnl_wire.dir/tunnel.cpp.o.d"
+  "librnl_wire.a"
+  "librnl_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnl_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_restore_test.dir/config_restore_test.cpp.o"
+  "CMakeFiles/config_restore_test.dir/config_restore_test.cpp.o.d"
+  "config_restore_test"
+  "config_restore_test.pdb"
+  "config_restore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_restore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_edge_test.dir/device_edge_test.cpp.o"
+  "CMakeFiles/device_edge_test.dir/device_edge_test.cpp.o.d"
+  "device_edge_test"
+  "device_edge_test.pdb"
+  "device_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labservice_test.dir/labservice_test.cpp.o"
+  "CMakeFiles/labservice_test.dir/labservice_test.cpp.o.d"
+  "labservice_test"
+  "labservice_test.pdb"
+  "labservice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labservice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ris_extras_test.dir/ris_extras_test.cpp.o"
+  "CMakeFiles/ris_extras_test.dir/ris_extras_test.cpp.o.d"
+  "ris_extras_test"
+  "ris_extras_test.pdb"
+  "ris_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ris_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

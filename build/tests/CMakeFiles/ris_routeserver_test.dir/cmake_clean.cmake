@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ris_routeserver_test.dir/ris_routeserver_test.cpp.o"
+  "CMakeFiles/ris_routeserver_test.dir/ris_routeserver_test.cpp.o.d"
+  "ris_routeserver_test"
+  "ris_routeserver_test.pdb"
+  "ris_routeserver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ris_routeserver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_analysis_test.dir/static_analysis_test.cpp.o"
+  "CMakeFiles/static_analysis_test.dir/static_analysis_test.cpp.o.d"
+  "static_analysis_test"
+  "static_analysis_test.pdb"
+  "static_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/switch_test.cpp" "tests/CMakeFiles/switch_test.dir/switch_test.cpp.o" "gcc" "tests/CMakeFiles/switch_test.dir/switch_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rnl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/routeserver/CMakeFiles/rnl_routeserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ris/CMakeFiles/rnl_ris.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/rnl_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/rnl_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/rnl_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/rnl_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/rnl_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rnl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffgen_test.dir/traffgen_test.cpp.o"
+  "CMakeFiles/traffgen_test.dir/traffgen_test.cpp.o.d"
+  "traffgen_test"
+  "traffgen_test.pdb"
+  "traffgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

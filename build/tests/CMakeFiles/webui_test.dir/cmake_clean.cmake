@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webui_test.dir/webui_test.cpp.o"
+  "CMakeFiles/webui_test.dir/webui_test.cpp.o.d"
+  "webui_test"
+  "webui_test.pdb"
+  "webui_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webui_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

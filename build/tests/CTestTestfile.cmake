@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/packet_test[1]_include.cmake")
+include("/root/repo/build/tests/simnet_test[1]_include.cmake")
+include("/root/repo/build/tests/switch_test[1]_include.cmake")
+include("/root/repo/build/tests/router_test[1]_include.cmake")
+include("/root/repo/build/tests/firewall_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/ris_routeserver_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/labservice_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/service_extras_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/traffgen_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/device_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/static_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/webui_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/api_test[1]_include.cmake")
+include("/root/repo/build/tests/ris_extras_test[1]_include.cmake")
+include("/root/repo/build/tests/config_restore_test[1]_include.cmake")
