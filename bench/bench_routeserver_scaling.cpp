@@ -14,10 +14,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <thread>
 #include <vector>
 
 #include "core/testbed.h"
+#include "util/json.h"
 
 using namespace rnl;
 
@@ -51,7 +53,12 @@ std::size_t drive_user(core::Testbed& bed, std::size_t user) {
   return 0;
 }
 
-double run_central(std::size_t users) {
+struct CentralResult {
+  double frames_per_sec = 0;
+  routeserver::RouteServerStats stats;
+};
+
+CentralResult run_central(std::size_t users) {
   core::Testbed bed(70, wire::NetemProfile::lan());
   for (std::size_t u = 0; u < users; ++u) add_user(bed, u);
   bed.join_all();
@@ -74,7 +81,10 @@ double run_central(std::size_t users) {
   double wall_s = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - wall_start)
                       .count();
-  return static_cast<double>(users * kFramesPerUser) / wall_s;
+  return CentralResult{
+      static_cast<double>(users * kFramesPerUser) / wall_s,
+      bed.server().stats(),
+  };
 }
 
 double run_per_user(std::size_t users) {
@@ -105,6 +115,24 @@ double run_per_user(std::size_t users) {
   return static_cast<double>(users * kFramesPerUser) / wall_s;
 }
 
+/// Central-server frames/s measured on this repository BEFORE the zero-copy
+/// fast path and flat port tables landed (map-based tables, per-frame payload
+/// copies), same host class and kFramesPerUser. The JSON report compares the
+/// current build against these so a regression is visible at a glance.
+struct BaselinePoint {
+  std::size_t users;
+  double central_frames_per_sec;
+};
+constexpr BaselinePoint kPreZeroCopyBaseline[] = {
+    {1, 316277}, {2, 356830}, {4, 315666}, {8, 277185}};
+
+double baseline_for(std::size_t users) {
+  for (const auto& point : kPreZeroCopyBaseline) {
+    if (point.users == users) return point.central_frames_per_sec;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main() {
@@ -114,15 +142,47 @@ int main() {
       "(%zu frames per user; aggregate wall-clock throughput; %u hardware "
       "threads)\n\n",
       kFramesPerUser, cores);
-  std::printf("%7s %22s %22s %10s\n", "users", "central (frames/s)",
-              "per-user (frames/s)", "speedup");
+  std::printf("%7s %22s %22s %10s %14s\n", "users", "central (frames/s)",
+              "per-user (frames/s)", "speedup", "vs pre-0copy");
+  util::Json report = util::Json::object();
+  report.set("bench", "routeserver_central_vs_per_user");
+  report.set("frames_per_user", std::uint64_t{kFramesPerUser});
+  report.set("hardware_threads", static_cast<std::uint64_t>(cores));
+  util::Json rows = util::Json::array();
   for (std::size_t users : {1, 2, 4, 8}) {
-    double central = run_central(users);
+    CentralResult central = run_central(users);
     double per_user = run_per_user(users);
-    std::printf("%7zu %22.0f %22.0f %9.2fx\n", users, central, per_user,
-                per_user / central);
+    double baseline = baseline_for(users);
+    double vs_baseline =
+        baseline > 0 ? central.frames_per_sec / baseline : 0;
+    std::printf("%7zu %22.0f %22.0f %9.2fx %13.2fx\n", users,
+                central.frames_per_sec, per_user,
+                per_user / central.frames_per_sec, vs_baseline);
+    const auto& dp = central.stats.dataplane;
+    util::Json row = util::Json::object();
+    row.set("users", static_cast<std::uint64_t>(users));
+    row.set("central_frames_per_sec", central.frames_per_sec);
+    row.set("per_user_frames_per_sec", per_user);
+    row.set("baseline_central_frames_per_sec", baseline);
+    row.set("speedup_vs_baseline", vs_baseline);
+    row.set("frames_routed", central.stats.frames_routed);
+    row.set("injected_frames", central.stats.injected_frames);
+    row.set("fast_path_frames", dp.fast_path_frames);
+    row.set("slow_path_frames", dp.slow_path_frames);
+    row.set("payload_allocs", dp.payload_allocs);
+    row.set("bytes_copied", dp.bytes_copied);
+    row.set("allocs_avoided", dp.allocs_avoided);
+    row.set("copies_avoided", dp.copies_avoided);
+    rows.push_back(std::move(row));
+  }
+  report.set("rows", std::move(rows));
+  {
+    std::ofstream out("BENCH_routeserver.json");
+    out << report.dump_pretty() << "\n";
   }
   std::printf(
+      "\nMachine-readable report written to BENCH_routeserver.json\n"
+      "(baseline column: this repo before the zero-copy data plane).\n"
       "\nShape check: central throughput is roughly flat in the user count\n"
       "(one funnel), while per-user servers scale with available cores:\n"
       "expect speedup ~= min(users, hardware threads). On a single-core\n"

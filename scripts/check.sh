@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build and run the test suite in the normal
+# configuration AND under ASan+UBSan (RNL_SANITIZE=ON). The zero-copy data
+# plane hands out views into reusable buffers, so lifetime mistakes tend to
+# pass plain tests and only show up under the sanitizers.
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+run_config() {
+  local dir="$1"
+  shift
+  echo "=== configure $dir ($*) ==="
+  cmake -B "$dir" -S . "$@" >/dev/null
+  echo "=== build $dir ==="
+  cmake --build "$dir" -j "$jobs"
+  echo "=== ctest $dir ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+run_config build
+run_config build-sanitize -DCMAKE_BUILD_TYPE=Debug -DRNL_SANITIZE=ON
+
+echo "All checks passed."

@@ -178,24 +178,50 @@ void RouterInterface::leave() {
 
 void RouterInterface::send_message(const wire::TunnelMessage& message,
                                    bool compressible) {
-  if (!transport_ || !transport_->is_open()) return;
   if (compressible) {
-    // The compressor ring advances on *every* data frame (compressed or
-    // not) so encoder and decoder histories stay aligned even when
-    // compression is toggled.
-    auto compressed = compressor_.compress(message.payload);
-    if (compression_enabled_ && compressed.has_value()) {
-      util::Bytes wire_bytes = wire::encode_message(message, &*compressed);
-      transport_->send(wire_bytes);
-      return;
-    }
+    send_data(message.router_id, message.port_id, message.payload);
+    return;
   }
+  if (!transport_ || !transport_->is_open()) return;
   util::Bytes wire_bytes = wire::encode_message(message);
   transport_->send(wire_bytes);
 }
 
+void RouterInterface::send_data(wire::RouterId router_id, wire::PortId port_id,
+                                util::BytesView frame) {
+  if (!transport_ || !transport_->is_open()) return;
+  util::ByteWriter& w = send_buffer_;
+  w.clear();
+  const std::size_t cap_before = w.capacity();
+  bool sent_compressed = false;
+  if (compression_enabled_) {
+    // The compressor ring advances on *every* data frame (compressed or
+    // not) so encoder and decoder histories stay aligned even when
+    // compression is toggled.
+    auto compressed = compressor_.compress(frame);
+    if (compressed.has_value()) {
+      ++stats_.payload_allocs;
+      wire::encode_message_into(w, wire::MessageType::kData, router_id,
+                                port_id, *compressed, /*compressed=*/true);
+      sent_compressed = true;
+    }
+  } else {
+    // Compression off: record the frame without the reference search so the
+    // rings stay in lockstep if compression is toggled mid-stream.
+    compressor_.note_outgoing(frame);
+  }
+  if (!sent_compressed) {
+    wire::encode_message_into(w, wire::MessageType::kData, router_id, port_id,
+                              frame);
+  }
+  bool grew = w.capacity() != cap_before;
+  if (grew) ++stats_.payload_allocs;
+  if (!grew && !compression_enabled_) ++stats_.fast_path_frames;
+  transport_->send(w.view());
+}
+
 void RouterInterface::on_transport_data(util::BytesView chunk) {
-  auto messages = decoder_.feed(chunk);
+  const auto& messages = decoder_.feed_views(chunk);
   if (decoder_.failed()) {
     ++stats_.decode_errors;
     RNL_LOG(kError, kLog) << site_name_ << ": " << decoder_.error();
@@ -206,8 +232,7 @@ void RouterInterface::on_transport_data(util::BytesView chunk) {
 }
 
 void RouterInterface::handle_message(
-    const wire::MessageDecoder::Decoded& decoded) {
-  const wire::TunnelMessage& msg = decoded.message;
+    const wire::MessageDecoder::DecodedView& msg) {
   switch (msg.type) {
     case wire::MessageType::kJoinAck: {
       std::string json(msg.payload.begin(), msg.payload.end());
@@ -253,17 +278,20 @@ void RouterInterface::handle_message(
       return;
     }
     case wire::MessageType::kData: {
-      util::Bytes frame;
-      if (decoded.compressed) {
+      util::Bytes inflated_frame;  // only materialized for compressed frames
+      util::BytesView frame;
+      if (msg.compressed) {
         auto inflated = decompressor_.decompress(msg.payload);
         if (!inflated.ok()) {
           ++stats_.decode_errors;
           return;
         }
-        frame = std::move(inflated).take();
+        inflated_frame = std::move(inflated).take();
+        frame = inflated_frame;
+        ++stats_.payload_allocs;
       } else {
         decompressor_.note_raw(msg.payload);
-        frame = msg.payload;
+        frame = msg.payload;  // zero-copy: view into the decoder buffer
       }
       auto slot = id_to_slot_.find({msg.router_id, msg.port_id});
       if (slot == id_to_slot_.end()) {
@@ -339,14 +367,9 @@ void RouterInterface::on_nic_frame(std::size_t router_index,
     router_id = routers_[slice->second].assigned_id;
   }
 
-  wire::TunnelMessage msg;
-  msg.type = wire::MessageType::kData;
-  msg.router_id = router_id;
-  msg.port_id = mapped.assigned_id;
-  msg.payload.assign(frame.begin(), frame.end());
   ++stats_.frames_up;
   stats_.bytes_up += frame.size();
-  send_message(msg, /*compressible=*/true);
+  send_data(router_id, mapped.assigned_id, frame);
 }
 
 }  // namespace rnl::ris

@@ -38,6 +38,10 @@ struct RisStats {
   std::uint64_t bytes_down = 0;
   std::uint64_t unknown_port_drops = 0;
   std::uint64_t decode_errors = 0;
+  /// Zero-copy fast path observability (mirrors the route server's
+  /// DataPlaneStats): frames relayed without any per-frame heap allocation.
+  std::uint64_t fast_path_frames = 0;
+  std::uint64_t payload_allocs = 0;
 };
 
 class RouterInterface {
@@ -118,8 +122,13 @@ class RouterInterface {
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
   void send_message(const wire::TunnelMessage& message, bool compressible);
+  /// Zero-copy data-frame send: runs the compression policy on `frame` and
+  /// serializes straight into the reusable send buffer (no TunnelMessage,
+  /// no payload copy). The counterpart of RouteServer::deliver_to_port.
+  void send_data(wire::RouterId router_id, wire::PortId port_id,
+                 util::BytesView frame);
   void on_transport_data(util::BytesView chunk);
-  void handle_message(const wire::MessageDecoder::Decoded& decoded);
+  void handle_message(const wire::MessageDecoder::DecodedView& decoded);
   void on_nic_frame(std::size_t router_index, std::size_t port_slot,
                     util::BytesView frame);
   void handle_console_input(Router& router, util::BytesView bytes);
@@ -132,6 +141,9 @@ class RouterInterface {
   wire::MessageDecoder decoder_;
   wire::TemplateCompressor compressor_;
   wire::TemplateDecompressor decompressor_;
+  /// Reusable send buffer: data frames serialize into it in place (cleared
+  /// per send, capacity kept), so steady-state uplink is allocation-free.
+  util::ByteWriter send_buffer_;
   bool compression_enabled_ = false;
   bool joined_ = false;
   util::Duration keepalive_interval_{util::Duration::seconds(10)};

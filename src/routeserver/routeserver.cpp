@@ -2,13 +2,35 @@
 
 #include <algorithm>
 
+#ifdef RNL_DATAPLANE_CYCLES
+#include <chrono>
+#endif
+
 #include "util/logging.h"
 
 namespace rnl::routeserver {
 
 namespace {
 constexpr const char* kLog = "routeserver";
+
+#ifdef RNL_DATAPLANE_CYCLES
+std::uint64_t stage_clock_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
+#define RNL_STAGE_START(var) const std::uint64_t var = stage_clock_ns()
+#define RNL_STAGE_END(var, counter) (counter) += stage_clock_ns() - (var)
+#else
+#define RNL_STAGE_START(var) \
+  do {                       \
+  } while (false)
+#define RNL_STAGE_END(var, counter) \
+  do {                              \
+  } while (false)
+#endif
+}  // namespace
 
 RouteServer::RouteServer(simnet::Scheduler& scheduler)
     : scheduler_(scheduler) {}
@@ -61,7 +83,9 @@ void RouteServer::set_liveness_timeout(util::Duration timeout) {
 void RouteServer::on_site_data(Site* site, util::BytesView chunk) {
   if (site->dead) return;
   site->last_heard = scheduler_.now();
-  auto messages = site->decoder.feed(chunk);
+  RNL_STAGE_START(decode_start);
+  const auto& messages = site->decoder.feed_views(chunk);
+  RNL_STAGE_END(decode_start, stats_.dataplane.decode_ns);
   if (site->decoder.failed()) {
     ++stats_.decode_errors;
     RNL_LOG(kError, kLog) << "site '" << site->name
@@ -69,6 +93,8 @@ void RouteServer::on_site_data(Site* site, util::BytesView chunk) {
     site->transport->close();  // close handler marks the site dead
     return;
   }
+  // The views (and their payloads) stay valid for this whole loop: nothing
+  // below feeds this site's decoder again.
   for (const auto& decoded : messages) {
     handle_message(site, decoded);
     if (site->dead) break;  // kLeave or error mid-batch
@@ -79,17 +105,17 @@ void RouteServer::on_site_data(Site* site, util::BytesView chunk) {
 }
 
 void RouteServer::handle_message(
-    Site* site, const wire::MessageDecoder::Decoded& decoded) {
-  switch (decoded.message.type) {
+    Site* site, const wire::MessageDecoder::DecodedView& decoded) {
+  switch (decoded.type) {
     case wire::MessageType::kJoin:
-      handle_join(site, decoded.message);
+      handle_join(site, decoded);
       return;
     case wire::MessageType::kData:
-      handle_data(site, decoded.message, decoded.compressed);
+      handle_data(site, decoded);
       return;
     case wire::MessageType::kConsoleData:
       if (console_output_) {
-        console_output_(decoded.message.router_id, decoded.message.payload);
+        console_output_(decoded.router_id, decoded.payload);
       }
       return;
     case wire::MessageType::kKeepalive:
@@ -103,7 +129,16 @@ void RouteServer::handle_message(
   }
 }
 
-void RouteServer::handle_join(Site* site, const wire::TunnelMessage& msg) {
+void RouteServer::send_control(Site* site, wire::MessageType type,
+                               wire::RouterId router, util::BytesView payload) {
+  site->send_buffer.clear();
+  wire::encode_message_into(site->send_buffer, type, router, /*port_id=*/0,
+                            payload);
+  site->transport->send(site->send_buffer.view());
+}
+
+void RouteServer::handle_join(Site* site,
+                              const wire::MessageDecoder::DecodedView& msg) {
   std::string json(msg.payload.begin(), msg.payload.end());
   auto parsed = util::Json::parse(json);
   if (!parsed.ok()) {
@@ -114,12 +149,11 @@ void RouteServer::handle_join(Site* site, const wire::TunnelMessage& msg) {
   if (!request.ok()) {
     ++stats_.decode_errors;
     RNL_LOG(kWarn, kLog) << "rejecting malformed JOIN: " << request.error();
-    wire::TunnelMessage error;
-    error.type = wire::MessageType::kError;
     std::string text = "malformed join: " + request.error();
-    error.payload.assign(text.begin(), text.end());
-    util::Bytes wire_bytes = wire::encode_message(error);
-    site->transport->send(wire_bytes);
+    send_control(site, wire::MessageType::kError, 0,
+                 util::BytesView(reinterpret_cast<const std::uint8_t*>(
+                                     text.data()),
+                                 text.size()));
     return;
   }
 
@@ -146,8 +180,10 @@ void RouteServer::handle_join(Site* site, const wire::TunnelMessage& msg) {
       port.rect_h = declared_port.rect_h;
       router.ports.push_back(port);
       ids.port_ids.push_back(port.id);
+      ensure_port_tables(next_port_id_);
       ports_[port.id] =
           PortRecord{site, router.id, port.name, port.description};
+      ++port_count_;
     }
     routers_[router.id] = std::move(router);
     router_sites_[ids.router_id] = site;
@@ -157,71 +193,109 @@ void RouteServer::handle_join(Site* site, const wire::TunnelMessage& msg) {
   site->joined = true;
   ++stats_.sites_joined;
 
-  wire::TunnelMessage reply;
-  reply.type = wire::MessageType::kJoinAck;
   std::string ack_json = ack.to_json().dump();
-  reply.payload.assign(ack_json.begin(), ack_json.end());
-  util::Bytes wire_bytes = wire::encode_message(reply);
-  site->transport->send(wire_bytes);
+  send_control(site, wire::MessageType::kJoinAck, 0,
+               util::BytesView(
+                   reinterpret_cast<const std::uint8_t*>(ack_json.data()),
+                   ack_json.size()));
 
   RNL_LOG(kInfo, kLog) << "site '" << site->name << "' joined with "
                        << request->routers.size() << " routers";
   if (inventory_changed_) inventory_changed_();
 }
 
-void RouteServer::handle_data(Site* site, const wire::TunnelMessage& msg,
-                              bool compressed) {
-  util::Bytes frame;
-  if (compressed) {
+void RouteServer::handle_data(Site* site,
+                              const wire::MessageDecoder::DecodedView& msg) {
+  RNL_STAGE_START(route_start);
+  util::BytesView frame;
+  bool slow = false;
+  if (msg.compressed) {
     auto inflated = site->decompressor.decompress(msg.payload);
     if (!inflated.ok()) {
       ++stats_.decode_errors;
       return;
     }
-    frame = std::move(inflated).take();
+    site->inflate_buffer = std::move(inflated).take();
+    frame = site->inflate_buffer;
+    slow = true;
+    ++stats_.dataplane.payload_allocs;  // decompressor output buffer
   } else {
     site->decompressor.note_raw(msg.payload);
-    frame = msg.payload;
+    frame = msg.payload;  // zero-copy: view into the decoder buffer
   }
 
-  note_capture(msg.port_id, /*to_port=*/false, frame);
+  if (active_captures_ != 0) {
+    note_capture(msg.port_id, /*to_port=*/false, frame);
+    slow = true;
+  }
 
-  auto wire_end = matrix_.find(msg.port_id);
-  if (wire_end == matrix_.end()) {
+  if (msg.port_id >= matrix_.size() || matrix_[msg.port_id].peer == 0) {
     ++stats_.unrouted_drops;
     return;
   }
+  const WireEnd& wire_end = matrix_[msg.port_id];
   ++stats_.frames_routed;
   stats_.bytes_routed += frame.size();
-  wire::PortId dest = wire_end->second.peer;
-  if (wire_end->second.netem != nullptr) {
-    wire_end->second.netem->send(frame);  // sink delivers to `dest`
+  RNL_STAGE_END(route_start, stats_.dataplane.route_ns);
+  if (wire_end.netem != nullptr) {
+    wire_end.netem->send(frame);  // sink delivers to the peer after the WAN
   } else {
-    deliver_to_port(dest, frame);
+    deliver_to_port(wire_end.peer, frame, slow);
   }
 }
 
-void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame) {
-  auto record = ports_.find(port);
-  if (record == ports_.end()) return;  // site vanished mid-flight
-  Site* site = record->second.site;
-  if (site == nullptr || site->dead || !site->transport->is_open()) return;
+void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame,
+                                  bool slow) {
+  PortRecord* record = port_record(port);
+  if (record == nullptr) return;  // site vanished mid-flight
+  Site* site = record->site;
+  if (site->dead || !site->transport->is_open()) return;
 
-  note_capture(port, /*to_port=*/true, frame);
+  if (active_captures_ != 0) {
+    note_capture(port, /*to_port=*/true, frame);
+    slow = true;
+  }
 
-  wire::TunnelMessage msg;
-  msg.type = wire::MessageType::kData;
-  msg.router_id = record->second.router;
-  msg.port_id = port;
-  msg.payload.assign(frame.begin(), frame.end());
-
-  auto compressed = site->compressor.compress(msg.payload);
-  if (compression_enabled_ && compressed.has_value()) {
-    util::Bytes wire_bytes = wire::encode_message(msg, &*compressed);
-    site->transport->send(wire_bytes);
+  RNL_STAGE_START(encode_start);
+  util::ByteWriter& w = site->send_buffer;
+  w.clear();
+  const std::size_t cap_before = w.capacity();
+  bool sent_compressed = false;
+  if (compression_enabled_) {
+    slow = true;  // the reference search + encode allocate by design
+    auto compressed = site->compressor.compress(frame);
+    if (compressed.has_value()) {
+      ++stats_.dataplane.payload_allocs;  // compressor output buffer
+      wire::encode_message_into(w, wire::MessageType::kData, record->router,
+                                port, *compressed, /*compressed=*/true);
+      sent_compressed = true;
+    }
   } else {
-    util::Bytes wire_bytes = wire::encode_message(msg);
-    site->transport->send(wire_bytes);
+    // Compression off: skip the reference search entirely but keep the ring
+    // advancing so the peer's decompressor stays in lockstep if compression
+    // is toggled back on mid-stream.
+    site->compressor.note_outgoing(frame);
+  }
+  if (!sent_compressed) {
+    wire::encode_message_into(w, wire::MessageType::kData, record->router,
+                              port, frame);
+  }
+  if (w.capacity() != cap_before) {
+    ++stats_.dataplane.payload_allocs;  // send buffer grew (cold start)
+    slow = true;
+  }
+  stats_.dataplane.bytes_copied += frame.size();
+  site->transport->send(w.view());
+  RNL_STAGE_END(encode_start, stats_.dataplane.encode_send_ns);
+
+  if (slow) {
+    ++stats_.dataplane.slow_path_frames;
+  } else {
+    ++stats_.dataplane.fast_path_frames;
+    // The copying design allocated the decoder payload, the TunnelMessage
+    // payload, and the encoded wire buffer, copying the frame into each.
+    stats_.dataplane.allocs_avoided += 3;
+    stats_.dataplane.copies_avoided += 2;
   }
 }
 
@@ -237,8 +311,14 @@ void RouteServer::drop_site(Site* site) {
     if (router != routers_.end()) {
       for (const auto& port : router->second.ports) {
         disconnect_port(port.id);
-        ports_.erase(port.id);
-        captures_.erase(port.id);
+        if (port.id < ports_.size() && ports_[port.id].site != nullptr) {
+          ports_[port.id] = PortRecord{};
+          --port_count_;
+        }
+        if (port.id < captures_.size() && captures_[port.id] != nullptr) {
+          captures_[port.id].reset();
+          --active_captures_;
+        }
       }
       routers_.erase(router);
     }
@@ -279,7 +359,14 @@ std::optional<InventoryRouter> RouteServer::find_router(
 }
 
 bool RouteServer::port_exists(wire::PortId id) const {
-  return ports_.contains(id);
+  return id < ports_.size() && ports_[id].site != nullptr;
+}
+
+void RouteServer::ensure_port_tables(wire::PortId limit) {
+  if (limit < ports_.size()) return;
+  ports_.resize(limit + 1);
+  matrix_.resize(limit + 1);
+  captures_.resize(limit + 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -289,10 +376,10 @@ bool RouteServer::port_exists(wire::PortId id) const {
 util::Status RouteServer::connect_ports(wire::PortId a, wire::PortId b,
                                         wire::NetemProfile wan) {
   if (a == b) return util::Error{"connect_ports: port cannot loop to itself"};
-  if (!ports_.contains(a) || !ports_.contains(b)) {
+  if (!port_exists(a) || !port_exists(b)) {
     return util::Error{"connect_ports: unknown port id"};
   }
-  if (matrix_.contains(a) || matrix_.contains(b)) {
+  if (matrix_[a].peer != 0 || matrix_[b].peer != 0) {
     return util::Error{
         "connect_ports: port already wired (deployed labs must be mutually "
         "exclusive)"};
@@ -304,66 +391,70 @@ util::Status RouteServer::connect_ports(wire::PortId a, wire::PortId b,
                     wan.loss_probability != 0;
     if (impaired) {
       end.netem = std::make_unique<wire::Netem>(
-          scheduler_, wan,
-          [this, dest](util::Bytes frame) { deliver_to_port(dest, frame); });
+          scheduler_, wan, [this, dest](util::Bytes frame) {
+            deliver_to_port(dest, frame, /*slow=*/true);
+          });
     }
     return end;
   };
   matrix_[a] = make_end(b);
   matrix_[b] = make_end(a);
+  ++wires_;
   return util::Status::Ok();
 }
 
 void RouteServer::disconnect_port(wire::PortId port) {
-  auto it = matrix_.find(port);
-  if (it == matrix_.end()) return;
-  wire::PortId peer = it->second.peer;
-  matrix_.erase(it);
-  matrix_.erase(peer);
+  if (port >= matrix_.size() || matrix_[port].peer == 0) return;
+  wire::PortId peer = matrix_[port].peer;
+  matrix_[port] = WireEnd{};
+  if (peer < matrix_.size()) matrix_[peer] = WireEnd{};
+  --wires_;
 }
 
 std::optional<wire::PortId> RouteServer::connected_to(
     wire::PortId port) const {
-  auto it = matrix_.find(port);
-  if (it == matrix_.end()) return std::nullopt;
-  return it->second.peer;
+  if (port >= matrix_.size() || matrix_[port].peer == 0) return std::nullopt;
+  return matrix_[port].peer;
 }
 
-std::size_t RouteServer::wire_count() const { return matrix_.size() / 2; }
+std::size_t RouteServer::wire_count() const { return wires_; }
 
 // ---------------------------------------------------------------------------
 // Capture & generation
 // ---------------------------------------------------------------------------
 
 void RouteServer::start_capture(wire::PortId port) {
-  captures_[port];  // creates (or keeps) the buffer
+  ensure_port_tables(port);
+  if (captures_[port] == nullptr) {
+    captures_[port] = std::make_unique<std::vector<CapturedFrame>>();
+    ++active_captures_;
+  }
 }
 
 std::vector<CapturedFrame> RouteServer::stop_capture(wire::PortId port) {
-  auto it = captures_.find(port);
-  if (it == captures_.end()) return {};
-  std::vector<CapturedFrame> out = std::move(it->second);
-  captures_.erase(it);
+  if (port >= captures_.size() || captures_[port] == nullptr) return {};
+  std::vector<CapturedFrame> out = std::move(*captures_[port]);
+  captures_[port].reset();
+  --active_captures_;
   return out;
 }
 
 std::size_t RouteServer::capture_size(wire::PortId port) const {
-  auto it = captures_.find(port);
-  return it == captures_.end() ? 0 : it->second.size();
+  if (port >= captures_.size() || captures_[port] == nullptr) return 0;
+  return captures_[port]->size();
 }
 
 void RouteServer::note_capture(wire::PortId port, bool to_port,
                                util::BytesView frame) {
-  auto it = captures_.find(port);
-  if (it == captures_.end()) return;
-  it->second.push_back(CapturedFrame{
+  if (port >= captures_.size() || captures_[port] == nullptr) return;
+  captures_[port]->push_back(CapturedFrame{
       port, to_port, util::Bytes(frame.begin(), frame.end()),
       scheduler_.now()});
 }
 
 util::Status RouteServer::inject_frame(wire::PortId port,
                                        util::BytesView frame) {
-  if (!ports_.contains(port)) {
+  if (!port_exists(port)) {
     return util::Error{"inject_frame: unknown port id"};
   }
   ++stats_.injected_frames;
@@ -381,12 +472,7 @@ util::Status RouteServer::console_send(wire::RouterId router,
   if (site == router_sites_.end()) {
     return util::Error{"console_send: unknown router id"};
   }
-  wire::TunnelMessage msg;
-  msg.type = wire::MessageType::kConsoleData;
-  msg.router_id = router;
-  msg.payload.assign(bytes.begin(), bytes.end());
-  util::Bytes wire_bytes = wire::encode_message(msg);
-  site->second->transport->send(wire_bytes);
+  send_control(site->second, wire::MessageType::kConsoleData, router, bytes);
   return util::Status::Ok();
 }
 

@@ -68,6 +68,36 @@ struct CapturedFrame {
   util::SimTime at{};
 };
 
+/// Per-frame fast-path observability. "Fast path" means a raw (uncompressed)
+/// frame that was forwarded with no capture active and zero heap allocations:
+/// decoded as a view into the connection buffer, serialized straight into the
+/// owning site's reusable send buffer. Every frame that had to allocate —
+/// decompression, compression, a growing send buffer, an impaired wire, a
+/// running capture — is a slow-path frame.
+struct DataPlaneStats {
+  std::uint64_t fast_path_frames = 0;
+  std::uint64_t slow_path_frames = 0;
+  /// Heap allocations observed on the per-frame path (send-buffer growth,
+  /// (de)compression output buffers). Zero in steady state.
+  std::uint64_t payload_allocs = 0;
+  /// Payload bytes memcpy'd into send buffers (the one copy that remains:
+  /// framing the payload behind its header for the transport).
+  std::uint64_t bytes_copied = 0;
+  /// What the pre-zero-copy design would have spent: per fast-path frame it
+  /// allocated 3 owning buffers (decoder payload, TunnelMessage payload,
+  /// encoded wire bytes) and copied the payload 2 extra times.
+  std::uint64_t allocs_avoided = 0;
+  std::uint64_t copies_avoided = 0;
+#ifdef RNL_DATAPLANE_CYCLES
+  /// Per-stage wall time (nanoseconds), compiled in with -DRNL_DATAPLANE_CYCLES
+  /// (CMake option RNL_DATAPLANE_CYCLES). Off by default: reading the clock
+  /// twice per stage is itself a per-frame cost.
+  std::uint64_t decode_ns = 0;
+  std::uint64_t route_ns = 0;
+  std::uint64_t encode_send_ns = 0;
+#endif
+};
+
 struct RouteServerStats {
   std::uint64_t frames_routed = 0;
   std::uint64_t bytes_routed = 0;
@@ -76,6 +106,7 @@ struct RouteServerStats {
   std::uint64_t decode_errors = 0;
   std::uint64_t sites_joined = 0;
   std::uint64_t sites_lost = 0;
+  DataPlaneStats dataplane;
 };
 
 class RouteServer {
@@ -145,6 +176,12 @@ class RouteServer {
     // we send to it.
     wire::TemplateDecompressor decompressor;
     wire::TemplateCompressor compressor;
+    /// Reusable buffers: outgoing frames serialize straight into
+    /// `send_buffer` (cleared, capacity kept), and decompressed inbound
+    /// payloads land in `inflate_buffer`. Both stop allocating once they
+    /// have seen the site's largest frame.
+    util::ByteWriter send_buffer;
+    util::Bytes inflate_buffer;
     std::string name;
     std::vector<wire::RouterId> router_ids;
     bool joined = false;
@@ -157,38 +194,57 @@ class RouteServer {
   };
 
   struct PortRecord {
-    Site* site = nullptr;
+    Site* site = nullptr;  // nullptr: slot unassigned or site departed
     wire::RouterId router = 0;
     std::string name;
     std::string description;
   };
 
   struct WireEnd {
-    wire::PortId peer = 0;
+    wire::PortId peer = 0;  // 0: unwired (port ids start at 1)
     std::unique_ptr<wire::Netem> netem;  // impairment toward `peer`
   };
 
   void on_site_data(Site* site, util::BytesView chunk);
   void handle_message(Site* site,
-                      const wire::MessageDecoder::Decoded& decoded);
-  void handle_join(Site* site, const wire::TunnelMessage& msg);
-  void handle_data(Site* site, const wire::TunnelMessage& msg,
-                   bool compressed);
+                      const wire::MessageDecoder::DecodedView& decoded);
+  void handle_join(Site* site, const wire::MessageDecoder::DecodedView& msg);
+  void handle_data(Site* site, const wire::MessageDecoder::DecodedView& msg);
   void drop_site(Site* site);
   /// Frees sites marked dead. Only called from contexts where no site
   /// transport callback can be on the stack (accept, destruction).
   void purge_dead_sites();
   /// Ships a frame to the RIS owning `port` (direction: into the port).
-  void deliver_to_port(wire::PortId port, util::BytesView frame);
+  /// `slow` marks frames that already left the zero-allocation path
+  /// upstream (decompressed, or re-materialized by an impaired wire).
+  void deliver_to_port(wire::PortId port, util::BytesView frame,
+                       bool slow = false);
+  /// Serializes a control message into the site's send buffer and ships it.
+  void send_control(Site* site, wire::MessageType type, wire::RouterId router,
+                    util::BytesView payload);
   void note_capture(wire::PortId port, bool to_port, util::BytesView frame);
+  /// Grows the dense port-indexed tables to cover ids < `limit`.
+  void ensure_port_tables(wire::PortId limit);
+  [[nodiscard]] PortRecord* port_record(wire::PortId port) {
+    if (port >= ports_.size() || ports_[port].site == nullptr) return nullptr;
+    return &ports_[port];
+  }
 
   simnet::Scheduler& scheduler_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::map<wire::RouterId, InventoryRouter> routers_;
   std::map<wire::RouterId, Site*> router_sites_;
-  std::map<wire::PortId, PortRecord> ports_;
-  std::map<wire::PortId, WireEnd> matrix_;
-  std::map<wire::PortId, std::vector<CapturedFrame>> captures_;
+  // Dense tables indexed by the server-assigned sequential port id (slot 0
+  // unused). The per-frame path does two bounded vector loads where the old
+  // std::map design chased red-black-tree nodes.
+  std::vector<PortRecord> ports_;
+  std::vector<WireEnd> matrix_;
+  std::vector<std::unique_ptr<std::vector<CapturedFrame>>> captures_;
+  /// Number of ports with a live capture buffer; the per-frame capture check
+  /// is this single compare against zero.
+  std::size_t active_captures_ = 0;
+  std::size_t port_count_ = 0;  // live (site != nullptr) entries in ports_
+  std::size_t wires_ = 0;       // live wires (matrix entries / 2)
   ConsoleOutputHandler console_output_;
   InventoryChangedHandler inventory_changed_;
   bool compression_enabled_ = false;

@@ -82,7 +82,8 @@ bool TcpEventLoop::run_until(const std::function<bool()>& predicate,
 // TcpTransport
 // ---------------------------------------------------------------------------
 
-TcpTransport::TcpTransport(TcpEventLoop& loop, int fd) : loop_(loop), fd_(fd) {
+TcpTransport::TcpTransport(TcpEventLoop& loop, int fd)
+    : loop_(loop), loop_alive_(loop.alive_token()), fd_(fd) {
   set_nonblocking(fd_);
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -108,12 +109,12 @@ void TcpTransport::send(util::BytesView bytes) {
     bytes = bytes.subspan(static_cast<std::size_t>(n));
   }
   write_buffer_.insert(write_buffer_.end(), bytes.begin(), bytes.end());
-  loop_.update_write_interest(fd_, true);
+  if (*loop_alive_) loop_.update_write_interest(fd_, true);
 }
 
 void TcpTransport::on_writable() {
   if (fd_ < 0 || write_buffer_.empty()) {
-    loop_.update_write_interest(fd_, false);
+    if (*loop_alive_) loop_.update_write_interest(fd_, false);
     return;
   }
   ssize_t n =
@@ -123,7 +124,9 @@ void TcpTransport::on_writable() {
     return;
   }
   write_buffer_.erase(write_buffer_.begin(), write_buffer_.begin() + n);
-  if (write_buffer_.empty()) loop_.update_write_interest(fd_, false);
+  if (write_buffer_.empty() && *loop_alive_) {
+    loop_.update_write_interest(fd_, false);
+  }
 }
 
 void TcpTransport::on_readable() {
@@ -164,7 +167,9 @@ void TcpTransport::set_close_handler(CloseHandler handler) {
 
 void TcpTransport::close() {
   if (fd_ < 0) return;
-  loop_.unwatch(fd_);
+  // The loop may already be gone if the owner is torn down after it; the
+  // alive token turns the unwatch into a no-op instead of a use-after-free.
+  if (*loop_alive_) loop_.unwatch(fd_);
   ::close(fd_);
   fd_ = -1;
   if (close_handler_) close_handler_();
@@ -174,7 +179,8 @@ void TcpTransport::close() {
 // TcpListener
 // ---------------------------------------------------------------------------
 
-TcpListener::TcpListener(TcpEventLoop& loop) : loop_(loop) {}
+TcpListener::TcpListener(TcpEventLoop& loop)
+    : loop_(loop), loop_alive_(loop.alive_token()) {}
 
 TcpListener::~TcpListener() { stop(); }
 
@@ -222,7 +228,7 @@ util::Status TcpListener::listen(std::uint16_t port,
 
 void TcpListener::stop() {
   if (fd_ < 0) return;
-  loop_.unwatch(fd_);
+  if (*loop_alive_) loop_.unwatch(fd_);
   ::close(fd_);
   fd_ = -1;
 }

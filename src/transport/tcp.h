@@ -25,10 +25,20 @@ class TcpEventLoop {
  public:
   using IoHandler = std::function<void()>;
 
+  ~TcpEventLoop() { *alive_ = false; }
+
   /// Registers interest; `readable`/`writable` may be empty.
   void watch(int fd, IoHandler readable, IoHandler writable);
   void update_write_interest(int fd, bool interested);
   void unwatch(int fd);
+
+  /// Liveness token for transports/listeners that may outlive the loop
+  /// (destruction order between a loop and the objects registered on it is
+  /// the caller's choice): flips to false when the loop is destroyed, so a
+  /// late close() skips the unwatch instead of touching a dead loop.
+  [[nodiscard]] std::shared_ptr<const bool> alive_token() const {
+    return alive_;
+  }
 
   /// Polls once with `timeout_ms` and dispatches ready handlers. Returns the
   /// number of handlers dispatched.
@@ -44,6 +54,7 @@ class TcpEventLoop {
     bool want_write = false;
   };
   std::map<int, Watch> watches_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 class TcpTransport final : public Transport {
@@ -63,6 +74,7 @@ class TcpTransport final : public Transport {
   void on_writable();
 
   TcpEventLoop& loop_;
+  std::shared_ptr<const bool> loop_alive_;
   int fd_;
   ReceiveHandler receive_handler_;
   CloseHandler close_handler_;
@@ -86,6 +98,7 @@ class TcpListener {
 
  private:
   TcpEventLoop& loop_;
+  std::shared_ptr<const bool> loop_alive_;
   int fd_ = -1;
   std::uint16_t port_ = 0;
   AcceptHandler on_accept_;

@@ -27,6 +27,11 @@ class Transport {
 
   /// Queues bytes for delivery to the peer. Streams are reliable and
   /// ordered; chunk boundaries are NOT preserved (like TCP).
+  ///
+  /// Zero-copy contract: the view is only valid for the duration of the
+  /// call. Implementations must either hand the bytes to the kernel or copy
+  /// them into their own buffer before returning — callers (route server,
+  /// RIS) pass views into send buffers they reuse for the very next frame.
   virtual void send(util::BytesView bytes) = 0;
   virtual void close() = 0;
   [[nodiscard]] virtual bool is_open() const = 0;

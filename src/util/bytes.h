@@ -40,6 +40,12 @@ class ByteWriter {
   void patch_u16(std::size_t offset, std::uint16_t v);
   void patch_u32(std::size_t offset, std::uint32_t v);
 
+  /// Empties the buffer but keeps its capacity, so a writer reused across
+  /// messages stops allocating once it has seen the largest one (the
+  /// data-plane send buffers depend on this).
+  void clear() { buffer_.clear(); }
+  [[nodiscard]] std::size_t capacity() const { return buffer_.capacity(); }
+
   [[nodiscard]] std::size_t size() const { return buffer_.size(); }
   [[nodiscard]] BytesView view() const { return buffer_; }
   [[nodiscard]] Bytes take() && { return std::move(buffer_); }

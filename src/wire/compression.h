@@ -57,6 +57,12 @@ class TemplateCompressor {
   /// the newest ring entry — encoder and decoder see the same history.
   std::optional<util::Bytes> compress(util::BytesView frame);
 
+  /// Records `frame` as the newest ring entry WITHOUT running the reference
+  /// search — the fast path when compression is administratively disabled.
+  /// The ring must still advance on every sent frame so the peer's
+  /// decompressor stays in lockstep if compression is toggled back on.
+  void note_outgoing(util::BytesView frame);
+
   [[nodiscard]] const CompressionStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t search_depth() const { return search_depth_; }
 

@@ -13,24 +13,48 @@ util::Bytes encode_message(const TunnelMessage& message,
   const util::Bytes& payload =
       compressed_payload != nullptr ? *compressed_payload : message.payload;
   util::ByteWriter w(kHeaderSize + payload.size());
-  w.u32(kMagic);
-  w.u8(kVersion);
-  w.u8(static_cast<std::uint8_t>(message.type));
-  w.u16(compressed_payload != nullptr ? kFlagCompressed : 0);
-  w.u32(message.router_id);
-  w.u32(message.port_id);
-  w.u32(static_cast<std::uint32_t>(payload.size()));
-  w.raw(payload);
+  encode_message_into(w, message.type, message.router_id, message.port_id,
+                      payload, compressed_payload != nullptr);
   return std::move(w).take();
 }
 
-std::vector<MessageDecoder::Decoded> MessageDecoder::feed(
+void encode_message_into(util::ByteWriter& w, MessageType type,
+                         RouterId router_id, PortId port_id,
+                         util::BytesView payload, bool compressed) {
+  w.u32(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(compressed ? kFlagCompressed : 0);
+  w.u32(router_id);
+  w.u32(port_id);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+}
+
+const std::vector<MessageDecoder::DecodedView>& MessageDecoder::feed_views(
     util::BytesView chunk) {
-  std::vector<Decoded> out;
-  if (failed_) return out;
+  views_.clear();
+  if (failed_) return views_;
+
+  // Lazy compaction: views handed out by the previous feed are dead by
+  // contract, so the consumed prefix can be reclaimed — but only bother
+  // when it is worth a memmove (fully drained, or past the watermark).
+  if (consumed_ > 0) {
+    if (consumed_ == buffer_.size()) {
+      buffer_.clear();  // keeps capacity
+      consumed_ = 0;
+    } else if (consumed_ >= kCompactWatermark) {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+      consumed_ = 0;
+      ++compactions_;
+    }
+  }
   buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
 
-  std::size_t offset = 0;
+  // Parse only after all appending: payload views are subspans of buffer_,
+  // which must not reallocate while they are live.
+  std::size_t offset = consumed_;
   while (buffer_.size() - offset >= kHeaderSize) {
     util::ByteReader r(util::BytesView(buffer_).subspan(offset));
     std::uint32_t magic = r.u32();
@@ -43,37 +67,50 @@ std::vector<MessageDecoder::Decoded> MessageDecoder::feed(
     if (magic != kMagic) {
       failed_ = true;
       error_ = "tunnel: bad magic (stream desynchronized)";
-      return out;
+      return views_;
     }
     if (version != kVersion) {
       failed_ = true;
       error_ = "tunnel: unsupported protocol version";
-      return out;
+      return views_;
     }
     if (type < 1 || type > 7) {
       failed_ = true;
       error_ = "tunnel: unknown message type";
-      return out;
+      return views_;
     }
     if (length > kMaxPayload) {
       failed_ = true;
       error_ = "tunnel: payload length exceeds maximum";
-      return out;
+      return views_;
     }
     if (buffer_.size() - offset < kHeaderSize + length) break;  // need more
 
-    Decoded decoded;
-    decoded.message.type = static_cast<MessageType>(type);
-    decoded.message.router_id = router_id;
-    decoded.message.port_id = port_id;
-    auto body = r.raw(length);
-    decoded.message.payload.assign(body.begin(), body.end());
-    decoded.compressed = (flags & kFlagCompressed) != 0;
-    out.push_back(std::move(decoded));
+    DecodedView view;
+    view.type = static_cast<MessageType>(type);
+    view.router_id = router_id;
+    view.port_id = port_id;
+    view.payload = r.raw(length);
+    view.compressed = (flags & kFlagCompressed) != 0;
+    views_.push_back(view);
     offset += kHeaderSize + length;
   }
-  buffer_.erase(buffer_.begin(),
-                buffer_.begin() + static_cast<std::ptrdiff_t>(offset));
+  consumed_ = offset;
+  return views_;
+}
+
+std::vector<MessageDecoder::Decoded> MessageDecoder::feed(
+    util::BytesView chunk) {
+  std::vector<Decoded> out;
+  for (const DecodedView& view : feed_views(chunk)) {
+    Decoded decoded;
+    decoded.message.type = view.type;
+    decoded.message.router_id = view.router_id;
+    decoded.message.port_id = view.port_id;
+    decoded.message.payload.assign(view.payload.begin(), view.payload.end());
+    decoded.compressed = view.compressed;
+    out.push_back(std::move(decoded));
+  }
   return out;
 }
 

@@ -56,24 +56,59 @@ struct TunnelMessage {
 util::Bytes encode_message(const TunnelMessage& message,
                            const util::Bytes* compressed_payload = nullptr);
 
+/// Allocation-free framing: appends the wire form of one message to `w`
+/// (typically a per-connection send buffer reused across frames, cleared by
+/// the caller). `compressed` sets kFlagCompressed; the payload is framed
+/// as given either way.
+void encode_message_into(util::ByteWriter& w, MessageType type,
+                         RouterId router_id, PortId port_id,
+                         util::BytesView payload, bool compressed = false);
+
 /// Incremental decoder for a byte stream of messages. Feed arbitrary chunks;
 /// complete messages come out. Malformed input poisons the stream (a framing
 /// error on TCP is unrecoverable) — check error().
 class MessageDecoder {
  public:
-  /// Appends stream bytes; returns messages completed by this chunk.
-  /// Compressed payloads are surfaced still-compressed with the flag in
-  /// `compressed`; TunnelCodec handles inflation.
+  /// A decoded message whose payload is a view into the decoder's internal
+  /// buffer — valid only until the next feed()/feed_views() call. This is
+  /// the zero-copy fast path: steady-state forwarding never materializes a
+  /// util::Bytes per message. Compressed payloads are surfaced
+  /// still-compressed with `compressed` set; TunnelCodec handles inflation.
+  struct DecodedView {
+    MessageType type = MessageType::kKeepalive;
+    RouterId router_id = 0;
+    PortId port_id = 0;
+    util::BytesView payload;
+    bool compressed = false;
+  };
+
+  /// Owning variant for callers that need payloads to outlive the decoder
+  /// buffer (tests, control-plane code).
   struct Decoded {
     TunnelMessage message;
     bool compressed = false;
   };
+
+  /// Appends stream bytes; returns views of the messages completed by this
+  /// chunk. The returned vector and every payload view are invalidated by
+  /// the next feed()/feed_views() call. Consumed bytes are reclaimed lazily:
+  /// the buffer compacts only when the dead prefix crosses a watermark, so a
+  /// steady stream of small frames costs no per-feed memmove.
+  const std::vector<DecodedView>& feed_views(util::BytesView chunk);
+
+  /// Copying convenience wrapper over feed_views (one payload allocation per
+  /// message — the pre-zero-copy behaviour).
   std::vector<Decoded> feed(util::BytesView chunk);
 
   [[nodiscard]] bool failed() const { return failed_; }
   [[nodiscard]] const std::string& error() const { return error_; }
   /// Bytes buffered waiting for a complete frame.
-  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+  [[nodiscard]] std::size_t buffered() const {
+    return buffer_.size() - consumed_;
+  }
+  /// Times the buffer reclaimed its consumed prefix (observability for the
+  /// lazy-compaction scheme; should grow ~ bytes/watermark, not ~ feeds).
+  [[nodiscard]] std::uint64_t compactions() const { return compactions_; }
 
   /// Maximum accepted payload. Data frames are bounded by jumbo-frame size,
   /// but JOIN payloads scale with the site's inventory (a PC can front many
@@ -81,8 +116,16 @@ class MessageDecoder {
   /// violation, not a big message.
   static constexpr std::uint32_t kMaxPayload = 8 * 1024 * 1024;
 
+  /// Dead-prefix size that triggers compaction at the next feed. Large
+  /// enough that a jumbo frame's worth of consumed bytes rides along for
+  /// free; small enough that the buffer stays cache-resident.
+  static constexpr std::size_t kCompactWatermark = 64 * 1024;
+
  private:
   util::Bytes buffer_;
+  std::size_t consumed_ = 0;  // dead prefix: bytes already surfaced as views
+  std::vector<DecodedView> views_;  // reused across feeds
+  std::uint64_t compactions_ = 0;
   bool failed_ = false;
   std::string error_;
 };

@@ -94,6 +94,80 @@ TEST_F(RnlStack, VirtualWireCarriesPingAcrossSites) {
   EXPECT_GT(site1.stats().frames_down, 0u);
 }
 
+TEST_F(RnlStack, SteadyStateFastPathAllocatesNothing) {
+  join(site1);
+  join(site2);
+  ASSERT_TRUE(server
+                  .connect_ports(port_of("us-west/h1"), port_of("eu-central/h2"))
+                  .ok());
+  // Warm up: ARP resolution plus enough echo traffic for the per-site send
+  // buffers and decoder buffers to reach their steady-state capacity.
+  h1.ping(ip("10.0.0.2"), 10);
+  net.run_for(util::Duration::seconds(2));
+  ASSERT_EQ(h1.ping_replies().size(), 10u);
+
+  const auto& dp = server.stats().dataplane;
+  const std::uint64_t allocs_before = dp.payload_allocs;
+  const std::uint64_t fast_before = dp.fast_path_frames;
+  const std::uint64_t slow_before = dp.slow_path_frames;
+  const std::uint64_t routed_before = server.stats().frames_routed;
+  const std::uint64_t ris_allocs_before =
+      site1.stats().payload_allocs + site2.stats().payload_allocs;
+
+  h1.ping(ip("10.0.0.2"), 50);  // one echo every 100 ms
+  net.run_for(util::Duration::seconds(7));
+  ASSERT_EQ(h1.ping_replies().size(), 60u);
+
+  // 50 echo requests + 50 replies crossed the server, all on the fast path:
+  // zero heap allocations on the per-frame path, server and RIS side both.
+  const std::uint64_t routed = server.stats().frames_routed - routed_before;
+  EXPECT_GE(routed, 100u);
+  EXPECT_EQ(dp.payload_allocs - allocs_before, 0u);
+  EXPECT_EQ(dp.fast_path_frames - fast_before, routed);
+  EXPECT_EQ(dp.slow_path_frames - slow_before, 0u);
+  EXPECT_EQ(site1.stats().payload_allocs + site2.stats().payload_allocs -
+                ris_allocs_before,
+            0u);
+  // The avoided-work ledger moves in step with the fast path.
+  EXPECT_EQ(dp.allocs_avoided, dp.fast_path_frames * 3);
+  EXPECT_EQ(dp.copies_avoided, dp.fast_path_frames * 2);
+}
+
+TEST_F(RnlStack, CaptureAndCompressionForceSlowPath) {
+  join(site1);
+  join(site2);
+  wire::PortId p1 = port_of("us-west/h1");
+  ASSERT_TRUE(server.connect_ports(p1, port_of("eu-central/h2")).ok());
+  h1.ping(ip("10.0.0.2"), 5);
+  net.run_for(util::Duration::seconds(2));
+  ASSERT_EQ(h1.ping_replies().size(), 5u);
+
+  // An active capture takes every frame off the fast path (it must copy).
+  server.start_capture(p1);
+  const auto& dp = server.stats().dataplane;
+  std::uint64_t fast_before = dp.fast_path_frames;
+  std::uint64_t slow_before = dp.slow_path_frames;
+  h1.ping(ip("10.0.0.2"), 5);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(dp.fast_path_frames, fast_before);
+  EXPECT_GT(dp.slow_path_frames, slow_before);
+  server.stop_capture(p1);
+
+  // So does compression (it materializes an encoded payload per frame).
+  server.set_compression_enabled(true);
+  site1.set_compression_enabled(true);
+  site2.set_compression_enabled(true);
+  fast_before = dp.fast_path_frames;
+  slow_before = dp.slow_path_frames;
+  std::uint64_t allocs_before = dp.payload_allocs;
+  h1.ping(ip("10.0.0.2"), 5);
+  net.run_for(util::Duration::seconds(2));
+  ASSERT_EQ(h1.ping_replies().size(), 15u);
+  EXPECT_EQ(dp.fast_path_frames, fast_before);
+  EXPECT_GT(dp.slow_path_frames, slow_before);
+  EXPECT_GT(dp.payload_allocs, allocs_before);
+}
+
 TEST_F(RnlStack, WanDelayShowsUpInRtt) {
   join(site1, wire::NetemProfile{.delay = util::Duration::milliseconds(50)});
   join(site2, wire::NetemProfile{.delay = util::Duration::milliseconds(50)});

@@ -82,6 +82,139 @@ TEST(TunnelCodec, RejectsOversizedPayloadDeclaration) {
   EXPECT_TRUE(decoder.failed());
 }
 
+namespace {
+// Builds a deterministic mixed-size message stream and its wire bytes.
+std::pair<std::vector<TunnelMessage>, util::Bytes> make_stream(int count) {
+  std::vector<TunnelMessage> messages;
+  util::Bytes stream;
+  for (int i = 0; i < count; ++i) {
+    TunnelMessage msg;
+    msg.type = MessageType::kData;
+    msg.router_id = static_cast<RouterId>(i + 1);
+    msg.port_id = static_cast<PortId>(i * 5 + 1);
+    msg.payload.resize(static_cast<std::size_t>(i * 37 % 600));
+    for (std::size_t b = 0; b < msg.payload.size(); ++b) {
+      msg.payload[b] = static_cast<std::uint8_t>(b + static_cast<std::size_t>(i));
+    }
+    messages.push_back(msg);
+    util::Bytes wire = encode_message(msg);
+    stream.insert(stream.end(), wire.begin(), wire.end());
+  }
+  return {std::move(messages), std::move(stream)};
+}
+}  // namespace
+
+TEST(TunnelCodec, ByteAtATimeFeedMatchesSingleFeed) {
+  auto [messages, stream] = make_stream(12);
+  MessageDecoder decoder;
+  std::vector<MessageDecoder::Decoded> out;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    auto decoded = decoder.feed(util::BytesView(&stream[i], 1));
+    out.insert(out.end(), decoded.begin(), decoded.end());
+  }
+  ASSERT_EQ(out.size(), messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_EQ(out[i].message, messages[i]);
+  }
+  EXPECT_FALSE(decoder.failed());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(TunnelCodec, SplitMidHeaderAndMidPayload) {
+  TunnelMessage msg;
+  msg.type = MessageType::kData;
+  msg.router_id = 9;
+  msg.port_id = 13;
+  msg.payload.assign(200, 0xAB);
+  util::Bytes wire = encode_message(msg);
+  // Header is 20 bytes; cut inside it, then inside the payload.
+  for (std::size_t cut : std::initializer_list<std::size_t>{
+           1, 7, 19, 20, 21, 120, wire.size() - 1}) {
+    MessageDecoder decoder;
+    util::BytesView view(wire);
+    EXPECT_TRUE(decoder.feed_views(view.subspan(0, cut)).empty())
+        << "cut=" << cut;
+    EXPECT_EQ(decoder.buffered(), cut);
+    const auto& out = decoder.feed_views(view.subspan(cut));
+    ASSERT_EQ(out.size(), 1u) << "cut=" << cut;
+    EXPECT_EQ(out[0].router_id, msg.router_id);
+    EXPECT_EQ(out[0].port_id, msg.port_id);
+    EXPECT_TRUE(std::equal(out[0].payload.begin(), out[0].payload.end(),
+                           msg.payload.begin(), msg.payload.end()));
+  }
+}
+
+TEST(TunnelCodec, MultiChunkFeedMatchesSingleChunkFeed) {
+  auto [messages, stream] = make_stream(30);
+  MessageDecoder single;
+  std::vector<MessageDecoder::Decoded> whole = single.feed(stream);
+
+  // Deterministic mixed chunk sizes: primes so splits land everywhere.
+  MessageDecoder chunked;
+  std::vector<MessageDecoder::Decoded> pieces;
+  const std::size_t sizes[] = {3, 17, 1, 251, 29, 7, 97};
+  std::size_t offset = 0, pick = 0;
+  while (offset < stream.size()) {
+    std::size_t n = std::min(sizes[pick++ % std::size(sizes)],
+                             stream.size() - offset);
+    auto decoded = chunked.feed(util::BytesView(stream).subspan(offset, n));
+    pieces.insert(pieces.end(), decoded.begin(), decoded.end());
+    offset += n;
+  }
+  ASSERT_EQ(whole.size(), messages.size());
+  ASSERT_EQ(pieces.size(), whole.size());
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_EQ(pieces[i].message, whole[i].message);
+    EXPECT_EQ(pieces[i].message, messages[i]);
+  }
+  EXPECT_EQ(chunked.buffered(), 0u);
+}
+
+TEST(TunnelCodec, CompactsOnlyPastWatermark) {
+  // A steady stream of small frames must not memmove per feed: the dead
+  // prefix accumulates until kCompactWatermark, then one compaction claims
+  // it back.
+  TunnelMessage msg;
+  msg.type = MessageType::kData;
+  msg.router_id = 1;
+  msg.port_id = 1;
+  msg.payload.assign(100, 0x3C);
+  util::Bytes wire = encode_message(msg);
+  const std::size_t half = wire.size() / 2;
+
+  // Keep half a frame permanently buffered so the decoder can never take the
+  // full-drain shortcut; every chunk then completes exactly one frame and
+  // grows the dead prefix, which is what the watermark logic manages.
+  util::Bytes chunk(wire.begin() + static_cast<std::ptrdiff_t>(half),
+                    wire.end());
+  chunk.insert(chunk.end(), wire.begin(),
+               wire.begin() + static_cast<std::ptrdiff_t>(half));
+
+  MessageDecoder decoder;
+  ASSERT_TRUE(decoder.feed_views(util::BytesView(wire).subspan(0, half))
+                  .empty());
+  std::size_t consumed = 0;
+  while (consumed + wire.size() < MessageDecoder::kCompactWatermark) {
+    const auto& out = decoder.feed_views(chunk);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(std::equal(out[0].payload.begin(), out[0].payload.end(),
+                           msg.payload.begin(), msg.payload.end()));
+    consumed += wire.size();
+  }
+  EXPECT_EQ(decoder.compactions(), 0u);
+  // A few more frames push the dead prefix over the watermark: exactly one
+  // compaction, and frames keep decoding correctly across it.
+  for (int i = 0; i < 3; ++i) {
+    const auto& out = decoder.feed_views(chunk);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(std::equal(out[0].payload.begin(), out[0].payload.end(),
+                           msg.payload.begin(), msg.payload.end()));
+  }
+  EXPECT_EQ(decoder.compactions(), 1u);
+  EXPECT_EQ(decoder.buffered(), half);
+  EXPECT_FALSE(decoder.failed());
+}
+
 TEST(JoinPayload, JsonRoundTrip) {
   JoinRequest request;
   request.site_name = "hq-lab";
@@ -204,6 +337,97 @@ TEST(Compression, DecompressorRejectsCorruptInput) {
   EXPECT_FALSE(decompressor.decompress(corrupt).ok());
   util::Bytes truncated(compressed->begin(), compressed->begin() + 2);
   EXPECT_FALSE(decompressor.decompress(truncated).ok());
+}
+
+TEST(Compression, NoteOutgoingKeepsRingsInLockstep) {
+  // Frames sent while compression is administratively off must still advance
+  // the encoder ring (note_outgoing / note_raw) or the first compressed
+  // frame after re-enabling references history the peer never recorded.
+  TemplateCompressor compressor;
+  TemplateDecompressor decompressor;
+  util::Bytes frame(400, 0x42);
+  auto send = [&](bool enabled) {
+    if (enabled) {
+      auto compressed = compressor.compress(frame);
+      if (compressed.has_value()) {
+        auto inflated = decompressor.decompress(*compressed);
+        ASSERT_TRUE(inflated.ok());
+        ASSERT_EQ(*inflated, frame);
+      } else {
+        decompressor.note_raw(frame);
+      }
+    } else {
+      // Disabled fast path: record without searching for a reference.
+      compressor.note_outgoing(frame);
+      decompressor.note_raw(frame);
+    }
+  };
+  std::uint32_t seq = 0;
+  auto stamp = [&] {
+    frame[0] = static_cast<std::uint8_t>(seq >> 8);
+    frame[1] = static_cast<std::uint8_t>(seq);
+    ++seq;
+  };
+  // Warm up compressed, toggle off mid-stream, back on — several times, with
+  // toggle runs longer and shorter than the ring.
+  for (int run :
+       {5, 3, static_cast<int>(TemplateCompressor::kRingSize) + 4, 7, 2, 9}) {
+    for (int i = 0; i < run; ++i) {
+      stamp();
+      send(/*enabled=*/run % 2 == 1);
+    }
+  }
+  // After the last toggle cycle, template traffic must compress again and
+  // round-trip: the rings never diverged.
+  std::uint64_t before = compressor.stats().frames_compressed;
+  for (int i = 0; i < 8; ++i) {
+    stamp();
+    send(/*enabled=*/true);
+  }
+  EXPECT_GE(compressor.stats().frames_compressed - before, 7u);
+}
+
+TEST(Compression, MixedRawAndCompressedTrafficStaysLossless) {
+  // Mixed workload: template bursts (compressible) interleaved with random
+  // frames (sent raw via the nullopt path) and disabled-phase frames (sent
+  // raw via note_outgoing). The decompressor must reproduce every frame.
+  util::Rng rng(4242);
+  TemplateCompressor compressor;
+  TemplateDecompressor decompressor;
+  util::Bytes base(350);
+  for (auto& b : base) b = static_cast<std::uint8_t>(rng.next_u32());
+  bool enabled = true;
+  for (int i = 0; i < 400; ++i) {
+    if (i % 37 == 0) enabled = !enabled;  // mid-stream toggles
+    util::Bytes frame;
+    if (rng.below(4) == 0) {
+      frame.resize(100 + rng.below(400));
+      for (auto& b : frame) b = static_cast<std::uint8_t>(rng.next_u32());
+    } else {
+      frame = base;
+      frame[rng.below(frame.size())] = static_cast<std::uint8_t>(rng.next_u32());
+    }
+    util::Bytes received;
+    if (enabled) {
+      auto compressed = compressor.compress(frame);
+      if (compressed.has_value()) {
+        auto inflated = decompressor.decompress(*compressed);
+        ASSERT_TRUE(inflated.ok()) << "frame " << i;
+        received = std::move(*inflated);
+      } else {
+        decompressor.note_raw(frame);
+        received = frame;
+      }
+    } else {
+      compressor.note_outgoing(frame);
+      decompressor.note_raw(frame);
+      received = frame;
+    }
+    ASSERT_EQ(received, frame) << "frame " << i;
+  }
+  // The template share must actually have exercised the compressed path.
+  EXPECT_GT(compressor.stats().frames_compressed, 100u);
+  EXPECT_EQ(compressor.stats().frames_in, 400u);
 }
 
 // ---------------------------------------------------------------------------
