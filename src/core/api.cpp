@@ -198,8 +198,11 @@ util::Json ApiServer::dispatch(const std::string& method,
 
   // ---- capture & generation (§2.3) ----
   if (method == "capture.start") {
-    service_.route_server().start_capture(
-        static_cast<wire::PortId>(params["port_id"].as_int()));
+    auto port = static_cast<wire::PortId>(params["port_id"].as_int());
+    if (!service_.route_server().port_exists(port)) {
+      return fail("capture.start: unknown port id");
+    }
+    service_.route_server().start_capture(port);
     return ok();
   }
   if (method == "capture.stop") {

@@ -363,10 +363,13 @@ bool RouteServer::port_exists(wire::PortId id) const {
 }
 
 void RouteServer::ensure_port_tables(wire::PortId limit) {
-  if (limit < ports_.size()) return;
-  ports_.resize(limit + 1);
-  matrix_.resize(limit + 1);
-  captures_.resize(limit + 1);
+  // size_t arithmetic: limit + 1 in uint32 would wrap to 0 for UINT32_MAX
+  // and destroy every table.
+  std::size_t needed = static_cast<std::size_t>(limit) + 1;
+  if (needed <= ports_.size()) return;
+  ports_.resize(needed);
+  matrix_.resize(needed);
+  captures_.resize(needed);
 }
 
 // ---------------------------------------------------------------------------
@@ -424,7 +427,9 @@ std::size_t RouteServer::wire_count() const { return wires_; }
 // ---------------------------------------------------------------------------
 
 void RouteServer::start_capture(wire::PortId port) {
-  ensure_port_tables(port);
+  // Only inventoried ports may be captured: growing the dense tables to an
+  // arbitrary caller-supplied id would let one API call allocate gigabytes.
+  if (!port_exists(port)) return;
   if (captures_[port] == nullptr) {
     captures_[port] = std::make_unique<std::vector<CapturedFrame>>();
     ++active_captures_;
@@ -458,7 +463,9 @@ util::Status RouteServer::inject_frame(wire::PortId port,
     return util::Error{"inject_frame: unknown port id"};
   }
   ++stats_.injected_frames;
-  deliver_to_port(port, frame);
+  // API-injected frames never went through the zero-copy decode path, so
+  // they must not count toward the fast-path ledger.
+  deliver_to_port(port, frame, /*slow=*/true);
   return util::Status::Ok();
 }
 

@@ -55,6 +55,15 @@ const std::vector<MessageDecoder::DecodedView>& MessageDecoder::feed_views(
   // Parse only after all appending: payload views are subspans of buffer_,
   // which must not reallocate while they are live.
   std::size_t offset = consumed_;
+  // On framing errors, messages parsed earlier in this chunk are still
+  // consumed — keep consumed_ at the failure offset so buffered() and the
+  // compaction state stay consistent.
+  auto fail = [&](const char* message) -> const std::vector<DecodedView>& {
+    failed_ = true;
+    error_ = message;
+    consumed_ = offset;
+    return views_;
+  };
   while (buffer_.size() - offset >= kHeaderSize) {
     util::ByteReader r(util::BytesView(buffer_).subspan(offset));
     std::uint32_t magic = r.u32();
@@ -65,24 +74,16 @@ const std::vector<MessageDecoder::DecodedView>& MessageDecoder::feed_views(
     std::uint32_t port_id = r.u32();
     std::uint32_t length = r.u32();
     if (magic != kMagic) {
-      failed_ = true;
-      error_ = "tunnel: bad magic (stream desynchronized)";
-      return views_;
+      return fail("tunnel: bad magic (stream desynchronized)");
     }
     if (version != kVersion) {
-      failed_ = true;
-      error_ = "tunnel: unsupported protocol version";
-      return views_;
+      return fail("tunnel: unsupported protocol version");
     }
     if (type < 1 || type > 7) {
-      failed_ = true;
-      error_ = "tunnel: unknown message type";
-      return views_;
+      return fail("tunnel: unknown message type");
     }
     if (length > kMaxPayload) {
-      failed_ = true;
-      error_ = "tunnel: payload length exceeds maximum";
-      return views_;
+      return fail("tunnel: payload length exceeds maximum");
     }
     if (buffer_.size() - offset < kHeaderSize + length) break;  // need more
 

@@ -112,6 +112,22 @@ TEST_F(ApiFixture, DesignDisconnectAndSaveLoad) {
   EXPECT_TRUE(copy->links().empty());
 }
 
+TEST_F(ApiFixture, CaptureStartRejectsUnknownPort) {
+  // port_id:-1 casts to UINT32_MAX; a huge id must not grow the dense port
+  // tables (or wrap them to zero) — the API rejects it up front.
+  for (std::int64_t bad : {std::int64_t{-1}, std::int64_t{1} << 31,
+                           std::int64_t{999999}}) {
+    util::Json params = util::Json::object();
+    params.set("port_id", bad);
+    util::Json response = call("capture.start", std::move(params));
+    EXPECT_FALSE(response["ok"].as_bool()) << "port_id=" << bad;
+  }
+  // Known ports still work after the rejected calls.
+  util::Json params = util::Json::object();
+  params.set("port_id", bed.port_id("hq/h1", "eth0"));
+  EXPECT_TRUE(call("capture.start", std::move(params))["ok"].as_bool());
+}
+
 TEST_F(ApiFixture, CaptureStopWithoutStartIsEmptyNotError) {
   util::Json params = util::Json::object();
   params.set("port_id", bed.port_id("hq/h1", "eth0"));

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "devices/host.h"
 #include "devices/router.h"
 #include "ris/ris.h"
@@ -200,6 +202,19 @@ TEST_F(RnlStack, UnknownPortsRejected) {
   join(site1);
   EXPECT_FALSE(server.connect_ports(9999, port_of("us-west/h1")).ok());
   EXPECT_FALSE(server.inject_frame(9999, util::Bytes{1}).ok());
+  // Capturing an uninventoried port is a no-op: it must neither grow the
+  // dense port tables to cover arbitrary ids (a 2^31 id would allocate
+  // gigabytes) nor wrap the table size to zero for UINT32_MAX.
+  server.start_capture(9999);
+  EXPECT_EQ(server.capture_size(9999), 0u);
+  EXPECT_TRUE(server.stop_capture(9999).empty());
+  server.start_capture(std::uint32_t{1} << 31);
+  server.start_capture(std::numeric_limits<wire::PortId>::max());
+  wire::PortId p1 = port_of("us-west/h1");
+  EXPECT_TRUE(server.port_exists(p1));  // tables survived intact
+  server.start_capture(p1);
+  EXPECT_EQ(server.capture_size(p1), 0u);
+  EXPECT_TRUE(server.stop_capture(p1).empty());
 }
 
 TEST_F(RnlStack, CaptureSeesBothDirections) {

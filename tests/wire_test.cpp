@@ -68,6 +68,26 @@ TEST(TunnelCodec, PoisonsOnBadMagic) {
   EXPECT_TRUE(decoder.feed(encode_message(msg)).empty());
 }
 
+TEST(TunnelCodec, BufferedStaysConsistentAfterMidChunkFailure) {
+  // A chunk with one good message followed by garbage: the good message is
+  // still delivered, and buffered() must report only the unconsumed garbage,
+  // not the already-parsed prefix.
+  TunnelMessage msg;
+  msg.type = MessageType::kData;
+  msg.router_id = 3;
+  msg.port_id = 4;
+  msg.payload = {9, 8, 7};
+  util::Bytes chunk = encode_message(msg);
+  const std::size_t good = chunk.size();
+  chunk.insert(chunk.end(), 32, 0xFF);  // bad magic follows
+  MessageDecoder decoder;
+  auto out = decoder.feed(chunk);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].message, msg);
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_EQ(decoder.buffered(), chunk.size() - good);
+}
+
 TEST(TunnelCodec, RejectsOversizedPayloadDeclaration) {
   TunnelMessage msg;
   msg.payload = {1};
