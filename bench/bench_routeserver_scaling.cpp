@@ -55,7 +55,10 @@ std::size_t drive_user(core::Testbed& bed, std::size_t user) {
 
 struct CentralResult {
   double frames_per_sec = 0;
-  routeserver::RouteServerStats stats;
+  /// Snapshot of the testbed's metrics registry (metrics.dump shape) taken
+  /// before the world unwinds — the bench reports the same numbers an
+  /// operator would read off the live API, one source of truth.
+  util::Json metrics;
 };
 
 CentralResult run_central(std::size_t users) {
@@ -83,7 +86,7 @@ CentralResult run_central(std::size_t users) {
                       .count();
   return CentralResult{
       static_cast<double>(users * kFramesPerUser) / wall_s,
-      bed.server().stats(),
+      bed.metrics().to_json(),
   };
 }
 
@@ -158,21 +161,37 @@ int main() {
     std::printf("%7zu %22.0f %22.0f %9.2fx %13.2fx\n", users,
                 central.frames_per_sec, per_user,
                 per_user / central.frames_per_sec, vs_baseline);
-    const auto& dp = central.stats.dataplane;
+    const util::Json& counters = central.metrics["counters"];
+    const util::Json& forward =
+        central.metrics["histograms"]["routeserver.forward_ns"];
+    // This harness drives traffic through the API inject path, which the
+    // server books in its own histogram (forward_ns totals track
+    // frames_routed; see RouteServer ctor doc).
+    const util::Json& inject =
+        central.metrics["histograms"]["routeserver.inject_ns"];
     util::Json row = util::Json::object();
     row.set("users", static_cast<std::uint64_t>(users));
     row.set("central_frames_per_sec", central.frames_per_sec);
     row.set("per_user_frames_per_sec", per_user);
     row.set("baseline_central_frames_per_sec", baseline);
     row.set("speedup_vs_baseline", vs_baseline);
-    row.set("frames_routed", central.stats.frames_routed);
-    row.set("injected_frames", central.stats.injected_frames);
-    row.set("fast_path_frames", dp.fast_path_frames);
-    row.set("slow_path_frames", dp.slow_path_frames);
-    row.set("payload_allocs", dp.payload_allocs);
-    row.set("bytes_copied", dp.bytes_copied);
-    row.set("allocs_avoided", dp.allocs_avoided);
-    row.set("copies_avoided", dp.copies_avoided);
+    row.set("frames_routed", counters["routeserver.frames_routed"].as_int());
+    row.set("injected_frames",
+            counters["routeserver.injected_frames"].as_int());
+    row.set("fast_path_frames",
+            counters["routeserver.fast_path_frames"].as_int());
+    row.set("slow_path_frames",
+            counters["routeserver.slow_path_frames"].as_int());
+    row.set("payload_allocs", counters["routeserver.payload_allocs"].as_int());
+    row.set("bytes_copied", counters["routeserver.bytes_copied"].as_int());
+    row.set("allocs_avoided", counters["routeserver.allocs_avoided"].as_int());
+    row.set("copies_avoided", counters["routeserver.copies_avoided"].as_int());
+    row.set("forward_ns_count", forward["count"].as_int());
+    row.set("forward_ns_p50", forward["p50"].as_int());
+    row.set("forward_ns_p99", forward["p99"].as_int());
+    row.set("inject_ns_count", inject["count"].as_int());
+    row.set("inject_ns_p50", inject["p50"].as_int());
+    row.set("inject_ns_p99", inject["p99"].as_int());
     rows.push_back(std::move(row));
   }
   report.set("rows", std::move(rows));

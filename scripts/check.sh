@@ -4,11 +4,24 @@
 # plane hands out views into reusable buffers, so lifetime mistakes tend to
 # pass plain tests and only show up under the sanitizers.
 #
-# Usage: scripts/check.sh [jobs]
+# Usage: scripts/check.sh [--metrics] [jobs]
+#   --metrics  additionally run the observability smoke binary
+#              (examples/metrics_smoke) from the sanitizer build: boots a
+#              sim testbed, routes traffic, and asserts metrics.dump is
+#              well-formed JSON with nonzero frame counters.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-jobs="${1:-$(nproc)}"
+
+metrics=0
+jobs=""
+for arg in "$@"; do
+  case "$arg" in
+    --metrics) metrics=1 ;;
+    *) jobs="$arg" ;;
+  esac
+done
+jobs="${jobs:-$(nproc)}"
 
 run_config() {
   local dir="$1"
@@ -23,5 +36,10 @@ run_config() {
 
 run_config build
 run_config build-sanitize -DCMAKE_BUILD_TYPE=Debug -DRNL_SANITIZE=ON
+
+if [[ "$metrics" == 1 ]]; then
+  echo "=== metrics smoke (sanitized) ==="
+  ./build-sanitize/examples/metrics_smoke
+fi
 
 echo "All checks passed."

@@ -1,6 +1,8 @@
 #include "core/api.h"
 
 #include "util/bytes.h"
+#include "util/logging.h"
+#include "util/metrics.h"
 
 namespace rnl::core {
 
@@ -272,8 +274,60 @@ util::Json ApiServer::dispatch(const std::string& method,
     result.set("bytes_routed", stats.bytes_routed);
     result.set("unrouted_drops", stats.unrouted_drops);
     result.set("injected_frames", stats.injected_frames);
+    result.set("decode_errors", stats.decode_errors);
+    result.set("sites_joined", stats.sites_joined);
+    result.set("sites_lost", stats.sites_lost);
     result.set("sites", service_.route_server().site_count());
+    util::Json dataplane = util::Json::object();
+    dataplane.set("fast_path_frames", stats.dataplane.fast_path_frames);
+    dataplane.set("slow_path_frames", stats.dataplane.slow_path_frames);
+    dataplane.set("payload_allocs", stats.dataplane.payload_allocs);
+    dataplane.set("bytes_copied", stats.dataplane.bytes_copied);
+    dataplane.set("allocs_avoided", stats.dataplane.allocs_avoided);
+    dataplane.set("copies_avoided", stats.dataplane.copies_avoided);
+    result.set("dataplane", std::move(dataplane));
     return ok(std::move(result));
+  }
+
+  // ---- observability (see DESIGN.md "Observability") ----
+  if (method == "metrics.dump") {
+    return ok(service_.metrics().to_json());
+  }
+  if (method == "metrics.prometheus") {
+    util::Json result = util::Json::object();
+    result.set("text", service_.metrics().to_prometheus());
+    return ok(std::move(result));
+  }
+  if (method == "metrics.flight") {
+    const util::FlightRecorder& flight =
+        service_.route_server().flight_recorder();
+    auto events = params["port_id"].is_null()
+                      ? flight.dump()
+                      : flight.dump_port(static_cast<wire::PortId>(
+                            params["port_id"].as_int()));
+    util::Json list = util::Json::array();
+    for (const auto& event : events) {
+      util::Json e = util::Json::object();
+      e.set("src_port", event.src_port);
+      e.set("dst_port", event.dst_port);
+      e.set("size", event.size);
+      e.set("at_us", event.at.nanos / 1000);
+      e.set("forward_ns", event.forward_ns);
+      e.set("kind", util::to_string(event.kind));
+      list.push_back(std::move(e));
+    }
+    util::Json result = util::Json::object();
+    result.set("events", std::move(list));
+    result.set("total", flight.total());
+    return ok(std::move(result));
+  }
+  if (method == "log.set_level") {
+    const std::string& level = params["level"].as_string();
+    if (!util::level_from_string(level).has_value()) {
+      return fail("log.set_level: unknown level '" + level + "'");
+    }
+    util::Logger::instance().apply_level_spec(level.c_str());
+    return ok();
   }
 
   return fail("unknown method '" + method + "'");

@@ -115,6 +115,8 @@ class LabService {
   // -- Capture / injection passthrough (§2.3, for the API layer) --
   routeserver::RouteServer& route_server() { return server_; }
   simnet::Network& network() { return net_; }
+  /// The registry this world's components publish into (the route server's).
+  util::MetricsRegistry& metrics() { return server_.metrics(); }
 
   // -- Durable storage (§2.1: designs live on the web server) --
   /// Attaches a file store (non-owning). Stored designs are loaded

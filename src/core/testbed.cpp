@@ -75,6 +75,7 @@ void Testbed::join_all() {
     if (sites_[i]->joined()) continue;
     transport::SimStreamOptions options;
     options.wan = site_wans_[i];
+    options.metrics = &metrics_;
     auto [ris_end, server_end] =
         transport::make_sim_stream_pair(net_.scheduler(), options);
     server_.accept(std::move(server_end));

@@ -29,7 +29,7 @@ class Testbed {
   explicit Testbed(std::uint64_t seed = 1,
                    wire::NetemProfile site_wan = wire::NetemProfile::metro())
       : net_(seed),
-        server_(net_.scheduler()),
+        server_(net_.scheduler(), &metrics_),
         service_(net_, server_),
         api_(service_),
         site_wan_(site_wan) {}
@@ -46,6 +46,11 @@ class Testbed {
   routeserver::RouteServer& server() { return server_; }
   LabService& service() { return service_; }
   ApiServer& api() { return api_; }
+  /// The world's private registry: every component in this testbed (route
+  /// server, sites, sim streams) publishes here, so concurrent testbeds in
+  /// different threads never share instruments (see bench_routeserver_scaling
+  /// run_per_user).
+  util::MetricsRegistry& metrics() { return metrics_; }
 
   /// Creates a RIS site whose tunnel to the route server crosses `wan`
   /// (defaults to the testbed-wide profile — sites are geographically
@@ -55,7 +60,8 @@ class Testbed {
   }
   ris::RouterInterface& add_site(const std::string& name,
                                  wire::NetemProfile wan) {
-    sites_.push_back(std::make_unique<ris::RouterInterface>(net_, name));
+    sites_.push_back(
+        std::make_unique<ris::RouterInterface>(net_, name, &metrics_));
     site_wans_.push_back(wan);
     return *sites_.back();
   }
@@ -98,6 +104,9 @@ class Testbed {
                               bool with_console);
 
   simnet::Network net_;
+  // Declared before server_/sites_: components deregister their probes in
+  // their destructors, so the registry must be destroyed last.
+  util::MetricsRegistry metrics_;
   routeserver::RouteServer server_;
   LabService service_;
   ApiServer api_;

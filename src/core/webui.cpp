@@ -25,6 +25,31 @@ std::string WebUiSession::render_inventory() const {
   return out;
 }
 
+std::string WebUiSession::render_metrics() const {
+  util::Json snapshot =
+      const_cast<LabService&>(service_).metrics().to_json();
+  std::string out = "=== Lab Metrics ===\n";
+  out += "-- counters --\n";
+  for (const auto& [name, value] : snapshot["counters"].as_object()) {
+    out += util::format("  %-44s %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(value.as_int()));
+  }
+  out += "-- gauges --\n";
+  for (const auto& [name, value] : snapshot["gauges"].as_object()) {
+    out += util::format("  %-44s %lld\n", name.c_str(),
+                        static_cast<long long>(value.as_int()));
+  }
+  out += "-- histograms (count / p50 / p99) --\n";
+  for (const auto& [name, h] : snapshot["histograms"].as_object()) {
+    out += util::format(
+        "  %-44s %llu / %llu / %llu\n", name.c_str(),
+        static_cast<unsigned long long>(h["count"].as_int()),
+        static_cast<unsigned long long>(h["p50"].as_int()),
+        static_cast<unsigned long long>(h["p99"].as_int()));
+  }
+  return out;
+}
+
 DesignId WebUiSession::open_design(const std::string& name) {
   design_id_ = service_.create_design(user_, name);
   deployment_.reset();

@@ -40,6 +40,12 @@ class WebUiSession {
   /// the inventory").
   [[nodiscard]] std::string render_inventory() const;
 
+  // -- /metrics (operator page) --
+
+  /// Renders the lab's metrics registry as the operator status page: every
+  /// counter and gauge, plus count/p50/p99 per latency histogram.
+  [[nodiscard]] std::string render_metrics() const;
+
   // -- Design plane --
 
   /// Opens a new, empty design tab ("start multiple simultaneous design

@@ -9,10 +9,34 @@ namespace {
 constexpr const char* kLog = "ris";
 }
 
-RouterInterface::RouterInterface(simnet::Network& net, std::string site_name)
-    : net_(net), site_name_(std::move(site_name)) {}
+RouterInterface::RouterInterface(simnet::Network& net, std::string site_name,
+                                 util::MetricsRegistry* metrics)
+    : net_(net),
+      site_name_(std::move(site_name)),
+      metrics_(metrics != nullptr ? metrics : &util::MetricsRegistry::global()),
+      metrics_prefix_("ris." + site_name_ + ".") {
+  auto expose = [this](const char* field, const std::uint64_t* value) {
+    metrics_->probe_counter(metrics_prefix_ + field,
+                            [value] { return *value; });
+  };
+  expose("frames_up", &stats_.frames_up);
+  expose("frames_down", &stats_.frames_down);
+  expose("bytes_up", &stats_.bytes_up);
+  expose("bytes_down", &stats_.bytes_down);
+  expose("unknown_port_drops", &stats_.unknown_port_drops);
+  expose("decode_errors", &stats_.decode_errors);
+  expose("fast_path_frames", &stats_.fast_path_frames);
+  expose("payload_allocs", &stats_.payload_allocs);
+  expose("console_bytes_up", &stats_.console_bytes_up);
+  expose("console_bytes_down", &stats_.console_bytes_down);
+  capture_hist_ = &metrics_->histogram(metrics_prefix_ + "capture_ns");
+  replay_hist_ = &metrics_->histogram(metrics_prefix_ + "replay_ns");
+  compressor_.set_ratio_histogram(
+      &metrics_->histogram("wire.compression_ratio_x100"));
+}
 
 RouterInterface::~RouterInterface() {
+  metrics_->remove_prefix(metrics_prefix_);
   if (joined_) leave();
 }
 
@@ -302,7 +326,9 @@ void RouterInterface::handle_message(
       ++stats_.frames_down;
       stats_.bytes_down += frame.size();
       // Replay the complete L2 frame out of the NIC into the router port.
+      const std::uint64_t replay_start = util::monotonic_ns();
       routers_[router_index].ports[port_slot].nic->transmit(frame);
+      replay_hist_->record(util::monotonic_ns() - replay_start);
       return;
     }
     case wire::MessageType::kConsoleData: {
@@ -329,6 +355,7 @@ void RouterInterface::handle_message(
 
 void RouterInterface::handle_console_input(Router& router,
                                            util::BytesView bytes) {
+  stats_.console_bytes_down += bytes.size();
   devices::Device* device =
       router.parent == npos ? router.device : routers_[router.parent].device;
   std::string output;
@@ -344,6 +371,7 @@ void RouterInterface::handle_console_input(Router& router,
     }
   }
   if (output.empty()) return;
+  stats_.console_bytes_up += output.size();
   wire::TunnelMessage reply;
   reply.type = wire::MessageType::kConsoleData;
   reply.router_id = router.assigned_id;
@@ -369,7 +397,9 @@ void RouterInterface::on_nic_frame(std::size_t router_index,
 
   ++stats_.frames_up;
   stats_.bytes_up += frame.size();
+  const std::uint64_t capture_start = util::monotonic_ns();
   send_data(router_id, mapped.assigned_id, frame);
+  capture_hist_->record(util::monotonic_ns() - capture_start);
 }
 
 }  // namespace rnl::ris

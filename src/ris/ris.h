@@ -26,6 +26,7 @@
 #include "devices/device.h"
 #include "simnet/network.h"
 #include "transport/transport.h"
+#include "util/metrics.h"
 #include "wire/compression.h"
 #include "wire/tunnel.h"
 
@@ -42,11 +43,21 @@ struct RisStats {
   /// DataPlaneStats): frames relayed without any per-frame heap allocation.
   std::uint64_t fast_path_frames = 0;
   std::uint64_t payload_allocs = 0;
+  /// Console relay volume: device output shipped up the tunnel / keystrokes
+  /// arriving from the web terminal.
+  std::uint64_t console_bytes_up = 0;
+  std::uint64_t console_bytes_down = 0;
 };
 
 class RouterInterface {
  public:
-  RouterInterface(simnet::Network& net, std::string site_name);
+  /// `metrics` is the registry this site publishes into (nullptr: the
+  /// process-wide global). Every RisStats field appears as a probe under
+  /// "ris.<site>.", plus two owned latency histograms: capture_ns (router
+  /// port -> tunnel) and replay_ns (tunnel -> router port). The registry
+  /// must outlive the RIS.
+  RouterInterface(simnet::Network& net, std::string site_name,
+                  util::MetricsRegistry* metrics = nullptr);
   ~RouterInterface();
   RouterInterface(const RouterInterface&) = delete;
   RouterInterface& operator=(const RouterInterface&) = delete;
@@ -150,6 +161,12 @@ class RouterInterface {
   // Owns the heartbeat loop; scheduled copies hold weak references.
   std::shared_ptr<std::function<void()>> keepalive_loop_;
   RisStats stats_;
+  // Observability: stats_ stays the single-writer hot-path ledger; the
+  // registry reads it through "ris.<site>."-prefixed probes at dump time.
+  util::MetricsRegistry* metrics_ = nullptr;
+  std::string metrics_prefix_;
+  util::Histogram* capture_hist_ = nullptr;
+  util::Histogram* replay_hist_ = nullptr;
   std::size_t nic_counter_ = 0;
   // (router_id, port_id) -> (router index, port slot) after the ack.
   std::map<std::pair<wire::RouterId, wire::PortId>,

@@ -32,10 +32,55 @@ std::uint64_t stage_clock_ns() {
 #endif
 }  // namespace
 
-RouteServer::RouteServer(simnet::Scheduler& scheduler)
-    : scheduler_(scheduler) {}
+RouteServer::RouteServer(simnet::Scheduler& scheduler,
+                         util::MetricsRegistry* metrics)
+    : scheduler_(scheduler),
+      metrics_(metrics != nullptr ? metrics
+                                  : &util::MetricsRegistry::global()) {
+  forward_hist_ = &metrics_->histogram("routeserver.forward_ns");
+  inject_hist_ = &metrics_->histogram("routeserver.inject_ns");
+  netem_delay_hist_ = &metrics_->histogram("wire.netem_applied_delay_ns");
+  compression_ratio_hist_ =
+      &metrics_->histogram("wire.compression_ratio_x100");
+
+  // Every stats_ field is published as a probe: the dump reads the same
+  // memory the per-frame path writes, so `stats` and `metrics.dump` agree
+  // by construction.
+  auto expose = [this](const char* name, const std::uint64_t* field) {
+    metrics_->probe_counter(name, [field] { return *field; });
+  };
+  expose("routeserver.frames_routed", &stats_.frames_routed);
+  expose("routeserver.bytes_routed", &stats_.bytes_routed);
+  expose("routeserver.unrouted_drops", &stats_.unrouted_drops);
+  expose("routeserver.injected_frames", &stats_.injected_frames);
+  expose("routeserver.decode_errors", &stats_.decode_errors);
+  expose("routeserver.sites_joined", &stats_.sites_joined);
+  expose("routeserver.sites_lost", &stats_.sites_lost);
+  expose("routeserver.fast_path_frames", &stats_.dataplane.fast_path_frames);
+  expose("routeserver.slow_path_frames", &stats_.dataplane.slow_path_frames);
+  expose("routeserver.payload_allocs", &stats_.dataplane.payload_allocs);
+  expose("routeserver.bytes_copied", &stats_.dataplane.bytes_copied);
+  expose("routeserver.allocs_avoided", &stats_.dataplane.allocs_avoided);
+  expose("routeserver.copies_avoided", &stats_.dataplane.copies_avoided);
+  metrics_->probe_counter("routeserver.flight_events",
+                          [this] { return flight_.total(); });
+  metrics_->probe_gauge("routeserver.sites", [this] {
+    return static_cast<std::int64_t>(sites_.size());
+  });
+  metrics_->probe_gauge("routeserver.ports", [this] {
+    return static_cast<std::int64_t>(port_count_);
+  });
+  metrics_->probe_gauge("routeserver.wires", [this] {
+    return static_cast<std::int64_t>(wires_);
+  });
+  metrics_->probe_gauge("routeserver.active_captures", [this] {
+    return static_cast<std::int64_t>(active_captures_);
+  });
+}
 
 RouteServer::~RouteServer() {
+  // The probes read members of this object; drop them before it goes away.
+  metrics_->remove_prefix("routeserver.");
   // Detach handlers before member destruction so a closing transport cannot
   // re-enter a half-destroyed server.
   for (auto& site : sites_) {
@@ -50,6 +95,7 @@ void RouteServer::accept(std::unique_ptr<transport::Transport> transport) {
   purge_dead_sites();
   auto site = std::make_unique<Site>();
   Site* raw = site.get();
+  site->compressor.set_ratio_histogram(compression_ratio_hist_);
   site->last_heard = scheduler_.now();
   site->transport = std::move(transport);
   site->transport->set_receive_handler(
@@ -231,17 +277,33 @@ void RouteServer::handle_data(Site* site,
 
   if (msg.port_id >= matrix_.size() || matrix_[msg.port_id].peer == 0) {
     ++stats_.unrouted_drops;
+    flight_.record({msg.port_id, 0, static_cast<std::uint32_t>(frame.size()),
+                    scheduler_.now(), 0,
+                    util::FlightRecorder::EventKind::kUnrouted});
     return;
   }
   const WireEnd& wire_end = matrix_[msg.port_id];
   ++stats_.frames_routed;
   stats_.bytes_routed += frame.size();
   RNL_STAGE_END(route_start, stats_.dataplane.route_ns);
+  // Forward latency: host time from the routing decision to the encoded
+  // bytes reaching the transport (for an impaired wire: the WAN hand-off).
+  // Recorded once per routed frame, so the histogram's count always equals
+  // frames_routed. Budget: two clock reads + one histogram add + one ring
+  // write per frame, no allocation — the fast path stays allocation-free.
+  const std::uint64_t forward_start = util::monotonic_ns();
   if (wire_end.netem != nullptr) {
     wire_end.netem->send(frame);  // sink delivers to the peer after the WAN
   } else {
     deliver_to_port(wire_end.peer, frame, slow);
   }
+  const std::uint64_t forward_ns = util::monotonic_ns() - forward_start;
+  forward_hist_->record(forward_ns);
+  flight_.record({msg.port_id, wire_end.peer,
+                  static_cast<std::uint32_t>(frame.size()), scheduler_.now(),
+                  static_cast<std::uint32_t>(
+                      forward_ns > UINT32_MAX ? UINT32_MAX : forward_ns),
+                  util::FlightRecorder::EventKind::kRouted});
 }
 
 void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame,
@@ -397,6 +459,7 @@ util::Status RouteServer::connect_ports(wire::PortId a, wire::PortId b,
           scheduler_, wan, [this, dest](util::Bytes frame) {
             deliver_to_port(dest, frame, /*slow=*/true);
           });
+      end.netem->set_applied_delay_histogram(netem_delay_hist_);
     }
     return end;
   };
@@ -464,8 +527,17 @@ util::Status RouteServer::inject_frame(wire::PortId port,
   }
   ++stats_.injected_frames;
   // API-injected frames never went through the zero-copy decode path, so
-  // they must not count toward the fast-path ledger.
+  // they must not count toward the fast-path ledger — nor toward the
+  // forward-latency histogram, whose total tracks frames_routed.
+  const std::uint64_t forward_start = util::monotonic_ns();
   deliver_to_port(port, frame, /*slow=*/true);
+  const std::uint64_t forward_ns = util::monotonic_ns() - forward_start;
+  inject_hist_->record(forward_ns);
+  flight_.record({0, port, static_cast<std::uint32_t>(frame.size()),
+                  scheduler_.now(),
+                  static_cast<std::uint32_t>(
+                      forward_ns > UINT32_MAX ? UINT32_MAX : forward_ns),
+                  util::FlightRecorder::EventKind::kInjected});
   return util::Status::Ok();
 }
 

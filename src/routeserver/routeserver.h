@@ -29,6 +29,7 @@
 
 #include "simnet/scheduler.h"
 #include "transport/transport.h"
+#include "util/metrics.h"
 #include "wire/compression.h"
 #include "wire/netem.h"
 #include "wire/tunnel.h"
@@ -115,7 +116,15 @@ class RouteServer {
       std::function<void(wire::RouterId, util::BytesView)>;
   using InventoryChangedHandler = std::function<void()>;
 
-  explicit RouteServer(simnet::Scheduler& scheduler);
+  /// `metrics` is the registry this server publishes into (nullptr: the
+  /// process-wide MetricsRegistry::global()). The registry must outlive the
+  /// server; every RouteServerStats field is exposed as a read-only probe
+  /// (prefix "routeserver."), and the server owns four histograms in it:
+  /// forward latency (routed frames), inject latency (API-injected frames,
+  /// kept separate so forward_ns totals track frames_routed exactly), netem
+  /// applied delay, and compression ratio.
+  explicit RouteServer(simnet::Scheduler& scheduler,
+                       util::MetricsRegistry* metrics = nullptr);
   ~RouteServer();
   RouteServer(const RouteServer&) = delete;
   RouteServer& operator=(const RouteServer&) = delete;
@@ -167,6 +176,15 @@ class RouteServer {
 
   [[nodiscard]] const RouteServerStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+
+  // -- Observability --
+  [[nodiscard]] util::MetricsRegistry& metrics() const { return *metrics_; }
+  /// Ring of the last N data-plane frame events (default 512; capacity 0
+  /// disables). One ring write per routed/dropped/injected frame.
+  [[nodiscard]] util::FlightRecorder& flight_recorder() { return flight_; }
+  [[nodiscard]] const util::FlightRecorder& flight_recorder() const {
+    return flight_;
+  }
 
  private:
   struct Site {
@@ -254,6 +272,15 @@ class RouteServer {
   wire::RouterId next_router_id_ = 1;
   wire::PortId next_port_id_ = 1;
   RouteServerStats stats_;
+  // Observability. stats_ stays the hot path's single-writer ledger; the
+  // registry reads it through probes at dump time, so the two can never
+  // disagree. The histograms are registry-owned (stable addresses).
+  util::MetricsRegistry* metrics_ = nullptr;
+  util::Histogram* forward_hist_ = nullptr;
+  util::Histogram* inject_hist_ = nullptr;
+  util::Histogram* netem_delay_hist_ = nullptr;
+  util::Histogram* compression_ratio_hist_ = nullptr;
+  util::FlightRecorder flight_;
 };
 
 }  // namespace rnl::routeserver

@@ -19,6 +19,11 @@ struct SharedState {
   // Per-direction FIFO floors (a->b, b->a) preserving stream order.
   util::SimTime floor_ab{};
   util::SimTime floor_ba{};
+  // Optional registry instruments (stable addresses owned by the registry;
+  // null when SimStreamOptions::metrics was not set).
+  util::Counter* bytes_sent = nullptr;
+  util::Counter* bytes_delivered = nullptr;
+  util::Gauge* chunks_in_flight = nullptr;
 };
 
 class SimStreamEnd final : public Transport {
@@ -58,14 +63,25 @@ class SimStreamEnd final : public Transport {
     if (arrival < floor) arrival = floor;
     floor = arrival;
 
+    if (state_->bytes_sent != nullptr) {
+      state_->bytes_sent->inc(bytes.size());
+      state_->chunks_in_flight->add(1);
+    }
     util::Bytes copy(bytes.begin(), bytes.end());
     std::weak_ptr<SharedState> weak = state_;
     bool to_b = is_a_;
     sched.schedule_at(arrival, [weak, to_b, copy = std::move(copy)] {
       auto state = weak.lock();
-      if (!state || !state->open) return;
+      if (!state) return;
+      if (state->chunks_in_flight != nullptr) state->chunks_in_flight->add(-1);
+      if (!state->open) return;
       SimStreamEnd* dest = to_b ? state->end_b : state->end_a;
-      if (dest != nullptr) dest->deliver(copy);
+      if (dest != nullptr) {
+        if (state->bytes_delivered != nullptr) {
+          state->bytes_delivered->inc(copy.size());
+        }
+        dest->deliver(copy);
+      }
     });
   }
 
@@ -119,6 +135,13 @@ make_sim_stream_pair(simnet::Scheduler& scheduler,
   auto state = std::make_shared<SharedState>();
   state->scheduler = &scheduler;
   state->options = options;
+  if (options.metrics != nullptr) {
+    state->bytes_sent = &options.metrics->counter("transport.bytes_sent");
+    state->bytes_delivered =
+        &options.metrics->counter("transport.bytes_delivered");
+    state->chunks_in_flight =
+        &options.metrics->gauge("transport.chunks_in_flight");
+  }
   auto a = std::make_unique<SimStreamEnd>(state, true);
   auto b = std::make_unique<SimStreamEnd>(state, false);
   state->end_a = a.get();

@@ -10,6 +10,7 @@
 
 #include "simnet/scheduler.h"
 #include "transport/transport.h"
+#include "util/metrics.h"
 #include "wire/netem.h"
 
 namespace rnl::transport {
@@ -19,6 +20,11 @@ struct SimStreamOptions {
   /// Emulated TCP retransmission timeout: a "lost" chunk arrives this much
   /// later instead of disappearing.
   util::Duration retransmit_delay{util::Duration::milliseconds(200)};
+  /// When set, the stream pair publishes "transport.bytes_sent",
+  /// "transport.bytes_delivered" counters and a "transport.chunks_in_flight"
+  /// queue-depth gauge into this registry (shared across all pairs wired to
+  /// the same registry). The registry must outlive the stream ends.
+  util::MetricsRegistry* metrics = nullptr;
 };
 
 /// Creates a connected pair of stream ends. Both ends must not outlive the

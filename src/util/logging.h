@@ -4,6 +4,7 @@
 // per call). Default sink is stderr; tests swap in a capture sink.
 
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -13,9 +14,14 @@ namespace rnl::util {
 enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError };
 
 std::string_view to_string(LogLevel level);
+/// Parses "trace"/"debug"/"info"/"warn"/"error" (case-insensitive; "warning"
+/// accepted). nullopt for anything else.
+std::optional<LogLevel> level_from_string(std::string_view name);
 
 /// Global log configuration. Messages below `threshold` are dropped before
-/// formatting. The sink is invoked with the fully formatted line.
+/// formatting. The sink is invoked with the fully formatted line, which
+/// carries a monotonic wall-clock timestamp prefix ("12.345678 component:
+/// msg") so log lines correlate with the metrics flight recorder.
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
@@ -25,6 +31,13 @@ class Logger {
   void set_threshold(LogLevel level) { threshold_ = level; }
   [[nodiscard]] LogLevel threshold() const { return threshold_; }
   void set_sink(Sink sink);
+
+  /// Applies `spec` (an RNL_LOG_LEVEL value) to the threshold; returns
+  /// false and leaves the threshold alone if the spec does not parse. The
+  /// constructor calls this with getenv("RNL_LOG_LEVEL"), so the env var is
+  /// honored at startup; the `log.set_level` API method reuses it at
+  /// runtime.
+  bool apply_level_spec(const char* spec);
 
   [[nodiscard]] bool enabled(LogLevel level) const {
     return level >= threshold_;

@@ -1,0 +1,268 @@
+#include "util/metrics.h"
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace rnl::util {
+
+std::uint64_t monotonic_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point anchor = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           anchor)
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+std::size_t Histogram::bucket_of(std::uint64_t value) {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t Histogram::bucket_floor(std::size_t b) {
+  if (b == 0) return 0;
+  return std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t Histogram::bucket_ceil(std::size_t b) {
+  if (b == 0) return 0;
+  if (b >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << b) - 1;
+}
+
+void Histogram::record(std::uint64_t value) {
+  ++buckets_[bucket_of(value)];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the order statistic, 1-based; p=0 means the first sample.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBucketCount; ++b) {
+    cumulative += buckets_[b];
+    if (cumulative >= rank) {
+      // The bucket's upper bound, clamped to the observed extremes so a
+      // single-sample histogram reports the sample itself.
+      std::uint64_t bound = bucket_ceil(b);
+      if (bound > max_) bound = max_;
+      if (bound < min_) bound = min_;
+      return bound;
+    }
+  }
+  return max_;
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+
+FlightRecorder::FlightRecorder(std::size_t capacity) { set_capacity(capacity); }
+
+void FlightRecorder::set_capacity(std::size_t capacity) {
+  ring_.assign(capacity, Event{});
+  next_ = 0;
+  total_ = 0;
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::dump() const {
+  std::vector<Event> out;
+  if (ring_.empty() || total_ == 0) return out;
+  const std::size_t retained =
+      total_ < ring_.size() ? static_cast<std::size_t>(total_) : ring_.size();
+  out.reserve(retained);
+  // Oldest retained event: ring start before the first wrap, next_ after.
+  std::size_t index = total_ < ring_.size() ? 0 : next_;
+  for (std::size_t i = 0; i < retained; ++i) {
+    out.push_back(ring_[index]);
+    index = index + 1 == ring_.size() ? 0 : index + 1;
+  }
+  return out;
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::dump_port(
+    std::uint32_t port) const {
+  std::vector<Event> out;
+  for (const Event& event : dump()) {
+    if (event.src_port == port || event.dst_port == port) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+std::string_view to_string(FlightRecorder::EventKind kind) {
+  switch (kind) {
+    case FlightRecorder::EventKind::kRouted:
+      return "routed";
+    case FlightRecorder::EventKind::kUnrouted:
+      return "unrouted";
+    case FlightRecorder::EventKind::kInjected:
+      return "injected";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::probe_counter(const std::string& name,
+                                    std::function<std::uint64_t()> read) {
+  counter_probes_[name] = std::move(read);
+}
+
+void MetricsRegistry::probe_gauge(const std::string& name,
+                                  std::function<std::int64_t()> read) {
+  gauge_probes_[name] = std::move(read);
+}
+
+void MetricsRegistry::remove_prefix(std::string_view prefix) {
+  auto drop = [prefix](auto& probes) {
+    for (auto it = probes.begin(); it != probes.end();) {
+      if (std::string_view(it->first).substr(0, prefix.size()) == prefix) {
+        it = probes.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  drop(counter_probes_);
+  drop(gauge_probes_);
+}
+
+Json MetricsRegistry::to_json() const {
+  Json counters = Json::object();
+  for (const auto& [name, counter] : counters_) {
+    counters.set(name, counter->value());
+  }
+  for (const auto& [name, read] : counter_probes_) counters.set(name, read());
+
+  Json gauges = Json::object();
+  for (const auto& [name, gauge] : gauges_) {
+    gauges.set(name, static_cast<std::int64_t>(gauge->value()));
+  }
+  for (const auto& [name, read] : gauge_probes_) {
+    gauges.set(name, static_cast<std::int64_t>(read()));
+  }
+
+  Json histograms = Json::object();
+  for (const auto& [name, histogram] : histograms_) {
+    Json h = Json::object();
+    h.set("count", histogram->count());
+    h.set("sum", histogram->sum());
+    h.set("min", histogram->min());
+    h.set("max", histogram->max());
+    h.set("p50", histogram->percentile(50));
+    h.set("p90", histogram->percentile(90));
+    h.set("p99", histogram->percentile(99));
+    Json buckets = Json::array();
+    for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+      if (histogram->buckets()[b] == 0) continue;
+      Json bucket = Json::object();
+      bucket.set("le", Histogram::bucket_ceil(b));
+      bucket.set("count", histogram->buckets()[b]);
+      buckets.push_back(std::move(bucket));
+    }
+    h.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(h));
+  }
+
+  Json out = Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+namespace {
+
+std::string prometheus_name(std::string_view ns, std::string_view name) {
+  std::string out(ns);
+  out.push_back('_');
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus(std::string_view ns) const {
+  std::string out;
+  auto emit = [&](const std::string& name, const char* type,
+                  const std::string& value) {
+    std::string metric = prometheus_name(ns, name);
+    out += "# TYPE " + metric + " " + type + "\n";
+    out += metric + " " + value + "\n";
+  };
+  for (const auto& [name, counter] : counters_) {
+    emit(name, "counter", std::to_string(counter->value()));
+  }
+  for (const auto& [name, read] : counter_probes_) {
+    emit(name, "counter", std::to_string(read()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    emit(name, "gauge", std::to_string(gauge->value()));
+  }
+  for (const auto& [name, read] : gauge_probes_) {
+    emit(name, "gauge", std::to_string(read()));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::string metric = prometheus_name(ns, name);
+    out += "# TYPE " + metric + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+      if (histogram->buckets()[b] == 0) continue;
+      cumulative += histogram->buckets()[b];
+      out += metric + "_bucket{le=\"" +
+             std::to_string(Histogram::bucket_ceil(b)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += metric + "_bucket{le=\"+Inf\"} " +
+           std::to_string(histogram->count()) + "\n";
+    out += metric + "_sum " + std::to_string(histogram->sum()) + "\n";
+    out += metric + "_count " + std::to_string(histogram->count()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace rnl::util

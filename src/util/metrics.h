@@ -1,0 +1,206 @@
+#pragma once
+
+// Process-wide metrics: named counters, gauges, and fixed-bucket log2
+// latency histograms, plus a bounded per-frame flight recorder.
+//
+// Cost model (the data plane records per frame, so this is a contract):
+//   - Counter/Gauge/Histogram writes are a handful of arithmetic ops on a
+//     pre-resolved pointer — no locks, no allocation, no name lookup.
+//   - Name lookup (get-or-create) happens once, at component construction.
+//   - Readers (metrics.dump, the webui /metrics page, Prometheus scrape)
+//     walk the registry maps; they run on the control plane.
+//
+// Concurrency contract — single writer per instrument, like the scheduler:
+// every simulated world (scheduler + route server + RIS sites) runs on one
+// thread, and each world owns its own MetricsRegistry (Testbed wires this
+// up). Instruments are therefore written from exactly one thread; dumps
+// happen from that same thread between events. Distinct registries on
+// distinct threads never share instruments (see bench_routeserver_scaling's
+// per-user mode). MetricsRegistry::global() exists for components
+// constructed without an explicit registry — fine in single-world
+// processes, never shared across threads.
+//
+// Two instrument flavours:
+//   - Owned: `registry.counter("x")` returns a registry-owned instrument
+//     with a stable address for the registry's lifetime. Owned instruments
+//     are never removed, so cached handles cannot dangle.
+//   - Probes: `registry.probe_counter("x", fn)` registers a read-only
+//     callback evaluated at dump time. Components that already keep cheap
+//     hot-path counters (RouteServerStats, RisStats) expose them as probes
+//     — the dump reads the very same memory the hot path writes, so the
+//     registry and the structs cannot disagree. A probe's owner MUST call
+//     remove_prefix() before it is destroyed, or the callback dangles.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+#include "util/time.h"
+
+namespace rnl::util {
+
+/// Wall-clock nanoseconds on a monotonic clock, anchored at first use.
+/// For instrumentation only — simulated time stays in SimTime/Duration.
+std::uint64_t monotonic_ns();
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void add(std::int64_t d) { value_ += d; }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Fixed-bucket log2 histogram: bucket b holds values whose bit width is b,
+/// i.e. bucket 0 = {0} and bucket b = [2^(b-1), 2^b - 1]. Recording is O(1)
+/// (one bit_width + four adds); percentiles walk the 65 buckets and return
+/// the matched bucket's upper bound, so a reported percentile is an upper
+/// estimate within 2x of the true order statistic — the right resolution
+/// for latency tails, where powers of two are the story.
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = 65;  // bit widths 0..64
+
+  void record(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  /// p in [0, 100]. Empty histogram reports 0.
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value);
+  /// Inclusive bounds of bucket b: [bucket_floor(b), bucket_ceil(b)].
+  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t b);
+  [[nodiscard]] static std::uint64_t bucket_ceil(std::size_t b);
+  [[nodiscard]] const std::array<std::uint64_t, kBucketCount>& buckets()
+      const {
+    return buckets_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Bounded ring of the last N per-frame events on the route server's data
+/// plane — enough to reconstruct where a misrouted frame went without
+/// running a capture. Steady-state cost is one ring write per frame.
+class FlightRecorder {
+ public:
+  enum class EventKind : std::uint8_t {
+    kRouted = 0,    // matrix hit: forwarded toward dst_port
+    kUnrouted = 1,  // no matrix entry: dropped (dst_port = 0)
+    kInjected = 2,  // API-injected straight into dst_port (src_port = 0)
+  };
+
+  struct Event {
+    std::uint32_t src_port = 0;
+    std::uint32_t dst_port = 0;
+    std::uint32_t size = 0;
+    /// Simulated instant the frame was decoded/routed (decode, route, and a
+    /// direct encode all happen in the same event; a WAN-impaired wire
+    /// encodes later, after the modelled delay).
+    SimTime at{};
+    /// Host nanoseconds the forward took (decode view -> encoded bytes
+    /// handed to the transport, or the impairment hand-off).
+    std::uint32_t forward_ns = 0;
+    EventKind kind = EventKind::kRouted;
+  };
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  /// Resizes and clears. Capacity 0 disables recording entirely.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Events ever recorded (including overwritten ones).
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  void record(const Event& event) {
+    if (ring_.empty()) return;
+    ring_[next_] = event;
+    next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
+    ++total_;
+  }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<Event> dump() const;
+  /// Retained events touching `port` (as source or destination), oldest
+  /// first — the per-port view used to debug misrouted frames.
+  [[nodiscard]] std::vector<Event> dump_port(std::uint32_t port) const;
+
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+ private:
+  std::vector<Event> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+[[nodiscard]] std::string_view to_string(FlightRecorder::EventKind kind);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Fallback registry for components constructed without one. Single-world
+  /// processes only — never write it from two threads.
+  static MetricsRegistry& global();
+
+  // Get-or-create; returned references stay valid for the registry's
+  // lifetime (owned instruments are never removed).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Read-only probes, evaluated at dump time. Re-registering a name
+  // replaces the callback (components recreated with a shared registry).
+  void probe_counter(const std::string& name,
+                     std::function<std::uint64_t()> read);
+  void probe_gauge(const std::string& name, std::function<std::int64_t()> read);
+  /// Drops every probe whose name starts with `prefix`. Owned instruments
+  /// are untouched. Probe owners call this from their destructor.
+  void remove_prefix(std::string_view prefix);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  /// min, max, p50, p90, p99, buckets: [{le, count}, ...nonzero only]}}}.
+  [[nodiscard]] Json to_json() const;
+  /// Prometheus text exposition (counters, gauges, histograms with
+  /// cumulative le buckets). Metric names are `<ns>_<name>` with
+  /// non-alphanumerics folded to '_'.
+  [[nodiscard]] std::string to_prometheus(std::string_view ns = "rnl") const;
+
+ private:
+  // std::map: deterministic dump order, and node stability gives owned
+  // instruments their forever-valid addresses.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::function<std::uint64_t()>> counter_probes_;
+  std::map<std::string, std::function<std::int64_t()>> gauge_probes_;
+};
+
+}  // namespace rnl::util

@@ -116,6 +116,9 @@ std::optional<util::Bytes> TemplateCompressor::compress(
     if (w.size() < frame.size()) {
       ++stats_.frames_compressed;
       stats_.bytes_out += w.size();
+      if (ratio_hist_ != nullptr && w.size() > 0) {
+        ratio_hist_->record(frame.size() * 100 / w.size());
+      }
       result = std::move(w).take();
     } else {
       stats_.bytes_out += frame.size();

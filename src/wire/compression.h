@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "util/bytes.h"
+#include "util/metrics.h"
 #include "util/result.h"
 
 namespace rnl::wire {
@@ -66,11 +67,19 @@ class TemplateCompressor {
   [[nodiscard]] const CompressionStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t search_depth() const { return search_depth_; }
 
+  /// Each successfully compressed frame records its per-frame ratio x100
+  /// (100 = 1.0x, 2500 = 25x) into `histogram` — the paper's
+  /// template-traffic claim as a distribution. Non-owning; nullptr disables.
+  void set_ratio_histogram(util::Histogram* histogram) {
+    ratio_hist_ = histogram;
+  }
+
  private:
   std::size_t search_depth_;
   std::array<util::Bytes, kRingSize> ring_;
   std::uint64_t count_ = 0;  // frames committed so far
   CompressionStats stats_;
+  util::Histogram* ratio_hist_ = nullptr;
 };
 
 class TemplateDecompressor {

@@ -22,6 +22,10 @@ void Netem::send(util::BytesView frame) {
   util::SimTime arrival = scheduler_.now() + latency;
   if (arrival < fifo_floor_) arrival = fifo_floor_;  // stream order holds
   fifo_floor_ = arrival;
+  if (applied_delay_ != nullptr) {
+    applied_delay_->record(
+        static_cast<std::uint64_t>((arrival - scheduler_.now()).nanos));
+  }
   util::Bytes copy(frame.begin(), frame.end());
   std::weak_ptr<int> alive = alive_;
   scheduler_.schedule_at(

@@ -15,6 +15,7 @@
 
 #include "simnet/scheduler.h"
 #include "util/bytes.h"
+#include "util/metrics.h"
 
 namespace rnl::wire {
 
@@ -60,6 +61,14 @@ class Netem {
   void set_profile(NetemProfile profile) { profile_ = profile; }
   [[nodiscard]] const NetemProfile& profile() const { return profile_; }
 
+  /// Every non-lost frame records the delay actually applied (base + drawn
+  /// jitter + FIFO hold) into `histogram`, in nanoseconds of simulated
+  /// time — the measured distribution to compare against the configured
+  /// profile. Non-owning; nullptr disables.
+  void set_applied_delay_histogram(util::Histogram* histogram) {
+    applied_delay_ = histogram;
+  }
+
   /// Schedules delivery of `frame` through the impairment model.
   void send(util::BytesView frame);
 
@@ -70,6 +79,7 @@ class Netem {
   simnet::Scheduler& scheduler_;
   NetemProfile profile_;
   Sink sink_;
+  util::Histogram* applied_delay_ = nullptr;
   util::SimTime fifo_floor_{};
   // Scheduled deliveries hold a weak reference: destroying the Netem (wire
   // torn down mid-flight) silently drops frames still "in the fiber".

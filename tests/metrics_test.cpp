@@ -1,0 +1,532 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <regex>
+#include <thread>
+
+#include "core/testbed.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace rnl {
+namespace {
+
+using packet::Ipv4Address;
+using packet::Ipv4Prefix;
+using util::FlightRecorder;
+using util::Histogram;
+using util::MetricsRegistry;
+
+Ipv4Address ip(const char* s) { return *Ipv4Address::parse(s); }
+Ipv4Prefix prefix(const char* s) { return *Ipv4Prefix::parse(s); }
+
+// ---------------------------------------------------------------------------
+// Histogram buckets and percentiles
+// ---------------------------------------------------------------------------
+
+TEST(MetricsHistogram, BucketBoundariesFollowBitWidth) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<std::uint64_t>::max()),
+            64u);
+
+  // Every bucket's floor and ceil must map back into that bucket, and
+  // adjacent buckets must tile the value range with no gap or overlap.
+  EXPECT_EQ(Histogram::bucket_floor(0), 0u);
+  EXPECT_EQ(Histogram::bucket_ceil(0), 0u);
+  for (std::size_t b = 1; b < Histogram::kBucketCount; ++b) {
+    EXPECT_EQ(Histogram::bucket_floor(b), std::uint64_t{1} << (b - 1));
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_floor(b)), b);
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_ceil(b)), b);
+    EXPECT_EQ(Histogram::bucket_floor(b), Histogram::bucket_ceil(b - 1) + 1);
+  }
+  EXPECT_EQ(Histogram::bucket_ceil(64),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(MetricsHistogram, EmptyHistogramReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.percentile(99), 0u);
+}
+
+TEST(MetricsHistogram, SingleSampleReportsTheSampleAtEveryPercentile) {
+  Histogram h;
+  h.record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 1000u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.percentile(0), 1000u);
+  EXPECT_EQ(h.percentile(50), 1000u);
+  EXPECT_EQ(h.percentile(100), 1000u);
+}
+
+TEST(MetricsHistogram, OverflowBucketHoldsHugeValues) {
+  Histogram h;
+  h.record(std::numeric_limits<std::uint64_t>::max());
+  h.record(std::numeric_limits<std::uint64_t>::max() - 1);
+  EXPECT_EQ(h.percentile(99), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.max(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(MetricsHistogram, PercentilesAreOrderedUpperEstimates) {
+  Histogram h;
+  // 90 fast samples around 100 and 10 slow ones around 100000: the p50
+  // answer must stay in the fast bucket and the p99 answer in the slow one.
+  for (int i = 0; i < 90; ++i) h.record(100);
+  for (int i = 0; i < 10; ++i) h.record(100000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_LE(h.percentile(50), h.percentile(90));
+  EXPECT_LE(h.percentile(90), h.percentile(99));
+  EXPECT_LE(h.percentile(99), h.max());
+  // Upper estimate within the bucket's 2x resolution.
+  EXPECT_GE(h.percentile(50), 100u);
+  EXPECT_LT(h.percentile(50), 200u);
+  EXPECT_GE(h.percentile(99), 100000u);
+  EXPECT_LT(h.percentile(99), 200000u);
+  // min/max clamp the estimates to observed extremes.
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 100000u);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+FlightRecorder::Event event_with_src(std::uint32_t src) {
+  FlightRecorder::Event e;
+  e.src_port = src;
+  e.dst_port = src + 100;
+  e.size = 64;
+  return e;
+}
+
+TEST(MetricsFlightRecorder, WraparoundKeepsNewestOldestFirst) {
+  FlightRecorder flight(4);
+  for (std::uint32_t i = 0; i < 6; ++i) flight.record(event_with_src(i));
+  EXPECT_EQ(flight.total(), 6u);
+  auto events = flight.dump();
+  ASSERT_EQ(events.size(), 4u);
+  // Events 0 and 1 were overwritten; 2..5 remain, oldest first.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].src_port, i + 2);
+  }
+}
+
+TEST(MetricsFlightRecorder, DumpBeforeWraparoundReturnsOnlyRecorded) {
+  FlightRecorder flight(8);
+  flight.record(event_with_src(7));
+  flight.record(event_with_src(9));
+  auto events = flight.dump();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].src_port, 7u);
+  EXPECT_EQ(events[1].src_port, 9u);
+}
+
+TEST(MetricsFlightRecorder, DumpPortMatchesSourceOrDestination) {
+  FlightRecorder flight(8);
+  flight.record(event_with_src(1));    // ports 1 -> 101
+  flight.record(event_with_src(2));    // ports 2 -> 102
+  flight.record(event_with_src(1));    // ports 1 -> 101
+  EXPECT_EQ(flight.dump_port(1).size(), 2u);
+  EXPECT_EQ(flight.dump_port(101).size(), 2u);
+  EXPECT_EQ(flight.dump_port(2).size(), 1u);
+  EXPECT_EQ(flight.dump_port(77).size(), 0u);
+}
+
+TEST(MetricsFlightRecorder, ZeroCapacityDisablesRecording) {
+  FlightRecorder flight(0);
+  flight.record(event_with_src(1));
+  EXPECT_EQ(flight.total(), 0u);
+  EXPECT_TRUE(flight.dump().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, OwnedInstrumentsHaveStableAddresses) {
+  MetricsRegistry registry;
+  util::Counter& c = registry.counter("a.frames");
+  util::Histogram& h = registry.histogram("a.latency");
+  c.inc(3);
+  // Creating more instruments must not move existing ones.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("filler." + std::to_string(i));
+  }
+  EXPECT_EQ(&registry.counter("a.frames"), &c);
+  EXPECT_EQ(&registry.histogram("a.latency"), &h);
+  EXPECT_EQ(registry.counter("a.frames").value(), 3u);
+}
+
+TEST(MetricsRegistryTest, ProbesShadowOwnedValuesAndRemoveByPrefix) {
+  MetricsRegistry registry;
+  registry.counter("site.frames").inc(1);
+  std::uint64_t live = 42;
+  registry.probe_counter("site.frames", [&live] { return live; });
+  registry.probe_gauge("site.depth", [] { return std::int64_t{-7}; });
+
+  util::Json dump = registry.to_json();
+  EXPECT_EQ(dump["counters"]["site.frames"].as_int(), 42);
+  EXPECT_EQ(dump["gauges"]["site.depth"].as_int(), -7);
+
+  live = 43;
+  EXPECT_EQ(registry.to_json()["counters"]["site.frames"].as_int(), 43);
+
+  // Dropping the probes falls back to the owned instrument and must not
+  // evaluate the (about to dangle) callbacks again.
+  registry.remove_prefix("site.");
+  util::Json after = registry.to_json();
+  EXPECT_EQ(after["counters"]["site.frames"].as_int(), 1);
+  EXPECT_TRUE(after["gauges"]["site.depth"].is_null());
+}
+
+TEST(MetricsRegistryTest, DistinctInstrumentsWrittenFromDistinctThreads) {
+  // The concurrency contract: one writer per instrument. Two threads
+  // hammering two different counters of the same registry must both land
+  // exact totals (instrument creation happens before the threads start).
+  MetricsRegistry registry;
+  util::Counter& a = registry.counter("thread.a");
+  util::Counter& b = registry.counter("thread.b");
+  constexpr std::uint64_t kIters = 200000;
+  std::thread ta([&a] {
+    for (std::uint64_t i = 0; i < kIters; ++i) a.inc();
+  });
+  std::thread tb([&b] {
+    for (std::uint64_t i = 0; i < kIters; ++i) b.inc(2);
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.value(), kIters);
+  EXPECT_EQ(b.value(), 2 * kIters);
+}
+
+TEST(MetricsRegistryTest, JsonDumpCarriesHistogramShape) {
+  MetricsRegistry registry;
+  util::Histogram& h = registry.histogram("x.lat");
+  h.record(3);
+  h.record(3);
+  h.record(900);
+  util::Json dump = registry.to_json();
+  const util::Json& hist = dump["histograms"]["x.lat"];
+  EXPECT_EQ(hist["count"].as_int(), 3);
+  EXPECT_EQ(hist["sum"].as_int(), 906);
+  EXPECT_EQ(hist["min"].as_int(), 3);
+  EXPECT_EQ(hist["max"].as_int(), 900);
+  EXPECT_EQ(hist["p50"].as_int(), 3);
+  // Only non-empty buckets are emitted: {2,3} and [512,1023].
+  ASSERT_EQ(hist["buckets"].size(), 2u);
+  EXPECT_EQ(hist["buckets"].at(0)["le"].as_int(), 3);
+  EXPECT_EQ(hist["buckets"].at(0)["count"].as_int(), 2);
+  EXPECT_EQ(hist["buckets"].at(1)["le"].as_int(), 1023);
+  EXPECT_EQ(hist["buckets"].at(1)["count"].as_int(), 1);
+}
+
+TEST(MetricsRegistryTest, PrometheusExpositionFormat) {
+  MetricsRegistry registry;
+  registry.counter("routeserver.frames_routed").inc(5);
+  registry.gauge("transport.chunks_in_flight").set(2);
+  util::Histogram& h = registry.histogram("routeserver.forward_ns");
+  h.record(100);
+  h.record(300);
+  std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# TYPE rnl_routeserver_frames_routed counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("rnl_routeserver_frames_routed 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rnl_transport_chunks_in_flight gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rnl_routeserver_forward_ns histogram"),
+            std::string::npos);
+  // Buckets are cumulative and end with +Inf == count.
+  EXPECT_NE(text.find("rnl_routeserver_forward_ns_bucket{le=\"127\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("rnl_routeserver_forward_ns_bucket{le=\"511\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("rnl_routeserver_forward_ns_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("rnl_routeserver_forward_ns_sum 400"),
+            std::string::npos);
+  EXPECT_NE(text.find("rnl_routeserver_forward_ns_count 2"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: testbed traffic shows up in the registry and the API
+// ---------------------------------------------------------------------------
+
+/// Two sites, one host each, an impaired virtual wire between them, and
+/// compression on — every instrumented layer records something.
+class MetricsEndToEnd : public ::testing::Test {
+ protected:
+  MetricsEndToEnd() : bed(7) {
+    ris::RouterInterface& s1 = bed.add_site("west");
+    ris::RouterInterface& s2 = bed.add_site("east");
+    h1 = &bed.add_host(s1, "h1");
+    h2 = &bed.add_host(s2, "h2");
+    h1->configure(prefix("10.0.0.1/24"), ip("10.0.0.254"));
+    h2->configure(prefix("10.0.0.2/24"), ip("10.0.0.254"));
+    bed.server().set_compression_enabled(true);
+    s1.set_compression_enabled(true);
+    s2.set_compression_enabled(true);
+    bed.join_all();
+  }
+
+  void connect_and_ping(int pings) {
+    ASSERT_TRUE(bed.server()
+                    .connect_ports(bed.port_id("west/h1", "eth0"),
+                                   bed.port_id("east/h2", "eth0"),
+                                   wire::NetemProfile::metro())
+                    .ok());
+    h1->ping(ip("10.0.0.2"), pings);
+    bed.run_for(util::Duration::seconds(3 + pings / 10));
+    ASSERT_EQ(h1->ping_replies().size(), static_cast<std::size_t>(pings));
+  }
+
+  util::Json api(const std::string& method,
+                 util::Json params = util::Json::object()) {
+    util::Json request = util::Json::object();
+    request.set("method", method);
+    request.set("params", std::move(params));
+    return bed.api().handle(request);
+  }
+
+  core::Testbed bed;
+  devices::Host* h1 = nullptr;
+  devices::Host* h2 = nullptr;
+};
+
+TEST_F(MetricsEndToEnd, ForwardHistogramTracksFramesRouted) {
+  connect_and_ping(20);
+  const auto& stats = bed.server().stats();
+  const util::Histogram& forward =
+      bed.metrics().histogram("routeserver.forward_ns");
+  EXPECT_GT(stats.frames_routed, 0u);
+  // One forward-latency sample per routed frame, injected frames excluded.
+  EXPECT_EQ(forward.count(), stats.frames_routed);
+  EXPECT_GT(forward.percentile(99), 0u);
+  EXPECT_LE(forward.percentile(50), forward.percentile(99));
+}
+
+TEST_F(MetricsEndToEnd, EveryInstrumentedLayerRecords) {
+  connect_and_ping(20);
+  util::Json dump = bed.metrics().to_json();
+  const util::Json& counters = dump["counters"];
+  const util::Json& histograms = dump["histograms"];
+  EXPECT_GT(counters["routeserver.frames_routed"].as_int(), 0);
+  EXPECT_GT(counters["ris.west.frames_up"].as_int(), 0);
+  EXPECT_GT(counters["ris.east.frames_down"].as_int(), 0);
+  EXPECT_GT(counters["transport.bytes_sent"].as_int(), 0);
+  EXPECT_GT(counters["transport.bytes_delivered"].as_int(), 0);
+  // The world is quiescent after run_for: nothing left in flight.
+  EXPECT_EQ(dump["gauges"]["transport.chunks_in_flight"].as_int(), 0);
+  EXPECT_EQ(dump["gauges"]["routeserver.sites"].as_int(), 2);
+  // The acceptance trio: forward path, netem applied delay (the wire is
+  // metro-impaired), and compression ratio (template echo traffic).
+  EXPECT_GT(histograms["routeserver.forward_ns"]["count"].as_int(), 0);
+  EXPECT_GT(histograms["wire.netem_applied_delay_ns"]["count"].as_int(), 0);
+  EXPECT_GT(histograms["wire.compression_ratio_x100"]["count"].as_int(), 0);
+  // Metro profile: 2 ms base delay, so applied delay clusters near 2e6 ns.
+  EXPECT_GE(histograms["wire.netem_applied_delay_ns"]["p50"].as_int(),
+            1000000);
+  // Compressed echo frames shrink: ratio x100 above 100 (1.0x).
+  EXPECT_GT(histograms["wire.compression_ratio_x100"]["p50"].as_int(), 100);
+  EXPECT_GT(histograms["ris.west.capture_ns"]["count"].as_int(), 0);
+  EXPECT_GT(histograms["ris.east.replay_ns"]["count"].as_int(), 0);
+}
+
+TEST_F(MetricsEndToEnd, MetricsDumpApiIsWellFormed) {
+  connect_and_ping(10);
+  util::Json response = api("metrics.dump");
+  ASSERT_TRUE(response["ok"].as_bool());
+  const util::Json& result = response["result"];
+  ASSERT_TRUE(result["counters"].is_object());
+  ASSERT_TRUE(result["gauges"].is_object());
+  ASSERT_TRUE(result["histograms"].is_object());
+  EXPECT_GT(result["counters"]["routeserver.frames_routed"].as_int(), 0);
+  // The dump round-trips through the JSON codec (what a web client sees).
+  auto reparsed = util::Json::parse(response.dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ((*reparsed)["result"]["counters"]["routeserver.frames_routed"]
+                .as_int(),
+            result["counters"]["routeserver.frames_routed"].as_int());
+
+  util::Json prometheus = api("metrics.prometheus");
+  ASSERT_TRUE(prometheus["ok"].as_bool());
+  EXPECT_NE(prometheus["result"]["text"].as_string().find(
+                "rnl_routeserver_frames_routed"),
+            std::string::npos);
+}
+
+TEST_F(MetricsEndToEnd, FlightApiReportsRoutedFramesPerPort) {
+  connect_and_ping(10);
+  util::Json all = api("metrics.flight");
+  ASSERT_TRUE(all["ok"].as_bool());
+  ASSERT_GT(all["result"]["events"].size(), 0u);
+  EXPECT_GT(all["result"]["total"].as_int(), 0);
+  const util::Json& first = all["result"]["events"].at(0);
+  EXPECT_EQ(first["kind"].as_string(), "routed");
+  EXPECT_GT(first["size"].as_int(), 0);
+
+  wire::PortId p1 = bed.port_id("west/h1", "eth0");
+  util::Json params = util::Json::object();
+  params.set("port_id", p1);
+  util::Json filtered = api("metrics.flight", std::move(params));
+  ASSERT_TRUE(filtered["ok"].as_bool());
+  ASSERT_GT(filtered["result"]["events"].size(), 0u);
+  for (std::size_t i = 0; i < filtered["result"]["events"].size(); ++i) {
+    const util::Json& event = filtered["result"]["events"].at(i);
+    EXPECT_TRUE(event["src_port"].as_int() == static_cast<std::int64_t>(p1) ||
+                event["dst_port"].as_int() == static_cast<std::int64_t>(p1));
+  }
+}
+
+TEST_F(MetricsEndToEnd, StatsApiExposesFullDataPlaneLedger) {
+  connect_and_ping(10);
+  util::Json response = api("stats");
+  ASSERT_TRUE(response["ok"].as_bool());
+  const util::Json& result = response["result"];
+  const auto& stats = bed.server().stats();
+  EXPECT_EQ(result["frames_routed"].as_int(),
+            static_cast<std::int64_t>(stats.frames_routed));
+  EXPECT_EQ(result["decode_errors"].as_int(),
+            static_cast<std::int64_t>(stats.decode_errors));
+  EXPECT_EQ(result["sites_joined"].as_int(),
+            static_cast<std::int64_t>(stats.sites_joined));
+  ASSERT_TRUE(result["dataplane"].is_object());
+  EXPECT_EQ(result["dataplane"]["payload_allocs"].as_int(),
+            static_cast<std::int64_t>(stats.dataplane.payload_allocs));
+  EXPECT_EQ(result["dataplane"]["slow_path_frames"].as_int(),
+            static_cast<std::int64_t>(stats.dataplane.slow_path_frames));
+  EXPECT_EQ(result["dataplane"]["copies_avoided"].as_int(),
+            static_cast<std::int64_t>(stats.dataplane.copies_avoided));
+}
+
+TEST_F(MetricsEndToEnd, RegistryAgreesWithStatsAcrossCaptureToggles) {
+  connect_and_ping(5);
+  wire::PortId p1 = bed.port_id("west/h1", "eth0");
+
+  // Toggle capture (fast path off, then on again) with traffic in between;
+  // the registry must agree with the struct ledger at every step.
+  auto expect_equivalence = [this] {
+    util::Json counters = bed.metrics().to_json()["counters"];
+    const auto& stats = bed.server().stats();
+    EXPECT_EQ(counters["routeserver.frames_routed"].as_int(),
+              static_cast<std::int64_t>(stats.frames_routed));
+    EXPECT_EQ(counters["routeserver.fast_path_frames"].as_int(),
+              static_cast<std::int64_t>(stats.dataplane.fast_path_frames));
+    EXPECT_EQ(counters["routeserver.slow_path_frames"].as_int(),
+              static_cast<std::int64_t>(stats.dataplane.slow_path_frames));
+    EXPECT_EQ(counters["routeserver.payload_allocs"].as_int(),
+              static_cast<std::int64_t>(stats.dataplane.payload_allocs));
+    EXPECT_EQ(counters["routeserver.bytes_routed"].as_int(),
+              static_cast<std::int64_t>(stats.bytes_routed));
+  };
+  expect_equivalence();
+
+  bed.server().start_capture(p1);
+  h1->ping(ip("10.0.0.2"), 5);
+  bed.run_for(util::Duration::seconds(2));
+  expect_equivalence();
+
+  bed.server().stop_capture(p1);
+  h1->ping(ip("10.0.0.2"), 5);
+  bed.run_for(util::Duration::seconds(2));
+  ASSERT_EQ(h1->ping_replies().size(), 15u);
+  expect_equivalence();
+
+  const util::Histogram& forward =
+      bed.metrics().histogram("routeserver.forward_ns");
+  EXPECT_EQ(forward.count(), bed.server().stats().frames_routed);
+}
+
+// ---------------------------------------------------------------------------
+// Logging satellites: level spec, API, timestamp prefix
+// ---------------------------------------------------------------------------
+
+class LoggingLevels : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    util::Logger::instance().set_threshold(saved_);
+    util::Logger::instance().set_sink(
+        [](util::LogLevel level, const std::string& line) {
+          std::fprintf(stderr, "[%s] %s\n",
+                       std::string(util::to_string(level)).c_str(),
+                       line.c_str());
+        });
+  }
+  util::LogLevel saved_ = util::Logger::instance().threshold();
+};
+
+TEST_F(LoggingLevels, LevelSpecParsing) {
+  EXPECT_EQ(util::level_from_string("trace"), util::LogLevel::kTrace);
+  EXPECT_EQ(util::level_from_string("DEBUG"), util::LogLevel::kDebug);
+  EXPECT_EQ(util::level_from_string("Info"), util::LogLevel::kInfo);
+  EXPECT_EQ(util::level_from_string("WARNING"), util::LogLevel::kWarn);
+  EXPECT_EQ(util::level_from_string("error"), util::LogLevel::kError);
+  EXPECT_FALSE(util::level_from_string("loud").has_value());
+  EXPECT_FALSE(util::level_from_string("").has_value());
+
+  util::Logger& logger = util::Logger::instance();
+  EXPECT_TRUE(logger.apply_level_spec("debug"));
+  EXPECT_EQ(logger.threshold(), util::LogLevel::kDebug);
+  // A bad spec (or unset env var) leaves the threshold untouched.
+  EXPECT_FALSE(logger.apply_level_spec("bogus"));
+  EXPECT_FALSE(logger.apply_level_spec(nullptr));
+  EXPECT_EQ(logger.threshold(), util::LogLevel::kDebug);
+}
+
+TEST_F(LoggingLevels, SetLevelApiMethod) {
+  core::Testbed bed(11);
+  util::Json request = util::Json::object();
+  request.set("method", "log.set_level");
+  util::Json params = util::Json::object();
+  params.set("level", "error");
+  request.set("params", std::move(params));
+  util::Json response = bed.api().handle(request);
+  EXPECT_TRUE(response["ok"].as_bool());
+  EXPECT_EQ(util::Logger::instance().threshold(), util::LogLevel::kError);
+
+  util::Json bad = util::Json::object();
+  bad.set("method", "log.set_level");
+  util::Json bad_params = util::Json::object();
+  bad_params.set("level", "shouting");
+  bad.set("params", std::move(bad_params));
+  util::Json bad_response = bed.api().handle(bad);
+  EXPECT_FALSE(bad_response["ok"].as_bool());
+  EXPECT_EQ(util::Logger::instance().threshold(), util::LogLevel::kError);
+}
+
+TEST_F(LoggingLevels, WritePrefixesMonotonicTimestamp) {
+  util::Logger& logger = util::Logger::instance();
+  logger.set_threshold(util::LogLevel::kInfo);
+  std::vector<std::string> lines;
+  logger.set_sink([&lines](util::LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+  logger.write(util::LogLevel::kInfo, "metrics_test", "first");
+  logger.write(util::LogLevel::kInfo, "metrics_test", "second");
+  ASSERT_EQ(lines.size(), 2u);
+  std::regex stamped(R"(^(\d+\.\d{6}) metrics_test: first$)");
+  std::smatch match;
+  ASSERT_TRUE(std::regex_match(lines[0], match, stamped));
+  // Timestamps come from the same monotonic clock the histograms use: they
+  // never run backwards between consecutive lines.
+  double first = std::stod(match[1]);
+  std::regex stamped2(R"(^(\d+\.\d{6}) metrics_test: second$)");
+  ASSERT_TRUE(std::regex_match(lines[1], match, stamped2));
+  EXPECT_GE(std::stod(match[1]), first);
+}
+
+}  // namespace
+}  // namespace rnl
