@@ -4,20 +4,28 @@
 # plane hands out views into reusable buffers, so lifetime mistakes tend to
 # pass plain tests and only show up under the sanitizers.
 #
-# Usage: scripts/check.sh [--metrics] [jobs]
+# Usage: scripts/check.sh [--metrics] [--faults] [jobs]
 #   --metrics  additionally run the observability smoke binary
 #              (examples/metrics_smoke) from the sanitizer build: boots a
 #              sim testbed, routes traffic, and asserts metrics.dump is
 #              well-formed JSON with nonzero frame counters.
+#   --faults   additionally re-run the session fault-tolerance suite (link
+#              cuts, liveness eviction, rejoin, stale epochs, peer-restart
+#              codec desync) under ASan+UBSan with verbose output. The
+#              teardown/rejoin paths free and rebind per-site state while
+#              transport callbacks may still be on the stack, which is
+#              exactly the class of bug only the sanitizers catch.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 metrics=0
+faults=0
 jobs=""
 for arg in "$@"; do
   case "$arg" in
     --metrics) metrics=1 ;;
+    --faults) faults=1 ;;
     *) jobs="$arg" ;;
   esac
 done
@@ -40,6 +48,16 @@ run_config build-sanitize -DCMAKE_BUILD_TYPE=Debug -DRNL_SANITIZE=ON
 if [[ "$metrics" == 1 ]]; then
   echo "=== metrics smoke (sanitized) ==="
   ./build-sanitize/examples/metrics_smoke
+fi
+
+if [[ "$faults" == 1 ]]; then
+  echo "=== fault-tolerance suite (sanitized) ==="
+  ./build-sanitize/tests/ris_routeserver_test \
+    --gtest_filter='*Rejoin*:*Reconnect*:*Liveness*:*StaleEpoch*:*Disconnect*'
+  ./build-sanitize/tests/transport_test \
+    --gtest_filter='SimStream.*:TcpLoopback.RunOncePollRetriesOnEintr'
+  ./build-sanitize/tests/wire_test \
+    --gtest_filter='*Reset*:*PeerRestart*:*Epoch*'
 fi
 
 echo "All checks passed."

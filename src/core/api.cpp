@@ -277,6 +277,9 @@ util::Json ApiServer::dispatch(const std::string& method,
     result.set("decode_errors", stats.decode_errors);
     result.set("sites_joined", stats.sites_joined);
     result.set("sites_lost", stats.sites_lost);
+    result.set("sites_rejoined", stats.sites_rejoined);
+    result.set("stale_epoch_drops", stats.stale_epoch_drops);
+    result.set("matrix_entries_restored", stats.matrix_entries_restored);
     result.set("sites", service_.route_server().site_count());
     util::Json dataplane = util::Json::object();
     dataplane.set("fast_path_frames", stats.dataplane.fast_path_frames);

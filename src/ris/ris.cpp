@@ -29,15 +29,27 @@ RouterInterface::RouterInterface(simnet::Network& net, std::string site_name,
   expose("payload_allocs", &stats_.payload_allocs);
   expose("console_bytes_up", &stats_.console_bytes_up);
   expose("console_bytes_down", &stats_.console_bytes_down);
+  expose("reconnects", &stats_.reconnects);
+  expose("reconnect_failures", &stats_.reconnect_failures);
+  expose("reconnect_giveups", &stats_.reconnect_giveups);
+  expose("stale_epoch_drops", &stats_.stale_epoch_drops);
   capture_hist_ = &metrics_->histogram(metrics_prefix_ + "capture_ns");
   replay_hist_ = &metrics_->histogram(metrics_prefix_ + "replay_ns");
+  backoff_hist_ = &metrics_->histogram(metrics_prefix_ + "backoff_ns");
   compressor_.set_ratio_histogram(
       &metrics_->histogram("wire.compression_ratio_x100"));
 }
 
 RouterInterface::~RouterInterface() {
   metrics_->remove_prefix(metrics_prefix_);
+  leaving_ = true;  // a tunnel closing from here on is intentional
   if (joined_) leave();
+  if (transport_) {
+    // Detach handlers before member destruction so the transport's own
+    // destructor cannot re-enter a half-destroyed RIS.
+    transport_->set_receive_handler(nullptr);
+    transport_->set_close_handler(nullptr);
+  }
 }
 
 std::size_t RouterInterface::add_router(devices::Device* device,
@@ -150,13 +162,33 @@ util::Json RouterInterface::config_json() const {
 
 void RouterInterface::join(
     std::unique_ptr<transport::Transport> transport) {
+  leaving_ = false;
+  in_outage_ = false;
+  attempts_this_outage_ = 0;
+  start_session(std::move(transport));
+}
+
+void RouterInterface::start_session(
+    std::unique_ptr<transport::Transport> transport) {
+  if (transport_) {
+    // Replacing a previous connection: detach its handlers before closing,
+    // or its close would fire on_tunnel_lost and schedule a spurious second
+    // reconnect for the session we are just establishing.
+    transport_->set_receive_handler(nullptr);
+    transport_->set_close_handler(nullptr);
+    transport_->close();
+  }
   transport_ = std::move(transport);
+  // A new connection is a new session: any half-frame from the old stream
+  // and both compression rings are history the peer no longer shares. The
+  // route server does the same reset per epoch on its side.
+  decoder_.reset();
+  compressor_.reset();
+  decompressor_.reset();
+  joined_ = false;
   transport_->set_receive_handler(
       [this](util::BytesView chunk) { on_transport_data(chunk); });
-  transport_->set_close_handler([this] {
-    joined_ = false;
-    RNL_LOG(kWarn, kLog) << site_name_ << ": tunnel to route server lost";
-  });
+  transport_->set_close_handler([this] { on_tunnel_lost(); });
 
   wire::JoinRequest request;
   request.site_name = site_name_;
@@ -172,7 +204,9 @@ void RouterInterface::join(
   // Heartbeat loop so the server can tell a silent site from a dead one.
   // The loop function is owned by the member; scheduled copies hold only a
   // weak reference, so destroying the RIS cancels the loop (and nothing
-  // leaks through a self-reference cycle).
+  // leaks through a self-reference cycle). Cancel-and-replace: a reconnect
+  // must not leave the previous session's loop beating alongside this one.
+  keepalive_loop_.reset();
   keepalive_loop_ = std::make_shared<std::function<void()>>();
   std::weak_ptr<std::function<void()>> weak = keepalive_loop_;
   *keepalive_loop_ = [this, weak] {
@@ -188,7 +222,74 @@ void RouterInterface::join(
   net_.scheduler().schedule_after(keepalive_interval_, *keepalive_loop_);
 }
 
+void RouterInterface::on_tunnel_lost() {
+  joined_ = false;
+  RNL_LOG(kWarn, kLog) << site_name_ << ": tunnel to route server lost";
+  if (leaving_ || !transport_factory_) return;
+  if (!in_outage_) {
+    in_outage_ = true;
+    attempts_this_outage_ = 0;
+    current_backoff_ = reconnect_policy_.initial_backoff;
+  }
+  schedule_reconnect();
+}
+
+void RouterInterface::schedule_reconnect() {
+  if (reconnect_policy_.max_attempts > 0 &&
+      attempts_this_outage_ >= reconnect_policy_.max_attempts) {
+    ++stats_.reconnect_giveups;
+    in_outage_ = false;
+    RNL_LOG(kError, kLog) << site_name_ << ": giving up after "
+                          << attempts_this_outage_ << " reconnect attempts";
+    return;
+  }
+  // Jitter the delay so many sites losing one server don't redial in phase;
+  // deterministic because it comes from the scheduler's seeded RNG.
+  util::Duration delay = current_backoff_;
+  if (reconnect_policy_.jitter > 0) {
+    auto span = static_cast<std::int64_t>(
+        static_cast<double>(delay.nanos) * reconnect_policy_.jitter);
+    if (span > 0) delay.nanos += net_.scheduler().rng().range(-span, span);
+  }
+  if (delay.nanos < 0) delay.nanos = 0;
+  backoff_hist_->record(static_cast<std::uint64_t>(delay.nanos));
+  RNL_LOG(kInfo, kLog) << site_name_ << ": reconnect attempt "
+                       << attempts_this_outage_ + 1 << " in "
+                       << delay.nanos / 1'000'000 << " ms";
+  auto grown = static_cast<std::int64_t>(
+      static_cast<double>(current_backoff_.nanos) *
+      reconnect_policy_.multiplier);
+  current_backoff_.nanos =
+      grown < reconnect_policy_.max_backoff.nanos
+          ? grown
+          : reconnect_policy_.max_backoff.nanos;
+
+  reconnect_task_ = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak = reconnect_task_;
+  *reconnect_task_ = [this, weak] {
+    auto self = weak.lock();
+    if (!self) return;
+    attempt_reconnect();
+  };
+  net_.scheduler().schedule_after(delay, *reconnect_task_);
+}
+
+void RouterInterface::attempt_reconnect() {
+  if (leaving_) return;
+  ++attempts_this_outage_;
+  auto transport = transport_factory_();
+  if (!transport || !transport->is_open()) {
+    ++stats_.reconnect_failures;
+    schedule_reconnect();
+    return;
+  }
+  start_session(std::move(transport));
+}
+
 void RouterInterface::leave() {
+  leaving_ = true;
+  reconnect_task_.reset();  // cancels any dial already scheduled
+  in_outage_ = false;
   if (transport_ && transport_->is_open()) {
     wire::TunnelMessage msg;
     msg.type = wire::MessageType::kLeave;
@@ -226,7 +327,8 @@ void RouterInterface::send_data(wire::RouterId router_id, wire::PortId port_id,
     if (compressed.has_value()) {
       ++stats_.payload_allocs;
       wire::encode_message_into(w, wire::MessageType::kData, router_id,
-                                port_id, *compressed, /*compressed=*/true);
+                                port_id, *compressed, /*compressed=*/true,
+                                static_cast<std::uint8_t>(epoch_));
       sent_compressed = true;
     }
   } else {
@@ -236,7 +338,8 @@ void RouterInterface::send_data(wire::RouterId router_id, wire::PortId port_id,
   }
   if (!sent_compressed) {
     wire::encode_message_into(w, wire::MessageType::kData, router_id, port_id,
-                              frame);
+                              frame, /*compressed=*/false,
+                              static_cast<std::uint8_t>(epoch_));
   }
   bool grew = w.capacity() != cap_before;
   if (grew) ++stats_.payload_allocs;
@@ -296,12 +399,27 @@ void RouterInterface::handle_message(
           }
         }
       }
+      epoch_ = ack->epoch;
       joined_ = true;
+      if (in_outage_) {
+        ++stats_.reconnects;
+        in_outage_ = false;
+        attempts_this_outage_ = 0;
+        RNL_LOG(kInfo, kLog) << site_name_ << ": reconnected (epoch "
+                             << epoch_ << ")";
+      }
       RNL_LOG(kInfo, kLog) << site_name_ << ": joined labs, "
                            << routers_.size() << " routers registered";
       return;
     }
     case wire::MessageType::kData: {
+      // Epoch gate before the compression rings advance: a frame from
+      // another session incarnation must neither reach a router port nor
+      // desynchronize the current session's lockstep.
+      if (msg.epoch != static_cast<std::uint8_t>(epoch_)) {
+        ++stats_.stale_epoch_drops;
+        return;
+      }
       util::Bytes inflated_frame;  // only materialized for compressed frames
       util::BytesView frame;
       if (msg.compressed) {

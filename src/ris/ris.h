@@ -17,6 +17,7 @@
 //     inventory entries (§4 logical routers), multiplexing their traffic.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -47,6 +48,26 @@ struct RisStats {
   /// arriving from the web terminal.
   std::uint64_t console_bytes_up = 0;
   std::uint64_t console_bytes_down = 0;
+  /// Session fault tolerance: completed reconnects (JOIN re-acked after an
+  /// outage), dial attempts that failed, outages abandoned after the retry
+  /// budget, and kData frames dropped for carrying a stale session epoch.
+  std::uint64_t reconnects = 0;
+  std::uint64_t reconnect_failures = 0;
+  std::uint64_t reconnect_giveups = 0;
+  std::uint64_t stale_epoch_drops = 0;
+};
+
+/// Backoff policy for the reconnect state machine. Delays grow
+/// `initial_backoff * multiplier^n` capped at `max_backoff`, with a
+/// symmetric +/- `jitter` fraction drawn from the scheduler's deterministic
+/// RNG so a farm of sites losing one server doesn't redial in phase.
+struct ReconnectPolicy {
+  util::Duration initial_backoff{util::Duration::milliseconds(500)};
+  util::Duration max_backoff{util::Duration::seconds(30)};
+  double multiplier = 2.0;
+  double jitter = 0.2;
+  /// Dial attempts per outage before giving up; 0 = retry forever.
+  int max_attempts = 8;
 };
 
 class RouterInterface {
@@ -102,8 +123,29 @@ class RouterInterface {
     keepalive_interval_ = interval;
   }
   [[nodiscard]] bool joined() const { return joined_; }
-  /// Orderly departure (kLeave + close).
+  /// Orderly departure (kLeave + close). Cancels any reconnect in flight.
   void leave();
+
+  // -- Session fault tolerance --
+
+  /// How RIS dials the route server again after losing the tunnel. Without
+  /// a factory the RIS behaves as before: a lost tunnel is terminal. The
+  /// factory may return nullptr (dial failed); that counts as a failed
+  /// attempt and the backoff continues.
+  using TransportFactory =
+      std::function<std::unique_ptr<transport::Transport>()>;
+  void set_transport_factory(TransportFactory factory) {
+    transport_factory_ = std::move(factory);
+  }
+  void set_reconnect_policy(ReconnectPolicy policy) {
+    reconnect_policy_ = policy;
+  }
+  [[nodiscard]] const ReconnectPolicy& reconnect_policy() const {
+    return reconnect_policy_;
+  }
+  /// Epoch of the current session as assigned by the route server's last
+  /// JOIN ack (0 before the first ack and for a site's first session).
+  [[nodiscard]] std::uint32_t session_epoch() const { return epoch_; }
 
   void set_compression_enabled(bool enabled) { compression_enabled_ = enabled; }
   [[nodiscard]] const RisStats& stats() const { return stats_; }
@@ -131,6 +173,17 @@ class RouterInterface {
     std::string console_line_buffer;
   };
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Installs `transport` as the session connection (detaching and closing
+  /// any previous one), resets the per-session wire state (decoder, both
+  /// compression rings) and sends the JOIN. Used by join() and by every
+  /// reconnect attempt.
+  void start_session(std::unique_ptr<transport::Transport> transport);
+  /// Close-handler path: decides whether this loss starts (or continues) an
+  /// outage and schedules the next dial.
+  void on_tunnel_lost();
+  void schedule_reconnect();
+  void attempt_reconnect();
 
   void send_message(const wire::TunnelMessage& message, bool compressible);
   /// Zero-copy data-frame send: runs the compression policy on `frame` and
@@ -160,6 +213,23 @@ class RouterInterface {
   util::Duration keepalive_interval_{util::Duration::seconds(10)};
   // Owns the heartbeat loop; scheduled copies hold weak references.
   std::shared_ptr<std::function<void()>> keepalive_loop_;
+  // -- Reconnect state machine --
+  TransportFactory transport_factory_;
+  ReconnectPolicy reconnect_policy_;
+  /// Session epoch from the last JOIN ack; stamped into every kData frame.
+  std::uint32_t epoch_ = 0;
+  /// Set by leave() and the destructor: a closing tunnel is intentional,
+  /// don't reconnect.
+  bool leaving_ = false;
+  /// True from the first loss until a JOIN ack completes the recovery.
+  /// Backoff and the attempt budget reset only on that ack — a server that
+  /// accepts and immediately drops us must not see a fresh budget per drop.
+  bool in_outage_ = false;
+  int attempts_this_outage_ = 0;
+  util::Duration current_backoff_{};
+  // Owns the pending dial; the scheduled copy holds a weak reference, so
+  // leave()/destruction cancels it.
+  std::shared_ptr<std::function<void()>> reconnect_task_;
   RisStats stats_;
   // Observability: stats_ stays the single-writer hot-path ledger; the
   // registry reads it through "ris.<site>."-prefixed probes at dump time.
@@ -167,6 +237,8 @@ class RouterInterface {
   std::string metrics_prefix_;
   util::Histogram* capture_hist_ = nullptr;
   util::Histogram* replay_hist_ = nullptr;
+  /// Distribution of the (jittered) delays the reconnect machine slept.
+  util::Histogram* backoff_hist_ = nullptr;
   std::size_t nic_counter_ = 0;
   // (router_id, port_id) -> (router index, port slot) after the ack.
   std::map<std::pair<wire::RouterId, wire::PortId>,

@@ -56,6 +56,10 @@ RouteServer::RouteServer(simnet::Scheduler& scheduler,
   expose("routeserver.decode_errors", &stats_.decode_errors);
   expose("routeserver.sites_joined", &stats_.sites_joined);
   expose("routeserver.sites_lost", &stats_.sites_lost);
+  expose("routeserver.sites_rejoined", &stats_.sites_rejoined);
+  expose("routeserver.stale_epoch_drops", &stats_.stale_epoch_drops);
+  expose("routeserver.matrix_entries_restored",
+         &stats_.matrix_entries_restored);
   expose("routeserver.fast_path_frames", &stats_.dataplane.fast_path_frames);
   expose("routeserver.slow_path_frames", &stats_.dataplane.slow_path_frames);
   expose("routeserver.payload_allocs", &stats_.dataplane.payload_allocs);
@@ -100,7 +104,8 @@ void RouteServer::accept(std::unique_ptr<transport::Transport> transport) {
   site->transport = std::move(transport);
   site->transport->set_receive_handler(
       [this, raw](util::BytesView chunk) { on_site_data(raw, chunk); });
-  site->transport->set_close_handler([this, raw] { drop_site(raw); });
+  site->transport->set_close_handler(
+      [this, raw] { remove_site(raw, /*orderly=*/false); });
   sites_.push_back(std::move(site));
 }
 
@@ -127,7 +132,21 @@ void RouteServer::set_liveness_timeout(util::Duration timeout) {
 }
 
 void RouteServer::on_site_data(Site* site, util::BytesView chunk) {
-  if (site->dead) return;
+  if (site->dead) {
+    // Bytes still in flight from a dead incarnation (the WAN kept carrying
+    // them after the server gave up on the session). Count the data frames
+    // as stale-epoch drops — they can never reach a user port — and feed
+    // nothing into the routing path.
+    const auto& late = site->decoder.feed_views(chunk);
+    if (!site->decoder.failed()) {
+      for (const auto& decoded : late) {
+        if (decoded.type == wire::MessageType::kData) {
+          ++stats_.stale_epoch_drops;
+        }
+      }
+    }
+    return;
+  }
   site->last_heard = scheduler_.now();
   RNL_STAGE_START(decode_start);
   const auto& messages = site->decoder.feed_views(chunk);
@@ -167,7 +186,7 @@ void RouteServer::handle_message(
     case wire::MessageType::kKeepalive:
       return;
     case wire::MessageType::kLeave:
-      drop_site(site);
+      remove_site(site, /*orderly=*/true);
       return;
     default:
       ++stats_.decode_errors;
@@ -179,7 +198,8 @@ void RouteServer::send_control(Site* site, wire::MessageType type,
                                wire::RouterId router, util::BytesView payload) {
   site->send_buffer.clear();
   wire::encode_message_into(site->send_buffer, type, router, /*port_id=*/0,
-                            payload);
+                            payload, /*compressed=*/false,
+                            static_cast<std::uint8_t>(site->epoch));
   site->transport->send(site->send_buffer.view());
 }
 
@@ -203,38 +223,71 @@ void RouteServer::handle_join(Site* site,
     return;
   }
 
+  if (site->joined) {
+    ++stats_.decode_errors;
+    RNL_LOG(kWarn, kLog) << "site '" << site->name
+                         << "' sent a duplicate JOIN on a live session";
+    return;
+  }
+
   site->name = request->site_name;
-  wire::JoinAck ack;
-  for (const auto& declared : request->routers) {
-    InventoryRouter router;
-    router.id = next_router_id_++;
-    router.site = request->site_name;
-    router.name = declared.name;
-    router.description = declared.description;
-    router.image_file = declared.image_file;
-    router.has_console = !declared.console_com.empty();
-    wire::JoinAck::RouterIds ids;
-    ids.router_id = router.id;
-    for (const auto& declared_port : declared.ports) {
-      InventoryPort port;
-      port.id = next_port_id_++;
-      port.name = declared_port.name;
-      port.description = declared_port.description;
-      port.rect_x = declared_port.rect_x;
-      port.rect_y = declared_port.rect_y;
-      port.rect_w = declared_port.rect_w;
-      port.rect_h = declared_port.rect_h;
-      router.ports.push_back(port);
-      ids.port_ids.push_back(port.id);
-      ensure_port_tables(next_port_id_);
-      ports_[port.id] =
-          PortRecord{site, router.id, port.name, port.description};
-      ++port_count_;
+
+  // A JOIN under the name of a session the server still believes is live
+  // supersedes it: the RIS process restarted faster than the liveness sweep
+  // could notice. Kill the zombie first — its close handler runs the
+  // un-orderly teardown, which parks its inventory for the rebind below.
+  for (auto& other : sites_) {
+    if (other.get() != site && !other->dead && other->joined &&
+        other->name == request->site_name) {
+      RNL_LOG(kWarn, kLog) << "site '" << site->name
+                           << "' rejoined over a live session; superseding "
+                              "the old incarnation";
+      other->transport->close();
+      break;
     }
-    routers_[router.id] = std::move(router);
-    router_sites_[ids.router_id] = site;
-    site->router_ids.push_back(ids.router_id);
-    ack.routers.push_back(std::move(ids));
+  }
+
+  RetainedSite& registry = site_registry_[request->site_name];
+  site->epoch = registry.next_epoch++;
+
+  wire::JoinAck ack;
+  ack.epoch = site->epoch;
+  bool rebound =
+      !registry.routers.empty() && rebind_retained(site, *request, registry, ack);
+  if (rebound) {
+    ++stats_.sites_rejoined;
+  } else {
+    for (const auto& declared : request->routers) {
+      InventoryRouter router;
+      router.id = next_router_id_++;
+      router.site = request->site_name;
+      router.name = declared.name;
+      router.description = declared.description;
+      router.image_file = declared.image_file;
+      router.has_console = !declared.console_com.empty();
+      wire::JoinAck::RouterIds ids;
+      ids.router_id = router.id;
+      for (const auto& declared_port : declared.ports) {
+        InventoryPort port;
+        port.id = next_port_id_++;
+        port.name = declared_port.name;
+        port.description = declared_port.description;
+        port.rect_x = declared_port.rect_x;
+        port.rect_y = declared_port.rect_y;
+        port.rect_w = declared_port.rect_w;
+        port.rect_h = declared_port.rect_h;
+        router.ports.push_back(port);
+        ids.port_ids.push_back(port.id);
+        ensure_port_tables(next_port_id_);
+        ports_[port.id] =
+            PortRecord{site, router.id, port.name, port.description};
+        ++port_count_;
+      }
+      routers_[router.id] = std::move(router);
+      router_sites_[ids.router_id] = site;
+      site->router_ids.push_back(ids.router_id);
+      ack.routers.push_back(std::move(ids));
+    }
   }
   site->joined = true;
   ++stats_.sites_joined;
@@ -246,12 +299,70 @@ void RouteServer::handle_join(Site* site,
                    ack_json.size()));
 
   RNL_LOG(kInfo, kLog) << "site '" << site->name << "' joined with "
-                       << request->routers.size() << " routers";
+                       << request->routers.size() << " routers (epoch "
+                       << site->epoch << (rebound ? ", ids rebound)" : ")");
   if (inventory_changed_) inventory_changed_();
+}
+
+bool RouteServer::rebind_retained(Site* site, const wire::JoinRequest& request,
+                                  RetainedSite& registry,
+                                  wire::JoinAck& ack) {
+  bool shape_matches = registry.routers.size() == request.routers.size();
+  if (shape_matches) {
+    for (std::size_t i = 0; i < registry.routers.size(); ++i) {
+      if (registry.routers[i].name != request.routers[i].name ||
+          registry.routers[i].ports.size() !=
+              request.routers[i].ports.size()) {
+        shape_matches = false;
+        break;
+      }
+    }
+  }
+  if (!shape_matches) {
+    // The site came back with a different inventory: the retained ids (and
+    // any wires to them) describe hardware that no longer exists. Discard
+    // them so the caller assigns fresh ids.
+    for (const auto& retained : registry.routers) {
+      for (const auto& port : retained.ports) disconnect_port(port.id);
+    }
+    registry.routers.clear();
+    RNL_LOG(kWarn, kLog)
+        << "site '" << site->name
+        << "' rejoined with a changed inventory; assigning fresh ids";
+    return false;
+  }
+
+  for (auto& retained : registry.routers) {
+    retained.online = true;
+    wire::JoinAck::RouterIds ids;
+    ids.router_id = retained.id;
+    for (const auto& port : retained.ports) {
+      ids.port_ids.push_back(port.id);
+      ports_[port.id] =
+          PortRecord{site, retained.id, port.name, port.description};
+      ++port_count_;
+      if (port.id < matrix_.size() && matrix_[port.id].peer != 0) {
+        ++stats_.matrix_entries_restored;
+      }
+    }
+    router_sites_[retained.id] = site;
+    site->router_ids.push_back(retained.id);
+    routers_[retained.id] = std::move(retained);
+    ack.routers.push_back(std::move(ids));
+  }
+  registry.routers.clear();
+  return true;
 }
 
 void RouteServer::handle_data(Site* site,
                               const wire::MessageDecoder::DecodedView& msg) {
+  // Epoch gate before anything touches the compression rings: a frame from
+  // another incarnation of this site must neither reach a user port nor
+  // advance the lockstep state of the current session.
+  if (msg.epoch != static_cast<std::uint8_t>(site->epoch)) {
+    ++stats_.stale_epoch_drops;
+    return;
+  }
   RNL_STAGE_START(route_start);
   util::BytesView frame;
   bool slow = false;
@@ -329,7 +440,8 @@ void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame,
     if (compressed.has_value()) {
       ++stats_.dataplane.payload_allocs;  // compressor output buffer
       wire::encode_message_into(w, wire::MessageType::kData, record->router,
-                                port, *compressed, /*compressed=*/true);
+                                port, *compressed, /*compressed=*/true,
+                                static_cast<std::uint8_t>(site->epoch));
       sent_compressed = true;
     }
   } else {
@@ -340,7 +452,8 @@ void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame,
   }
   if (!sent_compressed) {
     wire::encode_message_into(w, wire::MessageType::kData, record->router,
-                              port, frame);
+                              port, frame, /*compressed=*/false,
+                              static_cast<std::uint8_t>(site->epoch));
   }
   if (w.capacity() != cap_before) {
     ++stats_.dataplane.payload_allocs;  // send buffer grew (cold start)
@@ -361,18 +474,27 @@ void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame,
   }
 }
 
-void RouteServer::drop_site(Site* site) {
+void RouteServer::remove_site(Site* site, bool orderly) {
   if (site->dead) return;
   site->dead = true;
 
-  // Remove the site's routers from inventory and tear down their wires
-  // ("those specialized equipment defined by users could come and go at any
-  // time", §2.3). The Site object itself is freed at the next safe point.
+  // Remove the site's routers from inventory ("those specialized equipment
+  // defined by users could come and go at any time", §2.3). Both exit paths
+  // run the identical port-table/capture teardown; they differ only in what
+  // survives: an orderly kLeave tears the wires down with the site, while an
+  // un-orderly loss (eviction, transport error) keeps the wires and parks
+  // the inventory for a rejoin under the same identity. The Site object
+  // itself is freed at the next safe point.
+  RetainedSite* registry =
+      !orderly && site->joined && !site->name.empty()
+          ? &site_registry_[site->name]
+          : nullptr;
+  if (registry != nullptr) registry->routers.clear();
   for (wire::RouterId router_id : site->router_ids) {
     auto router = routers_.find(router_id);
     if (router != routers_.end()) {
       for (const auto& port : router->second.ports) {
-        disconnect_port(port.id);
+        if (orderly) disconnect_port(port.id);
         if (port.id < ports_.size() && ports_[port.id].site != nullptr) {
           ports_[port.id] = PortRecord{};
           --port_count_;
@@ -382,12 +504,21 @@ void RouteServer::drop_site(Site* site) {
           --active_captures_;
         }
       }
+      if (registry != nullptr) {
+        router->second.online = false;
+        registry->routers.push_back(std::move(router->second));
+      }
       routers_.erase(router);
     }
     router_sites_.erase(router_id);
   }
   ++stats_.sites_lost;
-  RNL_LOG(kInfo, kLog) << "site '" << site->name << "' left the labs";
+  if (orderly) {
+    RNL_LOG(kInfo, kLog) << "site '" << site->name << "' left the labs";
+  } else {
+    RNL_LOG(kWarn, kLog) << "site '" << site->name
+                         << "' lost; identity retained for rejoin";
+  }
   if (inventory_changed_) inventory_changed_();
 }
 

@@ -107,6 +107,15 @@ struct RouteServerStats {
   std::uint64_t decode_errors = 0;
   std::uint64_t sites_joined = 0;
   std::uint64_t sites_lost = 0;
+  /// Rejoins that rebound a previous incarnation's ids (same site name,
+  /// matching inventory shape) instead of being assigned fresh ones.
+  std::uint64_t sites_rejoined = 0;
+  /// kData frames carrying a session epoch other than the site's current
+  /// one — late traffic from a dead incarnation, counted and dropped.
+  std::uint64_t stale_epoch_drops = 0;
+  /// Matrix entries (wire ends) still live when their port came back online
+  /// through a rejoin — the survived part of the routing matrix.
+  std::uint64_t matrix_entries_restored = 0;
   DataPlaneStats dataplane;
 };
 
@@ -207,8 +216,24 @@ class RouteServer {
     /// site is often dropped from inside its own transport callback, so it
     /// cannot be freed synchronously).
     bool dead = false;
+    /// Session epoch assigned at JOIN (0 for a name's first session). Every
+    /// kData frame in either direction is stamped with it (mod 256); a
+    /// mismatch marks traffic from a dead incarnation.
+    std::uint32_t epoch = 0;
     /// Liveness: last time any message (incl. kKeepalive) arrived.
     util::SimTime last_heard{};
+  };
+
+  /// Per-site-name state that outlives any one connection. An un-orderly
+  /// death (liveness eviction, transport error) parks the site's inventory
+  /// here — off the books for inventory()/port_exists(), but keeping its
+  /// router/port ids and surviving matrix wires reserved so the site can
+  /// rejoin as the same identity. An orderly kLeave retains nothing.
+  /// `next_epoch` is monotonic per name and never reset: a late frame from
+  /// any previous incarnation can always be told apart.
+  struct RetainedSite {
+    std::uint32_t next_epoch = 0;
+    std::vector<InventoryRouter> routers;  // empty unless awaiting rejoin
   };
 
   struct PortRecord {
@@ -228,7 +253,17 @@ class RouteServer {
                       const wire::MessageDecoder::DecodedView& decoded);
   void handle_join(Site* site, const wire::MessageDecoder::DecodedView& msg);
   void handle_data(Site* site, const wire::MessageDecoder::DecodedView& msg);
-  void drop_site(Site* site);
+  /// Unified teardown for every way a site leaves — explicit kLeave
+  /// (`orderly`), liveness eviction, transport error/close (un-orderly).
+  /// Both paths clear the port tables and captures atomically; un-orderly
+  /// removal additionally parks the inventory in site_registry_ (wires kept)
+  /// so a rejoin under the same name gets its ids and matrix back.
+  void remove_site(Site* site, bool orderly);
+  /// Tries to rebind `request`'s inventory to the ids retained from the
+  /// site's previous incarnation. Returns false (after discarding the stale
+  /// retained state) if the declared shape no longer matches.
+  bool rebind_retained(Site* site, const wire::JoinRequest& request,
+                       RetainedSite& registry, wire::JoinAck& ack);
   /// Frees sites marked dead. Only called from contexts where no site
   /// transport callback can be on the stack (accept, destruction).
   void purge_dead_sites();
@@ -252,6 +287,8 @@ class RouteServer {
   std::vector<std::unique_ptr<Site>> sites_;
   std::map<wire::RouterId, InventoryRouter> routers_;
   std::map<wire::RouterId, Site*> router_sites_;
+  /// Keyed by site name; see RetainedSite.
+  std::map<std::string, RetainedSite> site_registry_;
   // Dense tables indexed by the server-assigned sequential port id (slot 0
   // unused). The per-frame path does two bounded vector loads where the old
   // std::map design chased red-black-tree nodes.

@@ -15,7 +15,13 @@ struct SharedState {
   SimStreamOptions options;
   SimStreamEnd* end_a = nullptr;
   SimStreamEnd* end_b = nullptr;
+  /// False once either end close()s: no new sends are accepted. Chunks
+  /// already in flight still arrive (TCP FIN semantics: the kernel keeps
+  /// transmitting what was written before the close).
   bool open = true;
+  /// Set by SimLinkFault::cut(): the path itself died, so even in-flight
+  /// chunks are lost — unlike an orderly close.
+  bool severed = false;
   // Per-direction FIFO floors (a->b, b->a) preserving stream order.
   util::SimTime floor_ab{};
   util::SimTime floor_ba{};
@@ -74,7 +80,9 @@ class SimStreamEnd final : public Transport {
       auto state = weak.lock();
       if (!state) return;
       if (state->chunks_in_flight != nullptr) state->chunks_in_flight->add(-1);
-      if (!state->open) return;
+      // A closed stream still delivers what was sent before the close (FIN
+      // semantics); only a severed link loses in-flight chunks.
+      if (state->severed) return;
       SimStreamEnd* dest = to_b ? state->end_b : state->end_a;
       if (dest != nullptr) {
         if (state->bytes_delivered != nullptr) {
@@ -88,8 +96,26 @@ class SimStreamEnd final : public Transport {
   void close() override {
     if (!state_->open) return;
     state_->open = false;
-    SimStreamEnd* peer = is_a_ ? state_->end_b : state_->end_a;
-    if (peer != nullptr && peer->close_handler_) peer->close_handler_();
+    // TCP FIN ordering: the peer learns of the close only after the last
+    // byte written before it has arrived, so an orderly kLeave is seen as a
+    // kLeave, not as a vanished connection. This end knows immediately.
+    util::SimTime eof_at = is_a_ ? state_->floor_ab : state_->floor_ba;
+    if (eof_at < state_->scheduler->now()) eof_at = state_->scheduler->now();
+    std::weak_ptr<SharedState> weak = state_;
+    bool to_b = is_a_;
+    state_->scheduler->schedule_at(eof_at, [weak, to_b] {
+      auto state = weak.lock();
+      if (!state || state->severed) return;
+      SimStreamEnd* peer = to_b ? state->end_b : state->end_a;
+      if (peer != nullptr && peer->close_handler_) peer->close_handler_();
+    });
+    if (close_handler_) close_handler_();
+  }
+
+  /// Fires this end's close handler without the peer-first ordering of
+  /// close() — used by SimLinkFault, where the link dies under both ends at
+  /// once. The caller has already marked the shared state closed.
+  void fire_close() {
     if (close_handler_) close_handler_();
   }
 
@@ -146,6 +172,26 @@ make_sim_stream_pair(simnet::Scheduler& scheduler,
   auto b = std::make_unique<SimStreamEnd>(state, false);
   state->end_a = a.get();
   state->end_b = b.get();
+  if (options.fault != nullptr) {
+    std::weak_ptr<SharedState> weak = state;
+    options.fault->cut_fn_ = [weak] {
+      auto st = weak.lock();
+      if (!st || !st->open) return;
+      st->open = false;
+      st->severed = true;  // in-flight chunks die with the path
+      // Both ends observe the failure, like two kernels surfacing a reset.
+      // Handlers may reenter (e.g. a RIS scheduling its reconnect), so grab
+      // the end pointers up front.
+      SimStreamEnd* end_a = st->end_a;
+      SimStreamEnd* end_b = st->end_b;
+      if (end_a != nullptr) end_a->fire_close();
+      if (end_b != nullptr) end_b->fire_close();
+    };
+    options.fault->connected_fn_ = [weak] {
+      auto st = weak.lock();
+      return st != nullptr && st->open;
+    };
+  }
   return {std::move(a), std::move(b)};
 }
 

@@ -5,6 +5,8 @@
 // RIS keeps open to the route server (§2.2) — including that loss shows up
 // as added delay (retransmission), never as missing or reordered bytes.
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <utility>
 
@@ -14,6 +16,8 @@
 #include "wire/netem.h"
 
 namespace rnl::transport {
+
+class SimLinkFault;
 
 struct SimStreamOptions {
   wire::NetemProfile wan;
@@ -25,6 +29,43 @@ struct SimStreamOptions {
   /// queue-depth gauge into this registry (shared across all pairs wired to
   /// the same registry). The registry must outlive the stream ends.
   util::MetricsRegistry* metrics = nullptr;
+  /// When set, the fault handle is wired to this pair so a test harness can
+  /// sever the link mid-run (see SimLinkFault). Non-owning; the handle must
+  /// outlive both stream ends.
+  SimLinkFault* fault = nullptr;
+};
+
+/// External kill switch for a sim stream pair — the fault-injection knob the
+/// E1/E8 harnesses use to model a WAN link dying mid-run. Unlike calling
+/// close() on one end (an orderly shutdown initiated by that end), cut()
+/// models the path failing underneath both endpoints: the stream stops
+/// carrying bytes and BOTH close handlers fire, exactly as both kernels
+/// would surface a reset. In-flight chunks are dropped.
+class SimLinkFault {
+ public:
+  /// Severs the link. No-op if the pair is already closed or gone.
+  void cut() {
+    if (cut_fn_ && connected()) {
+      ++cuts_;
+      cut_fn_();
+    }
+  }
+
+  /// True while the pair exists and has not been closed or cut.
+  [[nodiscard]] bool connected() const {
+    return connected_fn_ && connected_fn_();
+  }
+
+  /// Times cut() actually severed a live link.
+  [[nodiscard]] std::uint64_t cuts() const { return cuts_; }
+
+ private:
+  friend std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+  make_sim_stream_pair(simnet::Scheduler&, const SimStreamOptions&);
+
+  std::function<void()> cut_fn_;
+  std::function<bool()> connected_fn_;
+  std::uint64_t cuts_ = 0;
 };
 
 /// Creates a connected pair of stream ends. Both ends must not outlive the

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "util/logging.h"
@@ -47,8 +48,31 @@ std::size_t TcpEventLoop::run_once(int timeout_ms) {
     if (watch.want_write && watch.writable) events |= POLLOUT;
     fds.push_back(pollfd{fd, events, 0});
   }
-  int ready = ::poll(fds.data(), fds.size(), timeout_ms);
-  if (ready <= 0) return 0;
+  // A signal interrupting poll() is routine, not a readiness report of
+  // zero: restart with the remaining timeout budget so run_once() keeps its
+  // "waited up to timeout_ms" contract even under a signal storm. Other
+  // errnos are surfaced distinctly via last_poll_errno().
+  last_poll_errno_ = 0;
+  int ready;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  int remaining_ms = timeout_ms;
+  while (true) {
+    ready = ::poll(fds.data(), fds.size(), remaining_ms);
+    if (ready >= 0) break;
+    if (errno != EINTR) {
+      last_poll_errno_ = errno;
+      RNL_LOG(kError, "transport") << "TcpEventLoop: poll() failed: "
+                                   << std::strerror(last_poll_errno_);
+      return 0;
+    }
+    if (timeout_ms >= 0) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      remaining_ms = left.count() > 0 ? static_cast<int>(left.count()) : 0;
+    }
+  }
+  if (ready == 0) return 0;
   std::size_t dispatched = 0;
   for (const auto& pfd : fds) {
     // The handler may unwatch fds (including its own); re-check membership.

@@ -41,11 +41,18 @@ class TcpEventLoop {
   }
 
   /// Polls once with `timeout_ms` and dispatches ready handlers. Returns the
-  /// number of handlers dispatched.
+  /// number of handlers dispatched. EINTR is not an error: a signal landing
+  /// mid-poll (profilers, timers, a debugger attaching) restarts the wait
+  /// with the remaining budget instead of being reported as zero-ready.
+  /// Any other poll() failure is recorded in last_poll_errno().
   std::size_t run_once(int timeout_ms);
   /// Runs until `predicate()` is true or `max_iterations` run out.
   bool run_until(const std::function<bool()>& predicate,
                  int max_iterations = 10'000, int timeout_ms = 10);
+
+  /// errno from the most recent poll() failure other than EINTR; 0 if the
+  /// last poll succeeded (or was merely interrupted).
+  [[nodiscard]] int last_poll_errno() const { return last_poll_errno_; }
 
  private:
   struct Watch {
@@ -55,6 +62,7 @@ class TcpEventLoop {
   };
   std::map<int, Watch> watches_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  int last_poll_errno_ = 0;
 };
 
 class TcpTransport final : public Transport {

@@ -132,6 +132,11 @@ std::optional<util::Bytes> TemplateCompressor::compress(
   return result;
 }
 
+void TemplateCompressor::reset() {
+  for (auto& slot : ring_) slot.clear();
+  count_ = 0;
+}
+
 void TemplateCompressor::note_outgoing(util::BytesView frame) {
   ++stats_.frames_in;
   stats_.bytes_in += frame.size();
@@ -184,6 +189,11 @@ util::Result<util::Bytes> TemplateDecompressor::decompress(
   ring_[count_ % TemplateCompressor::kRingSize] = out;
   ++count_;
   return out;
+}
+
+void TemplateDecompressor::reset() {
+  for (auto& slot : ring_) slot.clear();
+  count_ = 0;
 }
 
 void TemplateDecompressor::note_raw(util::BytesView frame) {

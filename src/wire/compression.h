@@ -64,6 +64,14 @@ class TemplateCompressor {
   /// decompressor stays in lockstep if compression is toggled back on.
   void note_outgoing(util::BytesView frame);
 
+  /// Forgets the entire reference ring. Lockstep is per *session*: when the
+  /// tunnel is re-established (peer restart, RIS reconnect) the other side
+  /// starts from an empty ring, so continuing to emit references against
+  /// pre-restart history would desynchronize the codec permanently. Both
+  /// ends call reset() when a new session epoch begins. Cumulative stats
+  /// survive the reset — only the compression state is per-session.
+  void reset();
+
   [[nodiscard]] const CompressionStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t search_depth() const { return search_depth_; }
 
@@ -89,6 +97,8 @@ class TemplateDecompressor {
   /// rings stay aligned.
   util::Result<util::Bytes> decompress(util::BytesView encoded);
   void note_raw(util::BytesView frame);
+  /// Forgets the reference ring (see TemplateCompressor::reset).
+  void reset();
 
  private:
   std::array<util::Bytes, TemplateCompressor::kRingSize> ring_;

@@ -20,11 +20,14 @@ util::Bytes encode_message(const TunnelMessage& message,
 
 void encode_message_into(util::ByteWriter& w, MessageType type,
                          RouterId router_id, PortId port_id,
-                         util::BytesView payload, bool compressed) {
+                         util::BytesView payload, bool compressed,
+                         std::uint8_t epoch) {
   w.u32(kMagic);
   w.u8(kVersion);
   w.u8(static_cast<std::uint8_t>(type));
-  w.u16(compressed ? kFlagCompressed : 0);
+  w.u16(static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(epoch) << kEpochShift) |
+      (compressed ? kFlagCompressed : 0)));
   w.u32(router_id);
   w.u32(port_id);
   w.u32(static_cast<std::uint32_t>(payload.size()));
@@ -93,11 +96,20 @@ const std::vector<MessageDecoder::DecodedView>& MessageDecoder::feed_views(
     view.port_id = port_id;
     view.payload = r.raw(length);
     view.compressed = (flags & kFlagCompressed) != 0;
+    view.epoch = static_cast<std::uint8_t>(flags >> kEpochShift);
     views_.push_back(view);
     offset += kHeaderSize + length;
   }
   consumed_ = offset;
   return views_;
+}
+
+void MessageDecoder::reset() {
+  buffer_.clear();
+  consumed_ = 0;
+  views_.clear();
+  failed_ = false;
+  error_.clear();
 }
 
 std::vector<MessageDecoder::Decoded> MessageDecoder::feed(
@@ -190,12 +202,15 @@ util::Json JoinAck::to_json() const {
   }
   util::Json ack = util::Json::object();
   ack.set("routers", std::move(routers_json));
+  ack.set("epoch", epoch);
   return ack;
 }
 
 util::Result<JoinAck> JoinAck::from_json(const util::Json& json) {
   if (!json.is_object()) return util::Error{"join_ack: not an object"};
   JoinAck ack;
+  // Absent in pre-epoch acks: defaults to 0, the first-session epoch.
+  ack.epoch = static_cast<std::uint32_t>(json["epoch"].as_int(0));
   for (const auto& r : json["routers"].as_array()) {
     RouterIds ids;
     ids.router_id = static_cast<RouterId>(r["router_id"].as_int());

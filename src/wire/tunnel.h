@@ -33,8 +33,14 @@ enum class MessageType : std::uint8_t {
   kError = 7,         // server -> RIS: protocol error report
 };
 
-/// Header flag bits.
+/// Header flag bits (low byte of the 16-bit flags field).
 constexpr std::uint16_t kFlagCompressed = 0x0001;
+/// The high byte of the flags field carries the session epoch (mod 256): the
+/// route server assigns each site session an epoch at JOIN and both sides
+/// stamp it into every kData frame, so frames from a dead incarnation of a
+/// site are counted and dropped instead of corrupting the routing matrix.
+/// Epoch 0 is the first session, which keeps pre-epoch encoders compatible.
+constexpr std::uint16_t kEpochShift = 8;
 
 /// A parsed tunnel message. For kData, `router_id`/`port_id` identify the
 /// source (RIS->server) or destination (server->RIS) port and `payload` is
@@ -59,10 +65,12 @@ util::Bytes encode_message(const TunnelMessage& message,
 /// Allocation-free framing: appends the wire form of one message to `w`
 /// (typically a per-connection send buffer reused across frames, cleared by
 /// the caller). `compressed` sets kFlagCompressed; the payload is framed
-/// as given either way.
+/// as given either way. `epoch` is the sender's session epoch (mod 256),
+/// stamped into the flags high byte.
 void encode_message_into(util::ByteWriter& w, MessageType type,
                          RouterId router_id, PortId port_id,
-                         util::BytesView payload, bool compressed = false);
+                         util::BytesView payload, bool compressed = false,
+                         std::uint8_t epoch = 0);
 
 /// Incremental decoder for a byte stream of messages. Feed arbitrary chunks;
 /// complete messages come out. Malformed input poisons the stream (a framing
@@ -80,6 +88,8 @@ class MessageDecoder {
     PortId port_id = 0;
     util::BytesView payload;
     bool compressed = false;
+    /// Sender's session epoch (mod 256) from the flags high byte.
+    std::uint8_t epoch = 0;
   };
 
   /// Owning variant for callers that need payloads to outlive the decoder
@@ -99,6 +109,11 @@ class MessageDecoder {
   /// Copying convenience wrapper over feed_views (one payload allocation per
   /// message — the pre-zero-copy behaviour).
   std::vector<Decoded> feed(util::BytesView chunk);
+
+  /// Discards all buffered bytes and clears any poisoned state. Called when
+  /// a connection is replaced (RIS reconnect): a partial frame from the old
+  /// stream must not desynchronize the new one.
+  void reset();
 
   [[nodiscard]] bool failed() const { return failed_; }
   [[nodiscard]] const std::string& error() const { return error_; }
@@ -170,6 +185,10 @@ struct JoinAck {
     std::vector<PortId> port_ids;  // parallel to RouterDeclaration::ports
   };
   std::vector<RouterIds> routers;
+  /// Session epoch assigned by the route server: 0 for a site's first
+  /// session, incremented on every rejoin under the same site name. The RIS
+  /// stamps it into every kData frame it sends from then on.
+  std::uint32_t epoch = 0;
 
   [[nodiscard]] util::Json to_json() const;
   static util::Result<JoinAck> from_json(const util::Json& json);

@@ -320,6 +320,254 @@ TEST_F(RnlStack, MalformedStreamPoisonsOnlyThatSite) {
   EXPECT_EQ(server.inventory().size(), 2u);
 }
 
+// ---------------------------------------------------------------------------
+// Session fault tolerance: site death, reconnect with backoff, clean rejoin
+// ---------------------------------------------------------------------------
+
+TEST_F(RnlStack, LivenessTimeoutReplaceCancelsOldSweep) {
+  // Regression: each set_liveness_timeout call must cancel the previous
+  // sweep loop. The old bug stacked loops, so a server reconfigured from a
+  // tight timeout to a loose one kept sweeping at the tight cadence forever.
+  server.set_liveness_timeout(util::Duration::seconds(1));   // sweep / 250ms
+  server.set_liveness_timeout(util::Duration::seconds(10));  // sweep / 2.5s
+  std::size_t events = net.run_for(util::Duration::seconds(10));
+  // Only the replacement loop runs: ~4 sweeps (plus the first loop's one
+  // already-scheduled tick firing as a cancelled no-op), not ~44.
+  EXPECT_GE(events, 3u);
+  EXPECT_LE(events, 10u);
+  // Disabling cancels outright: nothing but the last loop's dead tick.
+  server.set_liveness_timeout(util::Duration{});
+  EXPECT_LE(net.run_for(util::Duration::seconds(10)), 1u);
+}
+
+TEST_F(RnlStack, EvictedSiteRejoinsWithSameIdsAndRestoredWires) {
+  site1.set_keepalive_interval(util::Duration::seconds(3600));  // hung RIS
+  site2.set_keepalive_interval(util::Duration::milliseconds(500));
+  join(site1);
+  join(site2);
+  wire::PortId p1 = port_of("us-west/h1");
+  wire::PortId p2 = port_of("eu-central/h2");
+  wire::RouterId r1 = router_of("us-west/h1");
+  ASSERT_TRUE(server.connect_ports(p1, p2).ok());
+
+  // Site 1 goes silent past the liveness timeout: evicted, but its identity
+  // and the deployed wire survive for a rejoin.
+  server.set_liveness_timeout(util::Duration::seconds(2));
+  net.run_for(util::Duration::seconds(4));
+  EXPECT_EQ(server.stats().sites_lost, 1u);
+  EXPECT_EQ(server.inventory().size(), 1u);  // parked, not listed
+  EXPECT_FALSE(server.port_exists(p1));
+  EXPECT_EQ(server.wire_count(), 1u);  // the matrix entry was NOT torn down
+  EXPECT_FALSE(site1.joined());        // server closed the tunnel
+
+  server.set_liveness_timeout(util::Duration{});
+  auto [ris_end, server_end] =
+      transport::make_sim_stream_pair(net.scheduler());
+  server.accept(std::move(server_end));
+  site1.join(std::move(ris_end));
+  net.run_for(util::Duration::seconds(1));
+
+  ASSERT_TRUE(site1.joined());
+  EXPECT_EQ(site1.session_epoch(), 1u);
+  EXPECT_EQ(server.stats().sites_rejoined, 1u);
+  EXPECT_EQ(server.stats().matrix_entries_restored, 1u);
+  EXPECT_EQ(port_of("us-west/h1"), p1);  // same ids as the first session
+  EXPECT_EQ(router_of("us-west/h1"), r1);
+  EXPECT_EQ(server.inventory().size(), 2u);
+  // The surviving wire carries traffic with no reconfiguration.
+  h1.ping(ip("10.0.0.2"), 3);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(h1.ping_replies().size(), 3u);
+}
+
+TEST_F(RnlStack, KillAndRejoinTenTimesMidTraffic) {
+  // The acceptance scenario: the site's WAN link dies mid-traffic ten times;
+  // each time the RIS redials within its backoff budget, rejoins as the same
+  // identity at a fresh epoch, and the deployed wire keeps working.
+  transport::SimLinkFault fault;
+  auto dial = [&]() -> std::unique_ptr<transport::Transport> {
+    transport::SimStreamOptions options;
+    options.fault = &fault;
+    auto [ris_end, server_end] =
+        transport::make_sim_stream_pair(net.scheduler(), options);
+    server.accept(std::move(server_end));
+    return std::move(ris_end);
+  };
+  ris::ReconnectPolicy policy;
+  policy.initial_backoff = util::Duration::milliseconds(100);
+  policy.max_backoff = util::Duration::seconds(1);
+  policy.jitter = 0.2;
+  policy.max_attempts = 8;
+  site1.set_reconnect_policy(policy);
+  site1.set_transport_factory(dial);
+  site1.join(dial());
+  join(site2);
+  net.run_for(util::Duration::milliseconds(500));
+  ASSERT_TRUE(site1.joined());
+  ASSERT_TRUE(server
+                  .connect_ports(port_of("us-west/h1"), port_of("eu-central/h2"))
+                  .ok());
+
+  for (int round = 0; round < 10; ++round) {
+    h1.ping(ip("10.0.0.2"), 5);  // traffic in flight when the link dies
+    net.run_for(util::Duration::milliseconds(130 + 41 * round));
+    fault.cut();
+    // Worst case within the policy: 8 attempts, 100ms * 2^n capped at 1s,
+    // +/-20% jitter — comfortably under 3 s when the first dial succeeds.
+    net.run_for(util::Duration::seconds(3));
+    ASSERT_TRUE(site1.joined()) << "round " << round;
+  }
+
+  EXPECT_EQ(fault.cuts(), 10u);
+  EXPECT_EQ(site1.stats().reconnects, 10u);
+  EXPECT_EQ(site1.stats().reconnect_giveups, 0u);
+  EXPECT_EQ(site1.session_epoch(), 10u);
+  EXPECT_EQ(server.stats().sites_rejoined, 10u);
+  EXPECT_EQ(server.stats().sites_lost, 10u);
+  EXPECT_EQ(server.stats().decode_errors, 0u);
+  EXPECT_EQ(site1.stats().decode_errors, 0u);
+
+  // After the last rejoin the wire still round-trips a full burst.
+  std::size_t replies_before = h1.ping_replies().size();
+  h1.ping(ip("10.0.0.2"), 5);
+  net.run_for(util::Duration::seconds(3));
+  EXPECT_EQ(h1.ping_replies().size() - replies_before, 5u);
+
+  // The dump tells the same story as the structs (reconnects and stale-epoch
+  // accounting come from the same single-writer ledgers).
+  auto dump = server.metrics().to_json();
+  EXPECT_EQ(dump["counters"]["routeserver.sites_rejoined"].as_int(), 10);
+  EXPECT_EQ(dump["counters"]["ris.us-west.reconnects"].as_int(), 10);
+  EXPECT_EQ(dump["counters"]["routeserver.stale_epoch_drops"].as_int(),
+            static_cast<std::int64_t>(server.stats().stale_epoch_drops));
+}
+
+TEST_F(RnlStack, ReconnectGivesUpAfterTheAttemptBudget) {
+  transport::SimLinkFault fault;
+  transport::SimStreamOptions options;
+  options.fault = &fault;
+  auto [ris_end, server_end] =
+      transport::make_sim_stream_pair(net.scheduler(), options);
+  server.accept(std::move(server_end));
+  ris::ReconnectPolicy policy;
+  policy.initial_backoff = util::Duration::milliseconds(100);
+  policy.max_backoff = util::Duration::milliseconds(400);
+  policy.max_attempts = 3;
+  site1.set_reconnect_policy(policy);
+  site1.set_transport_factory([] { return nullptr; });  // server unreachable
+  site1.join(std::move(ris_end));
+  net.run_for(util::Duration::milliseconds(500));
+  ASSERT_TRUE(site1.joined());
+
+  fault.cut();
+  net.run_for(util::Duration::seconds(10));
+  EXPECT_FALSE(site1.joined());
+  EXPECT_EQ(site1.stats().reconnect_failures, 3u);
+  EXPECT_EQ(site1.stats().reconnect_giveups, 1u);
+  EXPECT_EQ(site1.stats().reconnects, 0u);
+}
+
+TEST_F(RnlStack, StaleEpochFramesAreCountedAndDroppedAtTheGate) {
+  join(site2);
+  wire::PortId p2 = port_of("eu-central/h2");
+
+  // A hand-rolled site: raw connection, real JOIN, then kData with a forged
+  // session epoch — the wire-level shape of a dead incarnation's late
+  // traffic arriving after its name rejoined.
+  auto [client, server_end] = transport::make_sim_stream_pair(net.scheduler());
+  server.accept(std::move(server_end));
+  wire::MessageDecoder decoder;
+  std::optional<wire::JoinAck> ack;
+  client->set_receive_handler([&](util::BytesView chunk) {
+    for (const auto& view : decoder.feed_views(chunk)) {
+      if (view.type != wire::MessageType::kJoinAck) continue;
+      auto json = util::Json::parse(
+          std::string(view.payload.begin(), view.payload.end()));
+      ASSERT_TRUE(json.ok());
+      auto parsed = wire::JoinAck::from_json(*json);
+      ASSERT_TRUE(parsed.ok());
+      ack = *parsed;
+    }
+  });
+  wire::JoinRequest request;
+  request.site_name = "crafty";
+  wire::RouterDeclaration router;
+  router.name = "r1";
+  router.ports.emplace_back();
+  router.ports.back().name = "p0";
+  request.routers.push_back(router);
+  std::string join_json = request.to_json().dump();
+  util::ByteWriter join_frame;
+  wire::encode_message_into(
+      join_frame, wire::MessageType::kJoin, 0, 0,
+      util::BytesView(reinterpret_cast<const std::uint8_t*>(join_json.data()),
+                      join_json.size()));
+  client->send(join_frame.view());
+  net.run_for(util::Duration::milliseconds(100));
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(ack->epoch, 0u);  // first session under this name
+  ASSERT_EQ(ack->routers.size(), 1u);
+  wire::PortId crafted_port = ack->routers[0].port_ids.at(0);
+  ASSERT_TRUE(server.connect_ports(crafted_port, p2).ok());
+  server.start_capture(p2);
+
+  util::Bytes frame(64, 0xAB);
+  auto send_with_epoch = [&](std::uint8_t epoch) {
+    util::ByteWriter w;
+    wire::encode_message_into(w, wire::MessageType::kData,
+                              ack->routers[0].router_id, crafted_port, frame,
+                              /*compressed=*/false, epoch);
+    client->send(w.view());
+    net.run_for(util::Duration::milliseconds(50));
+  };
+
+  const std::uint64_t routed_before = server.stats().frames_routed;
+  // Wrong epoch: counted and dropped before the matrix, the compression
+  // rings, and the user port.
+  send_with_epoch(3);
+  EXPECT_EQ(server.stats().stale_epoch_drops, 1u);
+  EXPECT_EQ(server.stats().frames_routed, routed_before);
+  EXPECT_EQ(server.capture_size(p2), 0u);
+  // The current epoch routes normally.
+  send_with_epoch(0);
+  EXPECT_EQ(server.stats().frames_routed, routed_before + 1);
+  EXPECT_EQ(server.capture_size(p2), 1u);
+  EXPECT_EQ(server.stats().stale_epoch_drops, 1u);
+  EXPECT_EQ(server.stats().decode_errors, 0u);
+}
+
+TEST_F(RnlStack, RejoinUnderLiveNameSupersedesTheZombieSession) {
+  join(site1);
+  join(site2);
+  wire::PortId p1 = port_of("us-west/h1");
+  ASSERT_TRUE(server.connect_ports(p1, port_of("eu-central/h2")).ok());
+
+  // The "same" site dials in again — the RIS host rebooted, but the old TCP
+  // session never got a FIN and still looks established to the server. The
+  // new JOIN must win; the zombie must not keep the identity hostage.
+  devices::Host h1b(net, "h1");
+  h1b.configure(prefix("10.0.0.1/24"), ip("10.0.0.254"));
+  ris::RouterInterface replacement(net, "us-west");
+  std::size_t r = replacement.add_router(&h1b, "server h1", "host.png");
+  replacement.map_port(r, 0, "eth0");
+  replacement.attach_console(r);
+  join(replacement);
+
+  EXPECT_TRUE(replacement.joined());
+  EXPECT_EQ(replacement.session_epoch(), 1u);
+  EXPECT_EQ(server.stats().sites_rejoined, 1u);
+  EXPECT_EQ(server.stats().sites_lost, 1u);  // the zombie
+  EXPECT_EQ(server.inventory().size(), 2u);
+  EXPECT_EQ(port_of("us-west/h1"), p1);  // identity preserved
+  EXPECT_EQ(server.wire_count(), 1u);    // deployed wire survived
+  EXPECT_FALSE(site1.joined());          // old session was closed under it
+
+  // Traffic now reaches the replacement's device over the surviving wire.
+  h1b.ping(ip("10.0.0.2"), 3);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(h1b.ping_replies().size(), 3u);
+}
+
 TEST(RisSlices, LogicalRoutersShareOneDevice) {
   simnet::Network net(41);
   routeserver::RouteServer server(net.scheduler());

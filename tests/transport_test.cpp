@@ -1,4 +1,10 @@
 #include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "transport/sim_stream.h"
 #include "transport/tcp.h"
@@ -69,14 +75,71 @@ TEST(SimStream, CloseNotifiesBothEnds) {
   a->set_close_handler([&] { a_closed = true; });
   b->set_close_handler([&] { b_closed = true; });
   a->close();
+  // The closing end knows immediately; the peer learns through the
+  // scheduler, after any bytes written before the close (FIN semantics).
   EXPECT_TRUE(a_closed);
-  EXPECT_TRUE(b_closed);
+  EXPECT_FALSE(b_closed);
   EXPECT_FALSE(a->is_open());
   EXPECT_FALSE(b->is_open());
+  sched.run_all();
+  EXPECT_TRUE(b_closed);
   // Sends after close are dropped silently.
   util::Bytes data{1};
   a->send(data);
   sched.run_all();
+}
+
+TEST(SimStream, CloseFlushesInFlightBytesBeforePeerEof) {
+  simnet::Scheduler sched(11);
+  SimStreamOptions options;
+  options.wan.delay = util::Duration::milliseconds(25);
+  auto [a, b] = make_sim_stream_pair(sched, options);
+  util::Bytes received;
+  bool b_closed = false;
+  bool eof_after_data = false;
+  b->set_receive_handler([&](util::BytesView chunk) {
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  });
+  b->set_close_handler([&] {
+    b_closed = true;
+    eof_after_data = received.size() == 3;
+  });
+  util::Bytes data{7, 8, 9};
+  a->send(data);
+  a->close();  // immediately after the send: the bytes are still in the WAN
+  sched.run_all();
+  EXPECT_EQ(received, data);
+  EXPECT_TRUE(b_closed);
+  EXPECT_TRUE(eof_after_data);  // data first, then EOF — TCP ordering
+}
+
+TEST(SimStream, LinkFaultCutDropsInFlightAndClosesBothEnds) {
+  simnet::Scheduler sched(12);
+  SimLinkFault fault;
+  SimStreamOptions options;
+  options.wan.delay = util::Duration::milliseconds(25);
+  options.fault = &fault;
+  auto [a, b] = make_sim_stream_pair(sched, options);
+  util::Bytes received;
+  bool a_closed = false;
+  bool b_closed = false;
+  a->set_close_handler([&] { a_closed = true; });
+  b->set_close_handler([&] { b_closed = true; });
+  b->set_receive_handler([&](util::BytesView chunk) {
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  });
+  util::Bytes data{1, 2, 3};
+  a->send(data);
+  ASSERT_TRUE(fault.connected());
+  fault.cut();  // the path dies with the bytes still in flight
+  EXPECT_TRUE(a_closed);  // both ends see the failure, unlike close()
+  EXPECT_TRUE(b_closed);
+  EXPECT_FALSE(fault.connected());
+  EXPECT_EQ(fault.cuts(), 1u);
+  sched.run_all();
+  EXPECT_TRUE(received.empty());  // a severed link loses in-flight chunks
+  fault.cut();  // idempotent on a dead link
+  EXPECT_EQ(fault.cuts(), 1u);
 }
 
 TEST(SimStream, InFlightBytesSurviveEndDestructionGracefully) {
@@ -166,6 +229,64 @@ TEST(TcpLoopback, PeerCloseDetected) {
   (*client)->close();
   ASSERT_TRUE(loop.run_until([&] { return closed; }));
   EXPECT_FALSE(server_side->is_open());
+}
+
+TEST(TcpLoopback, RunOncePollRetriesOnEintr) {
+  // A signal interrupting poll() must not be treated as "nothing ready":
+  // run_once keeps waiting out its budget and still dispatches the data
+  // that arrives mid-wait. A pinger thread peppers this thread with
+  // SIGUSR1 (installed without SA_RESTART so poll really returns EINTR)
+  // while a second thread writes to the socket ~100 ms into the wait.
+  struct sigaction action {};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: poll() must see EINTR
+  struct sigaction previous {};
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &previous), 0);
+
+  TcpEventLoop loop;
+  TcpListener listener(loop);
+  std::unique_ptr<TcpTransport> server_side;
+  std::size_t server_received = 0;
+  ASSERT_TRUE(listener
+                  .listen(0, [&](std::unique_ptr<TcpTransport> t) {
+                    server_side = std::move(t);
+                    server_side->set_receive_handler(
+                        [&](util::BytesView chunk) {
+                          server_received += chunk.size();
+                        });
+                  })
+                  .ok());
+  auto client = tcp_connect(loop, listener.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(loop.run_until([&] { return server_side != nullptr; }));
+
+  std::atomic<bool> stop{false};
+  pthread_t poller = pthread_self();
+  std::thread pinger([&] {
+    while (!stop.load()) {
+      pthread_kill(poller, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    util::Bytes data{42};
+    (*client)->send(data);
+  });
+
+  // One long poll: the signals land well before the write. Pre-fix, the
+  // first EINTR made run_once return 0 and the data went unread; post-fix
+  // the wait is restarted and the byte is dispatched within this call or
+  // the short drain loop below.
+  loop.run_once(2000);
+  for (int i = 0; i < 100 && server_received == 0; ++i) loop.run_once(10);
+  stop.store(true);
+  pinger.join();
+  writer.join();
+  EXPECT_EQ(server_received, 1u);
+  EXPECT_EQ(loop.last_poll_errno(), 0);  // EINTR is not surfaced as an error
+  sigaction(SIGUSR1, &previous, nullptr);
 }
 
 TEST(TcpLoopback, LargeWriteBuffersAndDrains) {

@@ -274,6 +274,71 @@ TEST(JoinAckPayload, JsonRoundTrip) {
   EXPECT_EQ(back->routers[0].port_ids, (std::vector<PortId>{10, 11, 12}));
 }
 
+TEST(TunnelCodec, EpochRoundTripsThroughFlagsHighByte) {
+  util::ByteWriter w;
+  util::Bytes payload{9, 9, 9};
+  encode_message_into(w, MessageType::kData, 3, 4, payload,
+                      /*compressed=*/true, /*epoch=*/7);
+  MessageDecoder decoder;
+  const auto& views = decoder.feed_views(w.view());
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0].epoch, 7);
+  EXPECT_TRUE(views[0].compressed);  // epoch must not clobber the low byte
+
+  // Pre-epoch encoders (and the default args) emit epoch 0 — the first
+  // session — so old streams keep decoding as before.
+  TunnelMessage msg;
+  msg.type = MessageType::kData;
+  msg.payload = payload;
+  util::Bytes old_style = encode_message(msg);
+  const auto& old_views = decoder.feed_views(old_style);
+  ASSERT_EQ(old_views.size(), 1u);
+  EXPECT_EQ(old_views[0].epoch, 0);
+}
+
+TEST(TunnelCodec, ResetClearsPoisonAndPartialFrames) {
+  MessageDecoder decoder;
+  util::Bytes garbage(32, 0xEE);
+  decoder.feed_views(garbage);
+  ASSERT_TRUE(decoder.failed());
+
+  // A reconnect reuses the decoder for a brand-new stream: reset must clear
+  // the poison AND any buffered partial frame from the old connection.
+  decoder.reset();
+  EXPECT_FALSE(decoder.failed());
+  EXPECT_EQ(decoder.buffered(), 0u);
+  EXPECT_TRUE(decoder.error().empty());
+
+  TunnelMessage msg;
+  msg.type = MessageType::kKeepalive;
+  util::Bytes wire = encode_message(msg);
+  // Leave half a frame buffered, then reset: the next stream must not be
+  // parsed against the stale prefix.
+  util::BytesView half(wire.data(), wire.size() / 2);
+  decoder.feed_views(half);
+  EXPECT_GT(decoder.buffered(), 0u);
+  decoder.reset();
+  auto out = decoder.feed(wire);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].message.type, MessageType::kKeepalive);
+}
+
+TEST(JoinAckPayload, EpochRoundTripsAndDefaultsToZero) {
+  JoinAck ack;
+  ack.epoch = 5;
+  ack.routers.push_back(JoinAck::RouterIds{1, {2}});
+  auto back = JoinAck::from_json(ack.to_json());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->epoch, 5u);
+
+  // Acks from a pre-epoch server have no "epoch" key: first session.
+  auto old = util::Json::parse(R"({"routers": []})");
+  ASSERT_TRUE(old.ok());
+  auto parsed = JoinAck::from_json(*old);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->epoch, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Compression
 // ---------------------------------------------------------------------------
@@ -405,6 +470,51 @@ TEST(Compression, NoteOutgoingKeepsRingsInLockstep) {
     send(/*enabled=*/true);
   }
   EXPECT_GE(compressor.stats().frames_compressed - before, 7u);
+}
+
+TEST(Compression, LockstepSurvivesPeerRestartViaReset) {
+  // Regression for the peer-restart desync: when one side restarts
+  // mid-stream (RIS crash, reconnect) its ring is empty, but the surviving
+  // side's ring still holds the old session's frames. Without an explicit
+  // reset the survivor's first compressed frame references history the
+  // restarted peer never saw.
+  TemplateCompressor compressor;
+  TemplateDecompressor decompressor;
+  util::Bytes frame(600, 0x5A);
+  auto pump = [&](TemplateDecompressor& rx, int n) {
+    std::optional<util::Bytes> last;
+    for (int i = 0; i < n; ++i) {
+      frame[7] = static_cast<std::uint8_t>(i);
+      auto compressed = compressor.compress(frame);
+      if (compressed.has_value()) {
+        last = compressed;
+        auto inflated = rx.decompress(*compressed);
+        if (!inflated.ok()) return inflated;
+        EXPECT_EQ(*inflated, frame);
+      } else {
+        rx.note_raw(frame);
+      }
+    }
+    return util::Result<util::Bytes>(frame);
+  };
+  ASSERT_TRUE(pump(decompressor, 10).ok());
+  ASSERT_GT(compressor.stats().frames_compressed, 0u);
+
+  // Peer restarts: fresh decompressor, compressor still has 10 frames of
+  // history. The next diff references a frame the new peer never recorded —
+  // this is the bug the session epoch + reset() wiring exists to prevent.
+  TemplateDecompressor restarted;
+  auto desynced = pump(restarted, 1);
+  ASSERT_FALSE(desynced.ok());
+  EXPECT_NE(desynced.error().find("reference age out of range"),
+            std::string::npos);
+
+  // The fix: both sides reset to a clean epoch at session establishment.
+  compressor.reset();
+  TemplateDecompressor rejoined;
+  std::uint64_t before = compressor.stats().frames_compressed;
+  ASSERT_TRUE(pump(rejoined, 10).ok());
+  EXPECT_GE(compressor.stats().frames_compressed - before, 9u);
 }
 
 TEST(Compression, MixedRawAndCompressedTrafficStaysLossless) {
