@@ -1,0 +1,50 @@
+// Fuzz harness for the web-services dispatch entry point (core/api.h) — the
+// programmable interface every scripted nightly test drives (§2, §3.2).
+//
+// The input is a newline-separated batch of API request bodies issued
+// against a fresh deterministic testbed (one site, two hosts), so fuzzed
+// sequences can build real state: create a design, add routers, wire ports,
+// start captures, inject frames. Properties: dispatch never crashes or
+// throws on any body, and every response is a JSON object with a boolean
+// "ok" field (the contract transports rely on).
+//
+// PR 1's two hand-found hostile-input bugs (UINT32_MAX port-table wrap,
+// capture-API GB allocation) live exactly here; their reproducers are
+// checked into tests/corpus/api/.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/testbed.h"
+#include "fuzz_util.h"
+#include "util/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0 || size > 1 << 16) return 0;  // bound per-input testbed work
+  rnl::core::Testbed bed(1501, rnl::wire::NetemProfile::lan());
+  auto& site = bed.add_site("hq");
+  bed.add_host(site, "h1");
+  bed.add_host(site, "h2");
+  bed.join_all();
+
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  while (!text.empty()) {
+    std::size_t eol = text.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? text : text.substr(0, eol);
+    text = eol == std::string_view::npos ? std::string_view{}
+                                         : text.substr(eol + 1);
+    if (line.empty()) continue;
+    std::string response = bed.api().handle_text(std::string(line));
+    auto parsed = rnl::util::Json::parse(response);
+    FUZZ_ASSERT(parsed.ok());
+    FUZZ_ASSERT(parsed->is_object());
+    FUZZ_ASSERT((*parsed)["ok"].is_bool());
+    // Requests may schedule work (injects, captures); let it run so later
+    // lines in the batch observe its effects.
+    bed.run_for(rnl::util::Duration::milliseconds(1));
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+#pragma once
+
+// Shared helpers for the fuzz harnesses.
+//
+// Every harness is a plain `LLVMFuzzerTestOneInput` translation unit with no
+// dependency on the libFuzzer runtime, so the same file builds two ways:
+//   - linked with replay_main.cpp into a deterministic corpus-replay binary
+//     (always built, registered with ctest — every past crash is a tier-1
+//     regression on any toolchain);
+//   - instrumented with -fsanitize=fuzzer into a real libFuzzer binary when
+//     the compiler supports it (RNL_FUZZ=ON + clang).
+//
+// Harnesses assert properties with FUZZ_ASSERT, not assert(): it must fire
+// in every build type (a release-mode replay run that silently skips its
+// invariants checks nothing).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#define FUZZ_ASSERT(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FUZZ_ASSERT failed: %s at %s:%d\n", #cond,    \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+namespace rnl::fuzz {
+
+/// Little-endian read of up to 8 leading bytes — the conventional "seed
+/// prefix" harnesses use to derive chunk splits and priming content. The
+/// prefix is part of the fuzzed input, so libFuzzer mutates the seed like
+/// any other byte and the replay driver can vary it deterministically.
+inline std::uint64_t seed_prefix(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t seed = 0;
+  for (std::size_t i = 0; i < size && i < 8; ++i) {
+    seed |= static_cast<std::uint64_t>(data[i]) << (8 * i);
+  }
+  return seed;
+}
+
+}  // namespace rnl::fuzz

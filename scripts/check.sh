@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Full pre-merge check: build and run the test suite in the normal
-# configuration AND under ASan+UBSan (RNL_SANITIZE=ON). The zero-copy data
-# plane hands out views into reusable buffers, so lifetime mistakes tend to
-# pass plain tests and only show up under the sanitizers.
+# configuration AND under ASan+UBSan (RNL_SANITIZE=address). The zero-copy
+# data plane hands out views into reusable buffers, so lifetime mistakes tend
+# to pass plain tests and only show up under the sanitizers.
 #
-# Usage: scripts/check.sh [--metrics] [--faults] [jobs]
+# Usage: scripts/check.sh [--metrics] [--faults] [--lint] [--fuzz] [--tsan] [jobs]
 #   --metrics  additionally run the observability smoke binary
 #              (examples/metrics_smoke) from the sanitizer build: boots a
 #              sim testbed, routes traffic, and asserts metrics.dump is
@@ -15,35 +15,61 @@
 #              teardown/rejoin paths free and rebind per-site state while
 #              transport callbacks may still be on the stack, which is
 #              exactly the class of bug only the sanitizers catch.
+#   --lint     static-analysis gate. Prefers clang-tidy with the checked-in
+#              .clang-tidy profile (bugprone-*, clang-analyzer-*, cert-*,
+#              performance-*); when clang-tidy is not installed, falls back
+#              to a separate GCC build with RNL_LINT=ON (-Werror plus the
+#              curated warning set in CMakeLists.txt). Fails on any new
+#              diagnostic either way. Also runs a warn-only clang-format
+#              check when clang-format is installed.
+#   --fuzz     adversarial-input gate. Builds with RNL_FUZZ=ON and replays
+#              the checked-in corpus (tests/corpus/) through every harness
+#              with extra chunking variants; when the compiler supports
+#              -fsanitize=fuzzer (clang), additionally runs each libFuzzer
+#              binary for a bounded 10k-iteration exploration.
+#   --tsan     rebuild with RNL_SANITIZE=thread and run the concurrency
+#              surface under ThreadSanitizer: the metrics registry contract
+#              tests and the logger threshold-retune test.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 metrics=0
 faults=0
+lint=0
+fuzz=0
+tsan=0
 jobs=""
 for arg in "$@"; do
   case "$arg" in
     --metrics) metrics=1 ;;
     --faults) faults=1 ;;
+    --lint) lint=1 ;;
+    --fuzz) fuzz=1 ;;
+    --tsan) tsan=1 ;;
     *) jobs="$arg" ;;
   esac
 done
 jobs="${jobs:-$(nproc)}"
 
-run_config() {
+build_config() {
   local dir="$1"
   shift
   echo "=== configure $dir ($*) ==="
   cmake -B "$dir" -S . "$@" >/dev/null
   echo "=== build $dir ==="
   cmake --build "$dir" -j "$jobs"
+}
+
+run_config() {
+  local dir="$1"
+  build_config "$@"
   echo "=== ctest $dir ==="
   ctest --test-dir "$dir" --output-on-failure -j "$jobs"
 }
 
 run_config build
-run_config build-sanitize -DCMAKE_BUILD_TYPE=Debug -DRNL_SANITIZE=ON
+run_config build-sanitize -DCMAKE_BUILD_TYPE=Debug -DRNL_SANITIZE=address
 
 if [[ "$metrics" == 1 ]]; then
   echo "=== metrics smoke (sanitized) ==="
@@ -58,6 +84,50 @@ if [[ "$faults" == 1 ]]; then
     --gtest_filter='SimStream.*:TcpLoopback.RunOncePollRetriesOnEintr'
   ./build-sanitize/tests/wire_test \
     --gtest_filter='*Reset*:*PeerRestart*:*Epoch*'
+fi
+
+if [[ "$lint" == 1 ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== lint: clang-tidy (.clang-tidy profile) ==="
+    # compile_commands.json comes from the plain build configure above.
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    mapfile -t sources < <(find src fuzz -name '*.cpp' | sort)
+    clang-tidy -p build --warnings-as-errors='*' --quiet "${sources[@]}"
+  else
+    echo "=== lint: clang-tidy not installed; GCC -Werror fallback (RNL_LINT=ON) ==="
+    run_config build-lint -DRNL_LINT=ON
+  fi
+  if command -v clang-format >/dev/null 2>&1; then
+    echo "=== format check (warn-only) ==="
+    if ! find src fuzz tests -name '*.cpp' -o -name '*.h' \
+        | xargs clang-format --dry-run -Werror >/dev/null 2>&1; then
+      echo "WARNING: clang-format found style drift (not failing the gate)."
+      echo "         Run: clang-format -i on the files listed above."
+    fi
+  else
+    echo "(clang-format not installed; skipping warn-only format check)"
+  fi
+fi
+
+if [[ "$fuzz" == 1 ]]; then
+  echo "=== fuzz: corpus replay (RNL_FUZZ=ON, sanitized when available) ==="
+  run_config build-fuzz -DCMAKE_BUILD_TYPE=Debug -DRNL_FUZZ=ON -DRNL_SANITIZE=address
+  for harness in message_decoder tunnel_roundtrip decompressor json api; do
+    echo "--- replay: $harness (16 chunking variants) ---"
+    "./build-fuzz/fuzz/replay_${harness}" --variants 16 "tests/corpus/${harness}"
+    if [[ -x "./build-fuzz/fuzz/fuzz_${harness}" ]]; then
+      echo "--- libFuzzer: $harness (10k bounded iterations) ---"
+      "./build-fuzz/fuzz/fuzz_${harness}" -runs=10000 -max_len=4096 \
+        "tests/corpus/${harness}"
+    fi
+  done
+fi
+
+if [[ "$tsan" == 1 ]]; then
+  echo "=== tsan: concurrency surface under ThreadSanitizer ==="
+  build_config build-tsan -DCMAKE_BUILD_TYPE=Debug -DRNL_SANITIZE=thread
+  ./build-tsan/tests/metrics_test \
+    --gtest_filter='*Thread*:*Concurrent*:LoggingLevels.*'
 fi
 
 echo "All checks passed."

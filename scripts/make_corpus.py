@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Regenerates the seed corpus under tests/corpus/.
+
+The corpus is checked in as binary files (the replay driver and libFuzzer
+both consume plain files); this script documents every entry's intent and
+lets new regression inputs be added next to the existing ones. Running it
+is idempotent — it only writes the seed entries, never deletes extras, so
+minimized crash inputs dropped in by hand survive regeneration.
+
+Input conventions (see fuzz/fuzz_*.cpp):
+  message_decoder:  [8B chunking seed][tunnel wire stream]
+  tunnel_roundtrip: [1B type][4B router][4B port][1B epoch][1B flags][payload]
+  decompressor:     [8B seed][1B prime count][encoded bytes / frame material]
+  json:             UTF-8 text
+  api:              newline-separated JSON request bodies
+"""
+
+import os
+import struct
+
+ROOT = os.path.join(os.path.dirname(__file__), "..", "tests", "corpus")
+
+MAGIC = 0x524E4C31  # "RNL1"
+
+
+def frame(msg_type, router=0, port=0, payload=b"", flags=0):
+    """One tunnel wire frame (see wire/tunnel.cpp encode_message_into)."""
+    return (
+        struct.pack(">IBBHIII", MAGIC, 1, msg_type, flags, router, port,
+                    len(payload))
+        + payload
+    )
+
+
+def write(harness, name, data):
+    directory = os.path.join(ROOT, harness)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, name)
+    with open(path, "wb") as f:
+        f.write(data if isinstance(data, bytes) else data.encode())
+    print(f"wrote {path} ({len(data)} bytes)")
+
+
+SEED = struct.pack("<Q", 0x1501)
+
+# -- message_decoder: exercises framing accept/reject and split-feed resume --
+JOIN_JSON = (
+    b'{"site":"hq","routers":[{"name":"r1","description":"","image":"",'
+    b'"console":"","ports":[{"name":"Gi0/1","description":"","nic":"",'
+    b'"rect":[0,0,10,10]}]}]}'
+)
+write("message_decoder", "keepalive.bin", SEED + frame(5))
+write("message_decoder", "join.bin", SEED + frame(1, payload=JOIN_JSON))
+write("message_decoder", "data_pair.bin",
+      SEED + frame(3, 7, 9, b"\xde\xad\xbe\xef" * 16) + frame(5))
+write("message_decoder", "epoch_compressed.bin",
+      SEED + frame(3, 1, 2, b"\x01\x01\x04\x00\x04abcd", flags=0xAB01))
+write("message_decoder", "bad_magic.bin", SEED + b"XXXX" + frame(5)[4:])
+write("message_decoder", "bad_version.bin",
+      SEED + struct.pack(">IBBHIII", MAGIC, 9, 5, 0, 0, 0, 0))
+write("message_decoder", "bad_type.bin",
+      SEED + struct.pack(">IBBHIII", MAGIC, 1, 0, 0, 0, 0, 0))
+write("message_decoder", "huge_length.bin",
+      SEED + struct.pack(">IBBHIII", MAGIC, 1, 3, 0, 1, 1, 0xFFFFFFFF))
+write("message_decoder", "max_payload_edge.bin",
+      SEED + struct.pack(">IBBHIII", MAGIC, 1, 3, 0, 1, 1, 8 * 1024 * 1024 + 1))
+write("message_decoder", "truncated_header.bin", SEED + frame(5)[:10])
+write("message_decoder", "truncated_payload.bin",
+      SEED + frame(3, 1, 2, b"0123456789abcdef")[:-7])
+write("message_decoder", "error_then_frame.bin",
+      SEED + frame(5) + b"JUNK" + frame(5))
+
+# -- tunnel_roundtrip: field combinations for the encode/decode identity --
+write("tunnel_roundtrip", "keepalive_min.bin",
+      b"\x04" + struct.pack(">II", 0, 0) + b"\x00\x00")
+write("tunnel_roundtrip", "data_epoch.bin",
+      b"\x02" + struct.pack(">II", 0xFFFFFFFF, 0xFFFFFFFF) + b"\xff\x01"
+      + b"payload-bytes" * 7)
+write("tunnel_roundtrip", "join_ids.bin",
+      b"\x00" + struct.pack(">II", 1, 2) + b"\x07\x00" + JOIN_JSON)
+
+# -- decompressor: hostile encodings against a primed ring --
+def decomp(body, prime=4, seed=SEED):
+    return seed + bytes([prime]) + body
+
+write("decompressor", "empty_body.bin", decomp(b""))
+write("decompressor", "unknown_scheme.bin", decomp(b"\x00\x01\x04abcd"))
+write("decompressor", "age_out_of_range.bin", decomp(b"\x01\xc8\x04abcd"))
+write("decompressor", "age_beyond_count.bin",
+      decomp(b"\x01\x0f\x04abcd", prime=2))
+write("decompressor", "huge_length_varint.bin",
+      decomp(b"\x01\x01\xff\xff\xff\xff\x0f\x00\x00"))
+write("decompressor", "zero_progress_op.bin",
+      decomp(b"\x01\x01\x08\x00\x00\x00\x00"))
+write("decompressor", "copy_beyond_ref.bin",
+      decomp(b"\x01\x01\xc8\x01\xc8\x01\x00"))
+write("decompressor", "truncated_literals.bin",
+      decomp(b"\x01\x01\x20\x00\x20abc"))
+write("decompressor", "lockstep_frames.bin",
+      decomp(b"ABCDABCDABCDABCD" * 40 + b"ABCEABCDABCDABCD" * 40, prime=0))
+
+# -- json: grammar edges, all five satellite cases included --
+write("json", "design_doc.json",
+      '{"site":"hq","routers":[{"name":"r1","ports":[1,2,3]}],"wan":'
+      '{"delay_us":5000,"loss":0.01}}')
+write("json", "deep_nest_at_limit.json", "[" * 128 + "]" * 128)
+write("json", "deep_nest_over_limit.json", "[" * 300 + "]" * 300)
+write("json", "deep_object_over_limit.json", '{"a":' * 200 + "1" + "}" * 200)
+write("json", "number_overflow.json", "1e999")
+write("json", "number_big_int.json", "9223372036854775807")
+write("json", "number_neg_zero.json", "-0")
+write("json", "number_max_double.json", "1.7976931348623157e308")
+write("json", "truncated_escape.json", '"abc\\')
+write("json", "truncated_unicode.json", '"\\u00')
+write("json", "surrogate_pair.json", '"\\ud83d\\ude00"')
+write("json", "lone_surrogate.json", '"\\ud800"')
+write("json", "duplicate_keys.json", '{"k":1,"k":2}')
+write("json", "control_chars.json", '"\\u0000\\u001f"')
+write("json", "trailing_garbage.json", "{} extra")
+write("json", "unterminated_string.json", '"abc')
+write("json", "nan_literals.json", "[NaN, Infinity]")
+
+# -- api: request batches, including PR 1's two hand-found hostile inputs --
+write("api", "hostile_capture_port.txt",
+      '{"method":"capture.start","params":{"port_id":4294967295}}\n')
+write("api", "hostile_connect_wrap.txt",
+      '{"method":"design.create","params":{"user":"eve","name":"x"}}\n'
+      '{"method":"design.connect","params":{"design_id":1,"a":4294967295,'
+      '"b":1}}\n')
+write("api", "lifecycle.txt",
+      '{"method":"inventory.list"}\n'
+      '{"method":"design.create","params":{"user":"ops","name":"nightly"}}\n'
+      '{"method":"design.add_router","params":{"design_id":1,"router_id":1}}\n'
+      '{"method":"design.add_router","params":{"design_id":1,"router_id":2}}\n'
+      '{"method":"design.connect","params":{"design_id":1,"a":1,"b":2}}\n'
+      '{"method":"deploy","params":{"design_id":1}}\n'
+      '{"method":"capture.start","params":{"port_id":1}}\n'
+      '{"method":"traffic.inject","params":{"port_id":1,'
+      '"frame":"de:ad:be:ef:00:01"}}\n'
+      '{"method":"run_for","params":{"millis":5}}\n'
+      '{"method":"capture.stop","params":{"port_id":1}}\n'
+      '{"method":"stats"}\n')
+write("api", "huge_numbers.txt",
+      '{"method":"design.add_router","params":{"design_id":1e308,'
+      '"router_id":-1e308}}\n'
+      '{"method":"reserve","params":{"design_id":1,"start_s":1e300,'
+      '"end_s":-1e300}}\n'
+      '{"method":"metrics.flight","params":{"port_id":1e15}}\n')
+write("api", "malformed.txt",
+      "not json at all\n"
+      "{\n"
+      '{"method":123}\n'
+      '{"params":{}}\n'
+      '[]\n'
+      '{"method":"unknown.method","params":null}\n')
+write("api", "log_and_metrics.txt",
+      '{"method":"log.set_level","params":{"level":"debug"}}\n'
+      '{"method":"log.set_level","params":{"level":"warn"}}\n'
+      '{"method":"metrics.dump"}\n'
+      '{"method":"metrics.prometheus"}\n')

@@ -279,6 +279,7 @@ util::Json ApiServer::dispatch(const std::string& method,
     result.set("sites_lost", stats.sites_lost);
     result.set("sites_rejoined", stats.sites_rejoined);
     result.set("stale_epoch_drops", stats.stale_epoch_drops);
+    result.set("spoofed_port_drops", stats.spoofed_port_drops);
     result.set("matrix_entries_restored", stats.matrix_entries_restored);
     result.set("sites", service_.route_server().site_count());
     util::Json dataplane = util::Json::object();

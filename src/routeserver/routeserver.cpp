@@ -6,6 +6,7 @@
 #include <chrono>
 #endif
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace rnl::routeserver {
@@ -58,6 +59,7 @@ RouteServer::RouteServer(simnet::Scheduler& scheduler,
   expose("routeserver.sites_lost", &stats_.sites_lost);
   expose("routeserver.sites_rejoined", &stats_.sites_rejoined);
   expose("routeserver.stale_epoch_drops", &stats_.stale_epoch_drops);
+  expose("routeserver.spoofed_port_drops", &stats_.spoofed_port_drops);
   expose("routeserver.matrix_entries_restored",
          &stats_.matrix_entries_restored);
   expose("routeserver.fast_path_frames", &stats_.dataplane.fast_path_frames);
@@ -249,6 +251,9 @@ void RouteServer::handle_join(Site* site,
 
   RetainedSite& registry = site_registry_[request->site_name];
   site->epoch = registry.next_epoch++;
+  // next_epoch is monotonic per site name and never reset — that is the
+  // whole basis of the stale-frame gate. A wrap would take 2^32 rejoins.
+  RNL_DCHECK(registry.next_epoch == site->epoch + 1);
 
   wire::JoinAck ack;
   ack.epoch = site->epoch;
@@ -279,6 +284,8 @@ void RouteServer::handle_join(Site* site,
         router.ports.push_back(port);
         ids.port_ids.push_back(port.id);
         ensure_port_tables(next_port_id_);
+        RNL_DCHECK(port.id < ports_.size());
+        RNL_DCHECK(ports_[port.id].site == nullptr);
         ports_[port.id] =
             PortRecord{site, router.id, port.name, port.description};
         ++port_count_;
@@ -338,6 +345,10 @@ bool RouteServer::rebind_retained(Site* site, const wire::JoinRequest& request,
     ids.router_id = retained.id;
     for (const auto& port : retained.ports) {
       ids.port_ids.push_back(port.id);
+      // Retained ids were allocated by a previous incarnation, so the dense
+      // tables already cover them and the slot was cleared at its departure.
+      RNL_DCHECK(port.id < ports_.size());
+      RNL_DCHECK(ports_[port.id].site == nullptr);
       ports_[port.id] =
           PortRecord{site, retained.id, port.name, port.description};
       ++port_count_;
@@ -362,6 +373,18 @@ void RouteServer::handle_data(Site* site,
   if (msg.epoch != static_cast<std::uint8_t>(site->epoch)) {
     ++stats_.stale_epoch_drops;
     return;
+  }
+  // Ownership gate: port ids are server-assigned, so a site may only source
+  // frames from its own ports. Anything else — a pre-JOIN data frame (which
+  // would pass the epoch gate at epoch 0) or a port id copied from another
+  // site's assignment — is spoofed and must not reach the matrix or advance
+  // this session's decompressor ring.
+  {
+    const PortRecord* record = port_record(msg.port_id);
+    if (record == nullptr || record->site != site) {
+      ++stats_.spoofed_port_drops;
+      return;
+    }
   }
   RNL_STAGE_START(route_start);
   util::BytesView frame;
@@ -496,10 +519,13 @@ void RouteServer::remove_site(Site* site, bool orderly) {
       for (const auto& port : router->second.ports) {
         if (orderly) disconnect_port(port.id);
         if (port.id < ports_.size() && ports_[port.id].site != nullptr) {
+          RNL_DCHECK(ports_[port.id].site == site);
+          RNL_DCHECK(port_count_ > 0);
           ports_[port.id] = PortRecord{};
           --port_count_;
         }
         if (port.id < captures_.size() && captures_[port.id] != nullptr) {
+          RNL_DCHECK(active_captures_ > 0);
           captures_[port.id].reset();
           --active_captures_;
         }
@@ -563,6 +589,10 @@ void RouteServer::ensure_port_tables(wire::PortId limit) {
   ports_.resize(needed);
   matrix_.resize(needed);
   captures_.resize(needed);
+  // The per-frame path indexes all three tables with one bounds check on
+  // ports_; they must grow in lockstep.
+  RNL_DCHECK(ports_.size() == matrix_.size());
+  RNL_DCHECK(ports_.size() == captures_.size());
 }
 
 // ---------------------------------------------------------------------------
@@ -597,12 +627,16 @@ util::Status RouteServer::connect_ports(wire::PortId a, wire::PortId b,
   matrix_[a] = make_end(b);
   matrix_[b] = make_end(a);
   ++wires_;
+  // Wires are symmetric by construction; the forwarding path relies on it.
+  RNL_DCHECK(matrix_[a].peer == b && matrix_[b].peer == a);
   return util::Status::Ok();
 }
 
 void RouteServer::disconnect_port(wire::PortId port) {
   if (port >= matrix_.size() || matrix_[port].peer == 0) return;
   wire::PortId peer = matrix_[port].peer;
+  RNL_DCHECK(peer < matrix_.size() && matrix_[peer].peer == port);
+  RNL_DCHECK(wires_ > 0);
   matrix_[port] = WireEnd{};
   if (peer < matrix_.size()) matrix_[peer] = WireEnd{};
   --wires_;

@@ -113,6 +113,10 @@ struct RouteServerStats {
   /// kData frames carrying a session epoch other than the site's current
   /// one — late traffic from a dead incarnation, counted and dropped.
   std::uint64_t stale_epoch_drops = 0;
+  /// kData frames whose source port id is not owned by the sending site
+  /// (pre-JOIN traffic, or a port id copied from another site's
+  /// assignment) — spoofed, counted and dropped before routing.
+  std::uint64_t spoofed_port_drops = 0;
   /// Matrix entries (wire ends) still live when their port came back online
   /// through a rejoin — the survived part of the routing matrix.
   std::uint64_t matrix_entries_restored = 0;

@@ -1,0 +1,36 @@
+#pragma once
+
+// Debug-build invariant assertions for the data-plane bookkeeping paths.
+//
+// RNL_DCHECK documents and enforces internal invariants (port-table sizes,
+// matrix symmetry, epoch monotonicity) in Debug and sanitizer builds — the
+// configurations scripts/check.sh and the fuzz replay driver run — while
+// compiling to nothing in release, so the per-frame paths pay zero cost.
+// For conditions that must hold even against hostile input, use explicit
+// error handling, not a DCHECK: a DCHECK firing means RNL itself has a bug.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rnl::util {
+
+[[noreturn]] inline void dcheck_fail(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "RNL_DCHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace rnl::util
+
+#ifdef RNL_DCHECK_ENABLED
+#define RNL_DCHECK(cond)                                     \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      ::rnl::util::dcheck_fail(#cond, __FILE__, __LINE__);   \
+    }                                                        \
+  } while (0)
+#else
+#define RNL_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif

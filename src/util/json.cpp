@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace rnl::util {
 
@@ -41,8 +42,13 @@ double Json::as_number(double fallback) const {
 }
 
 std::int64_t Json::as_int(std::int64_t fallback) const {
-  return is_number() ? static_cast<std::int64_t>(std::llround(number_))
-                     : fallback;
+  if (!is_number() || std::isnan(number_)) return fallback;
+  // llround outside int64's range is undefined behaviour, and every API id
+  // field funnels attacker-chosen numbers through here — clamp instead.
+  constexpr double kInt64Edge = 9223372036854775808.0;  // 2^63
+  if (number_ >= kInt64Edge) return std::numeric_limits<std::int64_t>::max();
+  if (number_ < -kInt64Edge) return std::numeric_limits<std::int64_t>::min();
+  return static_cast<std::int64_t>(std::llround(number_));
 }
 
 const std::string& Json::as_string() const {
@@ -167,6 +173,13 @@ void escape_string(const std::string& in, std::string& out) {
 }
 
 void append_number(double value, std::string& out) {
+  // JSON has no representation for NaN/infinity (the parser rejects them;
+  // programmatic values can still hold them) — serialize as null rather
+  // than emitting a token no parser accepts.
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
   // Integers (the overwhelmingly common case in RNL payloads: ids, ports,
   // timestamps) serialize without a decimal point.
   if (value == std::floor(value) && std::abs(value) < 9.0e15) {
@@ -464,6 +477,11 @@ class Parser {
     double value = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) {
       return Error{err("invalid number '" + token + "'")};
+    }
+    // "1e999" overflows strtod to infinity; accepting it would round-trip
+    // through dump() as a non-JSON token. Out-of-range is a parse error.
+    if (!std::isfinite(value)) {
+      return Error{err("number out of range '" + token + "'")};
     }
     return Json(value);
   }

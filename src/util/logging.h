@@ -3,6 +3,7 @@
 // Minimal leveled logger. Thread-safe sink, printf-free (streams assembled
 // per call). Default sink is stderr; tests swap in a capture sink.
 
+#include <atomic>
 #include <functional>
 #include <optional>
 #include <sstream>
@@ -28,8 +29,12 @@ class Logger {
 
   static Logger& instance();
 
-  void set_threshold(LogLevel level) { threshold_ = level; }
-  [[nodiscard]] LogLevel threshold() const { return threshold_; }
+  void set_threshold(LogLevel level) {
+    threshold_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel threshold() const {
+    return threshold_.load(std::memory_order_relaxed);
+  }
   void set_sink(Sink sink);
 
   /// Applies `spec` (an RNL_LOG_LEVEL value) to the threshold; returns
@@ -40,13 +45,15 @@ class Logger {
   bool apply_level_spec(const char* spec);
 
   [[nodiscard]] bool enabled(LogLevel level) const {
-    return level >= threshold_;
+    return level >= threshold_.load(std::memory_order_relaxed);
   }
   void write(LogLevel level, std::string_view component, std::string_view msg);
 
  private:
   Logger();
-  LogLevel threshold_ = LogLevel::kWarn;
+  // Atomic: the log.set_level API method can retune the threshold while
+  // worker threads are mid-RNL_LOG (ThreadSanitizer flags the plain read).
+  std::atomic<LogLevel> threshold_{LogLevel::kWarn};
   Sink sink_;
 };
 

@@ -163,10 +163,17 @@ util::Result<JoinRequest> JoinRequest::from_json(const util::Json& json) {
   JoinRequest request;
   request.site_name = json["site"].as_string();
   if (request.site_name.empty()) return util::Error{"join: missing site"};
+  if (json["routers"].as_array().size() > JoinRequest::kMaxRouters) {
+    return util::Error{"join: too many routers declared"};
+  }
   for (const auto& r : json["routers"].as_array()) {
     RouterDeclaration router;
     router.name = r["name"].as_string();
     if (router.name.empty()) return util::Error{"join: router missing name"};
+    if (r["ports"].as_array().size() > JoinRequest::kMaxPortsPerRouter) {
+      return util::Error{"join: too many ports declared on router '" +
+                         router.name + "'"};
+    }
     router.description = r["description"].as_string();
     router.image_file = r["image"].as_string();
     router.console_com = r["console"].as_string();

@@ -169,6 +169,14 @@ struct RouterDeclaration {
 
 /// The kJoin payload.
 struct JoinRequest {
+  /// Declared-inventory caps enforced at parse time. A site PC fronts tens
+  /// of routers (§2.2) — the scaling benchmarks push to ~1k — so these sit
+  /// an order of magnitude above any legitimate lab while still rejecting a
+  /// hostile or corrupt payload trying to exhaust the server's id space and
+  /// dense port tables, before any per-entry allocation happens.
+  static constexpr std::size_t kMaxRouters = 4096;
+  static constexpr std::size_t kMaxPortsPerRouter = 1024;
+
   std::string site_name;
   std::vector<RouterDeclaration> routers;
 

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "util/json.h"
 #include "util/rng.h"
 
@@ -151,6 +154,90 @@ TEST_P(JsonRoundTrip, DumpParseIdentity) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTrip,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Adversarial-input edges (PR 4) ---------------------------------------
+
+TEST(JsonAdversarial, NestingDepthLimitEnforced) {
+  // At the limit: accepted. kMaxDepth is 128, the outermost value is depth
+  // 0, and rejection triggers at depth > 128 — so 129 brackets still parse.
+  std::string at_limit(129, '[');
+  at_limit.append(129, ']');
+  EXPECT_TRUE(Json::parse(at_limit).ok());
+
+  // One past the limit: rejected, not a stack overflow.
+  std::string over_limit(130, '[');
+  over_limit.append(130, ']');
+  auto rejected = Json::parse(over_limit);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.error().find("nesting"), std::string::npos);
+
+  // Unclosed deep nesting (the classic fuzzer find) must also bail out.
+  EXPECT_FALSE(Json::parse(std::string(100000, '[')).ok());
+  std::string deep_obj;
+  for (int i = 0; i < 200; ++i) deep_obj += "{\"a\":";
+  deep_obj += "1";
+  deep_obj.append(200, '}');
+  EXPECT_FALSE(Json::parse(deep_obj).ok());
+}
+
+TEST(JsonAdversarial, NumericOverflowRejected) {
+  // strtod maps 1e999 to +inf; accepting it would make dump() emit a
+  // non-JSON token ("inf"). The parser must reject non-finite results.
+  EXPECT_FALSE(Json::parse("1e999").ok());
+  EXPECT_FALSE(Json::parse("-1e999").ok());
+  // The largest finite double is still fine.
+  auto max_finite = Json::parse("1.7976931348623157e308");
+  ASSERT_TRUE(max_finite.ok());
+  EXPECT_TRUE(Json::parse(max_finite->dump()).ok());
+}
+
+TEST(JsonAdversarial, AsIntClampsOutOfRangeDoubles) {
+  // llround on a double outside int64's range is UB; as_int must clamp.
+  Json huge(1e300);
+  EXPECT_EQ(huge.as_int(), std::numeric_limits<std::int64_t>::max());
+  Json negative_huge(-1e300);
+  EXPECT_EQ(negative_huge.as_int(), std::numeric_limits<std::int64_t>::min());
+  // 2^63 is exactly representable as a double but not as int64.
+  Json edge(9223372036854775808.0);
+  EXPECT_EQ(edge.as_int(), std::numeric_limits<std::int64_t>::max());
+  Json in_range(-42.4);
+  EXPECT_EQ(in_range.as_int(), -42);
+}
+
+TEST(JsonAdversarial, NonFiniteValuesSerializeAsNull) {
+  // A non-finite number can still be constructed programmatically; the
+  // serializer must not emit an invalid token for it.
+  Json inf(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(inf.dump(), "null");
+  Json nan(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(nan.dump(), "null");
+}
+
+TEST(JsonAdversarial, TruncatedEscapesRejected) {
+  EXPECT_FALSE(Json::parse("\"abc\\").ok());        // backslash at EOF
+  EXPECT_FALSE(Json::parse("\"\\u00").ok());        // \u with 2 of 4 digits
+  EXPECT_FALSE(Json::parse("\"\\u00zz\"").ok());    // non-hex digits
+  EXPECT_FALSE(Json::parse("\"abc").ok());          // unterminated string
+  EXPECT_FALSE(Json::parse("\"\\q\"").ok());        // unknown escape
+}
+
+TEST(JsonAdversarial, SurrogateEscapesRejected) {
+  // The parser handles BMP escapes only; surrogate code units — lone or
+  // paired — are rejected rather than emitted as invalid UTF-8 (CESU-8).
+  EXPECT_FALSE(Json::parse("\"\\ud800\"").ok());
+  EXPECT_FALSE(Json::parse("\"\\udfff\"").ok());
+  EXPECT_FALSE(Json::parse("\"\\ud83d\\ude00\"").ok());
+  // The BMP boundary neighbours still work.
+  EXPECT_TRUE(Json::parse("\"\\ud7ff\"").ok());
+  EXPECT_TRUE(Json::parse("\"\\ue000\"").ok());
+}
+
+TEST(JsonAdversarial, DuplicateKeysLastWins) {
+  auto parsed = Json::parse(R"({"k":1,"k":2,"k":3})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)["k"].as_int(), 3);
+}
 
 }  // namespace
 }  // namespace rnl::util

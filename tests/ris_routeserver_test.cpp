@@ -320,6 +320,56 @@ TEST_F(RnlStack, MalformedStreamPoisonsOnlyThatSite) {
   EXPECT_EQ(server.inventory().size(), 2u);
 }
 
+TEST_F(RnlStack, SpoofedSourcePortDropped) {
+  join(site1);
+  join(site2);
+  wire::PortId p1 = port_of("us-west/h1");
+  ASSERT_TRUE(server.connect_ports(p1, port_of("eu-central/h2")).ok());
+
+  // An attacker opens a raw connection and — without ever joining — sends a
+  // well-formed kData frame claiming site1's assigned port as its source.
+  // The frame passes the framing layer and, at epoch 0, the epoch gate; the
+  // ownership gate must drop it before it reaches the wire matrix.
+  auto [attacker, server_end] =
+      transport::make_sim_stream_pair(net.scheduler());
+  server.accept(std::move(server_end));
+  const std::uint64_t routed_before = server.stats().frames_routed;
+  wire::TunnelMessage spoof;
+  spoof.type = wire::MessageType::kData;
+  spoof.router_id = router_of("us-west/h1");
+  spoof.port_id = p1;
+  spoof.payload = util::Bytes(64, 0xAA);
+  attacker->send(wire::encode_message(spoof));
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_EQ(server.stats().spoofed_port_drops, 1u);
+  EXPECT_EQ(server.stats().frames_routed, routed_before);
+  EXPECT_EQ(server.stats().decode_errors, 0u);
+
+  // A joined site spoofing another site's port id is dropped the same way,
+  // even with a valid epoch stamp for its own session.
+  auto [joined_spoofer, joined_end] =
+      transport::make_sim_stream_pair(net.scheduler());
+  server.accept(std::move(joined_end));
+  wire::JoinRequest hello;
+  hello.site_name = "rogue";
+  wire::TunnelMessage join_msg;
+  join_msg.type = wire::MessageType::kJoin;
+  const std::string join_payload = hello.to_json().dump();
+  join_msg.payload.assign(join_payload.begin(), join_payload.end());
+  joined_spoofer->send(wire::encode_message(join_msg));
+  net.run_for(util::Duration::milliseconds(500));
+  ASSERT_EQ(server.inventory().size(), 2u);  // rogue declared no routers
+  joined_spoofer->send(wire::encode_message(spoof));
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_EQ(server.stats().spoofed_port_drops, 2u);
+  EXPECT_EQ(server.stats().frames_routed, routed_before);
+
+  // Legitimate traffic still flows between the real sites.
+  h1.ping(ip("10.0.0.2"), 1);
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_GT(server.stats().frames_routed, routed_before);
+}
+
 // ---------------------------------------------------------------------------
 // Session fault tolerance: site death, reconnect with backoff, clean rejoin
 // ---------------------------------------------------------------------------

@@ -264,6 +264,83 @@ TEST(JoinPayload, RejectsMissingFields) {
           .ok());
 }
 
+TEST(JoinPayload, RejectsDeclarationFloods) {
+  // A hostile JOIN declaring thousands of routers/ports would make the
+  // route server allocate port tables and adjacency matrices for all of
+  // them before any policy check. from_json enforces declaration caps.
+  util::Json routers = util::Json::array();
+  for (std::size_t i = 0; i <= JoinRequest::kMaxRouters; ++i) {
+    util::Json router = util::Json::object();
+    router.set("name", "r" + std::to_string(i));
+    router.set("ports", util::Json::array());
+    routers.push_back(std::move(router));
+  }
+  util::Json flood = util::Json::object();
+  flood.set("site", "evil");
+  flood.set("routers", std::move(routers));
+  auto rejected = JoinRequest::from_json(flood);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.error().find("too many routers"), std::string::npos);
+
+  util::Json port = util::Json::object();
+  port.set("name", "p");
+  util::Json ports = util::Json::array();
+  for (std::size_t i = 0; i <= JoinRequest::kMaxPortsPerRouter; ++i) {
+    ports.push_back(port);
+  }
+  util::Json router = util::Json::object();
+  router.set("name", "r1");
+  router.set("ports", std::move(ports));
+  util::Json port_flood = util::Json::object();
+  port_flood.set("site", "evil");
+  util::Json one = util::Json::array();
+  one.push_back(std::move(router));
+  port_flood.set("routers", std::move(one));
+  auto rejected_ports = JoinRequest::from_json(port_flood);
+  ASSERT_FALSE(rejected_ports.ok());
+  EXPECT_NE(rejected_ports.error().find("too many ports"), std::string::npos);
+}
+
+TEST(TunnelCodec, PoisonedDecoderSurvivesContinuedFeeding) {
+  // A decoder that has hit a framing error stays poisoned; feeding it more
+  // bytes — including byte-at-a-time, the shape fuzzers minimize to — must
+  // neither crash nor resurrect message delivery, and buffered() must keep
+  // reporting a size consistent with what was consumed.
+  util::Bytes bad;
+  bad.insert(bad.end(), {'R', 'N', 'L', '1', 9 /* bad version */, 5});
+  bad.resize(20, 0);  // pad to one full header
+
+  MessageDecoder decoder;
+  for (std::size_t i = 0; i < bad.size(); ++i) {
+    auto out = decoder.feed(util::BytesView(&bad[i], 1));
+    EXPECT_TRUE(out.empty());
+    EXPECT_LE(decoder.buffered(), bad.size());
+  }
+  ASSERT_TRUE(decoder.failed());
+  EXPECT_FALSE(decoder.error().empty());
+  const std::string first_error = decoder.error();
+
+  // Keep feeding a perfectly valid frame one byte at a time: still nothing.
+  TunnelMessage msg;
+  msg.type = MessageType::kKeepalive;
+  util::Bytes good = encode_message(msg);
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    auto out = decoder.feed(util::BytesView(&good[i], 1));
+    EXPECT_TRUE(out.empty());
+  }
+  EXPECT_TRUE(decoder.failed());
+  // The original diagnostic is preserved, not overwritten by later bytes.
+  EXPECT_EQ(decoder.error(), first_error);
+
+  // reset() is the documented way back: the same decoder then works.
+  decoder.reset();
+  EXPECT_FALSE(decoder.failed());
+  auto out = decoder.feed(good);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].message.type, MessageType::kKeepalive);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
 TEST(JoinAckPayload, JsonRoundTrip) {
   JoinAck ack;
   ack.routers.push_back(JoinAck::RouterIds{5, {10, 11, 12}});
