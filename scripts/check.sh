@@ -11,8 +11,9 @@
 #              well-formed JSON with nonzero frame counters.
 #   --faults   additionally re-run the session fault-tolerance suite (link
 #              cuts, liveness eviction, rejoin, stale epochs, peer-restart
-#              codec desync) under ASan+UBSan with verbose output. The
-#              teardown/rejoin paths free and rebind per-site state while
+#              codec desync, stalled consumers, shedding, overload eviction)
+#              under ASan+UBSan with verbose output. The teardown/rejoin and
+#              overload-eviction paths free and rebind per-site state while
 #              transport callbacks may still be on the stack, which is
 #              exactly the class of bug only the sanitizers catch.
 #   --lint     static-analysis gate. Prefers clang-tidy with the checked-in
@@ -29,7 +30,8 @@
 #              binary for a bounded 10k-iteration exploration.
 #   --tsan     rebuild with RNL_SANITIZE=thread and run the concurrency
 #              surface under ThreadSanitizer: the metrics registry contract
-#              tests and the logger threshold-retune test.
+#              tests, the logger threshold-retune test, and the transport
+#              egress accounting paths (watermarks, drain callbacks).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -79,11 +81,13 @@ fi
 if [[ "$faults" == 1 ]]; then
   echo "=== fault-tolerance suite (sanitized) ==="
   ./build-sanitize/tests/ris_routeserver_test \
-    --gtest_filter='*Rejoin*:*Reconnect*:*Liveness*:*StaleEpoch*:*Disconnect*'
+    --gtest_filter='*Rejoin*:*Reconnect*:*Liveness*:*StaleEpoch*:*Disconnect*:*Shed*:*Stalled*:*Overload*:*Sweep*'
   ./build-sanitize/tests/transport_test \
-    --gtest_filter='SimStream.*:TcpLoopback.RunOncePollRetriesOnEintr'
+    --gtest_filter='SimStream.*:TcpLoopback.RunOncePollRetriesOnEintr:TcpLoopback.*Egress*'
   ./build-sanitize/tests/wire_test \
     --gtest_filter='*Reset*:*PeerRestart*:*Epoch*'
+  ./build-sanitize/tests/labservice_test \
+    --gtest_filter='*Overloaded*'
 fi
 
 if [[ "$lint" == 1 ]]; then
@@ -128,6 +132,8 @@ if [[ "$tsan" == 1 ]]; then
   build_config build-tsan -DCMAKE_BUILD_TYPE=Debug -DRNL_SANITIZE=thread
   ./build-tsan/tests/metrics_test \
     --gtest_filter='*Thread*:*Concurrent*:LoggingLevels.*'
+  ./build-tsan/tests/transport_test \
+    --gtest_filter='TcpLoopback.*Egress*:TcpLoopback.LargeWriteBuffersAndDrains:SimStream.*Watermark*:SimStream.*Stall*'
 fi
 
 echo "All checks passed."

@@ -145,6 +145,8 @@ write("api", "huge_numbers.txt",
       '"router_id":-1e308}}\n'
       '{"method":"reserve","params":{"design_id":1,"start_s":1e300,'
       '"end_s":-1e300}}\n'
+      '{"method":"design.connect","params":{"design_id":1,"a":1,"b":2,'
+      '"wan":{"delay_us":1e300,"jitter_us":-1e300}}}\n'
       '{"method":"metrics.flight","params":{"port_id":1e15}}\n')
 write("api", "malformed.txt",
       "not json at all\n"
@@ -153,6 +155,16 @@ write("api", "malformed.txt",
       '{"params":{}}\n'
       '[]\n'
       '{"method":"unknown.method","params":null}\n')
+write("api", "overload_ledger.txt",
+      # PR 5 surface: the stats ledger's shed/eviction fields, metrics.dump's
+      # overload gauges, and deploy's admission check (refusal path when the
+      # design id is bogus exercises the same typed-error serialization).
+      '{"method":"stats"}\n'
+      '{"method":"deploy","params":{"design_id":4294967295}}\n'
+      '{"method":"metrics.dump"}\n'
+      '{"method":"run_for","params":{"millis":50}}\n'
+      '{"method":"stats"}\n'
+      '{"method":"metrics.prometheus"}\n')
 write("api", "log_and_metrics.txt",
       '{"method":"log.set_level","params":{"level":"debug"}}\n'
       '{"method":"log.set_level","params":{"level":"warn"}}\n'

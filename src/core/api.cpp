@@ -1,5 +1,8 @@
 #include "core/api.h"
 
+#include <cstdint>
+#include <limits>
+
 #include "util/bytes.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -22,11 +25,20 @@ util::Json fail(const std::string& error) {
   return response;
 }
 
+/// JSON-supplied time values arrive clamped to the int64 extremes by
+/// as_int(); saturate the unit conversion instead of overflowing it (UB).
+std::int64_t saturating_scale(std::int64_t value, std::int64_t scale) {
+  const std::int64_t limit = std::numeric_limits<std::int64_t>::max() / scale;
+  if (value > limit) return std::numeric_limits<std::int64_t>::max();
+  if (value < -limit) return std::numeric_limits<std::int64_t>::min();
+  return value * scale;
+}
+
 wire::NetemProfile wan_from_json(const util::Json& wan) {
   wire::NetemProfile profile;
   if (!wan.is_object()) return profile;
-  profile.delay = util::Duration::microseconds(wan["delay_us"].as_int());
-  profile.jitter = util::Duration::microseconds(wan["jitter_us"].as_int());
+  profile.delay = util::Duration{saturating_scale(wan["delay_us"].as_int(), 1'000)};
+  profile.jitter = util::Duration{saturating_scale(wan["jitter_us"].as_int(), 1'000)};
   profile.loss_probability = wan["loss"].as_number();
   profile.jitter_smoothing = static_cast<int>(wan["smoothing"].as_int(1));
   return profile;
@@ -153,8 +165,10 @@ util::Json ApiServer::dispatch(const std::string& method,
   if (method == "reserve") {
     auto id = service_.reserve(
         static_cast<DesignId>(params["design_id"].as_int()),
-        util::SimTime{params["start_s"].as_int() * 1'000'000'000},
-        util::SimTime{params["end_s"].as_int() * 1'000'000'000});
+        util::SimTime{saturating_scale(params["start_s"].as_int(),
+                                       1'000'000'000)},
+        util::SimTime{saturating_scale(params["end_s"].as_int(),
+                                       1'000'000'000)});
     if (!id.ok()) return fail(id.error());
     util::Json result = util::Json::object();
     result.set("reservation_id", *id);
@@ -281,6 +295,13 @@ util::Json ApiServer::dispatch(const std::string& method,
     result.set("stale_epoch_drops", stats.stale_epoch_drops);
     result.set("spoofed_port_drops", stats.spoofed_port_drops);
     result.set("matrix_entries_restored", stats.matrix_entries_restored);
+    result.set("shed_data_frames", stats.shed_data_frames);
+    result.set("control_frames_deferred", stats.control_frames_deferred);
+    result.set("shed_entries", stats.shed_entries);
+    result.set("hard_cap_evictions", stats.hard_cap_evictions);
+    result.set("stalled_evictions", stats.stalled_evictions);
+    result.set("sites_shedding", service_.route_server().sites_shedding());
+    result.set("overloaded", service_.route_server().overloaded());
     result.set("sites", service_.route_server().site_count());
     util::Json dataplane = util::Json::object();
     dataplane.set("fast_path_frames", stats.dataplane.fast_path_frames);

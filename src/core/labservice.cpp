@@ -186,6 +186,15 @@ util::Result<DeploymentId> LabService::deploy(DesignId id) {
   // reclaim anything whose reservation has lapsed before admission checks.
   expire_now();
 
+  // Admission control: while the data plane is shedding (some site's egress
+  // queue over its high watermark), programming more wires would only
+  // deepen the overload. Refuse and let the user retry once it drains.
+  if (server_.overloaded()) {
+    return util::Error{
+        "deploy: route server overloaded (a site's egress queue is over its "
+        "watermark); admission refused — retry once the data plane drains"};
+  }
+
   auto reservation =
       calendar_.covering(user, design.routers(), net_.scheduler().now());
   if (!reservation.has_value()) {

@@ -29,6 +29,13 @@ std::string WebUiSession::render_metrics() const {
   util::Json snapshot =
       const_cast<LabService&>(service_).metrics().to_json();
   std::string out = "=== Lab Metrics ===\n";
+  const auto& server = const_cast<LabService&>(service_).route_server();
+  if (server.overloaded()) {
+    out += util::format(
+        "!! OVERLOAD: %zu site(s) shedding — deployments refused until the "
+        "data plane drains\n",
+        server.sites_shedding());
+  }
   out += "-- counters --\n";
   for (const auto& [name, value] : snapshot["counters"].as_object()) {
     out += util::format("  %-44s %llu\n", name.c_str(),

@@ -33,6 +33,7 @@ RouterInterface::RouterInterface(simnet::Network& net, std::string site_name,
   expose("reconnect_failures", &stats_.reconnect_failures);
   expose("reconnect_giveups", &stats_.reconnect_giveups);
   expose("stale_epoch_drops", &stats_.stale_epoch_drops);
+  expose("shed_frames", &stats_.shed_frames);
   capture_hist_ = &metrics_->histogram(metrics_prefix_ + "capture_ns");
   replay_hist_ = &metrics_->histogram(metrics_prefix_ + "replay_ns");
   backoff_hist_ = &metrics_->histogram(metrics_prefix_ + "backoff_ns");
@@ -189,6 +190,7 @@ void RouterInterface::start_session(
   transport_->set_receive_handler(
       [this](util::BytesView chunk) { on_transport_data(chunk); });
   transport_->set_close_handler([this] { on_tunnel_lost(); });
+  transport_->set_egress_watermarks(egress_high_, egress_low_);
 
   wire::JoinRequest request;
   request.site_name = site_name_;
@@ -312,9 +314,22 @@ void RouterInterface::send_message(const wire::TunnelMessage& message,
   transport_->send(wire_bytes);
 }
 
+void RouterInterface::set_egress_watermarks(std::size_t high,
+                                            std::size_t low) {
+  egress_high_ = high;
+  egress_low_ = low > high ? high : low;
+  if (transport_) transport_->set_egress_watermarks(egress_high_, egress_low_);
+}
+
 void RouterInterface::send_data(wire::RouterId router_id, wire::PortId port_id,
                                 util::BytesView frame) {
   if (!transport_ || !transport_->is_open()) return;
+  if (!transport_->writable()) {
+    // Shed before the compressor sees the frame: the ring must not advance
+    // for a frame the server will never receive, or lockstep breaks.
+    ++stats_.shed_frames;
+    return;
+  }
   util::ByteWriter& w = send_buffer_;
   w.clear();
   const std::size_t cap_before = w.capacity();

@@ -55,6 +55,11 @@ struct RisStats {
   std::uint64_t reconnect_failures = 0;
   std::uint64_t reconnect_giveups = 0;
   std::uint64_t stale_epoch_drops = 0;
+  /// Captured kData frames dropped instead of queued because the tunnel's
+  /// egress was backpressured (watermarks enabled via
+  /// set_egress_watermarks). Shed before the compressor ring sees them, so
+  /// lockstep with the server's decompressor is preserved.
+  std::uint64_t shed_frames = 0;
 };
 
 /// Backoff policy for the reconnect state machine. Delays grow
@@ -148,6 +153,12 @@ class RouterInterface {
   [[nodiscard]] std::uint32_t session_epoch() const { return epoch_; }
 
   void set_compression_enabled(bool enabled) { compression_enabled_ = enabled; }
+  /// Tunnel egress watermarks, applied to the current transport and every
+  /// future (reconnect) one. While the queue sits above `high`, captured
+  /// data frames are shed (stats().shed_frames) instead of buffered without
+  /// bound; control traffic (JOIN, keepalive, console, leave) always goes
+  /// through. `high` == 0 (the default) disables shedding.
+  void set_egress_watermarks(std::size_t high, std::size_t low);
   [[nodiscard]] const RisStats& stats() const { return stats_; }
   [[nodiscard]] const wire::CompressionStats& compression_stats() const {
     return compressor_.stats();
@@ -209,6 +220,8 @@ class RouterInterface {
   /// per send, capacity kept), so steady-state uplink is allocation-free.
   util::ByteWriter send_buffer_;
   bool compression_enabled_ = false;
+  std::size_t egress_high_ = 0;
+  std::size_t egress_low_ = 0;
   bool joined_ = false;
   util::Duration keepalive_interval_{util::Duration::seconds(10)};
   // Owns the heartbeat loop; scheduled copies hold weak references.

@@ -62,6 +62,12 @@ RouteServer::RouteServer(simnet::Scheduler& scheduler,
   expose("routeserver.spoofed_port_drops", &stats_.spoofed_port_drops);
   expose("routeserver.matrix_entries_restored",
          &stats_.matrix_entries_restored);
+  expose("routeserver.shed_frames_data", &stats_.shed_data_frames);
+  expose("routeserver.shed_frames_control_deferred",
+         &stats_.control_frames_deferred);
+  expose("routeserver.shed_entries", &stats_.shed_entries);
+  expose("routeserver.hard_cap_evictions", &stats_.hard_cap_evictions);
+  expose("routeserver.stalled_evictions", &stats_.stalled_evictions);
   expose("routeserver.fast_path_frames", &stats_.dataplane.fast_path_frames);
   expose("routeserver.slow_path_frames", &stats_.dataplane.slow_path_frames);
   expose("routeserver.payload_allocs", &stats_.dataplane.payload_allocs);
@@ -82,6 +88,11 @@ RouteServer::RouteServer(simnet::Scheduler& scheduler,
   metrics_->probe_gauge("routeserver.active_captures", [this] {
     return static_cast<std::int64_t>(active_captures_);
   });
+  metrics_->probe_gauge("routeserver.sites_shedding", [this] {
+    return static_cast<std::int64_t>(sites_shedding());
+  });
+  metrics_->probe_gauge("routeserver.overloaded",
+                        [this] { return overloaded() ? 1 : 0; });
 }
 
 RouteServer::~RouteServer() {
@@ -108,7 +119,88 @@ void RouteServer::accept(std::unique_ptr<transport::Transport> transport) {
       [this, raw](util::BytesView chunk) { on_site_data(raw, chunk); });
   site->transport->set_close_handler(
       [this, raw] { remove_site(raw, /*orderly=*/false); });
+  site->transport->set_egress_watermarks(egress_high_, egress_low_);
+  site->transport->set_drain_handler([this, raw] { on_site_drained(raw); });
   sites_.push_back(std::move(site));
+}
+
+void RouteServer::set_egress_watermarks(std::size_t high, std::size_t low) {
+  egress_high_ = high;
+  egress_low_ = low > high ? high : low;
+  for (auto& site : sites_) {
+    if (site->dead) continue;
+    site->transport->set_egress_watermarks(egress_high_, egress_low_);
+    if (egress_high_ == 0) site->shedding = false;
+  }
+}
+
+std::size_t RouteServer::sites_shedding() const {
+  std::size_t n = 0;
+  for (const auto& site : sites_) {
+    if (!site->dead && site->joined && site->shedding) ++n;
+  }
+  return n;
+}
+
+RouteServer::EgressVerdict RouteServer::egress_verdict(Site* site) {
+  if (site->dead || egress_high_ == 0) return EgressVerdict::kOk;
+  const std::size_t queued = egress_queued(site);
+  if (egress_hard_cap_ != 0 && queued > egress_hard_cap_) {
+    return EgressVerdict::kEvictHardCap;
+  }
+  if (!site->shedding) {
+    if (queued >= egress_high_) {
+      site->shedding = true;
+      site->shed_since = scheduler_.now();
+      ++stats_.shed_entries;
+      RNL_LOG(kWarn, kLog) << "site '" << site->name << "' egress queue at "
+                           << queued << " bytes; shedding data toward it";
+    }
+    return site->shedding ? EgressVerdict::kShedding : EgressVerdict::kOk;
+  }
+  if (stall_deadline_.nanos > 0 &&
+      scheduler_.now() - site->shed_since > stall_deadline_) {
+    return EgressVerdict::kEvictStalled;
+  }
+  return EgressVerdict::kShedding;
+}
+
+void RouteServer::evict_for_overload(Site* site, EgressVerdict verdict) {
+  if (site->dead) return;
+  if (verdict == EgressVerdict::kEvictHardCap) {
+    ++stats_.hard_cap_evictions;
+  } else {
+    ++stats_.stalled_evictions;
+  }
+  RNL_LOG(kWarn, kLog) << "site '" << site->name << "' evicted for overload ("
+                       << (verdict == EgressVerdict::kEvictHardCap
+                               ? "egress hard cap"
+                               : "stall deadline")
+                       << ", " << egress_queued(site) << " bytes queued)";
+  flight_.record({0, 0, 0, scheduler_.now(), 0,
+                  util::FlightRecorder::EventKind::kEvicted});
+  // Deferred control dies with the session: the peer rejoins with a clean
+  // epoch and fresh state, so replaying stale acks would only confuse it.
+  site->pending_control.clear();
+  site->pending_control_bytes = 0;
+  site->transport->close();  // close handler runs the un-orderly remove_site
+}
+
+void RouteServer::on_site_drained(Site* site) {
+  if (site->dead) return;
+  // Priority flush: everything control that was deferred ships before any
+  // new data frame can be queued toward this site.
+  while (!site->pending_control.empty() && site->transport->writable()) {
+    util::Bytes frame = std::move(site->pending_control.front());
+    site->pending_control.pop_front();
+    site->pending_control_bytes -= frame.size();
+    site->transport->send(frame);
+  }
+  if (site->shedding && egress_queued(site) <= egress_low_) {
+    site->shedding = false;
+    RNL_LOG(kInfo, kLog) << "site '" << site->name
+                         << "' egress drained; back to normal forwarding";
+  }
 }
 
 void RouteServer::set_liveness_timeout(util::Duration timeout) {
@@ -120,13 +212,35 @@ void RouteServer::set_liveness_timeout(util::Duration timeout) {
   *liveness_loop_ = [this, weak] {
     auto self = weak.lock();
     if (!self) return;
+    // Collect first, act after: close() fires the close handler (which runs
+    // remove_site) synchronously, and a handler further down the chain may
+    // reenter the server while this loop is mid-iteration over sites_.
+    // Site objects themselves stay alive until purge_dead_sites(), so the
+    // collected pointers remain valid.
+    std::vector<Site*> timed_out;
+    std::vector<std::pair<Site*, EgressVerdict>> overloaded_sites;
     for (auto& site : sites_) {
       if (site->dead || !site->joined) continue;
       if (scheduler_.now() - site->last_heard > liveness_timeout_) {
         RNL_LOG(kWarn, kLog) << "site '" << site->name
                              << "' silent beyond the liveness timeout";
-        site->transport->close();  // close handler marks it dead
+        timed_out.push_back(site.get());
+        continue;
       }
+      // The stall deadline rides the same sweep: a site that went quiet on
+      // the *egress* side (still sending keepalives, so never timed out
+      // above) is evicted here even if no new frame probes its verdict.
+      EgressVerdict verdict = egress_verdict(site.get());
+      if (verdict == EgressVerdict::kEvictHardCap ||
+          verdict == EgressVerdict::kEvictStalled) {
+        overloaded_sites.emplace_back(site.get(), verdict);
+      }
+    }
+    for (Site* site : timed_out) {
+      if (!site->dead) site->transport->close();  // marks it dead
+    }
+    for (auto& [site, verdict] : overloaded_sites) {
+      evict_for_overload(site, verdict);
     }
     scheduler_.schedule_after(liveness_timeout_ / 4, *self);
   };
@@ -198,11 +312,30 @@ void RouteServer::handle_message(
 
 void RouteServer::send_control(Site* site, wire::MessageType type,
                                wire::RouterId router, util::BytesView payload) {
+  if (site->dead || !site->transport->is_open()) return;
   site->send_buffer.clear();
   wire::encode_message_into(site->send_buffer, type, router, /*port_id=*/0,
                             payload, /*compressed=*/false,
                             static_cast<std::uint8_t>(site->epoch));
-  site->transport->send(site->send_buffer.view());
+  util::BytesView encoded = site->send_buffer.view();
+  // Control is never shed. While the site's egress is backpressured (or
+  // older control is already waiting — FIFO within the class), it defers
+  // into pending_control for the priority flush on drain. Deferred bytes
+  // count toward the hard cap, so even console spam at a wedged site is
+  // bounded: the site gets evicted, not the server's memory.
+  const bool defer = site->shedding || !site->transport->writable() ||
+                     !site->pending_control.empty();
+  if (defer) {
+    ++stats_.control_frames_deferred;
+    site->pending_control.emplace_back(encoded.begin(), encoded.end());
+    site->pending_control_bytes += encoded.size();
+    EgressVerdict verdict = egress_verdict(site);
+    if (verdict == EgressVerdict::kEvictHardCap) {
+      evict_for_overload(site, verdict);
+    }
+    return;
+  }
+  site->transport->send(encoded);
 }
 
 void RouteServer::handle_join(Site* site,
@@ -298,6 +431,11 @@ void RouteServer::handle_join(Site* site,
   }
   site->joined = true;
   ++stats_.sites_joined;
+  // Per-site egress depth, visible in metrics.dump / the web UI while the
+  // session lives. remove_site() drops the probe before the Site is freed.
+  metrics_->probe_gauge(
+      "routeserver.site." + site->name + ".egress_queued_bytes",
+      [this, site] { return static_cast<std::int64_t>(egress_queued(site)); });
 
   std::string ack_json = ack.to_json().dump();
   send_control(site, wire::MessageType::kJoinAck, 0,
@@ -447,6 +585,24 @@ void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame,
   Site* site = record->site;
   if (site->dead || !site->transport->is_open()) return;
 
+  // Overload gate, before the frame touches capture or the compressor: a
+  // shed frame is never seen by the destination, so it must neither appear
+  // in a capture of the destination port nor advance the compressor ring
+  // (the peer's decompressor will never see it — lockstep would break).
+  EgressVerdict verdict = egress_verdict(site);
+  if (verdict == EgressVerdict::kEvictHardCap ||
+      verdict == EgressVerdict::kEvictStalled) {
+    evict_for_overload(site, verdict);
+    return;
+  }
+  if (verdict == EgressVerdict::kShedding) {
+    ++stats_.shed_data_frames;
+    flight_.record({0, port, static_cast<std::uint32_t>(frame.size()),
+                    scheduler_.now(), 0,
+                    util::FlightRecorder::EventKind::kShed});
+    return;
+  }
+
   if (active_captures_ != 0) {
     note_capture(port, /*to_port=*/true, frame);
     slow = true;
@@ -500,6 +656,13 @@ void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame,
 void RouteServer::remove_site(Site* site, bool orderly) {
   if (site->dead) return;
   site->dead = true;
+  if (site->joined && !site->name.empty()) {
+    // The per-site probe reads this Site object; drop it before the site
+    // can be freed. (A rejoin re-registers under the same name.)
+    metrics_->remove_prefix("routeserver.site." + site->name + ".");
+  }
+  site->pending_control.clear();
+  site->pending_control_bytes = 0;
 
   // Remove the site's routers from inventory ("those specialized equipment
   // defined by users could come and go at any time", §2.3). Both exit paths

@@ -120,6 +120,20 @@ struct RouteServerStats {
   /// Matrix entries (wire ends) still live when their port came back online
   /// through a rejoin — the survived part of the routing matrix.
   std::uint64_t matrix_entries_restored = 0;
+  /// kData frames dropped because the destination site was in the shedding
+  /// regime (egress queue above the high watermark). The data class is the
+  /// only one ever shed; control traffic defers instead.
+  std::uint64_t shed_data_frames = 0;
+  /// Control frames (kJoinAck/kError/kConsoleData) queued for a
+  /// priority-ordered flush because the destination's egress was
+  /// backpressured — deferred, never dropped.
+  std::uint64_t control_frames_deferred = 0;
+  /// Times any site entered the shedding regime.
+  std::uint64_t shed_entries = 0;
+  /// Sites evicted for exceeding the egress hard byte cap.
+  std::uint64_t hard_cap_evictions = 0;
+  /// Sites evicted for staying backpressured past the stall deadline.
+  std::uint64_t stalled_evictions = 0;
   DataPlaneStats dataplane;
 };
 
@@ -149,6 +163,36 @@ class RouteServer {
   /// Sites silent longer than `timeout` are presumed dead and dropped
   /// (checked once per `timeout`/4 of simulated time). Zero disables.
   void set_liveness_timeout(util::Duration timeout);
+
+  // -- Overload protection --
+  // Per-site egress budget (§4: the route server is the shared bottleneck;
+  // one stalled RIS must not exhaust it). Three regimes per site: normal;
+  // *shedding* once transport-queued + deferred-control bytes reach `high`
+  // (kData toward the site is dropped, control defers, until the queue
+  // drains to `low`); *stalled* — over the hard cap, or shedding past the
+  // stall deadline — evicted through remove_site(), so it rejoins with a
+  // clean epoch instead of wedging the server. `high` == 0 disables.
+
+  /// Default thresholds: generous enough that only a genuinely wedged
+  /// consumer ever trips them (a full jumbo frame is ~9 KB).
+  static constexpr std::size_t kDefaultEgressHigh = 256 * 1024;
+  static constexpr std::size_t kDefaultEgressLow = 64 * 1024;
+  static constexpr std::size_t kDefaultEgressHardCap = 4 * 1024 * 1024;
+
+  /// Applies to every current and future site transport. `low` is clamped
+  /// to `high`; `high` == 0 disables shedding (and stall eviction).
+  void set_egress_watermarks(std::size_t high, std::size_t low);
+  /// Queued bytes beyond which a site is evicted immediately. 0 disables.
+  void set_egress_hard_cap(std::size_t cap) { egress_hard_cap_ = cap; }
+  /// How long a site may stay in the shedding regime without draining back
+  /// to the low watermark before it is evicted. Zero disables.
+  void set_stall_deadline(util::Duration deadline) {
+    stall_deadline_ = deadline;
+  }
+  /// True while any joined site is in the shedding regime — the admission
+  /// probe LabService::deploy consults before programming new wires.
+  [[nodiscard]] bool overloaded() const { return sites_shedding() != 0; }
+  [[nodiscard]] std::size_t sites_shedding() const;
   void set_console_output_handler(ConsoleOutputHandler handler) {
     console_output_ = std::move(handler);
   }
@@ -226,6 +270,17 @@ class RouteServer {
     std::uint32_t epoch = 0;
     /// Liveness: last time any message (incl. kKeepalive) arrived.
     util::SimTime last_heard{};
+    /// Egress regime: true while this site's egress queue has crossed the
+    /// high watermark and not yet drained back to the low one. kData toward
+    /// the site is shed; control defers into pending_control.
+    bool shedding = false;
+    /// When the current shedding episode began (stall deadline base).
+    util::SimTime shed_since{};
+    /// Control frames deferred while backpressured, flushed — before any
+    /// new data — when the transport drains. Never shed; their bytes count
+    /// toward the hard cap so even control spam to a wedged site is bounded.
+    std::deque<util::Bytes> pending_control;
+    std::size_t pending_control_bytes = 0;
   };
 
   /// Per-site-name state that outlives any one connection. An un-orderly
@@ -276,9 +331,27 @@ class RouteServer {
   /// upstream (decompressed, or re-materialized by an impaired wire).
   void deliver_to_port(wire::PortId port, util::BytesView frame,
                        bool slow = false);
-  /// Serializes a control message into the site's send buffer and ships it.
+  /// Serializes a control message into the site's send buffer and ships it
+  /// — or, while the site's egress is backpressured, defers it for the
+  /// priority flush (control is never shed).
   void send_control(Site* site, wire::MessageType type, wire::RouterId router,
                     util::BytesView payload);
+  /// Where a site stands against its egress budget right now.
+  enum class EgressVerdict { kOk, kShedding, kEvictHardCap, kEvictStalled };
+  /// Re-evaluates the site's regime (entering shedding as a side effect)
+  /// and reports whether it must be evicted. Does not evict by itself so
+  /// sweep callers can defer the close out of their iteration.
+  EgressVerdict egress_verdict(Site* site);
+  /// Books the eviction (stats, flight event, log) and closes the site's
+  /// transport — the close handler runs the un-orderly remove_site(), so
+  /// the site rejoins through the epoch machinery.
+  void evict_for_overload(Site* site, EgressVerdict verdict);
+  /// Transport drain callback: flush deferred control first (priority
+  /// order), then leave the shedding regime if the queue is at/below low.
+  void on_site_drained(Site* site);
+  [[nodiscard]] std::size_t egress_queued(const Site* site) const {
+    return site->transport->queued_bytes() + site->pending_control_bytes;
+  }
   void note_capture(wire::PortId port, bool to_port, util::BytesView frame);
   /// Grows the dense port-indexed tables to cover ids < `limit`.
   void ensure_port_tables(wire::PortId limit);
@@ -307,6 +380,10 @@ class RouteServer {
   ConsoleOutputHandler console_output_;
   InventoryChangedHandler inventory_changed_;
   bool compression_enabled_ = false;
+  std::size_t egress_high_ = kDefaultEgressHigh;
+  std::size_t egress_low_ = kDefaultEgressLow;
+  std::size_t egress_hard_cap_ = kDefaultEgressHardCap;
+  util::Duration stall_deadline_{util::Duration::seconds(30)};
   util::Duration liveness_timeout_{};
   // Owns the liveness sweep loop; scheduled copies hold weak references.
   std::shared_ptr<std::function<void()>> liveness_loop_;

@@ -22,6 +22,22 @@ struct SharedState {
   /// Set by SimLinkFault::cut(): the path itself died, so even in-flight
   /// chunks are lost — unlike an orderly close.
   bool severed = false;
+  /// Set by SimLinkFault::stall(): chunks toward that end park on arrival
+  /// instead of delivering (zero-window peer), until resume().
+  bool stalled_to_a = false;
+  bool stalled_to_b = false;
+  std::deque<util::Bytes> parked_to_a;
+  std::deque<util::Bytes> parked_to_b;
+  /// Per-direction egress accounting: bytes accepted by send() that have
+  /// neither been delivered nor dropped yet (in flight + parked).
+  std::size_t queued_ab = 0;
+  std::size_t queued_ba = 0;
+  /// Chunks counted into the chunks_in_flight gauge but not yet counted
+  /// out. Reconciled in the destructor so the gauge returns to zero even
+  /// when both ends are torn down with deliveries still scheduled (the
+  /// scheduled lambdas hold only weak references and would never run their
+  /// decrement).
+  std::int64_t inflight_chunks = 0;
   // Per-direction FIFO floors (a->b, b->a) preserving stream order.
   util::SimTime floor_ab{};
   util::SimTime floor_ba{};
@@ -30,6 +46,22 @@ struct SharedState {
   util::Counter* bytes_sent = nullptr;
   util::Counter* bytes_delivered = nullptr;
   util::Gauge* chunks_in_flight = nullptr;
+
+  ~SharedState() {
+    if (chunks_in_flight != nullptr) chunks_in_flight->add(-inflight_chunks);
+  }
+
+  /// Books a chunk out of the egress accounting (delivered or dropped).
+  void account_chunk_gone(bool to_b, std::size_t size) {
+    (to_b ? queued_ab : queued_ba) -= size;
+    --inflight_chunks;
+    if (chunks_in_flight != nullptr) chunks_in_flight->add(-1);
+  }
+
+  // Defined after SimStreamEnd (they touch end members).
+  void deliver_chunk(bool to_b, const util::Bytes& chunk);
+  void flush_parked(bool to_b);
+  void drop_parked();
 };
 
 class SimStreamEnd final : public Transport {
@@ -69,27 +101,37 @@ class SimStreamEnd final : public Transport {
     if (arrival < floor) arrival = floor;
     floor = arrival;
 
+    (is_a_ ? state_->queued_ab : state_->queued_ba) += bytes.size();
+    ++state_->inflight_chunks;
     if (state_->bytes_sent != nullptr) {
       state_->bytes_sent->inc(bytes.size());
+    }
+    if (state_->chunks_in_flight != nullptr) {
       state_->chunks_in_flight->add(1);
+    }
+    if (egress_high_ != 0 && !backpressured_ &&
+        queued_bytes() >= egress_high_) {
+      backpressured_ = true;
     }
     util::Bytes copy(bytes.begin(), bytes.end());
     std::weak_ptr<SharedState> weak = state_;
     bool to_b = is_a_;
     sched.schedule_at(arrival, [weak, to_b, copy = std::move(copy)] {
       auto state = weak.lock();
-      if (!state) return;
-      if (state->chunks_in_flight != nullptr) state->chunks_in_flight->add(-1);
+      if (!state) return;  // ~SharedState reconciled the gauge already
       // A closed stream still delivers what was sent before the close (FIN
       // semantics); only a severed link loses in-flight chunks.
-      if (state->severed) return;
-      SimStreamEnd* dest = to_b ? state->end_b : state->end_a;
-      if (dest != nullptr) {
-        if (state->bytes_delivered != nullptr) {
-          state->bytes_delivered->inc(copy.size());
-        }
-        dest->deliver(copy);
+      if (state->severed) {
+        state->account_chunk_gone(to_b, copy.size());
+        return;
       }
+      if (to_b ? state->stalled_to_b : state->stalled_to_a) {
+        // Zero-window peer: the chunk parks, still counted as queued and
+        // in flight, until SimLinkFault::resume().
+        (to_b ? state->parked_to_b : state->parked_to_a).push_back(copy);
+        return;
+      }
+      state->deliver_chunk(to_b, copy);
     });
   }
 
@@ -130,7 +172,37 @@ class SimStreamEnd final : public Transport {
     close_handler_ = std::move(handler);
   }
 
- private:
+  [[nodiscard]] std::size_t queued_bytes() const override {
+    return is_a_ ? state_->queued_ab : state_->queued_ba;
+  }
+
+  void set_egress_watermarks(std::size_t high, std::size_t low) override {
+    egress_high_ = high;
+    egress_low_ = low > high ? high : low;
+    if (egress_high_ == 0) {
+      backpressured_ = false;
+    } else if (queued_bytes() >= egress_high_) {
+      backpressured_ = true;
+    }
+  }
+
+  [[nodiscard]] bool writable() const override { return !backpressured_; }
+
+  void set_drain_handler(DrainHandler handler) override {
+    drain_handler_ = std::move(handler);
+  }
+
+  /// Called by SharedState whenever this end's egress queue shrank.
+  void on_egress_drained() {
+    if (!backpressured_ || state_->severed) return;
+    if (queued_bytes() <= egress_low_) {
+      backpressured_ = false;
+      if (drain_handler_) drain_handler_();
+    }
+  }
+
+  /// Hands arrived bytes to the receive handler (or buffers them until one
+  /// is installed). Called by SharedState's delivery path.
   void deliver(const util::Bytes& bytes) {
     if (receive_handler_) {
       receive_handler_(bytes);
@@ -139,6 +211,7 @@ class SimStreamEnd final : public Transport {
     }
   }
 
+ private:
   void flush_pending() {
     if (!receive_handler_ || pending_.empty()) return;
     util::Bytes chunk(pending_.begin(), pending_.end());
@@ -150,8 +223,48 @@ class SimStreamEnd final : public Transport {
   bool is_a_;
   ReceiveHandler receive_handler_;
   CloseHandler close_handler_;
+  DrainHandler drain_handler_;
   std::deque<std::uint8_t> pending_;
+  std::size_t egress_high_ = 0;
+  std::size_t egress_low_ = 0;
+  bool backpressured_ = false;
 };
+
+void SharedState::deliver_chunk(bool to_b, const util::Bytes& chunk) {
+  account_chunk_gone(to_b, chunk.size());
+  SimStreamEnd* dest = to_b ? end_b : end_a;
+  if (dest != nullptr) {
+    if (bytes_delivered != nullptr) bytes_delivered->inc(chunk.size());
+    dest->deliver(chunk);  // may reenter send() / destroy ends
+  }
+  SimStreamEnd* origin = to_b ? end_a : end_b;  // re-read after delivery
+  if (origin != nullptr) origin->on_egress_drained();
+}
+
+void SharedState::flush_parked(bool to_b) {
+  auto& parked = to_b ? parked_to_b : parked_to_a;
+  while (!parked.empty()) {
+    if (to_b ? stalled_to_b : stalled_to_a) return;  // re-stalled mid-flush
+    util::Bytes chunk = std::move(parked.front());
+    parked.pop_front();
+    if (severed) {
+      account_chunk_gone(to_b, chunk.size());
+      continue;
+    }
+    deliver_chunk(to_b, chunk);
+  }
+}
+
+void SharedState::drop_parked() {
+  while (!parked_to_a.empty()) {
+    account_chunk_gone(/*to_b=*/false, parked_to_a.front().size());
+    parked_to_a.pop_front();
+  }
+  while (!parked_to_b.empty()) {
+    account_chunk_gone(/*to_b=*/true, parked_to_b.front().size());
+    parked_to_b.pop_front();
+  }
+}
 
 }  // namespace
 
@@ -179,6 +292,7 @@ make_sim_stream_pair(simnet::Scheduler& scheduler,
       if (!st || !st->open) return;
       st->open = false;
       st->severed = true;  // in-flight chunks die with the path
+      st->drop_parked();
       // Both ends observe the failure, like two kernels surfacing a reset.
       // Handlers may reenter (e.g. a RIS scheduling its reconnect), so grab
       // the end pointers up front.
@@ -186,6 +300,20 @@ make_sim_stream_pair(simnet::Scheduler& scheduler,
       SimStreamEnd* end_b = st->end_b;
       if (end_a != nullptr) end_a->fire_close();
       if (end_b != nullptr) end_b->fire_close();
+    };
+    options.fault->stall_fn_ = [weak](bool toward_a, bool toward_b) {
+      auto st = weak.lock();
+      if (!st) return;
+      if (toward_a) st->stalled_to_a = true;
+      if (toward_b) st->stalled_to_b = true;
+    };
+    options.fault->resume_fn_ = [weak] {
+      auto st = weak.lock();
+      if (!st) return;
+      st->stalled_to_a = false;
+      st->stalled_to_b = false;
+      st->flush_parked(/*to_b=*/false);
+      st->flush_parked(/*to_b=*/true);
     };
     options.fault->connected_fn_ = [weak] {
       auto st = weak.lock();

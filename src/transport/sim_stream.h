@@ -41,6 +41,11 @@ struct SimStreamOptions {
 /// models the path failing underneath both endpoints: the stream stops
 /// carrying bytes and BOTH close handlers fire, exactly as both kernels
 /// would surface a reset. In-flight chunks are dropped.
+///
+/// stall()/resume() model the softer failure: a peer that stays connected
+/// but stops draining (zero receive window). Chunks toward a stalled end
+/// park instead of delivering, so the sender's queued_bytes() grows exactly
+/// as a kernel send buffer would against a wedged receiver.
 class SimLinkFault {
  public:
   /// Severs the link. No-op if the pair is already closed or gone.
@@ -49,6 +54,18 @@ class SimLinkFault {
       ++cuts_;
       cut_fn_();
     }
+  }
+
+  /// Parks deliveries toward the selected end(s) without closing the link.
+  /// The sender keeps sending; bytes accumulate in its egress accounting
+  /// until resume(). Stalls are sticky — a second call adds directions.
+  void stall(bool toward_a, bool toward_b) {
+    if (stall_fn_) stall_fn_(toward_a, toward_b);
+  }
+
+  /// Clears all stalls and delivers every parked chunk in stream order.
+  void resume() {
+    if (resume_fn_) resume_fn_();
   }
 
   /// True while the pair exists and has not been closed or cut.
@@ -64,6 +81,8 @@ class SimLinkFault {
   make_sim_stream_pair(simnet::Scheduler&, const SimStreamOptions&);
 
   std::function<void()> cut_fn_;
+  std::function<void(bool, bool)> stall_fn_;
+  std::function<void()> resume_fn_;
   std::function<bool()> connected_fn_;
   std::uint64_t cuts_ = 0;
 };

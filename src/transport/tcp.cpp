@@ -133,7 +133,21 @@ void TcpTransport::send(util::BytesView bytes) {
     bytes = bytes.subspan(static_cast<std::size_t>(n));
   }
   write_buffer_.insert(write_buffer_.end(), bytes.begin(), bytes.end());
+  if (egress_high_ != 0 && !backpressured_ &&
+      write_buffer_.size() >= egress_high_) {
+    backpressured_ = true;
+  }
   if (*loop_alive_) loop_.update_write_interest(fd_, true);
+}
+
+void TcpTransport::set_egress_watermarks(std::size_t high, std::size_t low) {
+  egress_high_ = high;
+  egress_low_ = low > high ? high : low;
+  if (egress_high_ == 0) {
+    backpressured_ = false;
+  } else if (write_buffer_.size() >= egress_high_) {
+    backpressured_ = true;
+  }
 }
 
 void TcpTransport::on_writable() {
@@ -150,6 +164,10 @@ void TcpTransport::on_writable() {
   write_buffer_.erase(write_buffer_.begin(), write_buffer_.begin() + n);
   if (write_buffer_.empty() && *loop_alive_) {
     loop_.update_write_interest(fd_, false);
+  }
+  if (backpressured_ && write_buffer_.size() <= egress_low_) {
+    backpressured_ = false;
+    if (drain_handler_) drain_handler_();
   }
 }
 

@@ -77,6 +77,17 @@ class TcpTransport final : public Transport {
   void set_receive_handler(ReceiveHandler handler) override;
   void set_close_handler(CloseHandler handler) override;
 
+  /// Bytes the kernel would not take yet, buffered in userspace until
+  /// POLLOUT drains them.
+  [[nodiscard]] std::size_t queued_bytes() const override {
+    return write_buffer_.size();
+  }
+  void set_egress_watermarks(std::size_t high, std::size_t low) override;
+  [[nodiscard]] bool writable() const override { return !backpressured_; }
+  void set_drain_handler(DrainHandler handler) override {
+    drain_handler_ = std::move(handler);
+  }
+
  private:
   void on_readable();
   void on_writable();
@@ -86,8 +97,12 @@ class TcpTransport final : public Transport {
   int fd_;
   ReceiveHandler receive_handler_;
   CloseHandler close_handler_;
+  DrainHandler drain_handler_;
   util::Bytes write_buffer_;
   util::Bytes read_spill_;  // bytes received before a handler was installed
+  std::size_t egress_high_ = 0;
+  std::size_t egress_low_ = 0;
+  bool backpressured_ = false;
 };
 
 /// Listening socket on 127.0.0.1. Accepted connections are handed to the

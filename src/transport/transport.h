@@ -22,6 +22,7 @@ class Transport {
  public:
   using ReceiveHandler = std::function<void(util::BytesView)>;
   using CloseHandler = std::function<void()>;
+  using DrainHandler = std::function<void()>;
 
   virtual ~Transport() = default;
 
@@ -40,6 +41,30 @@ class Transport {
   /// on installation.
   virtual void set_receive_handler(ReceiveHandler handler) = 0;
   virtual void set_close_handler(CloseHandler handler) = 0;
+
+  // -- Egress accounting & backpressure --
+  //
+  // send() never blocks and never fails, so a peer that stops draining
+  // would let the transport buffer without bound. These hooks let callers
+  // (route server, RIS) see the egress queue and shed load instead:
+  // `queued_bytes()` is what has been accepted by send() but not yet handed
+  // to the peer (SimStream) or the kernel (TcpTransport); `writable()`
+  // turns false when the queue crosses the high watermark and true again
+  // only once it drains to the low watermark (hysteresis), at which point
+  // the drain handler fires once. A high watermark of 0 disables
+  // backpressure entirely (the default: `writable()` is then always true).
+
+  /// Bytes accepted by send() but not yet delivered/handed to the kernel.
+  [[nodiscard]] virtual std::size_t queued_bytes() const { return 0; }
+  /// Sets the egress watermarks in bytes. `high` == 0 disables
+  /// backpressure; `low` is clamped to `high`.
+  virtual void set_egress_watermarks(std::size_t /*high*/,
+                                     std::size_t /*low*/) {}
+  /// False while backpressured (queue crossed high, not yet back to low).
+  [[nodiscard]] virtual bool writable() const { return true; }
+  /// Invoked once each time the egress queue drains from above the high
+  /// watermark back down to the low watermark.
+  virtual void set_drain_handler(DrainHandler /*handler*/) {}
 };
 
 }  // namespace rnl::transport

@@ -112,6 +112,10 @@ std::string_view to_string(FlightRecorder::EventKind kind) {
       return "unrouted";
     case FlightRecorder::EventKind::kInjected:
       return "injected";
+    case FlightRecorder::EventKind::kShed:
+      return "shed";
+    case FlightRecorder::EventKind::kEvicted:
+      return "evicted";
   }
   return "?";
 }

@@ -113,6 +113,8 @@ class FlightRecorder {
     kRouted = 0,    // matrix hit: forwarded toward dst_port
     kUnrouted = 1,  // no matrix entry: dropped (dst_port = 0)
     kInjected = 2,  // API-injected straight into dst_port (src_port = 0)
+    kShed = 3,      // dropped by overload protection: dst site was shedding
+    kEvicted = 4,   // dst site evicted (hard cap / stall deadline); size = 0
   };
 
   struct Event {

@@ -2,6 +2,7 @@
 
 #include "core/autotest.h"
 #include "core/testbed.h"
+#include "wire/tunnel.h"
 
 namespace rnl::core {
 namespace {
@@ -108,6 +109,73 @@ TEST_F(ServiceFlow, ExpiredReservationTearsDownAutomatically) {
   // The minute sweeper reclaims the lab after the reservation lapses.
   bed.run_for(Duration::minutes(5));
   EXPECT_EQ(bed.server().wire_count(), 0u);
+}
+
+TEST_F(ServiceFlow, DeployRefusedWhileRouteServerIsOverloaded) {
+  // Admission control: while any site's egress is shedding, new deployments
+  // would only pour more traffic into a server already parking memory for a
+  // wedged consumer — deploy refuses until the data plane drains.
+  LabService& service = bed.service();
+  DesignId id = service.create_design("alice", "admit");
+  ASSERT_TRUE(service.design(id)->add_router(bed.router_id("hq/h1")).ok());
+  ASSERT_TRUE(service.design(id)->add_router(bed.router_id("hq/h2")).ok());
+  ASSERT_TRUE(service.design(id)
+                  ->connect(bed.port_id("hq/h1", "eth0"),
+                            bed.port_id("hq/h2", "eth0"))
+                  .ok());
+  ASSERT_TRUE(service
+                  .reserve(id, bed.net().now(),
+                           bed.net().now() + Duration::hours(1))
+                  .ok());
+
+  // A straggler site joins over a zero-window tunnel and wedges.
+  routeserver::RouteServer& server = bed.server();
+  server.set_egress_watermarks(8 * 1024, 2 * 1024);
+  server.set_stall_deadline(Duration::minutes(10));
+  transport::SimLinkFault fault;
+  transport::SimStreamOptions options;
+  options.fault = &fault;
+  auto [client, server_end] =
+      transport::make_sim_stream_pair(bed.net().scheduler(), options);
+  server.accept(std::move(server_end));
+  wire::JoinRequest hello;
+  hello.site_name = "straggler";
+  wire::RouterDeclaration decl;
+  decl.name = "r1";
+  decl.ports.emplace_back();
+  decl.ports.back().name = "p0";
+  hello.routers.push_back(decl);
+  wire::TunnelMessage join_msg;
+  join_msg.type = wire::MessageType::kJoin;
+  const std::string join_payload = hello.to_json().dump();
+  join_msg.payload.assign(join_payload.begin(), join_payload.end());
+  client->send(wire::encode_message(join_msg));
+  bed.run_for(Duration::milliseconds(100));
+  wire::PortId straggler_port = 0;
+  for (const auto& router : server.inventory()) {
+    if (router.site == "straggler") straggler_port = router.ports.at(0).id;
+  }
+  ASSERT_NE(straggler_port, 0u);
+
+  fault.stall(/*toward_a=*/true, /*toward_b=*/false);
+  const util::Bytes junk(1400, 0xAA);
+  for (int i = 0; i < 20 && !server.overloaded(); ++i) {
+    ASSERT_TRUE(server.inject_frame(straggler_port, junk).ok());
+  }
+  ASSERT_TRUE(server.overloaded());
+
+  auto refused = service.deploy(id);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.error().find("overloaded"), std::string::npos);
+  EXPECT_EQ(server.wire_count(), 0u);  // nothing was programmed
+
+  // The wedged consumer drains: the same reservation deploys cleanly.
+  fault.resume();
+  bed.run_for(Duration::milliseconds(100));
+  ASSERT_FALSE(server.overloaded());
+  auto deployment = service.deploy(id);
+  ASSERT_TRUE(deployment.ok()) << deployment.error();
+  EXPECT_EQ(server.wire_count(), 1u);
 }
 
 TEST_F(ServiceFlow, DesignSaveLoadExportImport) {

@@ -404,6 +404,20 @@ TEST_F(MetricsEndToEnd, StatsApiExposesFullDataPlaneLedger) {
             static_cast<std::int64_t>(stats.decode_errors));
   EXPECT_EQ(result["sites_joined"].as_int(),
             static_cast<std::int64_t>(stats.sites_joined));
+  // The overload ledger rides in the same response (quiescent here: no
+  // site was ever backpressured in this scenario).
+  EXPECT_EQ(result["shed_data_frames"].as_int(),
+            static_cast<std::int64_t>(stats.shed_data_frames));
+  EXPECT_EQ(result["control_frames_deferred"].as_int(),
+            static_cast<std::int64_t>(stats.control_frames_deferred));
+  EXPECT_EQ(result["shed_entries"].as_int(),
+            static_cast<std::int64_t>(stats.shed_entries));
+  EXPECT_EQ(result["hard_cap_evictions"].as_int(),
+            static_cast<std::int64_t>(stats.hard_cap_evictions));
+  EXPECT_EQ(result["stalled_evictions"].as_int(),
+            static_cast<std::int64_t>(stats.stalled_evictions));
+  EXPECT_EQ(result["sites_shedding"].as_int(), 0);
+  EXPECT_FALSE(result["overloaded"].as_bool());
   ASSERT_TRUE(result["dataplane"].is_object());
   EXPECT_EQ(result["dataplane"]["payload_allocs"].as_int(),
             static_cast<std::int64_t>(stats.dataplane.payload_allocs));
@@ -432,6 +446,10 @@ TEST_F(MetricsEndToEnd, RegistryAgreesWithStatsAcrossCaptureToggles) {
               static_cast<std::int64_t>(stats.dataplane.payload_allocs));
     EXPECT_EQ(counters["routeserver.bytes_routed"].as_int(),
               static_cast<std::int64_t>(stats.bytes_routed));
+    EXPECT_EQ(counters["routeserver.shed_frames_data"].as_int(),
+              static_cast<std::int64_t>(stats.shed_data_frames));
+    EXPECT_EQ(counters["routeserver.shed_frames_control_deferred"].as_int(),
+              static_cast<std::int64_t>(stats.control_frames_deferred));
   };
   expect_equivalence();
 

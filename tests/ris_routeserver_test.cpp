@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <limits>
 
 #include "devices/host.h"
@@ -17,6 +19,24 @@ using packet::Ipv4Prefix;
 
 Ipv4Address ip(const char* s) { return *Ipv4Address::parse(s); }
 Ipv4Prefix prefix(const char* s) { return *Ipv4Prefix::parse(s); }
+
+/// p99 upper bound of only the samples recorded between two bucket
+/// snapshots of a log2 histogram — the per-phase view the overload tests
+/// use to compare forward latency with and without a stalled consumer.
+std::uint64_t phase_p99(
+    const std::array<std::uint64_t, util::Histogram::kBucketCount>& before,
+    const std::array<std::uint64_t, util::Histogram::kBucketCount>& after) {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < before.size(); ++b) total += after[b] - before[b];
+  if (total == 0) return 0;
+  const std::uint64_t rank = (total * 99 + 99) / 100;  // ceil(total * 0.99)
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < before.size(); ++b) {
+    seen += after[b] - before[b];
+    if (seen >= rank) return util::Histogram::bucket_ceil(b);
+  }
+  return util::Histogram::bucket_ceil(before.size() - 1);
+}
 
 /// Two geographically separate sites, one host each, joined to one route
 /// server — the minimal Fig 1 architecture.
@@ -41,6 +61,21 @@ class RnlStack : public ::testing::Test {
   void join(ris::RouterInterface& site, wire::NetemProfile wan = {}) {
     transport::SimStreamOptions options;
     options.wan = wan;
+    auto [ris_end, server_end] =
+        transport::make_sim_stream_pair(net.scheduler(), options);
+    server.accept(std::move(server_end));
+    site.join(std::move(ris_end));
+    net.run_for(util::Duration::milliseconds(500));
+  }
+
+  /// Joins through a fault-equipped tunnel. End a is the RIS side, so
+  /// `fault.stall(/*toward_a=*/true, false)` freezes the *server's* egress
+  /// toward this site (a zero-window consumer) while its own keepalives
+  /// still reach the server.
+  void join_with_fault(ris::RouterInterface& site,
+                       transport::SimLinkFault& fault) {
+    transport::SimStreamOptions options;
+    options.fault = &fault;
     auto [ris_end, server_end] =
         transport::make_sim_stream_pair(net.scheduler(), options);
     server.accept(std::move(server_end));
@@ -616,6 +651,371 @@ TEST_F(RnlStack, RejoinUnderLiveNameSupersedesTheZombieSession) {
   h1b.ping(ip("10.0.0.2"), 3);
   net.run_for(util::Duration::seconds(2));
   EXPECT_EQ(h1b.ping_replies().size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Overload protection: bounded egress, priority shedding, slow-consumer
+// eviction (ROADMAP: a stalled RIS must not exhaust the shared route server)
+// ---------------------------------------------------------------------------
+
+TEST_F(RnlStack, StalledConsumerIsShedBoundedEvictedAndRejoinsCleanly) {
+  // The acceptance scenario: site3 wedges (zero-window tunnel) while the
+  // healthy site1<->site2 pair keeps carrying traffic. The server must (a)
+  // bound the memory parked for site3 under the hard cap, (b) never shed
+  // control, (c) keep forward latency for the healthy pair unchanged, and
+  // (d) evict site3 at the stall deadline so it can rejoin cleanly.
+  devices::Host h3(net, "h3");
+  h3.configure(prefix("10.0.0.3/24"), ip("10.0.0.254"));
+  ris::RouterInterface site3(net, "ap-south");
+  std::size_t r3 = site3.add_router(&h3, "server h3", "host.png");
+  site3.map_port(r3, 0, "eth0");
+  site3.attach_console(r3);
+  site1.set_keepalive_interval(util::Duration::milliseconds(250));
+  site2.set_keepalive_interval(util::Duration::milliseconds(250));
+  site3.set_keepalive_interval(util::Duration::milliseconds(250));
+
+  constexpr std::size_t kHigh = 32 * 1024;
+  constexpr std::size_t kHardCap = 96 * 1024;
+  server.set_egress_watermarks(kHigh, 8 * 1024);
+  server.set_egress_hard_cap(kHardCap);
+  server.set_stall_deadline(util::Duration::seconds(2));
+
+  join(site1);
+  join(site2);
+  transport::SimLinkFault fault;
+  join_with_fault(site3, fault);
+  ASSERT_TRUE(site3.joined());
+  wire::PortId p3 = port_of("ap-south/h3");
+  ASSERT_TRUE(server
+                  .connect_ports(port_of("us-west/h1"), port_of("eu-central/h2"))
+                  .ok());
+  // Liveness on only after all three joins: its sweep doubles as the stall
+  // deadline check, and site3's keepalives must keep it off the silent list.
+  server.set_liveness_timeout(util::Duration::seconds(1));
+
+  // Baseline phase: forward p99 for the healthy pair, nobody stalled.
+  const util::Histogram& forward =
+      server.metrics().histogram("routeserver.forward_ns");
+  auto baseline_start = forward.buckets();
+  h1.ping(ip("10.0.0.2"), 10);
+  net.run_for(util::Duration::seconds(2));
+  ASSERT_EQ(h1.ping_replies().size(), 10u);
+  const std::uint64_t baseline_p99 = phase_p99(baseline_start,
+                                               forward.buckets());
+  ASSERT_GT(baseline_p99, 0u);
+
+  // Stall the server->site3 direction and flood data toward site3 while the
+  // healthy pair's pings run concurrently.
+  fault.stall(/*toward_a=*/true, /*toward_b=*/false);
+  auto stall_start = forward.buckets();
+  h1.ping(ip("10.0.0.2"), 15);
+  const util::Bytes junk(1400, 0xAA);
+  for (int i = 0; i < 200 && !server.overloaded(); ++i) {
+    ASSERT_TRUE(server.inject_frame(p3, junk).ok());
+    net.run_for(util::Duration::milliseconds(10));
+  }
+  ASSERT_TRUE(server.overloaded());
+  EXPECT_EQ(server.sites_shedding(), 1u);
+  EXPECT_EQ(server.stats().shed_entries, 1u);
+
+  // (b) Control toward the shed site defers — it is never shed.
+  std::string command = "show version\n";
+  ASSERT_TRUE(server
+                  .console_send(router_of("ap-south/h3"),
+                                util::BytesView(
+                                    reinterpret_cast<const std::uint8_t*>(
+                                        command.data()),
+                                    command.size()))
+                  .ok());
+  EXPECT_EQ(server.stats().control_frames_deferred, 1u);
+
+  // Keep flooding past the stall deadline, tracking the parked memory.
+  std::size_t peak_queued = 0;
+  for (int i = 0; i < 400 && server.stats().stalled_evictions == 0; ++i) {
+    (void)server.inject_frame(p3, junk);
+    net.run_for(util::Duration::milliseconds(10));
+    if (server.stats().stalled_evictions == 0 && site3.joined()) {
+      util::Json gauges = server.metrics().to_json()["gauges"];
+      peak_queued = std::max(
+          peak_queued,
+          static_cast<std::size_t>(
+              gauges["routeserver.site.ap-south.egress_queued_bytes"]
+                  .as_int()));
+    }
+  }
+
+  // (d) Evicted for stalling — not for the hard cap, and NOT by the liveness
+  // sweep: its keepalives kept arriving the whole time (timeout 1 s < the
+  // 2 s stall deadline, so a false liveness eviction would have come first).
+  EXPECT_EQ(server.stats().stalled_evictions, 1u);
+  EXPECT_EQ(server.stats().hard_cap_evictions, 0u);
+  EXPECT_EQ(server.stats().sites_lost, 1u);
+  EXPECT_GT(server.stats().shed_data_frames, 50u);
+  // (a) The parked memory crossed the watermark but stayed under the cap:
+  // shedding held the line long before eviction.
+  EXPECT_GE(peak_queued, kHigh);
+  EXPECT_LE(peak_queued, kHardCap);
+  net.run_for(util::Duration::milliseconds(500));
+  EXPECT_FALSE(site3.joined());
+  EXPECT_EQ(server.inventory().size(), 2u);  // parked, not listed
+
+  // (c) The healthy pair never noticed: every ping completed and the
+  // stall-phase forward p99 is in the same band as the baseline.
+  net.run_for(util::Duration::seconds(2));
+  EXPECT_EQ(h1.ping_replies().size(), 25u);
+  const std::uint64_t stall_p99 = phase_p99(stall_start, forward.buckets());
+  EXPECT_GT(stall_p99, 0u);
+  EXPECT_LE(stall_p99,
+            std::max<std::uint64_t>(baseline_p99 * 8, 20'000));
+
+  // The flight recorder kept the story: shed frames, then the eviction.
+  bool saw_shed = false;
+  bool saw_evicted = false;
+  for (const auto& event : server.flight_recorder().dump()) {
+    saw_shed |= event.kind == util::FlightRecorder::EventKind::kShed;
+    saw_evicted |= event.kind == util::FlightRecorder::EventKind::kEvicted;
+  }
+  EXPECT_TRUE(saw_shed);
+  EXPECT_TRUE(saw_evicted);
+
+  // (d) Clean rejoin through the epoch machinery, same identity.
+  server.set_liveness_timeout(util::Duration{});
+  auto [ris_end, server_end] =
+      transport::make_sim_stream_pair(net.scheduler());
+  server.accept(std::move(server_end));
+  site3.join(std::move(ris_end));
+  net.run_for(util::Duration::seconds(1));
+  ASSERT_TRUE(site3.joined());
+  EXPECT_EQ(site3.session_epoch(), 1u);
+  EXPECT_EQ(server.stats().sites_rejoined, 1u);
+  EXPECT_EQ(port_of("ap-south/h3"), p3);  // identity preserved
+  EXPECT_EQ(server.inventory().size(), 3u);
+  EXPECT_FALSE(server.overloaded());
+  EXPECT_EQ(server.sites_shedding(), 0u);
+}
+
+TEST_F(RnlStack, ShedSiteRecoversAndDeferredControlIsDelivered) {
+  // A stall that clears before the deadline: data is shed while it lasts,
+  // control is deferred, and the priority flush delivers the control frame
+  // the moment the transport drains — nothing control was ever dropped.
+  server.set_egress_watermarks(16 * 1024, 4 * 1024);
+  server.set_stall_deadline(util::Duration::seconds(60));
+  transport::SimLinkFault fault;
+  join_with_fault(site1, fault);
+  join(site2);
+  ASSERT_TRUE(site1.joined());
+  wire::PortId p1 = port_of("us-west/h1");
+  std::string output;
+  server.set_console_output_handler(
+      [&](wire::RouterId, util::BytesView bytes) {
+        output.append(bytes.begin(), bytes.end());
+      });
+
+  fault.stall(/*toward_a=*/true, /*toward_b=*/false);
+  const util::Bytes junk(1400, 0xAA);
+  for (int i = 0; i < 50 && !server.overloaded(); ++i) {
+    ASSERT_TRUE(server.inject_frame(p1, junk).ok());
+    net.run_for(util::Duration::milliseconds(5));
+  }
+  ASSERT_TRUE(server.overloaded());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server.inject_frame(p1, junk).ok());
+  }
+  EXPECT_GE(server.stats().shed_data_frames, 5u);
+
+  // The console command parks behind the stall instead of being shed.
+  std::string command = "show running-config\n";
+  ASSERT_TRUE(server
+                  .console_send(router_of("us-west/h1"),
+                                util::BytesView(
+                                    reinterpret_cast<const std::uint8_t*>(
+                                        command.data()),
+                                    command.size()))
+                  .ok());
+  EXPECT_EQ(server.stats().control_frames_deferred, 1u);
+  net.run_for(util::Duration::milliseconds(200));
+  EXPECT_TRUE(output.empty());  // stalled: nothing reached the device yet
+
+  // The consumer wakes up: parked chunks flush, the drain callback runs the
+  // priority flush, and the deferred command executes on the device.
+  fault.resume();
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_FALSE(server.overloaded());
+  EXPECT_EQ(server.sites_shedding(), 0u);
+  EXPECT_NE(output.find("hostname h1"), std::string::npos);
+  EXPECT_EQ(server.stats().stalled_evictions, 0u);
+  EXPECT_EQ(server.stats().hard_cap_evictions, 0u);
+  EXPECT_TRUE(site1.joined());  // shed, drained, never evicted
+}
+
+TEST_F(RnlStack, ShedDataFramesPreserveCompressionLockstep) {
+  // Shed frames must be dropped BEFORE the compressor notes them: if the
+  // template ring advanced for a frame the site never receives, every later
+  // compressed frame would decompress against the wrong ring state.
+  server.set_compression_enabled(true);
+  site1.set_compression_enabled(true);
+  server.set_egress_watermarks(8 * 1024, 2 * 1024);
+  server.set_stall_deadline(util::Duration::seconds(60));
+  transport::SimLinkFault fault;
+  join_with_fault(site1, fault);
+  ASSERT_TRUE(site1.joined());
+  wire::PortId p1 = port_of("us-west/h1");
+  const util::Histogram& ratio =
+      server.metrics().histogram("wire.compression_ratio_x100");
+  const std::uint64_t ratio_count_before = ratio.count();
+  const std::uint64_t down_before = site1.stats().frames_down;
+  std::uint64_t injected = 0;
+
+  // Warm the template ring with compressible traffic.
+  const util::Bytes compressible(1024, 0x42);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(server.inject_frame(p1, compressible).ok());
+    ++injected;
+    net.run_for(util::Duration::milliseconds(10));
+  }
+
+  // Stall, then flood with poorly-compressible frames until shedding kicks
+  // in; everything past the watermark is shed (and must skip the ring).
+  fault.stall(/*toward_a=*/true, /*toward_b=*/false);
+  for (int i = 0; i < 40; ++i) {
+    util::Bytes noise(1400);
+    for (std::size_t j = 0; j < noise.size(); ++j) {
+      noise[j] = static_cast<std::uint8_t>((i * 131 + j * 7) & 0xFF);
+    }
+    ASSERT_TRUE(server.inject_frame(p1, noise).ok());
+    ++injected;
+    net.run_for(util::Duration::milliseconds(5));
+  }
+  ASSERT_TRUE(server.overloaded());
+  ASSERT_GT(server.stats().shed_data_frames, 0u);
+
+  // Drain, then push more compressed traffic across the shed gap.
+  fault.resume();
+  net.run_for(util::Duration::milliseconds(500));
+  ASSERT_FALSE(server.overloaded());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(server.inject_frame(p1, compressible).ok());
+    ++injected;
+    net.run_for(util::Duration::milliseconds(10));
+  }
+  net.run_for(util::Duration::milliseconds(500));
+
+  // Lockstep held: every non-shed frame arrived and decoded — the shed gap
+  // is invisible to the decompressor.
+  EXPECT_EQ(site1.stats().decode_errors, 0u);
+  EXPECT_EQ(site1.stats().frames_down - down_before,
+            injected - server.stats().shed_data_frames);
+  EXPECT_GT(ratio.count(), ratio_count_before);  // compression was engaged
+  EXPECT_EQ(server.stats().stalled_evictions, 0u);
+}
+
+TEST_F(RnlStack, ControlSpamToStalledSiteIsBoundedByTheHardCap) {
+  // Control is never shed — but its deferred bytes still count against the
+  // hard cap, so even control spam toward a wedged site cannot grow server
+  // memory without bound: the site is evicted instead.
+  server.set_egress_watermarks(8 * 1024, 2 * 1024);
+  server.set_egress_hard_cap(64 * 1024);
+  server.set_stall_deadline(util::Duration::minutes(10));
+  transport::SimLinkFault fault;
+  join_with_fault(site1, fault);
+  ASSERT_TRUE(site1.joined());
+  wire::PortId p1 = port_of("us-west/h1");
+  wire::RouterId r1 = router_of("us-west/h1");
+
+  fault.stall(/*toward_a=*/true, /*toward_b=*/false);
+  const util::Bytes junk(1400, 0xAA);
+  for (int i = 0; i < 20 && !server.overloaded(); ++i) {
+    ASSERT_TRUE(server.inject_frame(p1, junk).ok());
+  }
+  ASSERT_TRUE(server.overloaded());
+
+  const util::Bytes command(2048, 'x');
+  int sends = 0;
+  while (server.stats().hard_cap_evictions == 0 && sends < 100) {
+    (void)server.console_send(r1, command);
+    ++sends;
+  }
+  EXPECT_EQ(server.stats().hard_cap_evictions, 1u);
+  EXPECT_EQ(server.stats().stalled_evictions, 0u);
+  EXPECT_GT(server.stats().control_frames_deferred, 0u);
+  EXPECT_LT(sends, 100);
+  net.run_for(util::Duration::milliseconds(500));
+  EXPECT_FALSE(site1.joined());
+  EXPECT_EQ(server.stats().sites_lost, 1u);
+}
+
+TEST_F(RnlStack, LivenessSweepEvictsTwoSilentSitesInOnePass) {
+  // Both sites go silent together, so one sweep collects both. Eviction
+  // runs close handlers that reenter the server (remove_site); the sweep
+  // must finish iterating sites_ before it closes anything.
+  site1.set_keepalive_interval(util::Duration::seconds(3600));
+  site2.set_keepalive_interval(util::Duration::seconds(3600));
+  // Join both in the same event batch so their JOINs (the last thing the
+  // server ever hears from them) land at the same sim instant — one sweep
+  // then times them both out together.
+  auto [ris1, srv1] = transport::make_sim_stream_pair(net.scheduler());
+  auto [ris2, srv2] = transport::make_sim_stream_pair(net.scheduler());
+  server.accept(std::move(srv1));
+  server.accept(std::move(srv2));
+  site1.join(std::move(ris1));
+  site2.join(std::move(ris2));
+  net.run_for(util::Duration::milliseconds(500));
+  ASSERT_TRUE(site1.joined());
+  ASSERT_TRUE(site2.joined());
+  ASSERT_EQ(server.site_count(), 2u);
+  server.set_liveness_timeout(util::Duration::seconds(1));
+  net.run_for(util::Duration::seconds(3));
+  EXPECT_EQ(server.stats().sites_lost, 2u);
+  EXPECT_EQ(server.inventory().size(), 0u);
+  EXPECT_FALSE(site1.joined());
+  EXPECT_FALSE(site2.joined());
+
+  // Both parked identities rejoin cleanly.
+  server.set_liveness_timeout(util::Duration{});
+  join(site1);
+  join(site2);
+  EXPECT_TRUE(site1.joined());
+  EXPECT_TRUE(site2.joined());
+  EXPECT_EQ(server.stats().sites_rejoined, 2u);
+  EXPECT_EQ(site1.session_epoch(), 1u);
+  EXPECT_EQ(site2.session_epoch(), 1u);
+  EXPECT_EQ(server.inventory().size(), 2u);
+}
+
+TEST_F(RnlStack, SweepEvictsTwoEgressIdleStalledSitesInOnePass) {
+  // A stalled site with no new traffic toward it never has its verdict
+  // probed by the data path — the liveness sweep must apply the stall
+  // deadline, and must survive evicting two such sites in one pass.
+  server.set_egress_watermarks(8 * 1024, 2 * 1024);
+  server.set_stall_deadline(util::Duration::seconds(1));
+  site1.set_keepalive_interval(util::Duration::milliseconds(250));
+  site2.set_keepalive_interval(util::Duration::milliseconds(250));
+  transport::SimLinkFault fault1;
+  transport::SimLinkFault fault2;
+  join_with_fault(site1, fault1);
+  join_with_fault(site2, fault2);
+  wire::PortId p1 = port_of("us-west/h1");
+  wire::PortId p2 = port_of("eu-central/h2");
+
+  fault1.stall(/*toward_a=*/true, /*toward_b=*/false);
+  fault2.stall(/*toward_a=*/true, /*toward_b=*/false);
+  const util::Bytes junk(1400, 0xAA);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(server.inject_frame(p1, junk).ok());
+    ASSERT_TRUE(server.inject_frame(p2, junk).ok());
+  }
+  ASSERT_EQ(server.sites_shedding(), 2u);
+
+  // Egress-idle from here on: only the sweep can notice the deadline. The
+  // keepalives (250 ms << 4 s) keep both sites off the silent list, so the
+  // evictions can only be stall-deadline ones.
+  server.set_liveness_timeout(util::Duration::seconds(4));
+  net.run_for(util::Duration::seconds(3));
+  EXPECT_EQ(server.stats().stalled_evictions, 2u);
+  EXPECT_EQ(server.stats().sites_lost, 2u);
+  EXPECT_EQ(server.sites_shedding(), 0u);
+  EXPECT_FALSE(site1.joined());
+  EXPECT_FALSE(site2.joined());
 }
 
 TEST(RisSlices, LogicalRoutersShareOneDevice) {

@@ -8,6 +8,7 @@
 
 #include "transport/sim_stream.h"
 #include "transport/tcp.h"
+#include "util/metrics.h"
 #include "wire/tunnel.h"
 
 namespace rnl::transport {
@@ -151,6 +152,117 @@ TEST(SimStream, InFlightBytesSurviveEndDestructionGracefully) {
   sched.run_all();  // must not crash
   a->send(data);
   sched.run_all();
+}
+
+TEST(SimStream, ChunksInFlightGaugeReconciledOnTeardownMidFlight) {
+  // Regression: tearing both ends down with deliveries still scheduled used
+  // to leak the chunks_in_flight gauge — the scheduled lambdas hold only
+  // weak references, so their decrement never ran. The shared state now
+  // reconciles the gauge in its destructor.
+  util::MetricsRegistry registry;
+  util::Gauge& in_flight = registry.gauge("transport.chunks_in_flight");
+  simnet::Scheduler sched(13);
+  SimStreamOptions options;
+  options.metrics = &registry;
+  options.wan.delay = util::Duration::milliseconds(25);
+  {
+    auto [a, b] = make_sim_stream_pair(sched, options);
+    util::Bytes data{1, 2, 3};
+    a->send(data);
+    b->send(data);
+    EXPECT_EQ(in_flight.value(), 2);
+  }  // both ends destroyed while both chunks are still in the WAN
+  EXPECT_EQ(in_flight.value(), 0);
+  sched.run_all();  // the orphaned delivery events must not double-count
+  EXPECT_EQ(in_flight.value(), 0);
+}
+
+TEST(SimStream, EgressWatermarksBackpressureWithHysteresis) {
+  simnet::Scheduler sched(14);
+  SimStreamOptions options;
+  options.wan.delay = util::Duration::milliseconds(10);
+  auto [a, b] = make_sim_stream_pair(sched, options);
+  b->set_receive_handler([](util::BytesView) {});
+  int drains = 0;
+  a->set_drain_handler([&] { ++drains; });
+  EXPECT_TRUE(a->writable());  // watermarks default off
+  a->set_egress_watermarks(100, 40);
+
+  util::Bytes chunk(30, 0x11);
+  a->send(chunk);
+  a->send(chunk);
+  a->send(chunk);
+  EXPECT_EQ(a->queued_bytes(), 90u);
+  EXPECT_TRUE(a->writable());  // below the high watermark
+  a->send(chunk);
+  EXPECT_EQ(a->queued_bytes(), 120u);
+  EXPECT_FALSE(a->writable());  // crossed it
+  EXPECT_EQ(drains, 0);
+
+  // Hysteresis: the drain handler fires exactly once, when the queue falls
+  // to the low watermark — not once per delivered chunk.
+  sched.run_all();
+  EXPECT_EQ(a->queued_bytes(), 0u);
+  EXPECT_TRUE(a->writable());
+  EXPECT_EQ(drains, 1);
+
+  // The cycle re-arms: crossing high again backpressures again.
+  a->send(util::Bytes(120, 0x22));
+  EXPECT_FALSE(a->writable());
+  sched.run_all();
+  EXPECT_TRUE(a->writable());
+  EXPECT_EQ(drains, 2);
+}
+
+TEST(SimStream, LinkStallParksChunksAndResumeFlushesInOrder) {
+  simnet::Scheduler sched(15);
+  SimLinkFault fault;
+  SimStreamOptions options;
+  options.fault = &fault;
+  auto [a, b] = make_sim_stream_pair(sched, options);
+  util::Bytes received;
+  b->set_receive_handler([&](util::BytesView chunk) {
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  });
+  fault.stall(/*toward_a=*/false, /*toward_b=*/true);
+  util::Bytes m1{1, 2};
+  util::Bytes m2{3};
+  a->send(m1);
+  a->send(m2);
+  sched.run_all();
+  // Zero-window peer: nothing delivers, but the bytes still count as queued
+  // (they occupy server memory) and the link is still up.
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(a->queued_bytes(), 3u);
+  EXPECT_TRUE(fault.connected());
+  fault.resume();
+  EXPECT_EQ(received, (util::Bytes{1, 2, 3}));  // flushed, stream order kept
+  EXPECT_EQ(a->queued_bytes(), 0u);
+}
+
+TEST(SimStream, CutWhileStalledDropsParkedChunksWithAccounting) {
+  util::MetricsRegistry registry;
+  util::Gauge& in_flight = registry.gauge("transport.chunks_in_flight");
+  simnet::Scheduler sched(16);
+  SimLinkFault fault;
+  SimStreamOptions options;
+  options.fault = &fault;
+  options.metrics = &registry;
+  auto [a, b] = make_sim_stream_pair(sched, options);
+  util::Bytes received;
+  b->set_receive_handler([&](util::BytesView chunk) {
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  });
+  fault.stall(/*toward_a=*/false, /*toward_b=*/true);
+  a->send(util::Bytes(64, 0xAB));
+  sched.run_all();  // the chunk arrives at the stall and parks
+  EXPECT_EQ(a->queued_bytes(), 64u);
+  EXPECT_EQ(in_flight.value(), 1);
+  fault.cut();  // parked chunks die with the path, like in-flight ones
+  EXPECT_EQ(a->queued_bytes(), 0u);
+  EXPECT_EQ(in_flight.value(), 0);
+  sched.run_all();
+  EXPECT_TRUE(received.empty());
 }
 
 TEST(TcpLoopback, EchoRoundTrip) {
@@ -310,6 +422,43 @@ TEST(TcpLoopback, LargeWriteBuffersAndDrains) {
   (*client)->send(big);
   ASSERT_TRUE(loop.run_until([&] { return server_received == big.size(); },
                              100'000, 10));
+}
+
+TEST(TcpLoopback, EgressWatermarksTrackTheWriteBuffer) {
+  TcpEventLoop loop;
+  TcpListener listener(loop);
+  std::unique_ptr<TcpTransport> server_side;
+  std::size_t server_received = 0;
+  ASSERT_TRUE(listener
+                  .listen(0, [&](std::unique_ptr<TcpTransport> t) {
+                    server_side = std::move(t);
+                    server_side->set_receive_handler(
+                        [&](util::BytesView chunk) {
+                          server_received += chunk.size();
+                        });
+                  })
+                  .ok());
+  auto client = tcp_connect(loop, listener.port());
+  ASSERT_TRUE(client.ok());
+  int drains = 0;
+  (*client)->set_egress_watermarks(64 * 1024, 16 * 1024);
+  (*client)->set_drain_handler([&] { ++drains; });
+  EXPECT_TRUE((*client)->writable());
+  EXPECT_EQ((*client)->queued_bytes(), 0u);
+  // 8 MiB cannot fit in the socket send buffer: the remainder lands in the
+  // userspace write buffer, which is what queued_bytes() reports.
+  util::Bytes big(8 * 1024 * 1024, 0x5A);
+  (*client)->send(big);
+  EXPECT_GT((*client)->queued_bytes(), 64u * 1024);
+  EXPECT_FALSE((*client)->writable());
+  EXPECT_EQ(drains, 0);
+  ASSERT_TRUE(loop.run_until([&] { return server_received == big.size(); },
+                             100'000, 10));
+  // POLLOUT drained the buffer past the low watermark: writable again, and
+  // the drain handler fired exactly once for the whole episode.
+  EXPECT_EQ((*client)->queued_bytes(), 0u);
+  EXPECT_TRUE((*client)->writable());
+  EXPECT_EQ(drains, 1);
 }
 
 TEST(TcpLoopback, ConnectToClosedPortFails) {
