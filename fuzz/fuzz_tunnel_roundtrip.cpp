@@ -63,5 +63,41 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   FUZZ_ASSERT(!decoder2.failed());
   FUZZ_ASSERT(both.size() == 2);
   FUZZ_ASSERT(both[1].type == MessageType::kKeepalive);
+
+  // A coalesced batch: the frame repeated with interleaved epochs, then a
+  // trailing copy torn at an input-derived byte — what a batching sender
+  // plus TCP segmentation put on the wire. Every whole frame must come out
+  // of one feed, in order, each under its own epoch; the torn tail must be
+  // buffered (never an error), and the next chunk must complete it.
+  const std::size_t batch_frames = 2 + (router_id & 7);
+  ByteWriter stream;
+  for (std::size_t i = 0; i < batch_frames; ++i) {
+    rnl::wire::encode_message_into(stream, type, router_id, port_id, payload,
+                                   compressed,
+                                   static_cast<std::uint8_t>(epoch + i));
+  }
+  ByteWriter tail;
+  rnl::wire::encode_message_into(tail, type, router_id, port_id, payload,
+                                 compressed, epoch);
+  const std::size_t cut = port_id % tail.view().size();
+  stream.raw(BytesView(tail.view().data(), cut));
+
+  MessageDecoder batch_decoder;
+  const auto& batch = batch_decoder.feed_views(stream.view());
+  FUZZ_ASSERT(!batch_decoder.failed());
+  FUZZ_ASSERT(batch.size() == batch_frames);
+  for (std::size_t i = 0; i < batch_frames; ++i) {
+    FUZZ_ASSERT(batch[i].epoch == static_cast<std::uint8_t>(epoch + i));
+    FUZZ_ASSERT(batch[i].payload.size() == payload.size());
+    FUZZ_ASSERT(std::equal(batch[i].payload.begin(), batch[i].payload.end(),
+                           payload.begin()));
+  }
+  FUZZ_ASSERT(batch_decoder.buffered() == cut);
+  const auto& rest = batch_decoder.feed_views(
+      BytesView(tail.view().data() + cut, tail.view().size() - cut));
+  FUZZ_ASSERT(!batch_decoder.failed());
+  FUZZ_ASSERT(rest.size() == 1);
+  FUZZ_ASSERT(rest[0].epoch == epoch);
+  FUZZ_ASSERT(batch_decoder.buffered() == 0);
   return 0;
 }

@@ -4,7 +4,7 @@
 # data plane hands out views into reusable buffers, so lifetime mistakes tend
 # to pass plain tests and only show up under the sanitizers.
 #
-# Usage: scripts/check.sh [--metrics] [--faults] [--lint] [--fuzz] [--tsan] [jobs]
+# Usage: scripts/check.sh [--metrics] [--faults] [--lint] [--fuzz] [--tsan] [--bench] [jobs]
 #   --metrics  additionally run the observability smoke binary
 #              (examples/metrics_smoke) from the sanitizer build: boots a
 #              sim testbed, routes traffic, and asserts metrics.dump is
@@ -32,6 +32,11 @@
 #              surface under ThreadSanitizer: the metrics registry contract
 #              tests, the logger threshold-retune test, and the transport
 #              egress accounting paths (watermarks, drain callbacks).
+#   --bench    forwarding-bench smoke: run bench_routeserver_scaling in
+#              --quick mode and assert every emitted row actually drove the
+#              forward fast path (fast_path_frames > 0, frames_routed > 0).
+#              Catches a bench regression where frames stop traversing
+#              decode -> port lookup -> egress and the numbers go vacuous.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -41,6 +46,7 @@ faults=0
 lint=0
 fuzz=0
 tsan=0
+bench=0
 jobs=""
 for arg in "$@"; do
   case "$arg" in
@@ -49,6 +55,7 @@ for arg in "$@"; do
     --lint) lint=1 ;;
     --fuzz) fuzz=1 ;;
     --tsan) tsan=1 ;;
+    --bench) bench=1 ;;
     *) jobs="$arg" ;;
   esac
 done
@@ -81,7 +88,7 @@ fi
 if [[ "$faults" == 1 ]]; then
   echo "=== fault-tolerance suite (sanitized) ==="
   ./build-sanitize/tests/ris_routeserver_test \
-    --gtest_filter='*Rejoin*:*Reconnect*:*Liveness*:*StaleEpoch*:*Disconnect*:*Shed*:*Stalled*:*Overload*:*Sweep*'
+    --gtest_filter='*Rejoin*:*Reconnect*:*Liveness*:*StaleEpoch*:*Disconnect*:*Shed*:*Stalled*:*Overload*:*Sweep*:*Batch*:*Coalesc*'
   ./build-sanitize/tests/transport_test \
     --gtest_filter='SimStream.*:TcpLoopback.RunOncePollRetriesOnEintr:TcpLoopback.*Egress*'
   ./build-sanitize/tests/wire_test \
@@ -125,6 +132,24 @@ if [[ "$fuzz" == 1 ]]; then
         "tests/corpus/${harness}"
     fi
   done
+fi
+
+if [[ "$bench" == 1 ]]; then
+  echo "=== bench: forwarding fast-path smoke (--quick) ==="
+  build_config build
+  ./build/bench/bench_routeserver_scaling --quick --out build/BENCH_quick.json
+  python3 - <<'EOF'
+import json
+with open("build/BENCH_quick.json") as f:
+    report = json.load(f)
+rows = report["rows"]
+assert rows, "bench emitted no rows"
+for row in rows:
+    where = f"users={row['users']} transport={row['transport']}"
+    assert row["frames_routed"] > 0, f"{where}: frames_routed == 0"
+    assert row["fast_path_frames"] > 0, f"{where}: fast_path_frames == 0"
+print(f"bench smoke OK: {len(rows)} rows, all with live fast-path counts")
+EOF
 fi
 
 if [[ "$tsan" == 1 ]]; then

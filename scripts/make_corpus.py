@@ -64,6 +64,15 @@ write("message_decoder", "huge_length.bin",
       SEED + struct.pack(">IBBHIII", MAGIC, 1, 3, 0, 1, 1, 0xFFFFFFFF))
 write("message_decoder", "max_payload_edge.bin",
       SEED + struct.pack(">IBBHIII", MAGIC, 1, 3, 0, 1, 1, 8 * 1024 * 1024 + 1))
+# A coalescing sender's wire image: several data frames under interleaved
+# epochs (flags high byte) in one stream, the last frame truncated mid-payload
+# — the chunking seed then replays it across every split point.
+write("message_decoder", "batch_epochs_truncated.bin",
+      SEED
+      + frame(3, 7, 9, b"\xca\xfe" * 32, flags=0x0000)
+      + frame(3, 7, 9, b"\xca\xfe" * 32, flags=0x0300)
+      + frame(3, 7, 9, b"\xca\xfe" * 32, flags=0x0000)
+      + frame(3, 7, 9, b"\xca\xfe" * 32, flags=0x0100)[:-17])
 write("message_decoder", "truncated_header.bin", SEED + frame(5)[:10])
 write("message_decoder", "truncated_payload.bin",
       SEED + frame(3, 1, 2, b"0123456789abcdef")[:-7])
@@ -78,6 +87,14 @@ write("tunnel_roundtrip", "data_epoch.bin",
       + b"payload-bytes" * 7)
 write("tunnel_roundtrip", "join_ids.bin",
       b"\x00" + struct.pack(">II", 1, 2) + b"\x07\x00" + JOIN_JSON)
+# Batch section drivers: router low bits pick the batch size (2 + router&7),
+# port picks where the trailing frame is torn, epoch 0xFE wraps mid-batch.
+write("tunnel_roundtrip", "batch_interleaved_epochs.bin",
+      b"\x02" + struct.pack(">II", 7, 9) + b"\xfe\x01"
+      + b"coalesced-frame-payload" * 4)
+write("tunnel_roundtrip", "batch_truncated_tail.bin",
+      b"\x02" + struct.pack(">II", 3, 0xFFFFFFF1) + b"\x00\x00"
+      + b"torn-tail" * 8)
 
 # -- decompressor: hostile encodings against a primed ring --
 def decomp(body, prime=4, seed=SEED):

@@ -10,10 +10,13 @@ TrafficGenerator::TrafficGenerator(simnet::Network& net, std::string name,
              Firmware{.version = "ixia-like-1.0"}) {
   captured_.resize(num_ports);
   tx_counts_.resize(num_ports, 0);
+  rx_counts_.resize(num_ports, 0);
   for (std::size_t i = 0; i < num_ports; ++i) {
     simnet::Port& p = add_port(util::format("port%zu", i + 1));
     p.set_receive_handler([this, i](util::BytesView bytes) {
       if (!powered()) return;
+      ++rx_counts_[i];
+      if (count_only_) return;
       captured_[i].push_back(
           Captured{util::Bytes(bytes.begin(), bytes.end()), scheduler_.now()});
       if (captured_[i].size() > 1'000'000) captured_[i].pop_front();
@@ -39,21 +42,28 @@ void TrafficGenerator::start_stream(std::size_t port_index, Stream stream) {
 void TrafficGenerator::emit(std::size_t port_index, Stream stream,
                             std::uint32_t index) {
   if (index >= stream.count || !powered()) return;
-  util::Bytes frame = stream.template_frame;
-  if (stream.seq_offset >= 0 &&
-      static_cast<std::size_t>(stream.seq_offset) + 4 <= frame.size()) {
-    auto off = static_cast<std::size_t>(stream.seq_offset);
-    frame[off] = static_cast<std::uint8_t>(index >> 24);
-    frame[off + 1] = static_cast<std::uint8_t>(index >> 16);
-    frame[off + 2] = static_cast<std::uint8_t>(index >> 8);
-    frame[off + 3] = static_cast<std::uint8_t>(index);
+  const std::uint32_t burst = stream.burst == 0 ? 1 : stream.burst;
+  // The stream (and its template) is this emission chain's own copy, so the
+  // sequence number is stamped in place — no per-frame template copy at
+  // line rate. The cable copies the view for its flight anyway.
+  util::Bytes& tx = stream.template_frame;
+  for (std::uint32_t b = 0; b < burst && index < stream.count; ++b, ++index) {
+    if (stream.seq_offset >= 0 &&
+        static_cast<std::size_t>(stream.seq_offset) + 4 <= tx.size()) {
+      auto off = static_cast<std::size_t>(stream.seq_offset);
+      tx[off] = static_cast<std::uint8_t>(index >> 24);
+      tx[off + 1] = static_cast<std::uint8_t>(index >> 16);
+      tx[off + 2] = static_cast<std::uint8_t>(index >> 8);
+      tx[off + 3] = static_cast<std::uint8_t>(index);
+    }
+    ++tx_counts_[port_index];
+    port(port_index).transmit(tx);
   }
-  ++tx_counts_[port_index];
-  port(port_index).transmit(frame);
+  if (index >= stream.count) return;
   util::Duration interval = stream.interval;
   schedule_once(interval, [this, port_index, stream = std::move(stream),
                            index]() mutable {
-    emit(port_index, std::move(stream), index + 1);
+    emit(port_index, std::move(stream), index);
   });
 }
 

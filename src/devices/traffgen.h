@@ -27,6 +27,13 @@ class TrafficGenerator : public Device {
     /// Byte offset where the per-frame sequence number is stamped; negative
     /// disables stamping.
     int seq_offset = -1;
+    /// Frames transmitted back-to-back per emission event (line-rate burst,
+    /// what a hardware generator actually does between inter-burst gaps).
+    /// Bursts are also what make egress coalescing visible downstream: a
+    /// burst of captures at one instant coalesces into one tunnel write,
+    /// while 1-frame-per-instant traffic flushes each frame alone. 0 acts
+    /// as 1.
+    std::uint32_t burst = 1;
   };
 
   struct Captured {
@@ -44,6 +51,13 @@ class TrafficGenerator : public Device {
   /// Starts transmitting `stream` out of `port_index`.
   void start_stream(std::size_t port_index, Stream stream);
 
+  /// Analyzer mode: count received frames without storing them. What a
+  /// hardware analyzer's rate counters do, and what a throughput bench
+  /// wants — the per-frame copy into the capture deque would otherwise be
+  /// the receiver's dominant cost. captured() stays empty while enabled;
+  /// rx_count() keeps counting in both modes.
+  void set_count_only(bool enabled) { count_only_ = enabled; }
+
   [[nodiscard]] const std::deque<Captured>& captured(
       std::size_t port_index) const {
     return captured_.at(port_index);
@@ -54,12 +68,17 @@ class TrafficGenerator : public Device {
   [[nodiscard]] std::uint64_t tx_count(std::size_t port_index) const {
     return tx_counts_.at(port_index);
   }
+  [[nodiscard]] std::uint64_t rx_count(std::size_t port_index) const {
+    return rx_counts_.at(port_index);
+  }
 
  private:
   void emit(std::size_t port_index, Stream stream, std::uint32_t index);
 
   std::vector<std::deque<Captured>> captured_;
   std::vector<std::uint64_t> tx_counts_;
+  std::vector<std::uint64_t> rx_counts_;
+  bool count_only_ = false;
 };
 
 }  // namespace rnl::devices

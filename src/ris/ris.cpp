@@ -7,6 +7,9 @@ namespace rnl::ris {
 
 namespace {
 constexpr const char* kLog = "ris";
+// Stage-latency histograms (capture/replay) sample 1 frame in 16; the
+// mask keeps the modulo branch-free.
+constexpr std::uint64_t kStageSampleMask = 15;
 }
 
 RouterInterface::RouterInterface(simnet::Network& net, std::string site_name,
@@ -34,8 +37,12 @@ RouterInterface::RouterInterface(simnet::Network& net, std::string site_name,
   expose("reconnect_giveups", &stats_.reconnect_giveups);
   expose("stale_epoch_drops", &stats_.stale_epoch_drops);
   expose("shed_frames", &stats_.shed_frames);
+  expose("egress_flushes", &stats_.egress_flushes);
+  expose("frames_coalesced", &stats_.frames_coalesced);
   capture_hist_ = &metrics_->histogram(metrics_prefix_ + "capture_ns");
   replay_hist_ = &metrics_->histogram(metrics_prefix_ + "replay_ns");
+  egress_batch_hist_ =
+      &metrics_->histogram(metrics_prefix_ + "egress_batch_frames");
   backoff_hist_ = &metrics_->histogram(metrics_prefix_ + "backoff_ns");
   compressor_.set_ratio_histogram(
       &metrics_->histogram("wire.compression_ratio_x100"));
@@ -186,6 +193,11 @@ void RouterInterface::start_session(
   decoder_.reset();
   compressor_.reset();
   decompressor_.reset();
+  // An uplink batch is per-connection state: frames serialized for the old
+  // session must not leak into the new stream (the server would count them
+  // stale anyway — they carry the previous epoch).
+  pending_uplink_frames_ = 0;
+  send_buffer_.clear();
   joined_ = false;
   transport_->set_receive_handler(
       [this](util::BytesView chunk) { on_transport_data(chunk); });
@@ -310,8 +322,46 @@ void RouterInterface::send_message(const wire::TunnelMessage& message,
     return;
   }
   if (!transport_ || !transport_->is_open()) return;
+  // Control never overtakes captured data: flush the open uplink batch
+  // first so the transport sees the two classes in acceptance order.
+  flush_uplink();
   util::Bytes wire_bytes = wire::encode_message(message);
   transport_->send(wire_bytes);
+}
+
+void RouterInterface::set_uplink_batching(std::size_t max_frames,
+                                          std::size_t max_bytes) {
+  flush_uplink();  // drain under the old policy; no frame is stranded
+  uplink_batch_frames_ = max_frames == 0 ? 1 : max_frames;
+  uplink_batch_bytes_ = max_bytes == 0 ? SIZE_MAX : max_bytes;
+}
+
+void RouterInterface::flush_uplink() {
+  const std::size_t frames = pending_uplink_frames_;
+  if (frames == 0) return;
+  pending_uplink_frames_ = 0;
+  if (transport_ && transport_->is_open()) {
+    ++stats_.egress_flushes;
+    stats_.frames_coalesced += frames - 1;
+    egress_batch_hist_->record(frames);
+    transport_->send(send_buffer_.view());
+  }
+  send_buffer_.clear();
+}
+
+void RouterInterface::schedule_uplink_flush() {
+  // Zero-delay task: the scheduler runs same-timestamp events in insertion
+  // order, so this fires after every capture already queued at the current
+  // instant — the whole burst coalesces, and simulated time never passes
+  // between capture and flush.
+  if (!uplink_flush_task_) {
+    uplink_flush_task_ = std::make_shared<std::function<void()>>();
+    std::weak_ptr<std::function<void()>> weak = uplink_flush_task_;
+    *uplink_flush_task_ = [this, weak] {
+      if (weak.lock()) flush_uplink();
+    };
+  }
+  net_.scheduler().schedule_after(util::Duration{}, *uplink_flush_task_);
 }
 
 void RouterInterface::set_egress_watermarks(std::size_t high,
@@ -330,8 +380,15 @@ void RouterInterface::send_data(wire::RouterId router_id, wire::PortId port_id,
     ++stats_.shed_frames;
     return;
   }
+  const bool batching = uplink_batch_frames_ > 1;
   util::ByteWriter& w = send_buffer_;
-  w.clear();
+  // Batching: append behind the frames captured earlier in this burst.
+  // Opening a batch (pending_uplink_frames_ == 0) clears the buffer first:
+  // an unbatched send leaves its frame behind (no clear after send), and
+  // flush_uplink's empty-batch early return skips the clear — without this,
+  // enabling batching after running unbatched would re-send the previous
+  // frame at the head of the first batch. Unbatched: one frame per send.
+  if (!batching || pending_uplink_frames_ == 0) w.clear();
   const std::size_t cap_before = w.capacity();
   bool sent_compressed = false;
   if (compression_enabled_) {
@@ -359,7 +416,18 @@ void RouterInterface::send_data(wire::RouterId router_id, wire::PortId port_id,
   bool grew = w.capacity() != cap_before;
   if (grew) ++stats_.payload_allocs;
   if (!grew && !compression_enabled_) ++stats_.fast_path_frames;
-  transport_->send(w.view());
+  if (!batching) {
+    ++stats_.egress_flushes;
+    egress_batch_hist_->record(1);
+    transport_->send(w.view());
+    return;
+  }
+  if (pending_uplink_frames_ == 0) schedule_uplink_flush();
+  ++pending_uplink_frames_;
+  if (pending_uplink_frames_ >= uplink_batch_frames_ ||
+      w.size() >= uplink_batch_bytes_) {
+    flush_uplink();
+  }
 }
 
 void RouterInterface::on_transport_data(util::BytesView chunk) {
@@ -459,9 +527,16 @@ void RouterInterface::handle_message(
       ++stats_.frames_down;
       stats_.bytes_down += frame.size();
       // Replay the complete L2 frame out of the NIC into the router port.
-      const std::uint64_t replay_start = util::monotonic_ns();
-      routers_[router_index].ports[port_slot].nic->transmit(frame);
-      replay_hist_->record(util::monotonic_ns() - replay_start);
+      // Stage latency is sampled 1-in-16: at line rate the two clock reads
+      // cost as much as the replay itself, and a sampled histogram answers
+      // the same p50/p99 question.
+      if (((stats_.frames_down - 1) & kStageSampleMask) == 0) {
+        const std::uint64_t replay_start = util::monotonic_ns();
+        routers_[router_index].ports[port_slot].nic->transmit(frame);
+        replay_hist_->record(util::monotonic_ns() - replay_start);
+      } else {
+        routers_[router_index].ports[port_slot].nic->transmit(frame);
+      }
       return;
     }
     case wire::MessageType::kConsoleData: {
@@ -530,9 +605,14 @@ void RouterInterface::on_nic_frame(std::size_t router_index,
 
   ++stats_.frames_up;
   stats_.bytes_up += frame.size();
-  const std::uint64_t capture_start = util::monotonic_ns();
-  send_data(router_id, mapped.assigned_id, frame);
-  capture_hist_->record(util::monotonic_ns() - capture_start);
+  // Capture-stage latency sampled 1-in-16, same rationale as replay.
+  if (((stats_.frames_up - 1) & kStageSampleMask) == 0) {
+    const std::uint64_t capture_start = util::monotonic_ns();
+    send_data(router_id, mapped.assigned_id, frame);
+    capture_hist_->record(util::monotonic_ns() - capture_start);
+  } else {
+    send_data(router_id, mapped.assigned_id, frame);
+  }
 }
 
 }  // namespace rnl::ris

@@ -60,6 +60,12 @@ struct RisStats {
   /// set_egress_watermarks). Shed before the compressor ring sees them, so
   /// lockstep with the server's decompressor is preserved.
   std::uint64_t shed_frames = 0;
+  /// Uplink coalescing: transport writes that carried at least one data
+  /// frame, and the writes avoided by batching (frames beyond the first of
+  /// each flush). Unbatched, egress_flushes tracks frames_up and
+  /// frames_coalesced stays zero.
+  std::uint64_t egress_flushes = 0;
+  std::uint64_t frames_coalesced = 0;
 };
 
 /// Backoff policy for the reconnect state machine. Delays grow
@@ -159,6 +165,26 @@ class RouterInterface {
   /// bound; control traffic (JOIN, keepalive, console, leave) always goes
   /// through. `high` == 0 (the default) disables shedding.
   void set_egress_watermarks(std::size_t high, std::size_t low);
+
+  // -- Uplink batching --
+  // Captured data frames accumulate in the reusable send buffer and go to
+  // the transport in one write. A batch flushes when it reaches
+  // `max_frames` frames or `max_bytes` buffered bytes, before any control
+  // frame (JOIN, keepalive, console, leave — FIFO across classes), and at
+  // a zero-delay scheduled task armed when the batch opens, i.e. after
+  // every event already queued at the current instant has run — so a burst
+  // of captures coalesces but a lone frame never waits for wall time.
+  // Frames are never split across writes; the per-frame shed check
+  // (writable()) still runs before each frame touches the compressor ring.
+
+  /// Defaults: the byte budget sits well below any sane egress watermark so
+  /// batching cannot defeat shedding.
+  static constexpr std::size_t kDefaultUplinkBatchFrames = 32;
+  static constexpr std::size_t kDefaultUplinkBatchBytes = 16 * 1024;
+  /// `max_frames` <= 1 disables coalescing (one write per captured frame).
+  /// `max_bytes` == 0 means no byte budget.
+  void set_uplink_batching(std::size_t max_frames, std::size_t max_bytes);
+
   [[nodiscard]] const RisStats& stats() const { return stats_; }
   [[nodiscard]] const wire::CompressionStats& compression_stats() const {
     return compressor_.stats();
@@ -202,6 +228,11 @@ class RouterInterface {
   /// no payload copy). The counterpart of RouteServer::deliver_to_port.
   void send_data(wire::RouterId router_id, wire::PortId port_id,
                  util::BytesView frame);
+  /// Hands the open uplink batch (if any) to the transport in one write.
+  /// No-op on an empty batch; discards it if the tunnel is gone.
+  void flush_uplink();
+  /// Arms the zero-delay end-of-burst flush task (once per open batch).
+  void schedule_uplink_flush();
   void on_transport_data(util::BytesView chunk);
   void handle_message(const wire::MessageDecoder::DecodedView& decoded);
   void on_nic_frame(std::size_t router_index, std::size_t port_slot,
@@ -222,6 +253,15 @@ class RouterInterface {
   bool compression_enabled_ = false;
   std::size_t egress_high_ = 0;
   std::size_t egress_low_ = 0;
+  std::size_t uplink_batch_frames_ = kDefaultUplinkBatchFrames;
+  std::size_t uplink_batch_bytes_ = kDefaultUplinkBatchBytes;
+  /// Data frames serialized into send_buffer_ but not yet written to the
+  /// transport. Cleared on flush and on every session change (the batch
+  /// belongs to exactly one connection).
+  std::size_t pending_uplink_frames_ = 0;
+  // Owns the end-of-burst flush; scheduled copies hold weak references so
+  // destruction cancels any armed flush.
+  std::shared_ptr<std::function<void()>> uplink_flush_task_;
   bool joined_ = false;
   util::Duration keepalive_interval_{util::Duration::seconds(10)};
   // Owns the heartbeat loop; scheduled copies hold weak references.
@@ -250,6 +290,8 @@ class RouterInterface {
   std::string metrics_prefix_;
   util::Histogram* capture_hist_ = nullptr;
   util::Histogram* replay_hist_ = nullptr;
+  /// Data frames per uplink flush (all 1s when batching is off).
+  util::Histogram* egress_batch_hist_ = nullptr;
   /// Distribution of the (jittered) delays the reconnect machine slept.
   util::Histogram* backoff_hist_ = nullptr;
   std::size_t nic_counter_ = 0;

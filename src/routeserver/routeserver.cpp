@@ -40,6 +40,8 @@ RouteServer::RouteServer(simnet::Scheduler& scheduler,
                                   : &util::MetricsRegistry::global()) {
   forward_hist_ = &metrics_->histogram("routeserver.forward_ns");
   inject_hist_ = &metrics_->histogram("routeserver.inject_ns");
+  egress_batch_hist_ = &metrics_->histogram("routeserver.egress_batch_frames");
+  decode_batch_hist_ = &metrics_->histogram("routeserver.decode_batch_frames");
   netem_delay_hist_ = &metrics_->histogram("wire.netem_applied_delay_ns");
   compression_ratio_hist_ =
       &metrics_->histogram("wire.compression_ratio_x100");
@@ -74,6 +76,8 @@ RouteServer::RouteServer(simnet::Scheduler& scheduler,
   expose("routeserver.bytes_copied", &stats_.dataplane.bytes_copied);
   expose("routeserver.allocs_avoided", &stats_.dataplane.allocs_avoided);
   expose("routeserver.copies_avoided", &stats_.dataplane.copies_avoided);
+  expose("routeserver.egress_flushes", &stats_.dataplane.egress_flushes);
+  expose("routeserver.frames_coalesced", &stats_.dataplane.frames_coalesced);
   metrics_->probe_counter("routeserver.flight_events",
                           [this] { return flight_.total(); });
   metrics_->probe_gauge("routeserver.sites", [this] {
@@ -131,6 +135,49 @@ void RouteServer::set_egress_watermarks(std::size_t high, std::size_t low) {
     if (site->dead) continue;
     site->transport->set_egress_watermarks(egress_high_, egress_low_);
     if (egress_high_ == 0) site->shedding = false;
+  }
+}
+
+void RouteServer::set_egress_batching(std::size_t max_frames,
+                                      std::size_t max_bytes) {
+  // Knob changes take effect between bursts: drain every open batch under
+  // the old policy first so no frame is stranded by a smaller cap.
+  flush_pending();
+  batch_max_frames_ = max_frames == 0 ? 1 : max_frames;
+  batch_max_bytes_ = max_bytes == 0 ? SIZE_MAX : max_bytes;
+}
+
+void RouteServer::flush_site(Site* site) {
+  const std::size_t frames = site->pending_data_frames;
+  if (frames == 0) return;
+  // Zero the pending accounting before the transport sees the bytes: from
+  // here on they are counted (once) by transport->queued_bytes(). send()
+  // may reenter teardown (a TCP write error closes the site), so this order
+  // is what keeps a mid-flight batch from being double-counted or leaking
+  // ghost bytes into egress_queued().
+  site->pending_data_frames = 0;
+  site->pending_data_bytes = 0;
+  if (site->dead || !site->transport->is_open()) {
+    site->send_buffer.clear();  // batch dies with the session
+    return;
+  }
+  ++stats_.dataplane.egress_flushes;
+  stats_.dataplane.frames_coalesced += frames - 1;
+  egress_batch_hist_->record(frames);
+  site->transport->send(site->send_buffer.view());
+  site->send_buffer.clear();
+}
+
+void RouteServer::flush_pending() {
+  if (flush_list_.empty()) return;
+  // flush_site may tear sites down reentrantly (which leaves flush_list_
+  // alone but marks them dead) — iterate a detached copy. Site objects
+  // outlive this loop: purge_dead_sites only runs from accept/destruction.
+  std::vector<Site*> open;
+  open.swap(flush_list_);
+  for (Site* site : open) {
+    site->in_flush_list = false;
+    flush_site(site);
   }
 }
 
@@ -274,12 +321,21 @@ void RouteServer::on_site_data(Site* site, util::BytesView chunk) {
     site->transport->close();  // close handler marks the site dead
     return;
   }
+  // Batch decode: one feed drained every complete frame the chunk
+  // completed, amortizing buffer compaction across the whole batch; a
+  // trailing partial frame stays buffered for the next readable event.
+  if (!messages.empty()) decode_batch_hist_->record(messages.size());
   // The views (and their payloads) stay valid for this whole loop: nothing
-  // below feeds this site's decoder again.
+  // below feeds this site's decoder again. Stale-epoch and shed frames drop
+  // out mid-batch inside handle_data/deliver_to_port without disturbing the
+  // frames around them (or compressor lockstep — see the gates there).
   for (const auto& decoded : messages) {
     handle_message(site, decoded);
     if (site->dead) break;  // kLeave or error mid-batch
   }
+  // End-of-burst egress flush: every destination batch opened by this
+  // readable event goes to its transport in one write.
+  flush_pending();
   // NOTE: no purge here — this frame was entered from the site's own
   // transport, which must not be destroyed while it is on the stack. Dead
   // sites are reaped at the next accept() (or with the server).
@@ -313,6 +369,10 @@ void RouteServer::handle_message(
 void RouteServer::send_control(Site* site, wire::MessageType type,
                                wire::RouterId router, util::BytesView payload) {
   if (site->dead || !site->transport->is_open()) return;
+  // Control shares the site's send buffer with the egress batch and must
+  // not overtake data already accepted toward this site: flush the open
+  // batch first (one write), then serialize the control frame.
+  flush_site(site);
   site->send_buffer.clear();
   wire::encode_message_into(site->send_buffer, type, router, /*port_id=*/0,
                             payload, /*compressed=*/false,
@@ -609,8 +669,16 @@ void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame,
   }
 
   RNL_STAGE_START(encode_start);
+  const bool batching = batch_max_frames_ > 1;
   util::ByteWriter& w = site->send_buffer;
-  w.clear();
+  // Batching: append behind the frames already accumulated this burst.
+  // Opening a batch (pending_data_frames == 0) clears the buffer first —
+  // send_control shares it and leaves its encoded control frame behind on
+  // both the send and defer paths, and flush_site's empty-batch early
+  // return never clears. Without this, that residue would be re-sent at
+  // the head of the next batch and counted by pending_data_bytes.
+  // Unbatched: the buffer holds exactly one frame.
+  if (!batching || site->pending_data_frames == 0) w.clear();
   const std::size_t cap_before = w.capacity();
   bool sent_compressed = false;
   if (compression_enabled_) {
@@ -639,7 +707,28 @@ void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame,
     slow = true;
   }
   stats_.dataplane.bytes_copied += frame.size();
-  site->transport->send(w.view());
+  if (batching) {
+    if (!site->in_flush_list) {
+      flush_list_.push_back(site);
+      site->in_flush_list = true;
+    }
+    ++site->pending_data_frames;
+    site->pending_data_bytes = w.size();
+    // Flush on the frame/byte caps — and the moment the batch pushes the
+    // site's egress over the high watermark, so the transport sees the
+    // bytes now and backpressure (shedding, hard cap, drain callbacks)
+    // engages per-frame instead of a whole batch late. The frame itself is
+    // always appended whole first: batching never splits a frame.
+    if (site->pending_data_frames >= batch_max_frames_ ||
+        site->pending_data_bytes >= batch_max_bytes_ ||
+        (egress_high_ != 0 && egress_queued(site) >= egress_high_)) {
+      flush_site(site);
+    }
+  } else {
+    ++stats_.dataplane.egress_flushes;
+    egress_batch_hist_->record(1);
+    site->transport->send(w.view());
+  }
   RNL_STAGE_END(encode_start, stats_.dataplane.encode_send_ns);
 
   if (slow) {
@@ -663,6 +752,13 @@ void RouteServer::remove_site(Site* site, bool orderly) {
   }
   site->pending_control.clear();
   site->pending_control_bytes = 0;
+  // An open egress batch dies with the session — zero the accounting so the
+  // per-site gauge (and any egress_queued read during teardown) never
+  // reports bytes for frames that can no longer be sent. The site may still
+  // sit in flush_list_; flush_site sees frames == 0 and no-ops.
+  site->pending_data_frames = 0;
+  site->pending_data_bytes = 0;
+  site->send_buffer.clear();
 
   // Remove the site's routers from inventory ("those specialized equipment
   // defined by users could come and go at any time", §2.3). Both exit paths
@@ -782,6 +878,9 @@ util::Status RouteServer::connect_ports(wire::PortId a, wire::PortId b,
       end.netem = std::make_unique<wire::Netem>(
           scheduler_, wan, [this, dest](util::Bytes frame) {
             deliver_to_port(dest, frame, /*slow=*/true);
+            // The WAN hand-off is a scheduler event of its own, outside any
+            // decode burst — flush so the frame leaves now.
+            flush_pending();
           });
       end.netem->set_applied_delay_histogram(netem_delay_hist_);
     }
@@ -859,6 +958,9 @@ util::Status RouteServer::inject_frame(wire::PortId port,
   // forward-latency histogram, whose total tracks frames_routed.
   const std::uint64_t forward_start = util::monotonic_ns();
   deliver_to_port(port, frame, /*slow=*/true);
+  // API calls are their own burst: the frame must not sit in an open batch
+  // waiting for tunnel traffic that may never come.
+  flush_pending();
   const std::uint64_t forward_ns = util::monotonic_ns() - forward_start;
   inject_hist_->record(forward_ns);
   flight_.record({0, port, static_cast<std::uint32_t>(frame.size()),

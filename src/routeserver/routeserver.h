@@ -89,6 +89,14 @@ struct DataPlaneStats {
   /// encoded wire bytes) and copied the payload 2 extra times.
   std::uint64_t allocs_avoided = 0;
   std::uint64_t copies_avoided = 0;
+  /// Egress coalescing: transport writes that carried at least one data
+  /// frame. With batching on, several forwarded frames share one write;
+  /// frames_coalesced counts the transport sends avoided that way
+  /// (batched frames beyond the first of each flush). With batching off,
+  /// egress_flushes == fast_path_frames + slow_path_frames (per routed
+  /// frame) and frames_coalesced stays zero.
+  std::uint64_t egress_flushes = 0;
+  std::uint64_t frames_coalesced = 0;
 #ifdef RNL_DATAPLANE_CYCLES
   /// Per-stage wall time (nanoseconds), compiled in with -DRNL_DATAPLANE_CYCLES
   /// (CMake option RNL_DATAPLANE_CYCLES). Off by default: reading the clock
@@ -146,10 +154,11 @@ class RouteServer {
   /// `metrics` is the registry this server publishes into (nullptr: the
   /// process-wide MetricsRegistry::global()). The registry must outlive the
   /// server; every RouteServerStats field is exposed as a read-only probe
-  /// (prefix "routeserver."), and the server owns four histograms in it:
+  /// (prefix "routeserver."), and the server owns six histograms in it:
   /// forward latency (routed frames), inject latency (API-injected frames,
   /// kept separate so forward_ns totals track frames_routed exactly), netem
-  /// applied delay, and compression ratio.
+  /// applied delay, compression ratio, and the two batch-size distributions
+  /// (egress_batch_frames, decode_batch_frames).
   explicit RouteServer(simnet::Scheduler& scheduler,
                        util::MetricsRegistry* metrics = nullptr);
   ~RouteServer();
@@ -184,6 +193,25 @@ class RouteServer {
   void set_egress_watermarks(std::size_t high, std::size_t low);
   /// Queued bytes beyond which a site is evicted immediately. 0 disables.
   void set_egress_hard_cap(std::size_t cap) { egress_hard_cap_ = cap; }
+
+  // -- Egress batching (forward fast path) --
+  // Outgoing data frames toward one site accumulate in its reusable send
+  // buffer and flush in a single transport write. A batch flushes when it
+  // reaches `max_frames` frames or `max_bytes` buffered bytes, when the
+  // site's egress crosses the high watermark (so transport backpressure —
+  // and with it per-frame shedding — engages promptly), before any control
+  // frame toward the same site (FIFO across classes is preserved), and at
+  // the end of every delivery burst (end of a readable event, an
+  // inject_frame call, or an impaired-wire hand-off) so no frame ever
+  // waits for unrelated traffic. Frames are never split across writes.
+
+  /// Defaults: large enough to amortize per-write costs, small enough that
+  /// a batch stays well below the default egress watermarks.
+  static constexpr std::size_t kDefaultEgressBatchFrames = 32;
+  static constexpr std::size_t kDefaultEgressBatchBytes = 32 * 1024;
+  /// `max_frames` <= 1 disables coalescing (one write per frame — the
+  /// pre-batching behaviour). `max_bytes` == 0 means no byte budget.
+  void set_egress_batching(std::size_t max_frames, std::size_t max_bytes);
   /// How long a site may stay in the shedding regime without draining back
   /// to the low watermark before it is evicted. Zero disables.
   void set_stall_deadline(util::Duration deadline) {
@@ -281,6 +309,20 @@ class RouteServer {
     /// toward the hard cap so even control spam to a wedged site is bounded.
     std::deque<util::Bytes> pending_control;
     std::size_t pending_control_bytes = 0;
+    /// Egress batch: data frames already serialized into send_buffer but
+    /// not yet handed to the transport. pending_data_bytes mirrors
+    /// send_buffer.size() while a batch is open; both are zeroed *before*
+    /// the flush's transport->send so egress accounting counts each byte
+    /// exactly once (never both here and in transport->queued_bytes()),
+    /// even when the send tears the site down reentrantly.
+    std::size_t pending_data_frames = 0;
+    std::size_t pending_data_bytes = 0;
+    /// True while the site sits in flush_list_. Guards the push in
+    /// deliver_to_port: flush_site runs directly on frame-cap/watermark/
+    /// control triggers without removing the entry, so without this flag
+    /// one burst could enqueue the same site repeatedly. Cleared only by
+    /// flush_pending, which actually drains the list.
+    bool in_flush_list = false;
   };
 
   /// Per-site-name state that outlives any one connection. An un-orderly
@@ -349,8 +391,17 @@ class RouteServer {
   /// Transport drain callback: flush deferred control first (priority
   /// order), then leave the shedding regime if the queue is at/below low.
   void on_site_drained(Site* site);
+  /// Hands the site's open egress batch (if any) to the transport in one
+  /// write. Safe on dead sites (discards) and on empty batches (no-op).
+  void flush_site(Site* site);
+  /// End-of-burst flush: drains every site with an open batch. Called after
+  /// each decode loop, inject, and impaired-wire delivery.
+  void flush_pending();
   [[nodiscard]] std::size_t egress_queued(const Site* site) const {
-    return site->transport->queued_bytes() + site->pending_control_bytes;
+    // Unflushed batch bytes count toward the egress budget: shedding must
+    // trigger per-frame even while the bytes are still in the send buffer.
+    return site->transport->queued_bytes() + site->pending_control_bytes +
+           site->pending_data_bytes;
   }
   void note_capture(wire::PortId port, bool to_port, util::BytesView frame);
   /// Grows the dense port-indexed tables to cover ids < `limit`.
@@ -383,6 +434,13 @@ class RouteServer {
   std::size_t egress_high_ = kDefaultEgressHigh;
   std::size_t egress_low_ = kDefaultEgressLow;
   std::size_t egress_hard_cap_ = kDefaultEgressHardCap;
+  std::size_t batch_max_frames_ = kDefaultEgressBatchFrames;
+  std::size_t batch_max_bytes_ = kDefaultEgressBatchBytes;
+  /// Sites with an open egress batch, in first-frame order, deduplicated
+  /// by Site::in_flush_list. Entries may be dead or already drained by
+  /// flush time (flush_site discards / no-ops); Site objects stay alive
+  /// until purge_dead_sites(), so raw pointers are safe here.
+  std::vector<Site*> flush_list_;
   util::Duration stall_deadline_{util::Duration::seconds(30)};
   util::Duration liveness_timeout_{};
   // Owns the liveness sweep loop; scheduled copies hold weak references.
@@ -396,6 +454,12 @@ class RouteServer {
   util::MetricsRegistry* metrics_ = nullptr;
   util::Histogram* forward_hist_ = nullptr;
   util::Histogram* inject_hist_ = nullptr;
+  /// Batch-size distributions: data frames per egress flush / decoded
+  /// messages per readable event. Both count 1s when batching is off or
+  /// the peer sends frame-per-chunk, so a regression to unbatched I/O is
+  /// visible as a collapsed p99.
+  util::Histogram* egress_batch_hist_ = nullptr;
+  util::Histogram* decode_batch_hist_ = nullptr;
   util::Histogram* netem_delay_hist_ = nullptr;
   util::Histogram* compression_ratio_hist_ = nullptr;
   util::FlightRecorder flight_;

@@ -89,15 +89,44 @@ void Cable::carry(Port& from, util::BytesView frame) {
   // The scheduled delivery must survive neither endpoint being torn down
   // mid-flight (reservation expiry can unwire a live lab): the cable pointer
   // is re-validated at delivery time via the destination port's cable link.
-  util::Bytes copy(frame.begin(), frame.end());
+  //
+  // Frames with the same arrival instant coalesce onto the event already
+  // scheduled for that instant: the due times are monotonic per direction,
+  // so a new event is needed only when the arrival time advances.
+  const bool from_a = &from == &a_;
+  auto& inflight = from_a ? inflight_a_to_b_ : inflight_b_to_a_;
+  const bool need_event =
+      inflight.empty() || inflight.back().due != arrival;
+  inflight.push_back(
+      PendingDelivery{arrival, util::Bytes(frame.begin(), frame.end())});
+  if (!need_event) return;
   Cable* self = this;
   Port* dest = &to;
-  scheduler_.schedule_at(arrival, [self, dest, copy = std::move(copy)] {
+  scheduler_.schedule_at(arrival, [self, dest, from_a] {
     // If the cable was unplugged (or re-plugged elsewhere) while the frame
-    // was in flight, the photon dies in the fiber.
+    // was in flight, the photon dies in the fiber. The check also keeps the
+    // lambda from touching a freed Cable: `dest->cable_` only equals `self`
+    // while `self` is alive and still wired to `dest`.
     if (dest->cable_ != self) return;
-    dest->deliver(copy);
+    self->drain(from_a);
   });
+}
+
+void Cable::drain(bool from_a) {
+  auto& inflight = from_a ? inflight_a_to_b_ : inflight_b_to_a_;
+  Port& dest = from_a ? b_ : a_;
+  const util::SimTime now = scheduler_.now();
+  // Deliver everything due by now. A receive handler may transmit back onto
+  // this cable reentrantly (append while we drain) or unplug it outright, so
+  // re-validate the wiring and take each frame off the queue before handing
+  // it over. The wiring check runs first: once it fails, no member of a
+  // possibly-destroyed Cable is touched.
+  while (dest.cable_ == this && !inflight.empty() &&
+         inflight.front().due <= now) {
+    util::Bytes frame = std::move(inflight.front().frame);
+    inflight.pop_front();
+    dest.deliver(frame);
+  }
 }
 
 }  // namespace rnl::simnet

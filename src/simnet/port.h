@@ -10,6 +10,7 @@
 // both directions — this is the libpcap-equivalent RIS uses for capture.
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -100,6 +101,7 @@ class Cable {
  private:
   friend class Port;
   void carry(Port& from, util::BytesView frame);
+  void drain(bool from_a);
   Port& other(const Port& port) const { return &port == &a_ ? b_ : a_; }
 
   Scheduler& scheduler_;
@@ -110,6 +112,16 @@ class Cable {
   // and models transmit serialization back-pressure.
   util::SimTime next_delivery_a_to_b_;
   util::SimTime next_delivery_b_to_a_;
+  // In-flight frames per direction, due times monotonic (the fifo floor
+  // guarantees it). Frames landing at the same instant share one scheduled
+  // drain event — a line-rate burst is one wakeup, not one heap-allocated
+  // closure per frame.
+  struct PendingDelivery {
+    util::SimTime due;
+    util::Bytes frame;
+  };
+  std::deque<PendingDelivery> inflight_a_to_b_;
+  std::deque<PendingDelivery> inflight_b_to_a_;
 };
 
 }  // namespace rnl::simnet

@@ -45,6 +45,7 @@ struct SharedState {
   // null when SimStreamOptions::metrics was not set).
   util::Counter* bytes_sent = nullptr;
   util::Counter* bytes_delivered = nullptr;
+  util::Counter* sends = nullptr;
   util::Gauge* chunks_in_flight = nullptr;
 
   ~SharedState() {
@@ -106,6 +107,7 @@ class SimStreamEnd final : public Transport {
     if (state_->bytes_sent != nullptr) {
       state_->bytes_sent->inc(bytes.size());
     }
+    if (state_->sends != nullptr) state_->sends->inc(1);
     if (state_->chunks_in_flight != nullptr) {
       state_->chunks_in_flight->add(1);
     }
@@ -120,11 +122,10 @@ class SimStreamEnd final : public Transport {
       auto state = weak.lock();
       if (!state) return;  // ~SharedState reconciled the gauge already
       // A closed stream still delivers what was sent before the close (FIN
-      // semantics); only a severed link loses in-flight chunks.
-      if (state->severed) {
-        state->account_chunk_gone(to_b, copy.size());
-        return;
-      }
+      // semantics); only a severed link loses in-flight chunks. cut()
+      // already booked every in-flight chunk out of the accounting, so the
+      // late event must not decrement again.
+      if (state->severed) return;
       if (to_b ? state->stalled_to_b : state->stalled_to_a) {
         // Zero-window peer: the chunk parks, still counted as queued and
         // in flight, until SimLinkFault::resume().
@@ -247,10 +248,7 @@ void SharedState::flush_parked(bool to_b) {
     if (to_b ? stalled_to_b : stalled_to_a) return;  // re-stalled mid-flush
     util::Bytes chunk = std::move(parked.front());
     parked.pop_front();
-    if (severed) {
-      account_chunk_gone(to_b, chunk.size());
-      continue;
-    }
+    if (severed) continue;  // cut() already reconciled the accounting
     deliver_chunk(to_b, chunk);
   }
 }
@@ -278,6 +276,7 @@ make_sim_stream_pair(simnet::Scheduler& scheduler,
     state->bytes_sent = &options.metrics->counter("transport.bytes_sent");
     state->bytes_delivered =
         &options.metrics->counter("transport.bytes_delivered");
+    state->sends = &options.metrics->counter("transport.sends");
     state->chunks_in_flight =
         &options.metrics->gauge("transport.chunks_in_flight");
   }
@@ -293,6 +292,17 @@ make_sim_stream_pair(simnet::Scheduler& scheduler,
       st->open = false;
       st->severed = true;  // in-flight chunks die with the path
       st->drop_parked();
+      // Book the remaining in-flight chunks out NOW, in one step, so a
+      // coalesced batch torn down mid-flight leaves the egress accounting
+      // exactly once — queued_bytes() reads zero immediately after a cut,
+      // as a kernel would report after a reset. The still-scheduled
+      // delivery events see `severed` and skip the accounting.
+      if (st->chunks_in_flight != nullptr) {
+        st->chunks_in_flight->add(-st->inflight_chunks);
+      }
+      st->inflight_chunks = 0;
+      st->queued_ab = 0;
+      st->queued_ba = 0;
       // Both ends observe the failure, like two kernels surfacing a reset.
       // Handlers may reenter (e.g. a RIS scheduling its reconnect), so grab
       // the end pointers up front.

@@ -25,9 +25,15 @@ struct SimStreamOptions {
   /// later instead of disappearing.
   util::Duration retransmit_delay{util::Duration::milliseconds(200)};
   /// When set, the stream pair publishes "transport.bytes_sent",
-  /// "transport.bytes_delivered" counters and a "transport.chunks_in_flight"
-  /// queue-depth gauge into this registry (shared across all pairs wired to
-  /// the same registry). The registry must outlive the stream ends.
+  /// "transport.bytes_delivered" and "transport.sends" counters and a
+  /// "transport.chunks_in_flight" queue-depth gauge into this registry
+  /// (shared across all pairs wired to the same registry). The registry
+  /// must outlive the stream ends. "transport.sends" counts send() calls:
+  /// with egress coalescing upstream, one send carries many tunnel frames,
+  /// so sends << frames is the transport-level signature of batching. A
+  /// coalesced send is accounted exactly once — one chunk, its bytes
+  /// entering queued_bytes() on send and leaving once on delivery, drop,
+  /// or teardown — never per contained frame.
   util::MetricsRegistry* metrics = nullptr;
   /// When set, the fault handle is wired to this pair so a test harness can
   /// sever the link mid-run (see SimLinkFault). Non-owning; the handle must

@@ -83,6 +83,73 @@ class RnlStack : public ::testing::Test {
     net.run_for(util::Duration::milliseconds(500));
   }
 
+  /// Hand-rolled wire-level site: raw transport, real JOIN, full control of
+  /// chunk boundaries and epoch stamps. The decode-batch tests concatenate
+  /// several encoded messages into one chunk (or split one across two) —
+  /// exactly what a coalescing peer puts on the wire.
+  struct RawClient {
+    std::unique_ptr<transport::Transport> transport;
+    wire::MessageDecoder decoder;
+    std::optional<wire::JoinAck> ack;
+    /// Message types in arrival order — the egress-ordering tests read this.
+    std::vector<wire::MessageType> types;
+  };
+
+  /// Joins `raw` under `name` with one single-port router. `fault`, when
+  /// given, is armed on the tunnel (end a is the client side, so
+  /// `fault.stall(/*toward_a=*/true, false)` freezes the server's egress
+  /// toward this client).
+  void raw_join(RawClient& raw, const std::string& name,
+                transport::SimLinkFault* fault = nullptr) {
+    transport::SimStreamOptions options;
+    options.fault = fault;
+    auto [client, server_end] =
+        transport::make_sim_stream_pair(net.scheduler(), options);
+    server.accept(std::move(server_end));
+    raw.transport = std::move(client);
+    raw.transport->set_receive_handler([&raw](util::BytesView chunk) {
+      for (const auto& view : raw.decoder.feed_views(chunk)) {
+        raw.types.push_back(view.type);
+        if (view.type != wire::MessageType::kJoinAck) continue;
+        auto json = util::Json::parse(
+            std::string(view.payload.begin(), view.payload.end()));
+        if (!json.ok()) continue;
+        auto parsed = wire::JoinAck::from_json(*json);
+        if (parsed.ok()) raw.ack = *parsed;
+      }
+    });
+    wire::JoinRequest request;
+    request.site_name = name;
+    wire::RouterDeclaration router;
+    router.name = "r1";
+    router.ports.emplace_back();
+    router.ports.back().name = "p0";
+    request.routers.push_back(router);
+    std::string join_json = request.to_json().dump();
+    util::ByteWriter join_frame;
+    wire::encode_message_into(
+        join_frame, wire::MessageType::kJoin, 0, 0,
+        util::BytesView(
+            reinterpret_cast<const std::uint8_t*>(join_json.data()),
+            join_json.size()));
+    raw.transport->send(join_frame.view());
+    net.run_for(util::Duration::milliseconds(100));
+  }
+
+  /// Appends one uncompressed kData frame from `raw`'s router to `w`.
+  void encode_raw_data(RawClient& raw, util::ByteWriter& w,
+                       const util::Bytes& frame, std::uint8_t epoch = 0) {
+    encode_raw_data_to(raw, w, raw.ack->routers[0].port_ids.at(0), frame,
+                       epoch);
+  }
+  void encode_raw_data_to(RawClient& raw, util::ByteWriter& w,
+                          wire::PortId source_port, const util::Bytes& frame,
+                          std::uint8_t epoch = 0) {
+    wire::encode_message_into(w, wire::MessageType::kData,
+                              raw.ack->routers[0].router_id, source_port,
+                              frame, /*compressed=*/false, epoch);
+  }
+
   wire::PortId port_of(const std::string& router_name) {
     for (const auto& router : server.inventory()) {
       if (router.name == router_name) return router.ports.at(0).id;
@@ -846,6 +913,340 @@ TEST_F(RnlStack, ShedSiteRecoversAndDeferredControlIsDelivered) {
   EXPECT_EQ(server.stats().stalled_evictions, 0u);
   EXPECT_EQ(server.stats().hard_cap_evictions, 0u);
   EXPECT_TRUE(site1.joined());  // shed, drained, never evicted
+}
+
+TEST_F(RnlStack, DecodeBatchHandlesPartialFrameAtTheChunkBoundary) {
+  // A coalescing peer puts N whole frames in one write, but TCP segmentation
+  // may still tear the last frame across two readable events. The batch
+  // decode must route every complete frame immediately and hold the torn
+  // tail for the next chunk — no error, no frame lost, no frame doubled.
+  join(site2);
+  wire::PortId p2 = port_of("eu-central/h2");
+  RawClient raw;
+  raw_join(raw, "crafty");
+  ASSERT_TRUE(raw.ack.has_value());
+  ASSERT_TRUE(
+      server.connect_ports(raw.ack->routers[0].port_ids.at(0), p2).ok());
+
+  const util::Histogram& decode_batches =
+      server.metrics().histogram("routeserver.decode_batch_frames");
+  const std::uint64_t batches_before = decode_batches.count();
+  const std::uint64_t routed_before = server.stats().frames_routed;
+  const std::uint64_t down_before = site2.stats().frames_down;
+
+  util::ByteWriter batch;
+  encode_raw_data(raw, batch, util::Bytes(64, 0x11));
+  encode_raw_data(raw, batch, util::Bytes(64, 0x22));
+  util::ByteWriter third;
+  encode_raw_data(raw, third, util::Bytes(64, 0x33));
+  const std::size_t split = third.view().size() / 2;
+  util::Bytes first_chunk(batch.view().begin(), batch.view().end());
+  first_chunk.insert(first_chunk.end(), third.view().begin(),
+                     third.view().begin() + split);
+  raw.transport->send(first_chunk);
+  net.run_for(util::Duration::milliseconds(50));
+
+  // Two complete frames routed as one decode batch; the torn tail waits.
+  EXPECT_EQ(server.stats().frames_routed, routed_before + 2);
+  EXPECT_EQ(decode_batches.count(), batches_before + 1);
+  EXPECT_EQ(server.stats().decode_errors, 0u);
+
+  raw.transport->send(util::BytesView(third.view().data() + split,
+                                      third.view().size() - split));
+  net.run_for(util::Duration::milliseconds(200));
+  EXPECT_EQ(server.stats().frames_routed, routed_before + 3);
+  EXPECT_EQ(decode_batches.count(), batches_before + 2);
+  EXPECT_EQ(server.stats().decode_errors, 0u);
+  // All three arrived whole at the destination site.
+  EXPECT_EQ(site2.stats().frames_down, down_before + 3);
+  EXPECT_EQ(site2.stats().decode_errors, 0u);
+}
+
+TEST_F(RnlStack, StaleEpochFrameMidDecodeBatchDropsWithoutTearingTheBatch) {
+  // One coalesced chunk carrying good frames around a stale-epoch frame and
+  // a spoofed-port frame: both bad frames drop at their gates mid-batch,
+  // the good frames around them route, and nothing downstream tears.
+  join(site2);
+  wire::PortId p2 = port_of("eu-central/h2");
+  RawClient raw;
+  raw_join(raw, "crafty");
+  ASSERT_TRUE(raw.ack.has_value());
+  ASSERT_TRUE(
+      server.connect_ports(raw.ack->routers[0].port_ids.at(0), p2).ok());
+
+  const std::uint64_t routed_before = server.stats().frames_routed;
+  const std::uint64_t stale_before = server.stats().stale_epoch_drops;
+  const std::uint64_t spoofed_before = server.stats().spoofed_port_drops;
+  const std::uint64_t down_before = site2.stats().frames_down;
+
+  util::ByteWriter batch;
+  encode_raw_data(raw, batch, util::Bytes(64, 0x01));
+  encode_raw_data(raw, batch, util::Bytes(64, 0x02), /*epoch=*/3);  // stale
+  encode_raw_data(raw, batch, util::Bytes(64, 0x03));
+  // Sourced from site2's port — spoofed: a port this site does not own.
+  encode_raw_data_to(raw, batch, p2, util::Bytes(64, 0x04));
+  encode_raw_data(raw, batch, util::Bytes(64, 0x05));
+  raw.transport->send(batch.view());
+  net.run_for(util::Duration::milliseconds(200));
+
+  EXPECT_EQ(server.stats().frames_routed, routed_before + 3);
+  EXPECT_EQ(server.stats().stale_epoch_drops, stale_before + 1);
+  EXPECT_EQ(server.stats().spoofed_port_drops, spoofed_before + 1);
+  EXPECT_EQ(server.stats().decode_errors, 0u);
+  EXPECT_EQ(site2.stats().frames_down, down_before + 3);
+  EXPECT_EQ(site2.stats().decode_errors, 0u);
+}
+
+TEST_F(RnlStack, WatermarkCrossedMidFlushShedsWholeFramesOnly) {
+  // A decode batch big enough to push the destination's egress over the
+  // high watermark mid-flush: the batch flushes early the moment the
+  // watermark is crossed, the remaining frames shed per-frame, and every
+  // frame that was accepted arrives whole — batching never splits a frame.
+  server.set_egress_watermarks(8 * 1024, 2 * 1024);
+  server.set_stall_deadline(util::Duration::seconds(60));
+  server.set_egress_batching(/*max_frames=*/64, /*max_bytes=*/64 * 1024);
+  transport::SimLinkFault fault;
+  join_with_fault(site1, fault);
+  ASSERT_TRUE(site1.joined());
+  wire::PortId p1 = port_of("us-west/h1");
+  RawClient raw;
+  raw_join(raw, "crafty");
+  ASSERT_TRUE(raw.ack.has_value());
+  ASSERT_TRUE(
+      server.connect_ports(raw.ack->routers[0].port_ids.at(0), p1).ok());
+
+  const std::uint64_t shed_before = server.stats().shed_data_frames;
+  const std::uint64_t flushes_before = server.stats().dataplane.egress_flushes;
+  const std::uint64_t down_before = site1.stats().frames_down;
+
+  // Freeze the server->site1 direction, then deliver 16 x 1420B frames in
+  // ONE chunk: the batch crosses 8 KiB around the sixth frame, flushes, and
+  // the rest shed against the now-parked egress.
+  fault.stall(/*toward_a=*/true, /*toward_b=*/false);
+  util::ByteWriter batch;
+  for (int i = 0; i < 16; ++i) {
+    encode_raw_data(raw, batch, util::Bytes(1400, 0xAA));
+  }
+  raw.transport->send(batch.view());
+  net.run_for(util::Duration::milliseconds(100));
+
+  const std::uint64_t shed = server.stats().shed_data_frames - shed_before;
+  EXPECT_GE(shed, 5u);
+  EXPECT_LT(shed, 16u);  // the pre-watermark frames were accepted
+  EXPECT_GE(server.stats().dataplane.egress_flushes, flushes_before + 1);
+  EXPECT_EQ(server.sites_shedding(), 1u);
+
+  // The consumer wakes up: every accepted frame arrives intact — a split
+  // frame would be a decode error at the site.
+  fault.resume();
+  net.run_for(util::Duration::seconds(1));
+  EXPECT_EQ(site1.stats().frames_down, down_before + (16 - shed));
+  EXPECT_EQ(site1.stats().decode_errors, 0u);
+  EXPECT_EQ(server.stats().stalled_evictions, 0u);
+  EXPECT_TRUE(site1.joined());
+  EXPECT_EQ(server.sites_shedding(), 0u);
+}
+
+TEST_F(RnlStack, DeferredControlUnderBatchingFollowsParkedData) {
+  // Deferred-control ordering under batching: data already accepted into
+  // coalesced writes drains first, the deferred control frame follows on
+  // the drain callback — priority never overtakes parked data, and the
+  // receiver sees whole frames in order.
+  server.set_egress_watermarks(8 * 1024, 2 * 1024);
+  server.set_stall_deadline(util::Duration::seconds(60));
+  server.set_egress_batching(/*max_frames=*/8, /*max_bytes=*/64 * 1024);
+  transport::SimLinkFault fault;
+  RawClient dst;
+  raw_join(dst, "dst", &fault);
+  ASSERT_TRUE(dst.ack.has_value());
+  RawClient src;
+  raw_join(src, "src");
+  ASSERT_TRUE(src.ack.has_value());
+  ASSERT_TRUE(server
+                  .connect_ports(src.ack->routers[0].port_ids.at(0),
+                                 dst.ack->routers[0].port_ids.at(0))
+                  .ok());
+  dst.types.clear();  // drop the JoinAck; watch only the stalled phase
+
+  // Freeze server->dst, then forward five frames in one coalesced write
+  // (under the watermark: parked, not shed) ...
+  fault.stall(/*toward_a=*/true, /*toward_b=*/false);
+  util::ByteWriter first;
+  for (int i = 0; i < 5; ++i) {
+    encode_raw_data(src, first, util::Bytes(1400, 0xBB));
+  }
+  src.transport->send(first.view());
+  net.run_for(util::Duration::milliseconds(50));
+
+  // ... then a second batch that crosses the watermark: one more frame is
+  // accepted (flushed alone, whole), the rest shed.
+  util::ByteWriter second;
+  for (int i = 0; i < 5; ++i) {
+    encode_raw_data(src, second, util::Bytes(1400, 0xCC));
+  }
+  src.transport->send(second.view());
+  net.run_for(util::Duration::milliseconds(50));
+  ASSERT_EQ(server.sites_shedding(), 1u);
+  const std::uint64_t accepted =
+      10 - (server.stats().shed_data_frames);
+
+  // Control toward the shed site defers instead of jumping the queue.
+  std::string command = "show version\n";
+  ASSERT_TRUE(server
+                  .console_send(dst.ack->routers[0].router_id,
+                                util::BytesView(
+                                    reinterpret_cast<const std::uint8_t*>(
+                                        command.data()),
+                                    command.size()))
+                  .ok());
+  EXPECT_EQ(server.stats().control_frames_deferred, 1u);
+  EXPECT_TRUE(dst.types.empty());  // stalled: nothing arrived yet
+
+  fault.resume();
+  net.run_for(util::Duration::seconds(1));
+  // Every accepted data frame drains (other parked control — e.g. an
+  // inventory update — may ride along), and the deferred console frame
+  // comes AFTER the last data frame: priority never overtakes parked data.
+  std::size_t data_seen = 0;
+  std::size_t last_data = 0;
+  std::size_t console_at = 0;
+  std::size_t console_seen = 0;
+  for (std::size_t i = 0; i < dst.types.size(); ++i) {
+    if (dst.types[i] == wire::MessageType::kData) {
+      ++data_seen;
+      last_data = i;
+    } else if (dst.types[i] == wire::MessageType::kConsoleData) {
+      ++console_seen;
+      console_at = i;
+    }
+  }
+  EXPECT_EQ(data_seen, accepted);
+  ASSERT_EQ(console_seen, 1u);
+  EXPECT_GT(console_at, last_data);
+  EXPECT_FALSE(dst.decoder.failed());
+  EXPECT_EQ(server.sites_shedding(), 0u);
+}
+
+TEST_F(RnlStack, EgressCoalescingLedgerCountsFlushesAndCoalescedFrames) {
+  // Observability of the fast path itself: a four-frame decode batch ends
+  // in ONE egress flush carrying four frames — three writes avoided, and
+  // both batch histograms record it.
+  join(site2);
+  wire::PortId p2 = port_of("eu-central/h2");
+  RawClient raw;
+  raw_join(raw, "crafty");
+  ASSERT_TRUE(raw.ack.has_value());
+  ASSERT_TRUE(
+      server.connect_ports(raw.ack->routers[0].port_ids.at(0), p2).ok());
+
+  const util::Histogram& egress_batches =
+      server.metrics().histogram("routeserver.egress_batch_frames");
+  const std::uint64_t flushes_before = server.stats().dataplane.egress_flushes;
+  const std::uint64_t coalesced_before =
+      server.stats().dataplane.frames_coalesced;
+  const std::uint64_t egress_count_before = egress_batches.count();
+
+  util::ByteWriter batch;
+  for (int i = 0; i < 4; ++i) {
+    encode_raw_data(raw, batch, util::Bytes(256, 0x5A));
+  }
+  raw.transport->send(batch.view());
+  net.run_for(util::Duration::milliseconds(200));
+
+  EXPECT_EQ(server.stats().dataplane.egress_flushes, flushes_before + 1);
+  EXPECT_EQ(server.stats().dataplane.frames_coalesced, coalesced_before + 3);
+  EXPECT_EQ(egress_batches.count(), egress_count_before + 1);
+  EXPECT_EQ(site2.stats().frames_down, 4u);
+  EXPECT_EQ(site2.stats().decode_errors, 0u);
+}
+
+TEST_F(RnlStack, ControlResidueNeverReplaysAtTheHeadOfABatch) {
+  // Regression: send_control serializes into the site's shared send buffer
+  // and leaves the encoded frame behind on both its send and defer paths.
+  // Opening the next egress batch must clear that residue, or the control
+  // frame — the JoinAck after join, a console frame later — is re-sent at
+  // the head of the site's next coalesced data write.
+  RawClient dst;
+  raw_join(dst, "dst");
+  ASSERT_TRUE(dst.ack.has_value());
+  RawClient src;
+  raw_join(src, "src");
+  ASSERT_TRUE(src.ack.has_value());
+  ASSERT_TRUE(server
+                  .connect_ports(src.ack->routers[0].port_ids.at(0),
+                                 dst.ack->routers[0].port_ids.at(0))
+                  .ok());
+  net.run_for(util::Duration::milliseconds(50));
+  dst.types.clear();  // the JoinAck has been consumed
+
+  // First coalesced batch after the JoinAck: data frames only.
+  util::ByteWriter first;
+  for (int i = 0; i < 4; ++i) {
+    encode_raw_data(src, first, util::Bytes(256, 0xA1));
+  }
+  src.transport->send(first.view());
+  net.run_for(util::Duration::milliseconds(100));
+  ASSERT_EQ(dst.types.size(), 4u);
+  for (wire::MessageType type : dst.types) {
+    EXPECT_EQ(type, wire::MessageType::kData);
+  }
+
+  // A console frame between batches arrives exactly once, and the batch
+  // that follows it again carries only data.
+  dst.types.clear();
+  std::string command = "show version\n";
+  ASSERT_TRUE(server
+                  .console_send(dst.ack->routers[0].router_id,
+                                util::BytesView(
+                                    reinterpret_cast<const std::uint8_t*>(
+                                        command.data()),
+                                    command.size()))
+                  .ok());
+  net.run_for(util::Duration::milliseconds(50));
+  util::ByteWriter second;
+  for (int i = 0; i < 4; ++i) {
+    encode_raw_data(src, second, util::Bytes(256, 0xB2));
+  }
+  src.transport->send(second.view());
+  net.run_for(util::Duration::milliseconds(100));
+  std::size_t console_seen = 0;
+  std::size_t data_seen = 0;
+  for (wire::MessageType type : dst.types) {
+    if (type == wire::MessageType::kConsoleData) ++console_seen;
+    if (type == wire::MessageType::kData) ++data_seen;
+  }
+  EXPECT_EQ(console_seen, 1u);
+  EXPECT_EQ(data_seen, 4u);
+  EXPECT_EQ(dst.types.size(), 5u);
+  EXPECT_FALSE(dst.decoder.failed());
+}
+
+TEST_F(RnlStack, UplinkRebatchAfterUnbatchedRunSendsNoStaleFrame) {
+  // Regression: an unbatched uplink send leaves its encoded frame in the
+  // RIS's reusable send buffer. Enabling batching afterwards must not
+  // replay it — the first batched flush would otherwise carry the previous
+  // data frame again and the server would route a duplicate.
+  join(site1);
+  join(site2);
+  ASSERT_TRUE(server
+                  .connect_ports(port_of("us-west/h1"), port_of("eu-central/h2"))
+                  .ok());
+  site1.set_uplink_batching(/*max_frames=*/1, /*max_bytes=*/0);
+  h1.ping(ip("10.0.0.2"), 3);
+  net.run_for(util::Duration::seconds(2));
+  ASSERT_EQ(h1.ping_replies().size(), 3u);
+
+  site1.set_uplink_batching(/*max_frames=*/32, /*max_bytes=*/16 * 1024);
+  h1.ping(ip("10.0.0.2"), 3);
+  net.run_for(util::Duration::seconds(2));
+  ASSERT_EQ(h1.ping_replies().size(), 6u);
+
+  // Every frame the server routed was captured by exactly one site: a
+  // stale-buffer replay would push frames_routed above the captured sum.
+  EXPECT_EQ(server.stats().frames_routed,
+            site1.stats().frames_up + site2.stats().frames_up);
+  EXPECT_EQ(server.stats().unrouted_drops, 0u);
+  EXPECT_EQ(server.stats().decode_errors, 0u);
 }
 
 TEST_F(RnlStack, ShedDataFramesPreserveCompressionLockstep) {

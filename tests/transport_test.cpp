@@ -265,6 +265,57 @@ TEST(SimStream, CutWhileStalledDropsParkedChunksWithAccounting) {
   EXPECT_TRUE(received.empty());
 }
 
+TEST(SimStream, CoalescedSendWatermarkAccountingCountsBytesOnce) {
+  // A coalesced egress write (many tunnel frames in one send) must be
+  // accounted as ONE chunk whose bytes enter queued_bytes() once — not once
+  // per contained frame — and must reconcile exactly once whether it drains
+  // normally or the link is cut with the batch still in flight.
+  util::MetricsRegistry registry;
+  util::Gauge& in_flight = registry.gauge("transport.chunks_in_flight");
+  util::Counter& sends = registry.counter("transport.sends");
+  simnet::Scheduler sched(17);
+  SimLinkFault fault;
+  SimStreamOptions options;
+  options.fault = &fault;
+  options.metrics = &registry;
+  options.wan.delay = util::Duration::milliseconds(10);
+  auto [a, b] = make_sim_stream_pair(sched, options);
+  util::Bytes received;
+  b->set_receive_handler([&](util::BytesView chunk) {
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  });
+  a->set_egress_watermarks(200, 50);
+
+  // Three 30-byte frames coalesced into one 90-byte batch.
+  util::Bytes batch;
+  for (int frame = 0; frame < 3; ++frame) {
+    util::Bytes one(30, static_cast<std::uint8_t>(0x40 + frame));
+    batch.insert(batch.end(), one.begin(), one.end());
+  }
+  a->send(batch);
+  EXPECT_EQ(sends.value(), 1u);
+  EXPECT_EQ(a->queued_bytes(), 90u);  // bytes counted once, not 3 x 90
+  EXPECT_EQ(in_flight.value(), 1);    // one chunk, not one per frame
+  EXPECT_TRUE(a->writable());         // 90 < high watermark of 200
+
+  sched.run_all();
+  EXPECT_EQ(received.size(), 90u);
+  EXPECT_EQ(a->queued_bytes(), 0u);  // reconciled exactly once on delivery
+  EXPECT_EQ(in_flight.value(), 0);
+
+  // Mid-flight teardown: a second batch dies with the link. Its bytes must
+  // leave the accounting exactly once (no residue, no double-decrement).
+  a->send(batch);
+  EXPECT_EQ(sends.value(), 2u);
+  EXPECT_EQ(a->queued_bytes(), 90u);
+  EXPECT_EQ(in_flight.value(), 1);
+  fault.cut();
+  EXPECT_EQ(a->queued_bytes(), 0u);
+  EXPECT_EQ(in_flight.value(), 0);
+  sched.run_all();
+  EXPECT_EQ(received.size(), 90u);  // the dropped batch never arrived
+}
+
 TEST(TcpLoopback, EchoRoundTrip) {
   TcpEventLoop loop;
   TcpListener listener(loop);
