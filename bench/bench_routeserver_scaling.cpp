@@ -25,9 +25,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cmath>
 #include <cstring>
 #include <ctime>
 #include <fstream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -157,7 +159,36 @@ struct RunResult {
   /// unwinds — the bench reports the same numbers an operator would read
   /// off the live API.
   util::Json metrics;
+  /// Per-stage mean span durations (ns) from the tracer rings; only
+  /// populated by traced runs (see run_traced).
+  util::Json stages;
 };
+
+/// Mean span duration per pipeline stage, aggregated over every ring the
+/// testbed's tracer holds: {"capture": {"count": n, "mean_ns": ...}, ...}.
+util::Json stage_breakdown(util::Tracer& tracer) {
+  struct Acc {
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+  };
+  std::map<std::string, Acc> acc;
+  const util::Json dump = tracer.to_json();
+  for (const auto& e : dump["events"].as_array()) {
+    const auto dur = static_cast<std::uint64_t>(e["dur_ns"].as_int());
+    if (dur == 0) continue;  // instants carry no stage latency
+    Acc& a = acc[e["stage"].as_string()];
+    ++a.count;
+    a.sum_ns += dur;
+  }
+  util::Json out = util::Json::object();
+  for (const auto& [stage, a] : acc) {
+    util::Json s = util::Json::object();
+    s.set("count", a.count);
+    s.set("mean_ns", a.sum_ns / a.count);
+    out.set(stage, std::move(s));
+  }
+  return out;
+}
 
 /// Shared drive loop: `pump` advances whatever event sources the transport
 /// needs (sim scheduler, and the poll loop in TCP mode). Terminates when
@@ -196,25 +227,33 @@ RunResult drive(core::Testbed& bed, const std::vector<UserPair>& pairs,
 
 /// Central route server, simulated transport (every tunnel is a SimStream
 /// over a LAN profile), one thread.
-RunResult run_sim(std::size_t users, std::size_t frames, bool batched) {
+RunResult run_sim(std::size_t users, std::size_t frames, bool batched,
+                  bool traced = false) {
   core::Testbed bed(70, wire::NetemProfile::lan());
   std::vector<UserPair> pairs;
   for (std::size_t u = 0; u < users; ++u) pairs.push_back(add_user_pair(bed, u));
   apply_batching(bed, pairs, batched);
+  // Default head sampling (1-in-kDefaultHeadSamplePeriod) — the overhead
+  // an operator pays for always-on tracing, gated on being < 3%.
+  if (traced) bed.tracer().set_enabled(true);
   bed.join_all();
   wire_users(bed, users);
-  return drive(bed, pairs, frames, [&] {
+  RunResult result = drive(bed, pairs, frames, [&] {
     bed.net().run_for(util::Duration::microseconds(100));
   });
+  if (traced) result.stages = stage_breakdown(bed.tracer());
+  return result;
 }
 
 /// Central route server over real loopback TCP sockets: RIS dials the
 /// listener exactly as a deployment would (§2.2), and the bench interleaves
 /// the simulated clock (device timers) with the poll loop. Here a coalesced
 /// egress write is one send() syscall instead of many.
-RunResult run_tcp(std::size_t users, std::size_t frames, bool batched) {
+RunResult run_tcp(std::size_t users, std::size_t frames, bool batched,
+                  bool traced = false) {
   transport::TcpEventLoop loop;
   core::Testbed bed(70, wire::NetemProfile::lan());
+  if (traced) bed.tracer().set_enabled(true);
   transport::TcpListener listener(loop);
   auto status = listener.listen(0, [&](std::unique_ptr<transport::TcpTransport> t) {
     bed.server().accept(std::move(t));
@@ -250,10 +289,12 @@ RunResult run_tcp(std::size_t users, std::size_t frames, bool batched) {
     std::exit(1);
   }
   wire_users(bed, users);
-  return drive(bed, pairs, frames, [&] {
+  RunResult result = drive(bed, pairs, frames, [&] {
     bed.net().run_for(util::Duration::microseconds(100));
     loop.run_once(0);
   });
+  if (traced) result.stages = stage_breakdown(bed.tracer());
+  return result;
 }
 
 /// One private route server per user, one OS thread each — sound because
@@ -352,6 +393,11 @@ int main(int argc, char** argv) {
   report.set("reps_per_cell", static_cast<std::uint64_t>(kReps));
   report.set("throughput_clock", "process_cpu");
   util::Json rows = util::Json::array();
+  // Per-cell trace_overhead ratios are noise-limited (two medians of CPU
+  // time divided); the geometric mean across all cells is the number the
+  // <3% tracing-overhead acceptance reads.
+  double log_overhead_sum = 0;
+  std::size_t overhead_cells = 0;
   for (const char* transport : {"sim", "tcp"}) {
     const bool tcp = std::strcmp(transport, "tcp") == 0;
     for (std::size_t users : user_counts) {
@@ -362,6 +408,14 @@ int main(int argc, char** argv) {
       RunResult batched = median_run([&] {
         return tcp ? run_tcp(users, frames, true)
                    : run_sim(users, frames, true);
+      });
+      // Batched runs with tracing enabled at the default head sampling:
+      // supplies the per-stage latency columns and the tracing overhead
+      // ratio (acceptance: < 3% vs tracing off). Median-of-kReps like the
+      // untraced cells, so the ratio compares like against like.
+      RunResult traced = median_run([&] {
+        return tcp ? run_tcp(users, frames, true, true)
+                   : run_sim(users, frames, true, true);
       });
       double speedup = unbatched.frames_per_sec > 0
                            ? batched.frames_per_sec / unbatched.frames_per_sec
@@ -375,6 +429,15 @@ int main(int argc, char** argv) {
         std::printf("%5zu %5s %20.0f %18.0f %8.2fx %18.0f\n", users, transport,
                     unbatched.frames_per_sec, batched.frames_per_sec, speedup,
                     per_user);
+      }
+      std::string stage_line;
+      for (const auto& [stage, s] : traced.stages.as_object()) {
+        if (!stage_line.empty()) stage_line += "  ";
+        stage_line += stage + "=" + std::to_string(s["mean_ns"].as_int()) +
+                      "ns";
+      }
+      if (!stage_line.empty()) {
+        std::printf("            stages(mean): %s\n", stage_line.c_str());
       }
       util::Json row = util::Json::object();
       row.set("users", static_cast<std::uint64_t>(users));
@@ -406,6 +469,19 @@ int main(int argc, char** argv) {
       set_hist(row, m, "routeserver.forward_ns", "forward_ns");
       set_hist(row, m, "routeserver.egress_batch_frames", "egress_batch");
       set_hist(row, m, "routeserver.decode_batch_frames", "decode_batch");
+      // Per-stage breakdown from the traced run (mean ns per span), plus
+      // how much the tracing itself cost.
+      row.set("traced_frames_per_sec", traced.frames_per_sec);
+      const double overhead = traced.frames_per_sec > 0
+                                  ? batched.frames_per_sec /
+                                        traced.frames_per_sec
+                                  : 0;
+      row.set("trace_overhead", overhead);
+      row.set("stages", std::move(traced.stages));
+      if (overhead > 0) {
+        log_overhead_sum += std::log(overhead);
+        ++overhead_cells;
+      }
       if (!tcp) {
         // SimStream publishes a per-write counter; on TCP the same signal
         // is the syscall count, which we don't sample here.
@@ -415,6 +491,13 @@ int main(int argc, char** argv) {
     }
   }
   report.set("rows", std::move(rows));
+  const double overhead_geomean =
+      overhead_cells > 0
+          ? std::exp(log_overhead_sum / static_cast<double>(overhead_cells))
+          : 0;
+  report.set("trace_overhead_geomean", overhead_geomean);
+  std::printf("\ntracing overhead (geomean over %zu cells): %.3fx\n",
+              overhead_cells, overhead_geomean);
   {
     std::ofstream out(out_path);
     out << report.dump_pretty() << "\n";

@@ -6,7 +6,9 @@
 // Input layout:
 //   [1B type selector][4B router][4B port][1B epoch][1B flags][payload...]
 // The selector maps onto the seven valid MessageTypes; the payload is the
-// rest of the input verbatim.
+// rest of the input verbatim. Flags bit0 selects compression, bit1 marks
+// the frame traced (the trace id is derived from the ids so the round-trip
+// covers the 8-byte payload prefix added by wire::kFlagTraced).
 
 #include <algorithm>
 #include <cstdint>
@@ -30,12 +32,16 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   const std::uint32_t router_id = r.u32();
   const std::uint32_t port_id = r.u32();
   const std::uint8_t epoch = r.u8();
-  const bool compressed = (r.u8() & 1) != 0;
+  const std::uint8_t flags = r.u8();
+  const bool compressed = (flags & 1) != 0;
+  const bool traced = (flags & 2) != 0;
+  const std::uint64_t trace_id =
+      traced ? (std::uint64_t{router_id} << 32 | port_id) | 1 : 0;
   const BytesView payload = r.rest();
 
   ByteWriter w;
   rnl::wire::encode_message_into(w, type, router_id, port_id, payload,
-                                 compressed, epoch);
+                                 compressed, epoch, trace_id);
 
   MessageDecoder decoder;
   const auto& views = decoder.feed_views(w.view());
@@ -46,6 +52,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   FUZZ_ASSERT(views[0].port_id == port_id);
   FUZZ_ASSERT(views[0].epoch == epoch);
   FUZZ_ASSERT(views[0].compressed == compressed);
+  FUZZ_ASSERT(views[0].trace_id == trace_id);
   FUZZ_ASSERT(views[0].payload.size() == payload.size());
   FUZZ_ASSERT(std::equal(views[0].payload.begin(), views[0].payload.end(),
                          payload.begin()));
@@ -55,7 +62,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   // depend on a frame being alone in the stream.
   ByteWriter pair;
   rnl::wire::encode_message_into(pair, type, router_id, port_id, payload,
-                                 compressed, epoch);
+                                 compressed, epoch, trace_id);
   rnl::wire::encode_message_into(pair, MessageType::kKeepalive, 0, 0, {},
                                  false, epoch);
   MessageDecoder decoder2;

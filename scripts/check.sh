@@ -4,7 +4,7 @@
 # data plane hands out views into reusable buffers, so lifetime mistakes tend
 # to pass plain tests and only show up under the sanitizers.
 #
-# Usage: scripts/check.sh [--metrics] [--faults] [--lint] [--fuzz] [--tsan] [--bench] [jobs]
+# Usage: scripts/check.sh [--metrics] [--faults] [--lint] [--fuzz] [--tsan] [--bench] [--trace] [jobs]
 #   --metrics  additionally run the observability smoke binary
 #              (examples/metrics_smoke) from the sanitizer build: boots a
 #              sim testbed, routes traffic, and asserts metrics.dump is
@@ -37,6 +37,11 @@
 #              forward fast path (fast_path_frames > 0, frames_routed > 0).
 #              Catches a bench regression where frames stop traversing
 #              decode -> port lookup -> egress and the numbers go vacuous.
+#   --trace    tracing smoke: run examples/trace_smoke (a 2-site forwarding
+#              burst over TCP loopback at 1-in-1 head sampling, which
+#              asserts >= 1 complete cross-process trace and the sub-span
+#              sum invariant), then re-parse its Perfetto export with a real
+#              JSON parser and check the trace-event shape.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -47,6 +52,7 @@ lint=0
 fuzz=0
 tsan=0
 bench=0
+trace=0
 jobs=""
 for arg in "$@"; do
   case "$arg" in
@@ -56,6 +62,7 @@ for arg in "$@"; do
     --fuzz) fuzz=1 ;;
     --tsan) tsan=1 ;;
     --bench) bench=1 ;;
+    --trace) trace=1 ;;
     *) jobs="$arg" ;;
   esac
 done
@@ -152,11 +159,34 @@ print(f"bench smoke OK: {len(rows)} rows, all with live fast-path counts")
 EOF
 fi
 
+if [[ "$trace" == 1 ]]; then
+  echo "=== trace: cross-process tracing smoke (sanitized) ==="
+  ./build-sanitize/examples/trace_smoke build-sanitize/trace_smoke_perfetto.json
+  python3 - <<'EOF'
+import json
+with open("build-sanitize/trace_smoke_perfetto.json") as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "Perfetto export has no events"
+phases = {e["ph"] for e in events}
+assert "M" in phases, "no process/thread metadata events"
+assert "X" in phases, "no complete span events"
+spans = [e for e in events if e["ph"] == "X"]
+assert all("dur" in e and "ts" in e for e in spans), "span missing ts/dur"
+ids = {e["args"]["trace_id"] for e in spans if "args" in e}
+assert len(ids) > 1, "spans do not carry distinct trace ids"
+print(f"perfetto OK: {len(events)} events, {len(spans)} spans, "
+      f"{len(ids)} trace ids")
+EOF
+fi
+
 if [[ "$tsan" == 1 ]]; then
   echo "=== tsan: concurrency surface under ThreadSanitizer ==="
   build_config build-tsan -DCMAKE_BUILD_TYPE=Debug -DRNL_SANITIZE=thread
   ./build-tsan/tests/metrics_test \
     --gtest_filter='*Thread*:*Concurrent*:LoggingLevels.*'
+  ./build-tsan/tests/trace_test \
+    --gtest_filter='*Concurrent*:*Thread*'
   ./build-tsan/tests/transport_test \
     --gtest_filter='TcpLoopback.*Egress*:TcpLoopback.LargeWriteBuffersAndDrains:SimStream.*Watermark*:SimStream.*Stall*'
 fi

@@ -95,6 +95,14 @@ write("tunnel_roundtrip", "batch_interleaved_epochs.bin",
 write("tunnel_roundtrip", "batch_truncated_tail.bin",
       b"\x02" + struct.pack(">II", 3, 0xFFFFFFF1) + b"\x00\x00"
       + b"torn-tail" * 8)
+# Traced data frame (flags bit1): the harness derives a trace id from the
+# router/port ids and round-trips the 8-byte kFlagTraced payload prefix.
+write("tunnel_roundtrip", "traced_data.bin",
+      b"\x02" + struct.pack(">II", 0x1234, 0x5678) + b"\x05\x02"
+      + b"traced-frame-payload" * 3)
+write("tunnel_roundtrip", "traced_compressed_epoch.bin",
+      b"\x02" + struct.pack(">II", 0xCAFE, 0xBEEF) + b"\xfe\x03"
+      + b"traced+compressed" * 4)
 
 # -- decompressor: hostile encodings against a primed ring --
 def decomp(body, prime=4, seed=SEED):
@@ -187,3 +195,13 @@ write("api", "log_and_metrics.txt",
       '{"method":"log.set_level","params":{"level":"warn"}}\n'
       '{"method":"metrics.dump"}\n'
       '{"method":"metrics.prometheus"}\n')
+write("api", "trace_surface.txt",
+      # PR 7 surface: the tracing control/export methods, including hostile
+      # sampling periods (0 disables head sampling; huge values bit_ceil).
+      '{"method":"trace.enable","params":{"on":true,"head_sample_period":1}}\n'
+      '{"method":"trace.enable","params":{"head_sample_period":0}}\n'
+      '{"method":"trace.enable","params":{"head_sample_period":4294967295}}\n'
+      '{"method":"trace.dump","params":{"max_events":3}}\n'
+      '{"method":"trace.slow"}\n'
+      '{"method":"trace.perfetto"}\n'
+      '{"method":"trace.enable","params":{"on":false}}\n')

@@ -6,6 +6,7 @@
 #include "util/bytes.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace rnl::core {
 
@@ -344,6 +345,65 @@ util::Json ApiServer::dispatch(const std::string& method,
     util::Json result = util::Json::object();
     result.set("events", std::move(list));
     result.set("total", flight.total());
+    return ok(std::move(result));
+  }
+  // ---- tracing (DESIGN.md "Tracing") ----
+  if (method == "trace.enable") {
+    util::Tracer* tracer = service_.tracer();
+    if (tracer == nullptr) {
+      return fail("trace.enable: no tracer wired to this route server");
+    }
+    tracer->set_enabled(params["on"].is_null() ? true : params["on"].as_bool());
+    if (!params["head_sample_period"].is_null()) {
+      tracer->set_head_sample_period(static_cast<std::uint32_t>(
+          params["head_sample_period"].as_int()));
+    }
+    util::Json result = util::Json::object();
+    result.set("enabled", tracer->enabled());
+    result.set("head_sample_period",
+               static_cast<std::int64_t>(tracer->head_sample_period()));
+    return ok(std::move(result));
+  }
+  if (method == "trace.dump") {
+    util::Tracer* tracer = service_.tracer();
+    if (tracer == nullptr) {
+      return fail("trace.dump: no tracer wired to this route server");
+    }
+    const std::size_t max_events =
+        params["max_events"].is_null()
+            ? 0
+            : static_cast<std::size_t>(params["max_events"].as_int());
+    return ok(tracer->to_json(max_events));
+  }
+  if (method == "trace.slow") {
+    util::Tracer* tracer = service_.tracer();
+    if (tracer == nullptr) {
+      return fail("trace.slow: no tracer wired to this route server");
+    }
+    util::Json list = util::Json::array();
+    for (const auto& slow : tracer->slow_frames()) {
+      util::Json e = util::Json::object();
+      e.set("trace_id", util::hex_trace_id(slow.trace_id));
+      e.set("ts_ns", slow.ts_ns);
+      e.set("forward_ns", slow.forward_ns);
+      e.set("threshold_ns", slow.threshold_ns);
+      e.set("src_port", slow.src_port);
+      e.set("dst_port", slow.dst_port);
+      list.push_back(std::move(e));
+    }
+    util::Json result = util::Json::object();
+    result.set("slow", std::move(list));
+    result.set("total", tracer->slow_total());
+    result.set("threshold_ns", tracer->tail_threshold_ns());
+    return ok(std::move(result));
+  }
+  if (method == "trace.perfetto") {
+    util::Tracer* tracer = service_.tracer();
+    if (tracer == nullptr) {
+      return fail("trace.perfetto: no tracer wired to this route server");
+    }
+    util::Json result = util::Json::object();
+    result.set("text", tracer->to_perfetto());
     return ok(std::move(result));
   }
   if (method == "log.set_level") {

@@ -117,6 +117,9 @@ class LabService {
   simnet::Network& network() { return net_; }
   /// The registry this world's components publish into (the route server's).
   util::MetricsRegistry& metrics() { return server_.metrics(); }
+  /// The trace sink the route server pushes spans into, or nullptr when
+  /// tracing is not wired up (production deployments may omit it).
+  [[nodiscard]] util::Tracer* tracer() { return server_.tracer(); }
 
   // -- Durable storage (§2.1: designs live on the web server) --
   /// Attaches a file store (non-owning). Stored designs are loaded

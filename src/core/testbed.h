@@ -32,7 +32,9 @@ class Testbed {
         server_(net_.scheduler(), &metrics_),
         service_(net_, server_),
         api_(service_),
-        site_wan_(site_wan) {}
+        site_wan_(site_wan) {
+    server_.set_tracer(&tracer_);
+  }
 
   ~Testbed() {
     // Detach service hooks before sites/devices unwind, so teardown-time
@@ -51,6 +53,10 @@ class Testbed {
   /// different threads never share instruments (see bench_routeserver_scaling
   /// run_per_user).
   util::MetricsRegistry& metrics() { return metrics_; }
+  /// The world's trace sink, shared by the route server and every site so a
+  /// cross-process trace id lands in rings one export can merge. Disabled
+  /// until `tracer().set_enabled(true)` (or the `trace.enable` API call).
+  util::Tracer& tracer() { return tracer_; }
 
   /// Creates a RIS site whose tunnel to the route server crosses `wan`
   /// (defaults to the testbed-wide profile — sites are geographically
@@ -62,6 +68,7 @@ class Testbed {
                                  wire::NetemProfile wan) {
     sites_.push_back(
         std::make_unique<ris::RouterInterface>(net_, name, &metrics_));
+    sites_.back()->set_tracer(&tracer_);
     site_wans_.push_back(wan);
     return *sites_.back();
   }
@@ -105,8 +112,10 @@ class Testbed {
 
   simnet::Network net_;
   // Declared before server_/sites_: components deregister their probes in
-  // their destructors, so the registry must be destroyed last.
+  // their destructors, so the registry must be destroyed last. Same for the
+  // tracer — its rings outlive every component that pushes into them.
   util::MetricsRegistry metrics_;
+  util::Tracer tracer_;
   routeserver::RouteServer server_;
   LabService service_;
   ApiServer api_;

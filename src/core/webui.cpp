@@ -1,6 +1,7 @@
 #include "core/webui.h"
 
 #include "util/strings.h"
+#include "util/trace.h"
 
 namespace rnl::core {
 
@@ -53,6 +54,58 @@ std::string WebUiSession::render_metrics() const {
         static_cast<unsigned long long>(h["count"].as_int()),
         static_cast<unsigned long long>(h["p50"].as_int()),
         static_cast<unsigned long long>(h["p99"].as_int()));
+  }
+  return out;
+}
+
+std::string WebUiSession::render_trace(std::size_t max_events) const {
+  util::Tracer* tracer = const_cast<LabService&>(service_).tracer();
+  std::string out = "=== Frame Traces ===\n";
+  if (tracer == nullptr) {
+    out += "  (no tracer wired to this route server)\n";
+    return out;
+  }
+  out += util::format(
+      "  tracing: %s   head sampling: 1-in-%u   tail threshold: %llu ns\n",
+      tracer->enabled() ? "on" : "off", tracer->head_sample_period(),
+      static_cast<unsigned long long>(tracer->tail_threshold_ns()));
+  out += util::format(
+      "-- slow frames (tail captures, %llu total) --\n",
+      static_cast<unsigned long long>(tracer->slow_total()));
+  for (const auto& slow : tracer->slow_frames()) {
+    out += util::format(
+        "  %-10s %6llu ns (gate %llu ns)  port %u -> %u\n",
+        util::hex_trace_id(slow.trace_id).c_str(),
+        static_cast<unsigned long long>(slow.forward_ns),
+        static_cast<unsigned long long>(slow.threshold_ns), slow.src_port,
+        slow.dst_port);
+  }
+  util::Json dump = tracer->to_json(max_events);
+  out += util::format(
+      "-- newest spans (%zu shown, %llu older dropped) --\n",
+      dump["events"].as_array().size(),
+      static_cast<unsigned long long>(dump["dropped"].as_int()));
+  // Group consecutive runs per trace id so one frame's path reads together.
+  std::string last_id;
+  for (const auto& e : dump["events"].as_array()) {
+    const std::string& id = e["trace_id"].as_string();
+    if (id != last_id) {
+      out += util::format("  trace %s\n", id.c_str());
+      last_id = id;
+    }
+    const auto dur = static_cast<unsigned long long>(e["dur_ns"].as_int());
+    const std::string& stage = e["stage"].as_string();
+    const std::string& detail = e["detail"].as_string();
+    if (dur == 0 && stage == "lifecycle") {
+      out += util::format("    [%s/%s] %s (arg %llu)\n",
+                          e["component"].as_string().c_str(),
+                          e["site"].as_string().c_str(), detail.c_str(),
+                          static_cast<unsigned long long>(e["arg"].as_int()));
+    } else {
+      out += util::format("    [%s/%s] %-14s %8llu ns\n",
+                          e["component"].as_string().c_str(),
+                          e["site"].as_string().c_str(), stage.c_str(), dur);
+    }
   }
   return out;
 }

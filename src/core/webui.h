@@ -46,6 +46,13 @@ class WebUiSession {
   /// counter and gauge, plus count/p50/p99 per latency histogram.
   [[nodiscard]] std::string render_metrics() const;
 
+  // -- /trace (operator page) --
+
+  /// Renders recent trace activity: sampling state, the slow-frame ledger
+  /// (tail captures that beat the p99 gate), and the newest spans grouped
+  /// by trace id so one frame's capture->...->replay path reads as a block.
+  [[nodiscard]] std::string render_trace(std::size_t max_events = 64) const;
+
   // -- Design plane --
 
   /// Opens a new, empty design tab ("start multiple simultaneous design

@@ -7,9 +7,15 @@ namespace rnl::ris {
 
 namespace {
 constexpr const char* kLog = "ris";
-// Stage-latency histograms (capture/replay) sample 1 frame in 16; the
-// mask keeps the modulo branch-free.
-constexpr std::uint64_t kStageSampleMask = 15;
+// Stage-latency histograms (capture/replay) sample 1 frame in
+// util::kDefaultStageSamplePeriod — the shared stage-clock knob (the
+// tracer's head sampler uses the sparser util::kDefaultHeadSamplePeriod,
+// since traced frames cost more than a clocked one). The power-of-two mask
+// keeps the modulo branch-free.
+constexpr std::uint64_t kStageSampleMask = util::kDefaultStageSamplePeriod - 1;
+static_assert((util::kDefaultStageSamplePeriod &
+               (util::kDefaultStageSamplePeriod - 1)) == 0,
+              "stage sampling period must be a power of two");
 }
 
 RouterInterface::RouterInterface(simnet::Network& net, std::string site_name,
@@ -46,6 +52,11 @@ RouterInterface::RouterInterface(simnet::Network& net, std::string site_name,
   backoff_hist_ = &metrics_->histogram(metrics_prefix_ + "backoff_ns");
   compressor_.set_ratio_histogram(
       &metrics_->histogram("wire.compression_ratio_x100"));
+}
+
+void RouterInterface::set_tracer(util::Tracer* tracer) {
+  tracer_ = tracer;
+  trace_ring_ = tracer != nullptr ? &tracer->ring("ris", site_name_) : nullptr;
 }
 
 RouterInterface::~RouterInterface() {
@@ -197,6 +208,7 @@ void RouterInterface::start_session(
   // session must not leak into the new stream (the server would count them
   // stale anyway — they carry the previous epoch).
   pending_uplink_frames_ = 0;
+  uplink_batch_trace_id_ = 0;
   send_buffer_.clear();
   joined_ = false;
   transport_->set_receive_handler(
@@ -340,11 +352,24 @@ void RouterInterface::flush_uplink() {
   const std::size_t frames = pending_uplink_frames_;
   if (frames == 0) return;
   pending_uplink_frames_ = 0;
+  const std::uint64_t batch_trace = uplink_batch_trace_id_;
+  uplink_batch_trace_id_ = 0;
   if (transport_ && transport_->is_open()) {
     ++stats_.egress_flushes;
     stats_.frames_coalesced += frames - 1;
     egress_batch_hist_->record(frames);
-    transport_->send(send_buffer_.view());
+    // The flush span (attributed to the batch's first traced frame) times
+    // the transport hand-off for all `frames` coalesced frames.
+    if (batch_trace != 0 && tracing()) {
+      const std::uint64_t t0 = util::monotonic_ns();
+      transport_->send(send_buffer_.view());
+      trace_ring_->push({batch_trace, t0, util::monotonic_ns() - t0,
+                         util::TraceStage::kUplinkFlush,
+                         util::TraceInstant::kNone,
+                         static_cast<std::uint32_t>(frames)});
+    } else {
+      transport_->send(send_buffer_.view());
+    }
   }
   send_buffer_.clear();
 }
@@ -372,12 +397,18 @@ void RouterInterface::set_egress_watermarks(std::size_t high,
 }
 
 void RouterInterface::send_data(wire::RouterId router_id, wire::PortId port_id,
-                                util::BytesView frame) {
+                                util::BytesView frame,
+                                std::uint64_t trace_id) {
   if (!transport_ || !transport_->is_open()) return;
   if (!transport_->writable()) {
     // Shed before the compressor sees the frame: the ring must not advance
     // for a frame the server will never receive, or lockstep breaks.
     ++stats_.shed_frames;
+    if (trace_id != 0 && tracing()) {
+      trace_ring_->push({trace_id, util::monotonic_ns(), 0,
+                         util::TraceStage::kLifecycle,
+                         util::TraceInstant::kShedDrop, port_id});
+    }
     return;
   }
   const bool batching = uplink_batch_frames_ > 1;
@@ -400,7 +431,7 @@ void RouterInterface::send_data(wire::RouterId router_id, wire::PortId port_id,
       ++stats_.payload_allocs;
       wire::encode_message_into(w, wire::MessageType::kData, router_id,
                                 port_id, *compressed, /*compressed=*/true,
-                                static_cast<std::uint8_t>(epoch_));
+                                static_cast<std::uint8_t>(epoch_), trace_id);
       sent_compressed = true;
     }
   } else {
@@ -411,7 +442,7 @@ void RouterInterface::send_data(wire::RouterId router_id, wire::PortId port_id,
   if (!sent_compressed) {
     wire::encode_message_into(w, wire::MessageType::kData, router_id, port_id,
                               frame, /*compressed=*/false,
-                              static_cast<std::uint8_t>(epoch_));
+                              static_cast<std::uint8_t>(epoch_), trace_id);
   }
   bool grew = w.capacity() != cap_before;
   if (grew) ++stats_.payload_allocs;
@@ -424,6 +455,7 @@ void RouterInterface::send_data(wire::RouterId router_id, wire::PortId port_id,
   }
   if (pending_uplink_frames_ == 0) schedule_uplink_flush();
   ++pending_uplink_frames_;
+  if (uplink_batch_trace_id_ == 0) uplink_batch_trace_id_ = trace_id;
   if (pending_uplink_frames_ >= uplink_batch_frames_ ||
       w.size() >= uplink_batch_bytes_) {
     flush_uplink();
@@ -498,9 +530,15 @@ void RouterInterface::handle_message(
     case wire::MessageType::kData: {
       // Epoch gate before the compression rings advance: a frame from
       // another session incarnation must neither reach a router port nor
-      // desynchronize the current session's lockstep.
+      // desynchronize the current session's lockstep. A traced frame emits
+      // a terminal instant so its trace ends in a verdict, not mid-air.
       if (msg.epoch != static_cast<std::uint8_t>(epoch_)) {
         ++stats_.stale_epoch_drops;
+        if (msg.trace_id != 0 && tracing()) {
+          trace_ring_->push({msg.trace_id, util::monotonic_ns(), 0,
+                             util::TraceStage::kLifecycle,
+                             util::TraceInstant::kStaleEpochDrop, msg.epoch});
+        }
         return;
       }
       util::Bytes inflated_frame;  // only materialized for compressed frames
@@ -527,13 +565,23 @@ void RouterInterface::handle_message(
       ++stats_.frames_down;
       stats_.bytes_down += frame.size();
       // Replay the complete L2 frame out of the NIC into the router port.
-      // Stage latency is sampled 1-in-16: at line rate the two clock reads
-      // cost as much as the replay itself, and a sampled histogram answers
-      // the same p50/p99 question.
-      if (((stats_.frames_down - 1) & kStageSampleMask) == 0) {
+      // Stage latency is sampled 1-in-N (the shared stage/trace sampling
+      // knob): at line rate the two clock reads cost as much as the replay
+      // itself, and a sampled histogram answers the same p50/p99 question.
+      // A traced frame always pays the clock reads — its replay span is the
+      // terminal stage of a cross-process trace.
+      const bool traced = msg.trace_id != 0 && tracing();
+      if (traced || ((stats_.frames_down - 1) & kStageSampleMask) == 0) {
         const std::uint64_t replay_start = util::monotonic_ns();
         routers_[router_index].ports[port_slot].nic->transmit(frame);
-        replay_hist_->record(util::monotonic_ns() - replay_start);
+        const std::uint64_t replay_ns =
+            util::monotonic_ns() - replay_start;
+        replay_hist_->record(replay_ns);
+        if (traced) {
+          trace_ring_->push({msg.trace_id, replay_start, replay_ns,
+                             util::TraceStage::kReplay,
+                             util::TraceInstant::kNone, msg.port_id});
+        }
       } else {
         routers_[router_index].ports[port_slot].nic->transmit(frame);
       }
@@ -605,11 +653,23 @@ void RouterInterface::on_nic_frame(std::size_t router_index,
 
   ++stats_.frames_up;
   stats_.bytes_up += frame.size();
-  // Capture-stage latency sampled 1-in-16, same rationale as replay.
-  if (((stats_.frames_up - 1) & kStageSampleMask) == 0) {
+  // Head sampling: this is where a trace is born. The sampled id is stamped
+  // into the tunnel header by send_data, so every downstream stage (uplink
+  // flush, server decode/forward/egress, peer replay) shares it.
+  const std::uint64_t trace_id =
+      tracer_ != nullptr ? tracer_->head_sample() : 0;
+  // Capture-stage latency sampled 1-in-N (shared knob), same rationale as
+  // replay; a traced frame always gets the clock reads for its span.
+  if (trace_id != 0 || ((stats_.frames_up - 1) & kStageSampleMask) == 0) {
     const std::uint64_t capture_start = util::monotonic_ns();
-    send_data(router_id, mapped.assigned_id, frame);
-    capture_hist_->record(util::monotonic_ns() - capture_start);
+    send_data(router_id, mapped.assigned_id, frame, trace_id);
+    const std::uint64_t capture_ns = util::monotonic_ns() - capture_start;
+    capture_hist_->record(capture_ns);
+    if (trace_id != 0 && tracing()) {
+      trace_ring_->push({trace_id, capture_start, capture_ns,
+                         util::TraceStage::kCapture, util::TraceInstant::kNone,
+                         mapped.assigned_id});
+    }
   } else {
     send_data(router_id, mapped.assigned_id, frame);
   }

@@ -28,6 +28,7 @@
 #include "simnet/network.h"
 #include "transport/transport.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 #include "wire/compression.h"
 #include "wire/tunnel.h"
 
@@ -191,6 +192,16 @@ class RouterInterface {
   }
   [[nodiscard]] std::size_t router_count() const { return routers_.size(); }
 
+  /// Attaches this site to a trace sink (nullptr detaches). While the
+  /// tracer is enabled, the capture path head-samples frames (the tracer's
+  /// shared 1-in-N period), stamps the sampled trace id into the uplink
+  /// tunnel header, and emits capture / uplink-flush spans into the
+  /// "ris"/<site> ring; inbound traced frames emit replay spans (and a
+  /// terminal stale-epoch instant when the epoch gate drops them). The
+  /// tracer must outlive the RIS.
+  void set_tracer(util::Tracer* tracer);
+  [[nodiscard]] util::Tracer* tracer() const { return tracer_; }
+
  private:
   struct MappedPort {
     std::size_t device_port = 0;
@@ -226,8 +237,10 @@ class RouterInterface {
   /// Zero-copy data-frame send: runs the compression policy on `frame` and
   /// serializes straight into the reusable send buffer (no TunnelMessage,
   /// no payload copy). The counterpart of RouteServer::deliver_to_port.
+  /// A nonzero `trace_id` rides the tunnel header (kFlagTraced) so the
+  /// route server's spans for this frame join the same trace.
   void send_data(wire::RouterId router_id, wire::PortId port_id,
-                 util::BytesView frame);
+                 util::BytesView frame, std::uint64_t trace_id = 0);
   /// Hands the open uplink batch (if any) to the transport in one write.
   /// No-op on an empty batch; discards it if the tunnel is gone.
   void flush_uplink();
@@ -238,6 +251,11 @@ class RouterInterface {
   void on_nic_frame(std::size_t router_index, std::size_t port_slot,
                     util::BytesView frame);
   void handle_console_input(Router& router, util::BytesView bytes);
+  /// True while spans/instants should be emitted (tracer attached and
+  /// enabled: one pointer test + one relaxed load).
+  [[nodiscard]] bool tracing() const {
+    return trace_ring_ != nullptr && tracer_->enabled();
+  }
 
   simnet::Network& net_;
   std::string site_name_;
@@ -259,6 +277,9 @@ class RouterInterface {
   /// transport. Cleared on flush and on every session change (the batch
   /// belongs to exactly one connection).
   std::size_t pending_uplink_frames_ = 0;
+  /// Trace id of the first traced frame in the open uplink batch (0 if
+  /// none); the flush span is attributed to it. Reset with the batch.
+  std::uint64_t uplink_batch_trace_id_ = 0;
   // Owns the end-of-burst flush; scheduled copies hold weak references so
   // destruction cancels any armed flush.
   std::shared_ptr<std::function<void()>> uplink_flush_task_;
@@ -294,6 +315,8 @@ class RouterInterface {
   util::Histogram* egress_batch_hist_ = nullptr;
   /// Distribution of the (jittered) delays the reconnect machine slept.
   util::Histogram* backoff_hist_ = nullptr;
+  util::Tracer* tracer_ = nullptr;
+  util::SpanRing* trace_ring_ = nullptr;  // this site's ring
   std::size_t nic_counter_ = 0;
   // (router_id, port_id) -> (router index, port slot) after the ack.
   std::map<std::pair<wire::RouterId, wire::PortId>,

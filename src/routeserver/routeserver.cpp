@@ -138,6 +138,19 @@ void RouteServer::set_egress_watermarks(std::size_t high, std::size_t low) {
   }
 }
 
+void RouteServer::set_tracer(util::Tracer* tracer) {
+  tracer_ = tracer;
+  trace_ring_ =
+      tracer != nullptr ? &tracer->ring("routeserver", "server") : nullptr;
+}
+
+void RouteServer::trace_instant(util::TraceInstant detail,
+                                std::uint64_t trace_id, std::uint32_t arg) {
+  if (!tracing()) return;
+  trace_ring_->push({trace_id, util::monotonic_ns(), 0,
+                     util::TraceStage::kLifecycle, detail, arg});
+}
+
 void RouteServer::set_egress_batching(std::size_t max_frames,
                                       std::size_t max_bytes) {
   // Knob changes take effect between bursts: drain every open batch under
@@ -150,6 +163,8 @@ void RouteServer::set_egress_batching(std::size_t max_frames,
 void RouteServer::flush_site(Site* site) {
   const std::size_t frames = site->pending_data_frames;
   if (frames == 0) return;
+  const std::uint64_t batch_trace = site->batch_trace_id;
+  site->batch_trace_id = 0;
   // Zero the pending accounting before the transport sees the bytes: from
   // here on they are counted (once) by transport->queued_bytes(). send()
   // may reenter teardown (a TCP write error closes the site), so this order
@@ -164,7 +179,18 @@ void RouteServer::flush_site(Site* site) {
   ++stats_.dataplane.egress_flushes;
   stats_.dataplane.frames_coalesced += frames - 1;
   egress_batch_hist_->record(frames);
-  site->transport->send(site->send_buffer.view());
+  // The flush span is attributed to the batch's first traced frame; its
+  // duration is the transport hand-off for all `frames` coalesced frames.
+  if (batch_trace != 0 && tracing()) {
+    const std::uint64_t t0 = util::monotonic_ns();
+    site->transport->send(site->send_buffer.view());
+    trace_ring_->push({batch_trace, t0, util::monotonic_ns() - t0,
+                       util::TraceStage::kEgressFlush,
+                       util::TraceInstant::kNone,
+                       static_cast<std::uint32_t>(frames)});
+  } else {
+    site->transport->send(site->send_buffer.view());
+  }
   site->send_buffer.clear();
 }
 
@@ -200,6 +226,8 @@ RouteServer::EgressVerdict RouteServer::egress_verdict(Site* site) {
       site->shedding = true;
       site->shed_since = scheduler_.now();
       ++stats_.shed_entries;
+      trace_instant(util::TraceInstant::kWatermarkEnter, 0,
+                    static_cast<std::uint32_t>(queued));
       RNL_LOG(kWarn, kLog) << "site '" << site->name << "' egress queue at "
                            << queued << " bytes; shedding data toward it";
     }
@@ -226,6 +254,8 @@ void RouteServer::evict_for_overload(Site* site, EgressVerdict verdict) {
                        << ", " << egress_queued(site) << " bytes queued)";
   flight_.record({0, 0, 0, scheduler_.now(), 0,
                   util::FlightRecorder::EventKind::kEvicted});
+  trace_instant(util::TraceInstant::kEviction, 0,
+                static_cast<std::uint32_t>(egress_queued(site)));
   // Deferred control dies with the session: the peer rejoins with a clean
   // epoch and fresh state, so replaying stale acks would only confuse it.
   site->pending_control.clear();
@@ -245,6 +275,8 @@ void RouteServer::on_site_drained(Site* site) {
   }
   if (site->shedding && egress_queued(site) <= egress_low_) {
     site->shedding = false;
+    trace_instant(util::TraceInstant::kWatermarkExit, 0,
+                  static_cast<std::uint32_t>(egress_queued(site)));
     RNL_LOG(kInfo, kLog) << "site '" << site->name
                          << "' egress drained; back to normal forwarding";
   }
@@ -311,9 +343,27 @@ void RouteServer::on_site_data(Site* site, util::BytesView chunk) {
     return;
   }
   site->last_heard = scheduler_.now();
+  // Two clock reads per readable event (not per frame), only while tracing:
+  // the decode-batch span covers one feed — parse + lazy compaction — for
+  // every frame the chunk completed.
+  const bool trace_decode = tracing();
+  const std::uint64_t decode_t0 = trace_decode ? util::monotonic_ns() : 0;
   RNL_STAGE_START(decode_start);
   const auto& messages = site->decoder.feed_views(chunk);
   RNL_STAGE_END(decode_start, stats_.dataplane.decode_ns);
+  if (trace_decode && !messages.empty()) {
+    // Attribute the batch span to its first traced frame (a batch mixes
+    // traced and untraced frames; untraced-only batches emit nothing).
+    for (const auto& decoded : messages) {
+      if (decoded.trace_id == 0) continue;
+      trace_ring_->push({decoded.trace_id, decode_t0,
+                         util::monotonic_ns() - decode_t0,
+                         util::TraceStage::kDecodeBatch,
+                         util::TraceInstant::kNone,
+                         static_cast<std::uint32_t>(messages.size())});
+      break;
+    }
+  }
   if (site->decoder.failed()) {
     ++stats_.decode_errors;
     RNL_LOG(kError, kLog) << "site '" << site->name
@@ -450,10 +500,12 @@ void RouteServer::handle_join(Site* site,
 
   wire::JoinAck ack;
   ack.epoch = site->epoch;
+  trace_instant(util::TraceInstant::kEpochBump, 0, site->epoch);
   bool rebound =
       !registry.routers.empty() && rebind_retained(site, *request, registry, ack);
   if (rebound) {
     ++stats_.sites_rejoined;
+    trace_instant(util::TraceInstant::kRejoin, 0, site->epoch);
   } else {
     for (const auto& declared : request->routers) {
       InventoryRouter router;
@@ -567,9 +619,12 @@ void RouteServer::handle_data(Site* site,
                               const wire::MessageDecoder::DecodedView& msg) {
   // Epoch gate before anything touches the compression rings: a frame from
   // another incarnation of this site must neither reach a user port nor
-  // advance the lockstep state of the current session.
+  // advance the lockstep state of the current session. A traced frame still
+  // emits a terminal instant so its trace does not just dangle mid-path.
   if (msg.epoch != static_cast<std::uint8_t>(site->epoch)) {
     ++stats_.stale_epoch_drops;
+    trace_instant(util::TraceInstant::kStaleEpochDrop, msg.trace_id,
+                  msg.epoch);
     return;
   }
   // Ownership gate: port ids are server-assigned, so a site may only source
@@ -581,6 +636,8 @@ void RouteServer::handle_data(Site* site,
     const PortRecord* record = port_record(msg.port_id);
     if (record == nullptr || record->site != site) {
       ++stats_.spoofed_port_drops;
+      trace_instant(util::TraceInstant::kSpoofedPortDrop, msg.trace_id,
+                    msg.port_id);
       return;
     }
   }
@@ -607,8 +664,14 @@ void RouteServer::handle_data(Site* site,
     slow = true;
   }
 
+  // A traced frame pays one extra clock read so the matrix lookup gets its
+  // own span; lookup_start is 0 (and no sub-spans are emitted) otherwise.
+  const bool traced = msg.trace_id != 0 && tracing();
+  const std::uint64_t lookup_start = traced ? util::monotonic_ns() : 0;
   if (msg.port_id >= matrix_.size() || matrix_[msg.port_id].peer == 0) {
     ++stats_.unrouted_drops;
+    trace_instant(util::TraceInstant::kUnroutedDrop, msg.trace_id,
+                  msg.port_id);
     flight_.record({msg.port_id, 0, static_cast<std::uint32_t>(frame.size()),
                     scheduler_.now(), 0,
                     util::FlightRecorder::EventKind::kUnrouted});
@@ -627,10 +690,39 @@ void RouteServer::handle_data(Site* site,
   if (wire_end.netem != nullptr) {
     wire_end.netem->send(frame);  // sink delivers to the peer after the WAN
   } else {
-    deliver_to_port(wire_end.peer, frame, slow);
+    deliver_to_port(wire_end.peer, frame, slow, msg.trace_id);
   }
   const std::uint64_t forward_ns = util::monotonic_ns() - forward_start;
   forward_hist_->record(forward_ns);
+  if (traced) {
+    // Sub-stage spans share the clock reads bracketing them, so
+    // matrix_lookup + egress_enqueue sums to the forward span exactly.
+    trace_ring_->push({msg.trace_id, lookup_start,
+                       forward_start - lookup_start,
+                       util::TraceStage::kMatrixLookup,
+                       util::TraceInstant::kNone, msg.port_id});
+    trace_ring_->push({msg.trace_id, forward_start, forward_ns,
+                       util::TraceStage::kEgressEnqueue,
+                       util::TraceInstant::kNone, wire_end.peer});
+    trace_ring_->push({msg.trace_id, lookup_start,
+                       (forward_start - lookup_start) + forward_ns,
+                       util::TraceStage::kForward, util::TraceInstant::kNone,
+                       msg.port_id});
+  } else if (tracing() && tracer_->tail_exceeds(*forward_hist_, forward_ns)) {
+    // Tail capture: the frame was not head-sampled, but the latency we
+    // measured anyway landed above the cached p99 estimate — commit the
+    // candidate span under a fresh id and ledger it for `trace.slow`.
+    const std::uint64_t slow_id = tracer_->next_trace_id();
+    trace_ring_->push({slow_id, forward_start, forward_ns,
+                       util::TraceStage::kForward, util::TraceInstant::kNone,
+                       msg.port_id});
+    trace_ring_->push({slow_id, forward_start + forward_ns, 0,
+                       util::TraceStage::kLifecycle,
+                       util::TraceInstant::kSlowFrame, msg.port_id});
+    tracer_->note_slow({slow_id, forward_start, forward_ns,
+                        tracer_->tail_threshold_ns(), msg.port_id,
+                        wire_end.peer});
+  }
   flight_.record({msg.port_id, wire_end.peer,
                   static_cast<std::uint32_t>(frame.size()), scheduler_.now(),
                   static_cast<std::uint32_t>(
@@ -639,7 +731,7 @@ void RouteServer::handle_data(Site* site,
 }
 
 void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame,
-                                  bool slow) {
+                                  bool slow, std::uint64_t trace_id) {
   PortRecord* record = port_record(port);
   if (record == nullptr) return;  // site vanished mid-flight
   Site* site = record->site;
@@ -657,6 +749,7 @@ void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame,
   }
   if (verdict == EgressVerdict::kShedding) {
     ++stats_.shed_data_frames;
+    trace_instant(util::TraceInstant::kShedDrop, trace_id, port);
     flight_.record({0, port, static_cast<std::uint32_t>(frame.size()),
                     scheduler_.now(), 0,
                     util::FlightRecorder::EventKind::kShed});
@@ -688,7 +781,8 @@ void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame,
       ++stats_.dataplane.payload_allocs;  // compressor output buffer
       wire::encode_message_into(w, wire::MessageType::kData, record->router,
                                 port, *compressed, /*compressed=*/true,
-                                static_cast<std::uint8_t>(site->epoch));
+                                static_cast<std::uint8_t>(site->epoch),
+                                trace_id);
       sent_compressed = true;
     }
   } else {
@@ -700,7 +794,8 @@ void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame,
   if (!sent_compressed) {
     wire::encode_message_into(w, wire::MessageType::kData, record->router,
                               port, frame, /*compressed=*/false,
-                              static_cast<std::uint8_t>(site->epoch));
+                              static_cast<std::uint8_t>(site->epoch),
+                              trace_id);
   }
   if (w.capacity() != cap_before) {
     ++stats_.dataplane.payload_allocs;  // send buffer grew (cold start)
@@ -714,6 +809,7 @@ void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame,
     }
     ++site->pending_data_frames;
     site->pending_data_bytes = w.size();
+    if (site->batch_trace_id == 0) site->batch_trace_id = trace_id;
     // Flush on the frame/byte caps — and the moment the batch pushes the
     // site's egress over the high watermark, so the transport sees the
     // bytes now and backpressure (shedding, hard cap, drain callbacks)
@@ -758,6 +854,7 @@ void RouteServer::remove_site(Site* site, bool orderly) {
   // sit in flush_list_; flush_site sees frames == 0 and no-ops.
   site->pending_data_frames = 0;
   site->pending_data_bytes = 0;
+  site->batch_trace_id = 0;
   site->send_buffer.clear();
 
   // Remove the site's routers from inventory ("those specialized equipment

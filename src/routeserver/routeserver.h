@@ -30,6 +30,7 @@
 #include "simnet/scheduler.h"
 #include "transport/transport.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 #include "wire/compression.h"
 #include "wire/netem.h"
 #include "wire/tunnel.h"
@@ -264,6 +265,18 @@ class RouteServer {
 
   // -- Observability --
   [[nodiscard]] util::MetricsRegistry& metrics() const { return *metrics_; }
+  /// Attaches the server to a trace sink (nullptr detaches). While the
+  /// tracer is enabled, frames whose tunnel header carries kFlagTraced emit
+  /// per-stage spans (decode batch, matrix lookup, egress enqueue/flush,
+  /// end-to-end forward) into the "routeserver" ring, drops become instant
+  /// events carrying the frame's trace id, and every frame's already-
+  /// measured forward latency is tail-checked against the forward
+  /// histogram's p99 — exceeders commit a span set + slow-frame ledger
+  /// entry even when head sampling missed them. Lifecycle transitions
+  /// (shedding watermarks, evictions, epoch bumps, rejoins) join the same
+  /// timeline. The tracer must outlive the server.
+  void set_tracer(util::Tracer* tracer);
+  [[nodiscard]] util::Tracer* tracer() const { return tracer_; }
   /// Ring of the last N data-plane frame events (default 512; capacity 0
   /// disables). One ring write per routed/dropped/injected frame.
   [[nodiscard]] util::FlightRecorder& flight_recorder() { return flight_; }
@@ -323,6 +336,10 @@ class RouteServer {
     /// one burst could enqueue the same site repeatedly. Cleared only by
     /// flush_pending, which actually drains the list.
     bool in_flush_list = false;
+    /// Trace id of the first traced frame in the open egress batch (0 if
+    /// none): a flush carries many frames, so its span is attributed to the
+    /// first traced one. Reset by flush_site.
+    std::uint64_t batch_trace_id = 0;
   };
 
   /// Per-site-name state that outlives any one connection. An un-orderly
@@ -371,8 +388,10 @@ class RouteServer {
   /// Ships a frame to the RIS owning `port` (direction: into the port).
   /// `slow` marks frames that already left the zero-allocation path
   /// upstream (decompressed, or re-materialized by an impaired wire).
+  /// A nonzero `trace_id` rides the outgoing tunnel header (kFlagTraced)
+  /// so the peer RIS's replay span joins the same trace.
   void deliver_to_port(wire::PortId port, util::BytesView frame,
-                       bool slow = false);
+                       bool slow = false, std::uint64_t trace_id = 0);
   /// Serializes a control message into the site's send buffer and ships it
   /// — or, while the site's egress is backpressured, defers it for the
   /// priority flush (control is never shed).
@@ -404,6 +423,15 @@ class RouteServer {
            site->pending_data_bytes;
   }
   void note_capture(wire::PortId port, bool to_port, util::BytesView frame);
+  /// True while spans/instants should be emitted: tracer attached + enabled
+  /// (one pointer test + one relaxed atomic load on the per-frame path).
+  [[nodiscard]] bool tracing() const {
+    return trace_ring_ != nullptr && tracer_->enabled();
+  }
+  /// Emits a lifecycle instant (drop reason, eviction, watermark...) when
+  /// tracing; no-op otherwise.
+  void trace_instant(util::TraceInstant detail, std::uint64_t trace_id,
+                     std::uint32_t arg);
   /// Grows the dense port-indexed tables to cover ids < `limit`.
   void ensure_port_tables(wire::PortId limit);
   [[nodiscard]] PortRecord* port_record(wire::PortId port) {
@@ -463,6 +491,8 @@ class RouteServer {
   util::Histogram* netem_delay_hist_ = nullptr;
   util::Histogram* compression_ratio_hist_ = nullptr;
   util::FlightRecorder flight_;
+  util::Tracer* tracer_ = nullptr;
+  util::SpanRing* trace_ring_ = nullptr;  // the server's own ring
 };
 
 }  // namespace rnl::routeserver

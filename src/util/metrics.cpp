@@ -3,6 +3,7 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 namespace rnl::util {
@@ -265,6 +266,17 @@ std::string MetricsRegistry::to_prometheus(std::string_view ns) const {
            std::to_string(histogram->count()) + "\n";
     out += metric + "_sum " + std::to_string(histogram->sum()) + "\n";
     out += metric + "_count " + std::to_string(histogram->count()) + "\n";
+    // Precomputed quantile gauges alongside the buckets: dashboards get
+    // p50/p90/p99 without a PromQL histogram_quantile() over the coarse
+    // power-of-two buckets (whose interpolation error can reach 2x).
+    const std::string quantile = metric + "_quantile";
+    out += "# TYPE " + quantile + " gauge\n";
+    for (const double q : {50.0, 90.0, 99.0}) {
+      char label[16];
+      std::snprintf(label, sizeof(label), "%.2f", q / 100.0);
+      out += quantile + "{quantile=\"" + label + "\"} " +
+             std::to_string(histogram->percentile(q)) + "\n";
+    }
   }
   return out;
 }

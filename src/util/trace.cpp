@@ -1,0 +1,302 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/metrics.h"
+
+namespace rnl::util {
+
+std::string_view to_string(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kCapture: return "capture";
+    case TraceStage::kUplinkFlush: return "uplink_flush";
+    case TraceStage::kDecodeBatch: return "decode_batch";
+    case TraceStage::kForward: return "forward";
+    case TraceStage::kMatrixLookup: return "matrix_lookup";
+    case TraceStage::kEgressEnqueue: return "egress_enqueue";
+    case TraceStage::kEgressFlush: return "egress_flush";
+    case TraceStage::kReplay: return "replay";
+    case TraceStage::kLifecycle: return "lifecycle";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(TraceInstant instant) {
+  switch (instant) {
+    case TraceInstant::kNone: return "none";
+    case TraceInstant::kShedDrop: return "shed_drop";
+    case TraceInstant::kStaleEpochDrop: return "stale_epoch_drop";
+    case TraceInstant::kSpoofedPortDrop: return "spoofed_port_drop";
+    case TraceInstant::kUnroutedDrop: return "unrouted_drop";
+    case TraceInstant::kEviction: return "eviction";
+    case TraceInstant::kRejoin: return "rejoin";
+    case TraceInstant::kEpochBump: return "epoch_bump";
+    case TraceInstant::kWatermarkEnter: return "watermark_enter";
+    case TraceInstant::kWatermarkExit: return "watermark_exit";
+    case TraceInstant::kSlowFrame: return "slow_frame";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::uint64_t pack_meta(TraceStage stage, TraceInstant detail,
+                        std::uint32_t arg) {
+  return static_cast<std::uint64_t>(stage) |
+         (static_cast<std::uint64_t>(
+              static_cast<std::uint32_t>(detail) & 0xFFFFFFu)
+          << 8) |
+         (static_cast<std::uint64_t>(arg) << 32);
+}
+
+void unpack_meta(std::uint64_t meta, TraceEvent& event) {
+  event.stage = static_cast<TraceStage>(meta & 0xFFu);
+  event.detail = static_cast<TraceInstant>((meta >> 8) & 0xFFFFFFu);
+  event.arg = static_cast<std::uint32_t>(meta >> 32);
+}
+
+}  // namespace
+
+SpanRing::SpanRing(std::size_t capacity)
+    : slots_(std::bit_ceil(std::max<std::size_t>(capacity, 2))),
+      mask_(slots_.size() - 1) {}
+
+void SpanRing::push(const TraceEvent& event) {
+  const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & mask_];
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  slot.trace_id.store(event.trace_id, std::memory_order_relaxed);
+  slot.ts_ns.store(event.ts_ns, std::memory_order_relaxed);
+  slot.dur_ns.store(event.dur_ns, std::memory_order_relaxed);
+  slot.meta.store(pack_meta(event.stage, event.detail, event.arg),
+                  std::memory_order_relaxed);
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::vector<TraceEvent> SpanRing::snapshot() const {
+  struct Ticketed {
+    std::uint64_t ticket;
+    TraceEvent event;
+  };
+  std::vector<Ticketed> collected;
+  collected.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    // Seqlock read: the payload is only valid if the slot was published
+    // (even seq) both before and after we read the words.
+    const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1) != 0) continue;  // empty or in flight
+    TraceEvent event;
+    event.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    event.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    event.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+    unpack_meta(slot.meta.load(std::memory_order_relaxed), event);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != before) continue;  // torn
+    collected.push_back({(before - 2) / 2, event});
+  }
+  std::sort(collected.begin(), collected.end(),
+            [](const Ticketed& a, const Ticketed& b) {
+              return a.ticket < b.ticket;
+            });
+  std::vector<TraceEvent> out;
+  out.reserve(collected.size());
+  for (const Ticketed& t : collected) out.push_back(t.event);
+  return out;
+}
+
+Tracer::Tracer() = default;
+
+SpanRing& Tracer::ring(const std::string& component, const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const RingEntry& entry : rings_) {
+    if (entry.component == component && entry.site == site) {
+      return *entry.ring;
+    }
+  }
+  rings_.push_back({component, site, std::make_unique<SpanRing>()});
+  return *rings_.back().ring;
+}
+
+void Tracer::set_head_sample_period(std::uint32_t period) {
+  // bit_ceil of anything past 2^31 is not representable (UB); clamp — a
+  // period that large means "practically never" either way.
+  constexpr std::uint32_t kMaxPeriod = 1u << 31;
+  head_period_.store(
+      period == 0 ? 0
+                  : (period > kMaxPeriod ? kMaxPeriod : std::bit_ceil(period)),
+      std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::head_sample() {
+  if (!enabled()) return 0;
+  const std::uint32_t period = head_period_.load(std::memory_order_relaxed);
+  if (period == 0) return 0;
+  const std::uint64_t n = head_counter_.fetch_add(1, std::memory_order_relaxed);
+  if ((n & (period - 1)) != 0) return 0;
+  return next_trace_id();
+}
+
+bool Tracer::tail_exceeds(const Histogram& hist, std::uint64_t forward_ns) {
+  if (!enabled()) return false;
+  // Refresh the cached p99 estimate periodically instead of walking the
+  // histogram's 65 buckets on every frame.
+  if ((tail_calls_++ % kTailRefreshPeriod) == 0) {
+    tail_threshold_ns_ =
+        hist.count() >= kTailMinCount ? hist.percentile(99) : 0;
+  }
+  return tail_threshold_ns_ != 0 && forward_ns > tail_threshold_ns_;
+}
+
+void Tracer::note_slow(const SlowFrame& slow) {
+  slow_total_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (slow_.size() < kSlowLedgerCapacity) {
+    slow_.push_back(slow);
+  } else {
+    slow_[slow_next_] = slow;
+    slow_next_ = (slow_next_ + 1) % kSlowLedgerCapacity;
+  }
+}
+
+std::vector<Tracer::SlowFrame> Tracer::slow_frames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SlowFrame> out;
+  out.reserve(slow_.size());
+  // Oldest first: the ring's overwrite cursor marks the oldest entry.
+  for (std::size_t i = 0; i < slow_.size(); ++i) {
+    out.push_back(slow_[(slow_next_ + i) % slow_.size()]);
+  }
+  return out;
+}
+
+std::vector<Tracer::TaggedEvent> Tracer::merged_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TaggedEvent> merged;
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    for (const TraceEvent& event : rings_[i].ring->snapshot()) {
+      merged.push_back({event, i});
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TaggedEvent& a, const TaggedEvent& b) {
+              return a.event.ts_ns < b.event.ts_ns;
+            });
+  return merged;
+}
+
+std::string hex_trace_id(std::uint64_t id) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out = "0x";
+  bool significant = false;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    const auto nibble = static_cast<unsigned>((id >> shift) & 0xF);
+    if (nibble != 0) significant = true;
+    if (significant || shift == 0) out += kDigits[nibble];
+  }
+  return out;
+}
+
+Json Tracer::to_json(std::size_t max_events) const {
+  std::vector<TaggedEvent> merged = merged_events();
+  std::size_t dropped = 0;
+  if (max_events != 0 && merged.size() > max_events) {
+    // Keep the newest events — the interesting end of a ring dump.
+    dropped = merged.size() - max_events;
+    merged.erase(merged.begin(),
+                 merged.begin() + static_cast<std::ptrdiff_t>(dropped));
+  }
+  Json events = Json::array();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const TaggedEvent& tagged : merged) {
+      const TraceEvent& event = tagged.event;
+      Json e = Json::object();
+      e.set("trace_id", hex_trace_id(event.trace_id));
+      e.set("ts_ns", event.ts_ns);
+      e.set("dur_ns", event.dur_ns);
+      e.set("stage", to_string(event.stage));
+      if (event.stage == TraceStage::kLifecycle) {
+        e.set("detail", to_string(event.detail));
+      }
+      e.set("arg", event.arg);
+      e.set("component", rings_[tagged.entry].component);
+      e.set("site", rings_[tagged.entry].site);
+      events.push_back(std::move(e));
+    }
+  }
+  Json out = Json::object();
+  out.set("events", std::move(events));
+  out.set("dropped", static_cast<std::uint64_t>(dropped));
+  out.set("slow_total", slow_total());
+  return out;
+}
+
+Json Tracer::to_perfetto_json() const {
+  std::vector<TaggedEvent> merged = merged_events();
+  Json events = Json::array();
+  std::lock_guard<std::mutex> lock(mutex_);
+  // pid per component, tid per (component, site) ring, both 1-based.
+  std::vector<std::string> components;
+  std::vector<int> entry_pid(rings_.size(), 0);
+  std::vector<int> entry_tid(rings_.size(), 0);
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    auto found = std::find(components.begin(), components.end(),
+                           rings_[i].component);
+    if (found == components.end()) {
+      components.push_back(rings_[i].component);
+      found = components.end() - 1;
+    }
+    entry_pid[i] = static_cast<int>(found - components.begin()) + 1;
+    entry_tid[i] = static_cast<int>(i) + 1;
+
+    Json process = Json::object();
+    process.set("name", "process_name");
+    process.set("ph", "M");
+    process.set("pid", entry_pid[i]);
+    Json pargs = Json::object();
+    pargs.set("name", rings_[i].component);
+    process.set("args", std::move(pargs));
+    events.push_back(std::move(process));
+
+    Json thread = Json::object();
+    thread.set("name", "thread_name");
+    thread.set("ph", "M");
+    thread.set("pid", entry_pid[i]);
+    thread.set("tid", entry_tid[i]);
+    Json targs = Json::object();
+    targs.set("name", rings_[i].site);
+    thread.set("args", std::move(targs));
+    events.push_back(std::move(thread));
+  }
+  for (const TaggedEvent& tagged : merged) {
+    const TraceEvent& event = tagged.event;
+    Json e = Json::object();
+    if (event.stage == TraceStage::kLifecycle) {
+      e.set("name", std::string(to_string(event.detail)));
+      e.set("ph", "i");
+      e.set("s", "g");  // global scope: lifecycle marks span the timeline
+    } else {
+      e.set("name", std::string(to_string(event.stage)));
+      e.set("ph", "X");
+      e.set("dur", static_cast<double>(event.dur_ns) / 1000.0);
+    }
+    e.set("cat", "rnl");
+    e.set("ts", static_cast<double>(event.ts_ns) / 1000.0);
+    e.set("pid", entry_pid[tagged.entry]);
+    e.set("tid", entry_tid[tagged.entry]);
+    Json args = Json::object();
+    args.set("trace_id", hex_trace_id(event.trace_id));
+    args.set("arg", event.arg);
+    e.set("args", std::move(args));
+    events.push_back(std::move(e));
+  }
+  Json out = Json::object();
+  out.set("traceEvents", std::move(events));
+  out.set("displayTimeUnit", "ns");
+  return out;
+}
+
+std::string Tracer::to_perfetto() const { return to_perfetto_json().dump(); }
+
+}  // namespace rnl::util

@@ -1,0 +1,260 @@
+#pragma once
+
+// End-to-end frame tracing: causal, cross-component timelines for the
+// RIS -> route server -> RIS forwarding path.
+//
+// The metrics registry answers "how slow is the p99"; this layer answers
+// "why was *this* frame slow". Components push spans (begin + duration) and
+// instant events (drops, evictions, epoch bumps) into lock-free rings keyed
+// by a 64-bit trace id that travels inside the tunnel frame itself
+// (wire::kFlagTraced + an 8-byte payload prefix), so one id stitches RIS
+// capture, uplink flush, route-server decode/forward/egress, and peer RIS
+// replay into a single timeline over both sim and TCP transports.
+//
+// Two ways a frame gets traced:
+//   - Head sampling: the capture path starts a trace for 1-in-N frames
+//     (kDefaultHeadSamplePeriod; sparser than the kDefaultStageSamplePeriod
+//     stage clocks because traced frames cost more).
+//   - Tail capture: the route server stamps a candidate span set for every
+//     frame it times anyway and commits it only when the measured forward
+//     latency exceeds a cached p99 estimate — slow frames self-select even
+//     when head sampling missed them.
+//
+// Concurrency contract: each SpanRing slot is a seqlock over atomic words,
+// so rings are safe for concurrent writers and a concurrent dump reader
+// (the shard-per-core direction makes rings multi-producer; the --tsan gate
+// covers this). A write is wait-free: claim a ticket, publish odd seq,
+// store the payload words, publish even seq. Readers discard slots whose
+// seq is odd or changed mid-read. A writer lapped by `capacity` concurrent
+// writes can in principle publish a torn slot with a plausible seq; rings
+// are sized (>= 1024 slots) so a full-lap overlap during one ~20ns write
+// does not happen in practice, and a torn diagnostic event is an accepted
+// failure mode — the protocol is race-free by construction either way.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace rnl::util {
+
+class Histogram;
+
+/// One-in-N sampling period shared by the RIS capture/replay stage clocks
+/// and the route server's stage clocks (README "knobs"). Power of two: all
+/// users gate with `(counter & (period - 1)) == 0`.
+constexpr std::uint32_t kDefaultStageSamplePeriod = 16;
+
+/// Default head-sampling period for the tracer. Deliberately sparser than
+/// the stage clocks: a head-sampled frame pays an 8-byte wire prefix plus
+/// ~8 spans (two clock reads and a ring write each) across three
+/// processes, so 1-in-64 keeps always-on tracing under the <3% forwarding
+/// overhead budget (bench_routeserver_scaling `trace_overhead`).
+constexpr std::uint32_t kDefaultHeadSamplePeriod = 64;
+
+/// Where in the forwarding path a span or instant was recorded.
+enum class TraceStage : std::uint8_t {
+  kCapture = 0,       // RIS: NIC frame -> tunnel encode
+  kUplinkFlush = 1,   // RIS: coalesced uplink buffer -> transport send
+  kDecodeBatch = 2,   // server: one transport chunk -> decoded frame batch
+  kForward = 3,       // server: decoded view -> egress enqueue (end to end)
+  kMatrixLookup = 4,  // server: routing-matrix lookup slice of kForward
+  kEgressEnqueue = 5, // server: encode + egress batch append slice of kForward
+  kEgressFlush = 6,   // server: egress batch -> transport send
+  kReplay = 7,        // RIS: decoded kData -> NIC inject
+  kLifecycle = 8,     // instants: drops, evictions, epoch bumps, watermarks
+};
+[[nodiscard]] std::string_view to_string(TraceStage stage);
+
+/// Detail code carried by TraceStage::kLifecycle instant events.
+enum class TraceInstant : std::uint32_t {
+  kNone = 0,
+  kShedDrop = 1,        // kData dropped: destination site shedding
+  kStaleEpochDrop = 2,  // kData dropped at the epoch gate
+  kSpoofedPortDrop = 3, // kData dropped: source port not owned by sender
+  kUnroutedDrop = 4,    // kData dropped: no matrix entry
+  kEviction = 5,        // site evicted (hard cap / stall deadline)
+  kRejoin = 6,          // retained site rebound under a new epoch
+  kEpochBump = 7,       // JOIN assigned a fresh session epoch
+  kWatermarkEnter = 8,  // egress queue crossed the high watermark
+  kWatermarkExit = 9,   // egress queue drained below the low watermark
+  kSlowFrame = 10,      // tail capture committed: forward latency > p99
+};
+[[nodiscard]] std::string_view to_string(TraceInstant instant);
+
+/// Trace ids render as hex strings ("0x2a") everywhere user-facing: Json
+/// stores numbers as double, which cannot hold all 64 bits losslessly.
+[[nodiscard]] std::string hex_trace_id(std::uint64_t id);
+
+/// One trace event. dur_ns == 0 with stage kLifecycle is an instant; any
+/// other event is a complete span [ts_ns, ts_ns + dur_ns].
+struct TraceEvent {
+  std::uint64_t trace_id = 0;
+  std::uint64_t ts_ns = 0;   // util::monotonic_ns() at span begin
+  std::uint64_t dur_ns = 0;  // 0 for instants
+  TraceStage stage = TraceStage::kLifecycle;
+  TraceInstant detail = TraceInstant::kNone;
+  std::uint32_t arg = 0;  // stage-specific: port id, frame count, epoch...
+};
+
+/// Fixed-capacity, lock-free ring of TraceEvents. Writers never block and
+/// never allocate; old events are overwritten. See the file comment for the
+/// seqlock protocol and its (accepted) full-lap caveat.
+class SpanRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;  // power of two
+
+  explicit SpanRing(std::size_t capacity = kDefaultCapacity);
+
+  /// Wait-free, safe from any thread.
+  void push(const TraceEvent& event);
+
+  /// Snapshot of retained events, oldest ticket first. Torn slots (a write
+  /// in flight during the read) are skipped, not blocked on.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Events ever pushed (including overwritten ones).
+  [[nodiscard]] std::uint64_t total() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    /// 2*ticket+1 while the write is in flight, 2*ticket+2 once published.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> ts_ns{0};
+    std::atomic<std::uint64_t> dur_ns{0};
+    /// stage(8) | detail(24) | arg(32), packed so the payload is all-atomic.
+    std::atomic<std::uint64_t> meta{0};
+  };
+
+  std::atomic<std::uint64_t> head_{0};  // next ticket
+  std::vector<Slot> slots_;             // size is a power of two
+  std::size_t mask_;
+};
+
+/// Process-wide trace sink: owns one SpanRing per (component, site) pair,
+/// allocates trace ids, decides head sampling, and gates tail capture on a
+/// cached p99 estimate. Export walks all rings and merges by timestamp.
+///
+/// Hot-path cost when tracing is disabled: one relaxed atomic load
+/// (enabled()). When enabled but a frame is not sampled: one relaxed
+/// fetch_add. Ring registration and export take a mutex (control plane).
+class Tracer {
+ public:
+  Tracer();
+
+  /// Get-or-create the ring for one emitting site of one component
+  /// (Perfetto: component -> pid, site -> tid). The pointer stays valid for
+  /// the Tracer's lifetime. Safe from any thread.
+  SpanRing& ring(const std::string& component, const std::string& site);
+
+  // ---- enable / sampling policy ----
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  /// Head-sample 1 frame in `period` (rounded up to a power of two;
+  /// 1 = every frame, 0 = head sampling off). Default
+  /// kDefaultHeadSamplePeriod.
+  void set_head_sample_period(std::uint32_t period);
+  [[nodiscard]] std::uint32_t head_sample_period() const {
+    return head_period_.load(std::memory_order_relaxed);
+  }
+
+  /// Returns a fresh trace id if this frame is head-sampled, 0 otherwise.
+  /// Wait-free; safe from any thread.
+  [[nodiscard]] std::uint64_t head_sample();
+
+  /// Fresh nonzero trace id (tail captures and tests mint ids directly).
+  [[nodiscard]] std::uint64_t next_trace_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // ---- tail capture (called from the route-server thread only) ----
+
+  /// True when `forward_ns` exceeds the current p99 estimate of `hist`.
+  /// The estimate is cached and re-read from the histogram only every
+  /// kTailRefreshPeriod calls; the gate stays closed until the histogram
+  /// has kTailMinCount samples, so early frames do not all look "slow".
+  [[nodiscard]] bool tail_exceeds(const Histogram& hist,
+                                  std::uint64_t forward_ns);
+
+  static constexpr std::uint64_t kTailRefreshPeriod = 1024;
+  static constexpr std::uint64_t kTailMinCount = 256;
+
+  /// The cached p99 estimate the gate currently compares against (0 while
+  /// the histogram is still below kTailMinCount samples).
+  [[nodiscard]] std::uint64_t tail_threshold_ns() const {
+    return tail_threshold_ns_;
+  }
+
+  /// One committed slow frame, for `trace.slow`.
+  struct SlowFrame {
+    std::uint64_t trace_id = 0;
+    std::uint64_t ts_ns = 0;
+    std::uint64_t forward_ns = 0;
+    std::uint64_t threshold_ns = 0;  // the p99 estimate it exceeded
+    std::uint32_t src_port = 0;
+    std::uint32_t dst_port = 0;
+  };
+
+  /// Record a committed tail capture (bounded ledger, newest kept).
+  void note_slow(const SlowFrame& slow);
+  [[nodiscard]] std::vector<SlowFrame> slow_frames() const;
+  [[nodiscard]] std::uint64_t slow_total() const {
+    return slow_total_.load(std::memory_order_relaxed);
+  }
+  static constexpr std::size_t kSlowLedgerCapacity = 64;
+
+  // ---- export (control plane; takes the registry mutex) ----
+
+  /// {"events": [{trace_id, ts_ns, dur_ns, stage, detail, arg, component,
+  /// site}...], "dropped": n} — events merged across rings, ts order.
+  /// `max_events` bounds the dump (0 = no bound).
+  [[nodiscard]] Json to_json(std::size_t max_events = 0) const;
+
+  /// Chrome trace-event JSON (the "traceEvents" array format) loadable in
+  /// ui.perfetto.dev: one pid per component, one tid per site ring, "X"
+  /// complete events for spans, "i" instants, "M" metadata naming both.
+  /// Timestamps are microseconds with ns precision kept in the fraction.
+  [[nodiscard]] Json to_perfetto_json() const;
+  [[nodiscard]] std::string to_perfetto() const;
+
+ private:
+  struct RingEntry {
+    std::string component;
+    std::string site;
+    std::unique_ptr<SpanRing> ring;
+  };
+  struct TaggedEvent {
+    TraceEvent event;
+    std::size_t entry = 0;  // index into rings_
+  };
+  [[nodiscard]] std::vector<TaggedEvent> merged_events() const;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint32_t> head_period_{kDefaultHeadSamplePeriod};
+  std::atomic<std::uint64_t> head_counter_{0};
+  std::atomic<std::uint64_t> next_id_{1};
+
+  // Tail gate: route-server thread only (single caller), plain members.
+  std::uint64_t tail_threshold_ns_ = 0;
+  std::uint64_t tail_calls_ = 0;
+
+  std::atomic<std::uint64_t> slow_total_{0};
+  mutable std::mutex mutex_;  // guards rings_ vector and slow ledger
+  std::vector<RingEntry> rings_;
+  std::vector<SlowFrame> slow_;  // ring, newest overwrites oldest
+  std::size_t slow_next_ = 0;
+};
+
+}  // namespace rnl::util

@@ -21,16 +21,19 @@ util::Bytes encode_message(const TunnelMessage& message,
 void encode_message_into(util::ByteWriter& w, MessageType type,
                          RouterId router_id, PortId port_id,
                          util::BytesView payload, bool compressed,
-                         std::uint8_t epoch) {
+                         std::uint8_t epoch, std::uint64_t trace_id) {
   w.u32(kMagic);
   w.u8(kVersion);
   w.u8(static_cast<std::uint8_t>(type));
   w.u16(static_cast<std::uint16_t>(
       (static_cast<std::uint16_t>(epoch) << kEpochShift) |
-      (compressed ? kFlagCompressed : 0)));
+      (compressed ? kFlagCompressed : 0) |
+      (trace_id != 0 ? kFlagTraced : 0)));
   w.u32(router_id);
   w.u32(port_id);
-  w.u32(static_cast<std::uint32_t>(payload.size()));
+  const std::size_t prefix = trace_id != 0 ? kTraceIdSize : 0;
+  w.u32(static_cast<std::uint32_t>(payload.size() + prefix));
+  if (trace_id != 0) w.u64(trace_id);
   w.raw(payload);
 }
 
@@ -85,8 +88,18 @@ const std::vector<MessageDecoder::DecodedView>& MessageDecoder::feed_views(
     if (type < 1 || type > 7) {
       return fail("tunnel: unknown message type");
     }
+    // Reserved flag bits must be zero. A peer setting them is either newer
+    // than us (we would misparse its payload — e.g. miss a trace-id prefix)
+    // or corrupt; both poison the stream like any other framing error.
+    if ((flags & 0xFFu & ~kFlagKnownMask) != 0) {
+      return fail("tunnel: reserved flag bits set");
+    }
     if (length > kMaxPayload) {
       return fail("tunnel: payload length exceeds maximum");
+    }
+    const bool traced = (flags & kFlagTraced) != 0;
+    if (traced && length < kTraceIdSize) {
+      return fail("tunnel: traced frame shorter than its trace id");
     }
     if (buffer_.size() - offset < kHeaderSize + length) break;  // need more
 
@@ -94,7 +107,12 @@ const std::vector<MessageDecoder::DecodedView>& MessageDecoder::feed_views(
     view.type = static_cast<MessageType>(type);
     view.router_id = router_id;
     view.port_id = port_id;
-    view.payload = r.raw(length);
+    if (traced) {
+      view.trace_id = r.u64();
+      view.payload = r.raw(length - kTraceIdSize);
+    } else {
+      view.payload = r.raw(length);
+    }
     view.compressed = (flags & kFlagCompressed) != 0;
     view.epoch = static_cast<std::uint8_t>(flags >> kEpochShift);
     views_.push_back(view);
@@ -122,6 +140,7 @@ std::vector<MessageDecoder::Decoded> MessageDecoder::feed(
     decoded.message.port_id = view.port_id;
     decoded.message.payload.assign(view.payload.begin(), view.payload.end());
     decoded.compressed = view.compressed;
+    decoded.trace_id = view.trace_id;
     out.push_back(std::move(decoded));
   }
   return out;

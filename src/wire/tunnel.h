@@ -35,6 +35,20 @@ enum class MessageType : std::uint8_t {
 
 /// Header flag bits (low byte of the 16-bit flags field).
 constexpr std::uint16_t kFlagCompressed = 0x0001;
+/// The frame carries a trace context: the payload is prefixed with an
+/// 8-byte big-endian trace id (after compression, so the prefix is never
+/// compressed) which the decoder strips into DecodedView::trace_id. This is
+/// how a span context crosses the RIS <-> route-server boundary — same
+/// idiom as the epoch byte: semantics extended inside reserved flag space,
+/// no version bump, absent bit means absent id.
+constexpr std::uint16_t kFlagTraced = 0x0002;
+/// Every defined bit of the flags low byte. The decoder rejects frames with
+/// any other low-byte bit set: reserved bits must arrive as zero, so future
+/// flags (this file's own history: compressed, then traced) can ship
+/// knowing no old peer has been emitting junk in their slot.
+constexpr std::uint16_t kFlagKnownMask = kFlagCompressed | kFlagTraced;
+/// Bytes of trace-id prefix a kFlagTraced payload carries on the wire.
+constexpr std::size_t kTraceIdSize = 8;
 /// The high byte of the flags field carries the session epoch (mod 256): the
 /// route server assigns each site session an epoch at JOIN and both sides
 /// stamp it into every kData frame, so frames from a dead incarnation of a
@@ -66,11 +80,12 @@ util::Bytes encode_message(const TunnelMessage& message,
 /// (typically a per-connection send buffer reused across frames, cleared by
 /// the caller). `compressed` sets kFlagCompressed; the payload is framed
 /// as given either way. `epoch` is the sender's session epoch (mod 256),
-/// stamped into the flags high byte.
+/// stamped into the flags high byte. A nonzero `trace_id` sets kFlagTraced
+/// and prepends the id to the payload on the wire (stripped at decode).
 void encode_message_into(util::ByteWriter& w, MessageType type,
                          RouterId router_id, PortId port_id,
                          util::BytesView payload, bool compressed = false,
-                         std::uint8_t epoch = 0);
+                         std::uint8_t epoch = 0, std::uint64_t trace_id = 0);
 
 /// Incremental decoder for a byte stream of messages. Feed arbitrary chunks;
 /// complete messages come out. Malformed input poisons the stream (a framing
@@ -90,6 +105,9 @@ class MessageDecoder {
     bool compressed = false;
     /// Sender's session epoch (mod 256) from the flags high byte.
     std::uint8_t epoch = 0;
+    /// Propagated trace id (kFlagTraced payload prefix), 0 if untraced.
+    /// The prefix is already stripped: `payload` is the frame proper.
+    std::uint64_t trace_id = 0;
   };
 
   /// Owning variant for callers that need payloads to outlive the decoder
@@ -97,6 +115,7 @@ class MessageDecoder {
   struct Decoded {
     TunnelMessage message;
     bool compressed = false;
+    std::uint64_t trace_id = 0;
   };
 
   /// Appends stream bytes; returns views of the messages completed by this

@@ -89,6 +89,41 @@ TEST_F(WebUiFixture, FullMouseDrivenSessionEndsInPings) {
   EXPECT_FALSE(ui.press_teardown().ok());  // second press: nothing deployed
 }
 
+TEST_F(WebUiFixture, TracePageShowsSampledFrameTimelines) {
+  WebUiSession ui(bed.service(), "alice");
+  ui.open_design("traced-lab");
+  ASSERT_TRUE(ui.drag_router_to_plane("hq/h1").ok());
+  ASSERT_TRUE(ui.drag_router_to_plane("hq/h2").ok());
+  ASSERT_TRUE(ui.draw_wire("hq/h1", 5, 5, "hq/h2", 5, 5).ok());
+  ASSERT_TRUE(ui.press_save_design().ok());
+  ASSERT_TRUE(ui.reserve_next_free(Duration::hours(1)).ok());
+  ASSERT_TRUE(ui.press_deploy().ok());
+
+  std::string idle = ui.render_trace();
+  EXPECT_NE(idle.find("tracing: off"), std::string::npos);
+
+  bed.tracer().set_enabled(true);
+  bed.tracer().set_head_sample_period(1);
+  h1->ping(ip("10.0.0.2"), 2);
+  bed.run_for(Duration::seconds(2));
+  ASSERT_EQ(h1->ping_replies().size(), 2u);
+
+  std::string page = ui.render_trace();
+  EXPECT_NE(page.find("tracing: on   head sampling: 1-in-1"),
+            std::string::npos);
+  // Every sampled frame's path reads together under its trace id: capture
+  // at the RIS, forward at the route server, replay back at the RIS.
+  EXPECT_NE(page.find("trace 0x"), std::string::npos);
+  EXPECT_NE(page.find("[ris/hq] capture"), std::string::npos);
+  EXPECT_NE(page.find("[routeserver/server] forward"), std::string::npos);
+  EXPECT_NE(page.find("[ris/hq] replay"), std::string::npos);
+  EXPECT_NE(page.find("-- slow frames"), std::string::npos);
+
+  // max_events bounds the span listing and reports what it dropped.
+  std::string bounded = ui.render_trace(/*max_events=*/1);
+  EXPECT_NE(bounded.find("(1 shown"), std::string::npos);
+}
+
 TEST_F(WebUiFixture, CalendarRendersBookings) {
   WebUiSession alice(bed.service(), "alice");
   alice.open_design("cal");
