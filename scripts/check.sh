@@ -30,13 +30,18 @@
 #              binary for a bounded 10k-iteration exploration.
 #   --tsan     rebuild with RNL_SANITIZE=thread and run the concurrency
 #              surface under ThreadSanitizer: the metrics registry contract
-#              tests, the logger threshold-retune test, and the transport
-#              egress accounting paths (watermarks, drain callbacks).
+#              tests, the logger threshold-retune test, the transport
+#              egress accounting paths (watermarks, drain callbacks), the
+#              cross-shard SPSC wire rings, and the threaded sharded
+#              route-server lifecycle (kill/rejoin + concurrent snapshots).
 #   --bench    forwarding-bench smoke: run bench_routeserver_scaling in
 #              --quick mode and assert every emitted row actually drove the
-#              forward fast path (fast_path_frames > 0, frames_routed > 0).
-#              Catches a bench regression where frames stop traversing
-#              decode -> port lookup -> egress and the numbers go vacuous.
+#              forward fast path (fast_path_frames > 0, frames_routed > 0),
+#              and that the sharded sweep still scales (critical-path CPU
+#              speedup at 2 shards, zero wire-ring drops). Catches a bench
+#              regression where frames stop traversing decode -> port
+#              lookup -> egress and the numbers go vacuous, or where shards
+#              re-serialize on a shared lock.
 #   --trace    tracing smoke: run examples/trace_smoke (a 2-site forwarding
 #              burst over TCP loopback at 1-in-1 head sampling, which
 #              asserts >= 1 complete cross-process trace and the sub-span
@@ -102,6 +107,15 @@ if [[ "$faults" == 1 ]]; then
     --gtest_filter='*Reset*:*PeerRestart*:*Epoch*'
   ./build-sanitize/tests/labservice_test \
     --gtest_filter='*Overloaded*'
+  # Sharded route server: kill-mid-traffic rejoin across a shard boundary,
+  # cross-shard wire teardown, and ring-full drops -- the paths that free
+  # per-site state on one shard while the peer shard still holds WireEnds.
+  ./build-sanitize/tests/sharded_test \
+    --gtest_filter='*Rejoin*:*Disconnect*:*RingDrops*:*RingFull*'
+  # Reconnect jitter determinism: per-site RNG streams must keep --faults
+  # replays byte-stable even when other consumers drain the shared RNG.
+  ./build-sanitize/tests/ris_extras_test \
+    --gtest_filter='ReconnectJitter.*'
 fi
 
 if [[ "$lint" == 1 ]]; then
@@ -155,7 +169,21 @@ for row in rows:
     where = f"users={row['users']} transport={row['transport']}"
     assert row["frames_routed"] > 0, f"{where}: frames_routed == 0"
     assert row["fast_path_frames"] > 0, f"{where}: fast_path_frames == 0"
-print(f"bench smoke OK: {len(rows)} rows, all with live fast-path counts")
+sharded = report["sharded_rows"]
+assert sharded, "bench emitted no sharded rows"
+for row in sharded:
+    where = f"shards={row['shards']} transport={row['transport']}"
+    assert row["delivered_frames"] > 0, f"{where}: delivered_frames == 0"
+    assert row["cross_shard_ring_drops"] == 0, f"{where}: wire ring dropped"
+    assert row["cross_shard_frames"] == 0, \
+        f"{where}: shard-local wires crossed the rings"
+    if row["shards"] == 2:
+        # Quick-mode floor: measured ~1.4x (sim) / ~1.6x (tcp) on the
+        # critical-path CPU metric; below 1.15x the shards are serialized.
+        assert row["shard_speedup"] >= 1.15, \
+            f"{where}: shard speedup {row['shard_speedup']:.2f}x < 1.15x"
+print(f"bench smoke OK: {len(rows)} rows + {len(sharded)} sharded rows, "
+      f"fast path live and shard scaling intact")
 EOF
 fi
 
@@ -189,6 +217,11 @@ if [[ "$tsan" == 1 ]]; then
     --gtest_filter='*Concurrent*:*Thread*'
   ./build-tsan/tests/transport_test \
     --gtest_filter='TcpLoopback.*Egress*:TcpLoopback.LargeWriteBuffersAndDrains:SimStream.*Watermark*:SimStream.*Stall*'
+  # Sharded route server: the SPSC wire rings under a producer/consumer
+  # hammer and the full threaded lifecycle (start, cross-shard kill/rejoin
+  # while another thread snapshots metrics, stop-time drain).
+  ./build-tsan/tests/sharded_test \
+    --gtest_filter='SpscRing.*:ShardedThreaded.*'
 fi
 
 echo "All checks passed."

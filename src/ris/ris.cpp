@@ -22,6 +22,7 @@ RouterInterface::RouterInterface(simnet::Network& net, std::string site_name,
                                  util::MetricsRegistry* metrics)
     : net_(net),
       site_name_(std::move(site_name)),
+      jitter_rng_(util::derive_seed(net.scheduler().seed(), site_name_)),
       metrics_(metrics != nullptr ? metrics : &util::MetricsRegistry::global()),
       metrics_prefix_("ris." + site_name_ + ".") {
   auto expose = [this](const char* field, const std::uint64_t* value) {
@@ -270,12 +271,14 @@ void RouterInterface::schedule_reconnect() {
     return;
   }
   // Jitter the delay so many sites losing one server don't redial in phase;
-  // deterministic because it comes from the scheduler's seeded RNG.
+  // deterministic because each site draws from its own (seed, site-name)
+  // derived stream — never the scheduler's shared RNG, whose draw order
+  // would depend on thread interleaving under the sharded route server.
   util::Duration delay = current_backoff_;
   if (reconnect_policy_.jitter > 0) {
     auto span = static_cast<std::int64_t>(
         static_cast<double>(delay.nanos) * reconnect_policy_.jitter);
-    if (span > 0) delay.nanos += net_.scheduler().rng().range(-span, span);
+    if (span > 0) delay.nanos += jitter_rng_.range(-span, span);
   }
   if (delay.nanos < 0) delay.nanos = 0;
   backoff_hist_->record(static_cast<std::uint64_t>(delay.nanos));

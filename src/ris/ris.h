@@ -28,6 +28,7 @@
 #include "simnet/network.h"
 #include "transport/transport.h"
 #include "util/metrics.h"
+#include "util/rng.h"
 #include "util/trace.h"
 #include "wire/compression.h"
 #include "wire/tunnel.h"
@@ -259,6 +260,11 @@ class RouterInterface {
 
   simnet::Network& net_;
   std::string site_name_;
+  /// Private deterministic stream for reconnect jitter, seeded from
+  /// (world seed, site name) via util::derive_seed. Never the scheduler's
+  /// shared rng(): with shard-per-core worlds, threads interleaving draws
+  /// from a shared generator would make --faults replays nondeterministic.
+  util::Rng jitter_rng_;
   std::string server_address_ = "netlabs.accenture.com";
   std::vector<Router> routers_;
   std::unique_ptr<transport::Transport> transport_;

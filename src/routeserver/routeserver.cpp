@@ -70,6 +70,8 @@ RouteServer::RouteServer(simnet::Scheduler& scheduler,
   expose("routeserver.shed_entries", &stats_.shed_entries);
   expose("routeserver.hard_cap_evictions", &stats_.hard_cap_evictions);
   expose("routeserver.stalled_evictions", &stats_.stalled_evictions);
+  expose("routeserver.cross_shard_frames_out", &stats_.cross_shard_frames_out);
+  expose("routeserver.cross_shard_frames_in", &stats_.cross_shard_frames_in);
   expose("routeserver.fast_path_frames", &stats_.dataplane.fast_path_frames);
   expose("routeserver.slow_path_frames", &stats_.dataplane.slow_path_frames);
   expose("routeserver.payload_allocs", &stats_.dataplane.payload_allocs);
@@ -102,6 +104,8 @@ RouteServer::RouteServer(simnet::Scheduler& scheduler,
 RouteServer::~RouteServer() {
   // The probes read members of this object; drop them before it goes away.
   metrics_->remove_prefix("routeserver.");
+  // tail_registration_ (the tracer's pointer to our forward histogram)
+  // releases itself during member destruction, tracer alive or not.
   // Detach handlers before member destruction so a closing transport cannot
   // re-enter a half-destroyed server.
   for (auto& site : sites_) {
@@ -128,6 +132,33 @@ void RouteServer::accept(std::unique_ptr<transport::Transport> transport) {
   sites_.push_back(std::move(site));
 }
 
+void RouteServer::accept(std::unique_ptr<transport::Transport> transport,
+                         util::BytesView initial) {
+  accept(std::move(transport));
+  // Replay what the dispatch layer buffered while sniffing the JOIN. The
+  // site may die inside (decode error teardown) — on_site_data handles it.
+  if (!initial.empty()) on_site_data(sites_.back().get(), initial);
+}
+
+void RouteServer::bind_owner_thread() {
+  owner_thread_ = std::this_thread::get_id();
+}
+
+void RouteServer::set_id_allocation(std::uint32_t shard_index,
+                                    std::uint32_t stride) {
+  // Only before any assignment: re-striping live ids would orphan them.
+  RNL_DCHECK(routers_.empty() && next_port_id_ == 1 && next_router_id_ == 1);
+  id_stride_ = stride == 0 ? 1 : stride;
+  next_router_id_ = shard_index + 1;
+  next_port_id_ = shard_index + 1;
+}
+
+void RouteServer::set_remote_wire_handlers(RemoteDeliverHandler deliver,
+                                           RemoteDisconnectHandler disconnect) {
+  remote_deliver_ = std::move(deliver);
+  remote_disconnect_ = std::move(disconnect);
+}
+
 void RouteServer::set_egress_watermarks(std::size_t high, std::size_t low) {
   egress_high_ = high;
   egress_low_ = low > high ? high : low;
@@ -138,10 +169,18 @@ void RouteServer::set_egress_watermarks(std::size_t high, std::size_t low) {
   }
 }
 
-void RouteServer::set_tracer(util::Tracer* tracer) {
+void RouteServer::set_tracer(util::Tracer* tracer,
+                             const std::string& ring_label) {
+  tail_registration_.reset();
   tracer_ = tracer;
   trace_ring_ =
-      tracer != nullptr ? &tracer->ring("routeserver", "server") : nullptr;
+      tracer != nullptr ? &tracer->ring("routeserver", ring_label) : nullptr;
+  // Register our forward histogram with the tail gate's aggregation set:
+  // shards sharing a tracer gate slow-frame capture on the merged p99. The
+  // RAII handle survives the tracer being destroyed before this server.
+  if (tracer_ != nullptr) {
+    tail_registration_ = tracer_->register_tail_histogram(forward_hist_);
+  }
 }
 
 void RouteServer::trace_instant(util::TraceInstant detail,
@@ -195,15 +234,24 @@ void RouteServer::flush_site(Site* site) {
 }
 
 void RouteServer::flush_pending() {
-  if (flush_list_.empty()) return;
+  RNL_DCHECK(owner_thread_ == std::this_thread::get_id());
   // flush_site may tear sites down reentrantly (which leaves flush_list_
   // alone but marks them dead) — iterate a detached copy. Site objects
   // outlive this loop: purge_dead_sites only runs from accept/destruction.
+  // A teardown inside flush_site can also *repopulate* flush_list_ (a
+  // close handler forwarding a final burst reopens batches), so one swap
+  // pass is not enough: drain until the list stays empty, or an end-of-
+  // burst flush could strand frames appended mid-flush. Each pass clears
+  // in_flush_list before flushing, so re-appends always land in the fresh
+  // list and the loop terminates once no new batches open.
   std::vector<Site*> open;
-  open.swap(flush_list_);
-  for (Site* site : open) {
-    site->in_flush_list = false;
-    flush_site(site);
+  while (!flush_list_.empty()) {
+    open.clear();
+    open.swap(flush_list_);
+    for (Site* site : open) {
+      site->in_flush_list = false;
+      flush_site(site);
+    }
   }
 }
 
@@ -327,6 +375,7 @@ void RouteServer::set_liveness_timeout(util::Duration timeout) {
 }
 
 void RouteServer::on_site_data(Site* site, util::BytesView chunk) {
+  RNL_DCHECK(owner_thread_ == std::this_thread::get_id());
   if (site->dead) {
     // Bytes still in flight from a dead incarnation (the WAN kept carrying
     // them after the server gave up on the session). Count the data frames
@@ -509,7 +558,10 @@ void RouteServer::handle_join(Site* site,
   } else {
     for (const auto& declared : request->routers) {
       InventoryRouter router;
-      router.id = next_router_id_++;
+      // Striped allocation (set_id_allocation): stride 1 on an unsharded
+      // server reduces to the classic sequential ids.
+      router.id = next_router_id_;
+      next_router_id_ += id_stride_;
       router.site = request->site_name;
       router.name = declared.name;
       router.description = declared.description;
@@ -519,7 +571,8 @@ void RouteServer::handle_join(Site* site,
       ids.router_id = router.id;
       for (const auto& declared_port : declared.ports) {
         InventoryPort port;
-        port.id = next_port_id_++;
+        port.id = next_port_id_;
+        next_port_id_ += id_stride_;
         port.name = declared_port.name;
         port.description = declared_port.description;
         port.rect_x = declared_port.rect_x;
@@ -689,6 +742,12 @@ void RouteServer::handle_data(Site* site,
   const std::uint64_t forward_start = util::monotonic_ns();
   if (wire_end.netem != nullptr) {
     wire_end.netem->send(frame);  // sink delivers to the peer after the WAN
+  } else if (wire_end.remote) {
+    // Cross-shard wire: hand the frame to the owning shard's ring. The
+    // peer port id is already the destination; the receiving shard's drain
+    // loop finishes the delivery via deliver_remote.
+    ++stats_.cross_shard_frames_out;
+    if (remote_deliver_) remote_deliver_(wire_end.peer, frame, msg.trace_id);
   } else {
     deliver_to_port(wire_end.peer, frame, slow, msg.trace_id);
   }
@@ -730,8 +789,19 @@ void RouteServer::handle_data(Site* site,
                   util::FlightRecorder::EventKind::kRouted});
 }
 
+void RouteServer::deliver_remote(wire::PortId port, util::BytesView frame,
+                                 std::uint64_t trace_id) {
+  RNL_DCHECK(owner_thread_ == std::this_thread::get_id());
+  ++stats_.cross_shard_frames_in;
+  // Slow path by definition: the frame was copied through the ring, so the
+  // zero-copy accounting does not apply. The drain loop batches flushes
+  // (flush_egress once per burst), matching the decode loop's cadence.
+  deliver_to_port(port, frame, /*slow=*/true, trace_id);
+}
+
 void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame,
                                   bool slow, std::uint64_t trace_id) {
+  RNL_DCHECK(owner_thread_ == std::this_thread::get_id());
   PortRecord* record = port_record(port);
   if (record == nullptr) return;  // site vanished mid-flight
   Site* site = record->site;
@@ -839,6 +909,12 @@ void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame,
 }
 
 void RouteServer::remove_site(Site* site, bool orderly) {
+  // Teardown is shard-local: transport close/error handlers fire on the
+  // owning shard's thread (the dispatch layer guarantees a site's transport
+  // lives with its shard), so flush_list_/in_flush_list stay single-
+  // threaded even in the sharded server. Cross-shard peers learn about the
+  // loss only through posted commands, never by calling in here.
+  RNL_DCHECK(owner_thread_ == std::this_thread::get_id());
   if (site->dead) return;
   site->dead = true;
   if (site->joined && !site->name.empty()) {
@@ -991,8 +1067,55 @@ util::Status RouteServer::connect_ports(wire::PortId a, wire::PortId b,
   return util::Status::Ok();
 }
 
+util::Status RouteServer::connect_port_remote(wire::PortId local,
+                                              wire::PortId peer,
+                                              wire::NetemProfile wan) {
+  if (!port_exists(local)) {
+    return util::Error{"connect_port_remote: unknown local port id"};
+  }
+  if (matrix_[local].peer != 0) {
+    return util::Error{
+        "connect_port_remote: port already wired (deployed labs must be "
+        "mutually exclusive)"};
+  }
+  WireEnd end;
+  end.peer = peer;
+  end.remote = true;
+  const bool impaired = wan.delay.nanos != 0 || wan.jitter.nanos != 0 ||
+                        wan.loss_probability != 0;
+  if (impaired) {
+    // Each shard impairs the direction it sends; the netem sink hands the
+    // delayed frame to the cross-shard ring instead of a local port.
+    end.netem = std::make_unique<wire::Netem>(
+        scheduler_, wan, [this, peer](util::Bytes frame) {
+          ++stats_.cross_shard_frames_out;
+          if (remote_deliver_) remote_deliver_(peer, frame, 0);
+        });
+    end.netem->set_applied_delay_histogram(netem_delay_hist_);
+  }
+  matrix_[local] = std::move(end);
+  ++remote_wire_ends_;
+  return util::Status::Ok();
+}
+
+void RouteServer::clear_remote_wire_end(wire::PortId local) {
+  if (local >= matrix_.size() || !matrix_[local].remote) return;
+  matrix_[local] = WireEnd{};
+  RNL_DCHECK(remote_wire_ends_ > 0);
+  --remote_wire_ends_;
+}
+
 void RouteServer::disconnect_port(wire::PortId port) {
   if (port >= matrix_.size() || matrix_[port].peer == 0) return;
+  if (matrix_[port].remote) {
+    // Cross-shard wire: clear the local end, then let the sharded layer
+    // tell the owning shard to clear the other one (it posts a command —
+    // never a synchronous cross-shard call from the data path).
+    const wire::PortId peer = matrix_[port].peer;
+    clear_remote_wire_end(port);
+    if (remote_disconnect_) remote_disconnect_(port, peer);
+    return;
+  }
   wire::PortId peer = matrix_[port].peer;
   RNL_DCHECK(peer < matrix_.size() && matrix_[peer].peer == port);
   RNL_DCHECK(wires_ > 0);

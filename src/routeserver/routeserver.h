@@ -25,6 +25,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "simnet/scheduler.h"
@@ -143,6 +144,11 @@ struct RouteServerStats {
   std::uint64_t hard_cap_evictions = 0;
   /// Sites evicted for staying backpressured past the stall deadline.
   std::uint64_t stalled_evictions = 0;
+  /// Frames routed over a cross-shard wire: handed to the remote-deliver
+  /// handler (out) / received from another shard via deliver_remote (in).
+  /// Zero on an unsharded server.
+  std::uint64_t cross_shard_frames_out = 0;
+  std::uint64_t cross_shard_frames_in = 0;
   DataPlaneStats dataplane;
 };
 
@@ -168,6 +174,64 @@ class RouteServer {
 
   /// Accepts a new RIS connection (transport ownership transfers).
   void accept(std::unique_ptr<transport::Transport> transport);
+  /// accept() plus an immediate replay of bytes that arrived before the
+  /// hand-off — the sharded dispatch layer sniffs the JOIN on the front
+  /// door and forwards whatever it buffered along with the transport.
+  void accept(std::unique_ptr<transport::Transport> transport,
+              util::BytesView initial);
+
+  // -- Sharding hooks (ShardedRouteServer; DESIGN.md §12) --
+  // A plain RouteServer is one shard's whole world. The hooks below let N
+  // instances share one id space and exchange frames over cross-shard
+  // wires without any of them taking a lock on the per-frame path.
+
+  /// Stripe id assignment: this server hands out router/port ids
+  /// shard_index+1, shard_index+1+stride, ... so stride-many shards never
+  /// collide and any id maps back to its owner as (id-1) % stride.
+  /// Must be called before the first JOIN.
+  void set_id_allocation(std::uint32_t shard_index, std::uint32_t stride);
+
+  /// Invoked when a frame is routed into a cross-shard wire end: the
+  /// destination port (already the *peer* port id, owned by another
+  /// shard), the frame bytes (valid only for the call), and the frame's
+  /// trace id (0 untraced). The handler copies into the SPSC ring toward
+  /// the owning shard.
+  using RemoteDeliverHandler =
+      std::function<void(wire::PortId, util::BytesView, std::uint64_t)>;
+  /// Invoked after this server tears down its end of a cross-shard wire
+  /// (site loss or explicit disconnect) so the peer shard can clear the
+  /// other end. Arguments: local port (this shard), peer port (remote).
+  using RemoteDisconnectHandler =
+      std::function<void(wire::PortId, wire::PortId)>;
+  void set_remote_wire_handlers(RemoteDeliverHandler deliver,
+                                RemoteDisconnectHandler disconnect);
+
+  /// Installs this shard's end of a cross-shard wire: frames leaving
+  /// `local` go to the remote-deliver handler addressed to `peer`. `wan`
+  /// impairs this direction (each shard impairs what it sends, so a
+  /// profile passed to both ends behaves like a local wire's). Fails if
+  /// `local` is unknown or already wired.
+  util::Status connect_port_remote(wire::PortId local, wire::PortId peer,
+                                   wire::NetemProfile wan = {});
+  /// Clears the local end of a cross-shard wire without invoking the
+  /// remote-disconnect handler — the peer-shard half of a teardown.
+  void clear_remote_wire_end(wire::PortId local);
+
+  /// Delivers a frame that crossed shards into `port` (the receiving
+  /// shard's drain loop calls this for every ring pop). Slow path by
+  /// definition; the caller flushes once per drain burst via flush_egress.
+  void deliver_remote(wire::PortId port, util::BytesView frame,
+                      std::uint64_t trace_id = 0);
+  /// Public end-of-burst flush for external delivery loops (ring drains).
+  void flush_egress() { flush_pending(); }
+  [[nodiscard]] std::size_t remote_wire_ends() const {
+    return remote_wire_ends_;
+  }
+
+  /// Binds the data-plane owner-thread check to the calling thread (debug
+  /// builds): every per-frame entry point RNL_DCHECKs it runs on this
+  /// thread afterwards. A shard's thread loop calls this once at start.
+  void bind_owner_thread();
 
   void set_compression_enabled(bool enabled) { compression_enabled_ = enabled; }
   /// Sites silent longer than `timeout` are presumed dead and dropped
@@ -274,8 +338,14 @@ class RouteServer {
   /// histogram's p99 — exceeders commit a span set + slow-frame ledger
   /// entry even when head sampling missed them. Lifecycle transitions
   /// (shedding watermarks, evictions, epoch bumps, rejoins) join the same
-  /// timeline. The tracer must outlive the server.
-  void set_tracer(util::Tracer* tracer);
+  /// timeline. The tracer must outlive the server. The server registers
+  /// its forward histogram with the tracer's tail aggregation, so the slow-
+  /// frame gate compares against the p99 across every shard sharing the
+  /// tracer, not this shard alone.
+  void set_tracer(util::Tracer* tracer) { set_tracer(tracer, "server"); }
+  /// Sharded form: `ring_label` names this server's span ring (Perfetto
+  /// tid), so shards sharing one tracer get distinct rings.
+  void set_tracer(util::Tracer* tracer, const std::string& ring_label);
   [[nodiscard]] util::Tracer* tracer() const { return tracer_; }
   /// Ring of the last N data-plane frame events (default 512; capacity 0
   /// disables). One ring write per routed/dropped/injected frame.
@@ -364,6 +434,9 @@ class RouteServer {
   struct WireEnd {
     wire::PortId peer = 0;  // 0: unwired (port ids start at 1)
     std::unique_ptr<wire::Netem> netem;  // impairment toward `peer`
+    /// True when `peer` lives on another shard: frames leaving this end go
+    /// through the remote-deliver handler instead of deliver_to_port.
+    bool remote = false;
   };
 
   void on_site_data(Site* site, util::BytesView chunk);
@@ -475,12 +548,23 @@ class RouteServer {
   std::shared_ptr<std::function<void()>> liveness_loop_;
   wire::RouterId next_router_id_ = 1;
   wire::PortId next_port_id_ = 1;
+  /// Id allocation stride (set_id_allocation): 1 on an unsharded server.
+  std::uint32_t id_stride_ = 1;
+  /// Cross-shard wiring (all control-plane; the per-frame path only tests
+  /// WireEnd::remote).
+  RemoteDeliverHandler remote_deliver_;
+  RemoteDisconnectHandler remote_disconnect_;
+  std::size_t remote_wire_ends_ = 0;
+  /// Owner-thread pin for the data-plane entry points (debug builds; see
+  /// bind_owner_thread). Default-bound to the constructing thread.
+  std::thread::id owner_thread_ = std::this_thread::get_id();
   RouteServerStats stats_;
   // Observability. stats_ stays the hot path's single-writer ledger; the
   // registry reads it through probes at dump time, so the two can never
   // disagree. The histograms are registry-owned (stable addresses).
   util::MetricsRegistry* metrics_ = nullptr;
   util::Histogram* forward_hist_ = nullptr;
+  util::Tracer::TailRegistration tail_registration_;
   util::Histogram* inject_hist_ = nullptr;
   /// Batch-size distributions: data frames per egress flush / decoded
   /// messages per readable event. Both count 1s when batching is off or

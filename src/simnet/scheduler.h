@@ -21,10 +21,16 @@ class Scheduler {
  public:
   using Action = std::function<void()>;
 
-  explicit Scheduler(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit Scheduler(std::uint64_t seed = 1) : seed_(seed), rng_(seed) {}
 
   [[nodiscard]] SimTime now() const { return now_; }
   util::Rng& rng() { return rng_; }
+  /// The seed this world was constructed with. Components that need their
+  /// own deterministic stream (RIS reconnect jitter, per DESIGN.md §12)
+  /// derive one with util::derive_seed(scheduler.seed(), entity_name)
+  /// instead of drawing from the shared rng(), so replays stay byte-stable
+  /// no matter how shard threads interleave.
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
   /// Schedules `action` at absolute time `when` (clamped to now).
   void schedule_at(SimTime when, Action action);
@@ -58,6 +64,7 @@ class Scheduler {
     }
   };
 
+  std::uint64_t seed_ = 1;
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;

@@ -37,34 +37,57 @@ std::uint64_t Histogram::bucket_ceil(std::size_t b) {
 }
 
 void Histogram::record(std::uint64_t value) {
-  ++buckets_[bucket_of(value)];
-  ++count_;
-  sum_ += value;
-  if (count_ == 1 || value < min_) min_ = value;
-  if (value > max_) max_ = value;
+  // Relaxed throughout: the hot path has one writer per instrument (one
+  // shard); atomics only make the cross-shard snapshot reads defined.
+  buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
 }
 
-std::uint64_t Histogram::percentile(double p) const {
-  if (count_ == 0) return 0;
+Histogram::Buckets Histogram::buckets() const {
+  Buckets out{};
+  for (std::size_t b = 0; b < kBucketCount; ++b) {
+    out[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::uint64_t Histogram::percentile_from(const Buckets& buckets,
+                                         std::uint64_t count,
+                                         std::uint64_t min, std::uint64_t max,
+                                         double p) {
+  if (count == 0) return 0;
   if (p < 0) p = 0;
   if (p > 100) p = 100;
   // Rank of the order statistic, 1-based; p=0 means the first sample.
   auto rank = static_cast<std::uint64_t>(
-      std::ceil(p / 100.0 * static_cast<double>(count_)));
+      std::ceil(p / 100.0 * static_cast<double>(count)));
   if (rank == 0) rank = 1;
   std::uint64_t cumulative = 0;
   for (std::size_t b = 0; b < kBucketCount; ++b) {
-    cumulative += buckets_[b];
+    cumulative += buckets[b];
     if (cumulative >= rank) {
       // The bucket's upper bound, clamped to the observed extremes so a
       // single-sample histogram reports the sample itself.
       std::uint64_t bound = bucket_ceil(b);
-      if (bound > max_) bound = max_;
-      if (bound < min_) bound = min_;
+      if (bound > max) bound = max;
+      if (bound < min) bound = min;
       return bound;
     }
   }
-  return max_;
+  return max;
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  return percentile_from(buckets(), count(), min(), max(), p);
 }
 
 // ---------------------------------------------------------------------------
@@ -198,11 +221,12 @@ Json MetricsRegistry::to_json() const {
     h.set("p90", histogram->percentile(90));
     h.set("p99", histogram->percentile(99));
     Json buckets = Json::array();
+    const Histogram::Buckets counts = histogram->buckets();
     for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
-      if (histogram->buckets()[b] == 0) continue;
+      if (counts[b] == 0) continue;
       Json bucket = Json::object();
       bucket.set("le", Histogram::bucket_ceil(b));
-      bucket.set("count", histogram->buckets()[b]);
+      bucket.set("count", counts[b]);
       buckets.push_back(std::move(bucket));
     }
     h.set("buckets", std::move(buckets));
@@ -255,9 +279,10 @@ std::string MetricsRegistry::to_prometheus(std::string_view ns) const {
     std::string metric = prometheus_name(ns, name);
     out += "# TYPE " + metric + " histogram\n";
     std::uint64_t cumulative = 0;
+    const Histogram::Buckets counts = histogram->buckets();
     for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
-      if (histogram->buckets()[b] == 0) continue;
-      cumulative += histogram->buckets()[b];
+      if (counts[b] == 0) continue;
+      cumulative += counts[b];
       out += metric + "_bucket{le=\"" +
              std::to_string(Histogram::bucket_ceil(b)) + "\"} " +
              std::to_string(cumulative) + "\n";
@@ -278,6 +303,101 @@ std::string MetricsRegistry::to_prometheus(std::string_view ns) const {
              std::to_string(histogram->percentile(q)) + "\n";
     }
   }
+  return out;
+}
+
+namespace {
+
+// Json numbers are doubles, so a bucket's serialized `le` cannot round-trip
+// all 64 bits; recover the bucket index by matching against the canonical
+// bucket ceilings instead.
+std::size_t bucket_index_of_le(double le) {
+  for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+    if (static_cast<double>(Histogram::bucket_ceil(b)) == le) return b;
+  }
+  return Histogram::kBucketCount;  // unknown; caller drops the bucket
+}
+
+std::uint64_t as_u64(const Json& node) {
+  const double v = node.as_number(0);
+  return v <= 0 ? 0 : static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+Json MetricsRegistry::merge_snapshots(const std::vector<Json>& shards) {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  struct MergedHist {
+    Histogram::Buckets buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = ~std::uint64_t{0};
+    std::uint64_t max = 0;
+  };
+  std::map<std::string, MergedHist> hists;
+
+  for (const Json& shard : shards) {
+    for (const auto& [name, value] : shard["counters"].as_object()) {
+      counters[name] += as_u64(value);
+    }
+    for (const auto& [name, value] : shard["gauges"].as_object()) {
+      gauges[name] += value.as_int(0);
+    }
+    for (const auto& [name, h] : shard["histograms"].as_object()) {
+      MergedHist& merged = hists[name];
+      const std::uint64_t count = as_u64(h["count"]);
+      merged.count += count;
+      merged.sum += as_u64(h["sum"]);
+      if (count > 0) {
+        const std::uint64_t lo = as_u64(h["min"]);
+        const std::uint64_t hi = as_u64(h["max"]);
+        if (lo < merged.min) merged.min = lo;
+        if (hi > merged.max) merged.max = hi;
+      }
+      for (const Json& bucket : h["buckets"].as_array()) {
+        const std::size_t b = bucket_index_of_le(bucket["le"].as_number(-1));
+        if (b < Histogram::kBucketCount) {
+          merged.buckets[b] += as_u64(bucket["count"]);
+        }
+      }
+    }
+  }
+
+  Json counters_json = Json::object();
+  for (const auto& [name, value] : counters) counters_json.set(name, value);
+  Json gauges_json = Json::object();
+  for (const auto& [name, value] : gauges) gauges_json.set(name, value);
+  Json hists_json = Json::object();
+  for (const auto& [name, merged] : hists) {
+    Json h = Json::object();
+    const std::uint64_t min = merged.count == 0 ? 0 : merged.min;
+    h.set("count", merged.count);
+    h.set("sum", merged.sum);
+    h.set("min", min);
+    h.set("max", merged.max);
+    h.set("p50", Histogram::percentile_from(merged.buckets, merged.count, min,
+                                            merged.max, 50));
+    h.set("p90", Histogram::percentile_from(merged.buckets, merged.count, min,
+                                            merged.max, 90));
+    h.set("p99", Histogram::percentile_from(merged.buckets, merged.count, min,
+                                            merged.max, 99));
+    Json buckets = Json::array();
+    for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+      if (merged.buckets[b] == 0) continue;
+      Json bucket = Json::object();
+      bucket.set("le", Histogram::bucket_ceil(b));
+      bucket.set("count", merged.buckets[b]);
+      buckets.push_back(std::move(bucket));
+    }
+    h.set("buckets", std::move(buckets));
+    hists_json.set(name, std::move(h));
+  }
+
+  Json out = Json::object();
+  out.set("counters", std::move(counters_json));
+  out.set("gauges", std::move(gauges_json));
+  out.set("histograms", std::move(hists_json));
   return out;
 }
 

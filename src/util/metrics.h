@@ -10,15 +10,21 @@
 //   - Readers (metrics.dump, the webui /metrics page, Prometheus scrape)
 //     walk the registry maps; they run on the control plane.
 //
-// Concurrency contract — single writer per instrument, like the scheduler:
-// every simulated world (scheduler + route server + RIS sites) runs on one
-// thread, and each world owns its own MetricsRegistry (Testbed wires this
-// up). Instruments are therefore written from exactly one thread; dumps
-// happen from that same thread between events. Distinct registries on
-// distinct threads never share instruments (see bench_routeserver_scaling's
-// per-user mode). MetricsRegistry::global() exists for components
-// constructed without an explicit registry — fine in single-world
-// processes, never shared across threads.
+// Concurrency contract — sharded writers, relaxed-atomic instruments:
+// every shard (scheduler + route server slice + RIS sites) runs on one
+// thread and owns its own MetricsRegistry, so an instrument still has one
+// hot-path writer (Testbed and ShardedRouteServer wire this up). The words
+// themselves are relaxed atomics, because the shard-per-core server reads
+// instruments across threads — the Tracer's tail gate aggregates every
+// shard's forward histogram (trace.h), and the control plane merges
+// per-shard registry snapshots (merge_snapshots). Relaxed fetch_add keeps
+// the single-writer hot path at plain-store cost on x86/ARM while making
+// the cross-thread reads defined. A concurrent reader may observe a
+// histogram mid-record (count ahead of a bucket); snapshots taken on the
+// owning shard (ShardedRouteServer::run_on_shard) are exact.
+// MetricsRegistry::global() exists for components constructed without an
+// explicit registry — fine in single-world processes; never give two
+// shards the same registry, or their probe callbacks race.
 //
 // Two instrument flavours:
 //   - Owned: `registry.counter("x")` returns a registry-owned instrument
@@ -32,6 +38,7 @@
 //     remove_prefix() before it is destroyed, or the callback dangles.
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -51,21 +58,27 @@ std::uint64_t monotonic_ns();
 
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void set(std::int64_t v) { value_ = v; }
-  void add(std::int64_t d) { value_ += d; }
-  [[nodiscard]] std::int64_t value() const { return value_; }
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::int64_t value_ = 0;
+  std::atomic<std::int64_t> value_{0};
 };
 
 /// Fixed-bucket log2 histogram: bucket b holds values whose bit width is b,
@@ -77,13 +90,23 @@ class Gauge {
 class Histogram {
  public:
   static constexpr std::size_t kBucketCount = 65;  // bit widths 0..64
+  /// Plain snapshot of the bucket counters (see buckets()).
+  using Buckets = std::array<std::uint64_t, kBucketCount>;
 
   void record(std::uint64_t value);
 
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] std::uint64_t sum() const { return sum_; }
-  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
-  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min() const {
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
   /// p in [0, 100]. Empty histogram reports 0.
   [[nodiscard]] std::uint64_t percentile(double p) const;
 
@@ -91,17 +114,25 @@ class Histogram {
   /// Inclusive bounds of bucket b: [bucket_floor(b), bucket_ceil(b)].
   [[nodiscard]] static std::uint64_t bucket_floor(std::size_t b);
   [[nodiscard]] static std::uint64_t bucket_ceil(std::size_t b);
-  [[nodiscard]] const std::array<std::uint64_t, kBucketCount>& buckets()
-      const {
-    return buckets_;
-  }
+  /// By-value snapshot (relaxed loads), so readers on other threads never
+  /// hold a reference into words the owner keeps writing.
+  [[nodiscard]] Buckets buckets() const;
+
+  /// Percentile walk over an explicit bucket array — the shared core of
+  /// percentile(), the Tracer's cross-shard tail aggregation, and
+  /// MetricsRegistry::merge_snapshots. Bounds are clamped to [min, max].
+  [[nodiscard]] static std::uint64_t percentile_from(const Buckets& buckets,
+                                                     std::uint64_t count,
+                                                     std::uint64_t min,
+                                                     std::uint64_t max,
+                                                     double p);
 
  private:
-  std::array<std::uint64_t, kBucketCount> buckets_{};
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t min_ = 0;
-  std::uint64_t max_ = 0;
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
 };
 
 /// Bounded ring of the last N per-frame events on the route server's data
@@ -194,6 +225,14 @@ class MetricsRegistry {
   /// cumulative le buckets). Metric names are `<ns>_<name>` with
   /// non-alphanumerics folded to '_'.
   [[nodiscard]] std::string to_prometheus(std::string_view ns = "rnl") const;
+
+  /// Merge per-shard to_json() snapshots into one registry-shaped Json:
+  /// counters and gauges sum by name, histogram buckets add up, min/max
+  /// take the extremes, and p50/p90/p99 are recomputed from the merged
+  /// buckets (same upper-bound semantics as Histogram::percentile). The
+  /// sharded route server's control plane uses this so `metrics.dump`
+  /// keeps one process-wide view.
+  [[nodiscard]] static Json merge_snapshots(const std::vector<Json>& shards);
 
  private:
   // std::map: deterministic dump order, and node stability gives owned

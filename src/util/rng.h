@@ -5,8 +5,29 @@
 // <random> distributions do not guarantee.
 
 #include <cstdint>
+#include <string_view>
 
 namespace rnl::util {
+
+/// Derive a per-entity seed from a base seed and a name tag (FNV-1a over
+/// the tag, folded with the base). Gives every shard/site its own
+/// deterministic Rng stream: the draw sequence depends only on
+/// (base seed, tag), never on how threads interleave draws from a shared
+/// generator — which is what keeps --faults replays byte-stable under the
+/// shard-per-core route server.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t base,
+                                                  std::string_view tag) {
+  std::uint64_t hash = 0xCBF29CE484222325ull;  // FNV-1a offset basis
+  for (char c : tag) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ull;  // FNV prime
+  }
+  // Mix the base in with a splitmix64 round so nearby bases diverge.
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ull + hash;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
 
 class Rng {
  public:

@@ -1,0 +1,104 @@
+#pragma once
+
+// Lock-free single-producer/single-consumer ring for the rare cross-shard
+// wire (DESIGN.md §12). One shard pushes frames bound for a port another
+// shard owns; the owning shard drains them at the top of its loop. The
+// sharded route server keeps an N×N matrix of these rings, so every ring
+// has exactly one producer thread and one consumer thread by construction.
+//
+// Protocol (Vyukov bounded queue, specialised to SPSC): each slot carries a
+// sequence word. A slot is free for ticket t when seq == t; the producer
+// writes the value and publishes seq = t + 1 (release). The consumer takes
+// the value when seq == t + 1 and recycles the slot with seq = t + capacity
+// (release). The acquire load on seq is the only synchronisation the
+// payload needs — a reader can never observe a torn value, because it only
+// touches the slot after the producer's release store, and the producer
+// only reuses it after the consumer's. A full ring rejects the push (the
+// caller counts the drop); the data plane never blocks.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rnl::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity = 1024) {
+    std::size_t size = 2;
+    while (size < capacity) size <<= 1;
+    slots_ = std::vector<Slot>(size);
+    mask_ = size - 1;
+    for (std::size_t i = 0; i < size; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer thread only. False (and a counted drop) when the ring is full.
+  bool push(T value) {
+    Slot& slot = slots_[head_ & mask_];
+    if (slot.seq.load(std::memory_order_acquire) != head_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slot.value = std::move(value);
+    slot.seq.store(head_ + 1, std::memory_order_release);
+    ++head_;
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Consumer thread only. False when the ring is empty.
+  bool pop(T& out) {
+    Slot& slot = slots_[tail_ & mask_];
+    if (slot.seq.load(std::memory_order_acquire) != tail_ + 1) return false;
+    out = std::move(slot.value);
+    slot.seq.store(tail_ + slots_.size(), std::memory_order_release);
+    ++tail_;
+    popped_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  /// Monitoring counters; safe to read from any thread (relaxed).
+  [[nodiscard]] std::uint64_t pushed() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t popped() const {
+    return popped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Approximate (racy between the two counters); exact when quiescent.
+  [[nodiscard]] std::size_t size() const {
+    const std::uint64_t pushed = this->pushed();
+    const std::uint64_t popped = this->popped();
+    return pushed >= popped ? static_cast<std::size_t>(pushed - popped) : 0;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  // head_/tail_ are private to the producer/consumer thread respectively;
+  // cross-thread visibility flows through the per-slot seq words. Separate
+  // cache lines so the two sides do not false-share.
+  alignas(64) std::uint64_t head_ = 0;
+  alignas(64) std::uint64_t tail_ = 0;
+  alignas(64) std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  alignas(64) std::atomic<std::uint64_t> popped_{0};
+};
+
+}  // namespace rnl::util

@@ -137,15 +137,100 @@ std::uint64_t Tracer::head_sample() {
   return next_trace_id();
 }
 
+void Tracer::add_tail_histogram(const Histogram* hist) {
+  if (hist == nullptr) return;
+  std::lock_guard<std::mutex> lock(tail_set_->mutex);
+  for (const Histogram* existing : tail_set_->hists) {
+    if (existing == hist) return;
+  }
+  tail_set_->hists.push_back(hist);
+}
+
+void Tracer::remove_tail_histogram(const Histogram* hist) {
+  std::lock_guard<std::mutex> lock(tail_set_->mutex);
+  auto& hists = tail_set_->hists;
+  hists.erase(std::remove(hists.begin(), hists.end(), hist), hists.end());
+}
+
+Tracer::TailRegistration Tracer::register_tail_histogram(
+    const Histogram* hist) {
+  add_tail_histogram(hist);
+  TailRegistration registration;
+  if (hist != nullptr) {
+    registration.set_ = tail_set_;
+    registration.hist_ = hist;
+  }
+  return registration;
+}
+
+void Tracer::TailRegistration::reset() {
+  // lock() pins the set alive for the erase even if the Tracer is being
+  // destroyed on another thread; an expired set means the Tracer (and its
+  // interest in our histogram) is already gone.
+  if (const Histogram* hist = hist_) {
+    if (auto set = set_.lock()) {
+      std::lock_guard<std::mutex> lock(set->mutex);
+      set->hists.erase(std::remove(set->hists.begin(), set->hists.end(), hist),
+                       set->hists.end());
+    }
+  }
+  hist_ = nullptr;
+  set_.reset();
+}
+
+void Tracer::refresh_tail_threshold(const Histogram* caller_hist) {
+  // Merge the caller's histogram with every registered shard histogram
+  // (deduplicated by address — the caller is normally registered too) and
+  // cache the merged p99. Bucket counts are read with relaxed loads while
+  // other shards keep recording; the estimate is a sampling of a moving
+  // distribution either way, so a torn count merely shifts it by a frame.
+  std::vector<const Histogram*> hists;
+  {
+    std::lock_guard<std::mutex> lock(tail_set_->mutex);
+    hists = tail_set_->hists;
+  }
+  bool caller_registered = false;
+  for (const Histogram* hist : hists) {
+    if (hist == caller_hist) caller_registered = true;
+  }
+  if (!caller_registered && caller_hist != nullptr) {
+    hists.push_back(caller_hist);
+  }
+
+  Histogram::Buckets merged{};
+  std::uint64_t count = 0;
+  std::uint64_t min = ~std::uint64_t{0};
+  std::uint64_t max = 0;
+  for (const Histogram* hist : hists) {
+    const std::uint64_t n = hist->count();
+    if (n == 0) continue;
+    count += n;
+    if (hist->min() < min) min = hist->min();
+    if (hist->max() > max) max = hist->max();
+    const Histogram::Buckets buckets = hist->buckets();
+    for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+      merged[b] += buckets[b];
+    }
+  }
+  tail_threshold_ns_.store(
+      count >= kTailMinCount
+          ? Histogram::percentile_from(merged, count, min, max, 99)
+          : 0,
+      std::memory_order_relaxed);
+}
+
 bool Tracer::tail_exceeds(const Histogram& hist, std::uint64_t forward_ns) {
   if (!enabled()) return false;
-  // Refresh the cached p99 estimate periodically instead of walking the
-  // histogram's 65 buckets on every frame.
-  if ((tail_calls_++ % kTailRefreshPeriod) == 0) {
-    tail_threshold_ns_ =
-        hist.count() >= kTailMinCount ? hist.percentile(99) : 0;
+  // Refresh the cached p99 estimate periodically instead of merging bucket
+  // arrays on every frame. The counter is global: with S shards the merge
+  // still happens about every kTailRefreshPeriod frames process-wide.
+  if ((tail_calls_.fetch_add(1, std::memory_order_relaxed) %
+       kTailRefreshPeriod) == 0) {
+    refresh_tail_threshold(&hist);
   }
-  return tail_threshold_ns_ != 0 && forward_ns > tail_threshold_ns_;
+  const std::uint64_t threshold =
+      tail_threshold_ns_.load(std::memory_order_relaxed);
+  return threshold != 0 && forward_ns > threshold;
 }
 
 void Tracer::note_slow(const SlowFrame& slow) {

@@ -147,6 +147,13 @@ class SpanRing {
 /// Hot-path cost when tracing is disabled: one relaxed atomic load
 /// (enabled()). When enabled but a frame is not sampled: one relaxed
 /// fetch_add. Ring registration and export take a mutex (control plane).
+/// The tail-aggregation set, shared between the Tracer and its registrants
+/// so that TailRegistration handles stay safe after the Tracer dies.
+struct TracerTailSet {
+  std::mutex mutex;
+  std::vector<const Histogram*> hists;
+};
+
 class Tracer {
  public:
   Tracer();
@@ -179,22 +186,72 @@ class Tracer {
     return next_id_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  // ---- tail capture (called from the route-server thread only) ----
+  // ---- tail capture (called from any shard's route-server thread) ----
 
-  /// True when `forward_ns` exceeds the current p99 estimate of `hist`.
-  /// The estimate is cached and re-read from the histogram only every
-  /// kTailRefreshPeriod calls; the gate stays closed until the histogram
+  /// True when `forward_ns` exceeds the current p99 estimate of the
+  /// process-wide forward-latency distribution: the caller's `hist` merged
+  /// with every histogram registered via add_tail_histogram. The estimate
+  /// is cached and recomputed only every kTailRefreshPeriod calls (global,
+  /// across shards); the gate stays closed until the merged distribution
   /// has kTailMinCount samples, so early frames do not all look "slow".
+  /// With per-shard forward histograms, gating on any single shard's p99
+  /// would make one fast shard mark every other shard's frames slow — the
+  /// merge keeps the threshold a property of the whole server.
   [[nodiscard]] bool tail_exceeds(const Histogram& hist,
                                   std::uint64_t forward_ns);
+
+  /// Register/deregister a histogram with the tail aggregation set.
+  /// RouteServer::set_tracer registers each shard's forward histogram; the
+  /// histogram must outlive its registration (remove on destruction).
+  void add_tail_histogram(const Histogram* hist);
+  void remove_tail_histogram(const Histogram* hist);
+
+  /// RAII form of the registration above for registrants whose destruction
+  /// order relative to the Tracer is not fixed (a RouteServer and its
+  /// tracer are often members of the same fixture, in either order). The
+  /// handle holds a weak reference to the tail set: destroying it after
+  /// the Tracer is gone is a no-op instead of a lock on a dead mutex.
+  class TailRegistration {
+   public:
+    TailRegistration() = default;
+    TailRegistration(const TailRegistration&) = delete;
+    TailRegistration& operator=(const TailRegistration&) = delete;
+    TailRegistration(TailRegistration&& other) noexcept
+        : set_(std::move(other.set_)), hist_(other.hist_) {
+      other.hist_ = nullptr;
+      other.set_.reset();
+    }
+    TailRegistration& operator=(TailRegistration&& other) noexcept {
+      if (this != &other) {
+        reset();
+        set_ = std::move(other.set_);
+        hist_ = other.hist_;
+        other.hist_ = nullptr;
+        other.set_.reset();
+      }
+      return *this;
+    }
+    ~TailRegistration() { reset(); }
+    /// Deregister now (no-op if empty or the tracer already died).
+    void reset();
+
+   private:
+    friend class Tracer;
+    std::weak_ptr<TracerTailSet> set_;
+    const Histogram* hist_ = nullptr;
+  };
+
+  /// Register `hist` and return the RAII handle that deregisters it.
+  [[nodiscard]] TailRegistration register_tail_histogram(
+      const Histogram* hist);
 
   static constexpr std::uint64_t kTailRefreshPeriod = 1024;
   static constexpr std::uint64_t kTailMinCount = 256;
 
   /// The cached p99 estimate the gate currently compares against (0 while
-  /// the histogram is still below kTailMinCount samples).
+  /// the merged distribution is still below kTailMinCount samples).
   [[nodiscard]] std::uint64_t tail_threshold_ns() const {
-    return tail_threshold_ns_;
+    return tail_threshold_ns_.load(std::memory_order_relaxed);
   }
 
   /// One committed slow frame, for `trace.slow`.
@@ -246,9 +303,15 @@ class Tracer {
   std::atomic<std::uint64_t> head_counter_{0};
   std::atomic<std::uint64_t> next_id_{1};
 
-  // Tail gate: route-server thread only (single caller), plain members.
-  std::uint64_t tail_threshold_ns_ = 0;
-  std::uint64_t tail_calls_ = 0;
+  void refresh_tail_threshold(const Histogram* caller_hist);
+
+  // Tail gate: shared by every shard's route-server thread, so the cached
+  // threshold and the call counter are relaxed atomics. The registered-
+  // histogram list is mutex-guarded (mutated on the control plane only;
+  // the refresh path copies it under the lock once per kTailRefreshPeriod).
+  std::atomic<std::uint64_t> tail_threshold_ns_{0};
+  std::atomic<std::uint64_t> tail_calls_{0};
+  std::shared_ptr<TracerTailSet> tail_set_ = std::make_shared<TracerTailSet>();
 
   std::atomic<std::uint64_t> slow_total_{0};
   mutable std::mutex mutex_;  // guards rings_ vector and slow ledger

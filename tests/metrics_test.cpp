@@ -262,6 +262,50 @@ TEST(MetricsRegistryTest, PrometheusExpositionFormat) {
             std::string::npos);
 }
 
+TEST(MetricsRegistryTest, MergeSnapshotsSumsShardsAndRecomputesPercentiles) {
+  // The sharded route server dumps one registry per shard and merges the
+  // snapshots: counters and gauges sum, histogram buckets add bucket-wise,
+  // and the percentiles are recomputed from the merged distribution (a
+  // mean-of-percentiles would hide one shard's slow tail entirely).
+  MetricsRegistry r0;
+  MetricsRegistry r1;
+  r0.counter("routeserver.frames_routed").inc(3);
+  r1.counter("routeserver.frames_routed").inc(5);
+  r0.counter("only.in.shard0").inc(2);
+  r0.gauge("routeserver.sites").set(1);
+  r1.gauge("routeserver.sites").set(4);
+  util::Histogram& h0 = r0.histogram("routeserver.forward_ns");
+  util::Histogram& h1 = r1.histogram("routeserver.forward_ns");
+  for (int i = 0; i < 90; ++i) h0.record(100);  // the fast shard
+  for (int i = 0; i < 10; ++i) h1.record(1'000'000);  // the slow one
+
+  std::vector<util::Json> snapshots;
+  snapshots.push_back(r0.to_json());
+  snapshots.push_back(r1.to_json());
+  util::Json merged = MetricsRegistry::merge_snapshots(snapshots);
+
+  EXPECT_EQ(merged["counters"]["routeserver.frames_routed"].as_int(), 8);
+  EXPECT_EQ(merged["counters"]["only.in.shard0"].as_int(), 2);
+  EXPECT_EQ(merged["gauges"]["routeserver.sites"].as_int(), 5);
+  const util::Json& hist = merged["histograms"]["routeserver.forward_ns"];
+  EXPECT_EQ(hist["count"].as_int(), 100);
+  EXPECT_EQ(hist["min"].as_int(), 100);
+  EXPECT_EQ(hist["max"].as_int(), 1'000'000);
+  EXPECT_EQ(hist["sum"].as_int(), 90 * 100 + 10 * 1'000'000);
+  // Rank 50 of the merged 100 samples sits in shard 0's fast bucket; rank
+  // 99 must land in shard 1's slow bucket even though shard 0 alone would
+  // report a tiny p99.
+  EXPECT_LE(hist["p50"].as_int(), 127);
+  EXPECT_GE(hist["p99"].as_int(), 500'000);
+  // Degenerate inputs stay well-formed.
+  util::Json empty = MetricsRegistry::merge_snapshots({});
+  EXPECT_TRUE(empty["counters"].is_object());
+  std::vector<util::Json> one;
+  one.push_back(r0.to_json());
+  util::Json single = MetricsRegistry::merge_snapshots(one);
+  EXPECT_EQ(single["counters"]["routeserver.frames_routed"].as_int(), 3);
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end: testbed traffic shows up in the registry and the API
 // ---------------------------------------------------------------------------

@@ -144,5 +144,53 @@ TEST(Keepalive, HeartbeatsFlowWithoutDataTraffic) {
   EXPECT_EQ(server.stats().frames_routed, 0u);
 }
 
+TEST(ReconnectJitter, PerSiteRngKeepsBackoffStableAcrossForeignRngDraws) {
+  // Regression: reconnect jitter used to draw from the scheduler's shared
+  // RNG, so any unrelated consumer of that stream (another site's netem,
+  // a fault script) shifted every backoff and broke byte-stable --faults
+  // replays. The jitter now comes from a per-site stream derived from
+  // (scheduler seed, site name): burning the shared RNG between the cut
+  // and the redial must not move the rejoin time by a single step.
+  auto rejoin_steps = [](bool burn_shared_rng) -> std::uint64_t {
+    simnet::Network net(1605);
+    routeserver::RouteServer server(net.scheduler());
+    ris::RouterInterface site(net, "branch-9");
+    devices::Host h(net, "h");
+    std::size_t i = site.add_router(&h, "h", "h.png");
+    site.map_port(i, 0, "eth0");
+    transport::SimLinkFault fault;
+    auto dial = [&]() -> std::unique_ptr<transport::Transport> {
+      transport::SimStreamOptions options;
+      options.fault = &fault;
+      auto [ris_end, server_end] =
+          transport::make_sim_stream_pair(net.scheduler(), options);
+      server.accept(std::move(server_end));
+      return std::move(ris_end);
+    };
+    ris::ReconnectPolicy policy;
+    policy.initial_backoff = Duration::milliseconds(100);
+    policy.max_backoff = Duration::seconds(1);
+    policy.jitter = 0.5;  // wide jitter so a shifted stream is obvious
+    policy.max_attempts = 8;
+    site.set_reconnect_policy(policy);
+    site.set_transport_factory(dial);
+    site.join(dial());
+    net.run_for(Duration::milliseconds(500));
+    EXPECT_TRUE(site.joined());
+    if (burn_shared_rng) {
+      for (int d = 0; d < 1000; ++d) (void)net.scheduler().rng().next_u64();
+    }
+    fault.cut();
+    std::uint64_t steps = 0;
+    while (!site.joined() && steps < 10'000) {
+      net.run_for(Duration::milliseconds(1));
+      ++steps;
+    }
+    EXPECT_TRUE(site.joined());
+    return steps;
+  };
+  EXPECT_EQ(rejoin_steps(false), rejoin_steps(true));
+}
+
 }  // namespace
 }  // namespace rnl

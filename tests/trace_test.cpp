@@ -219,6 +219,79 @@ TEST(Tracer, TailGateStaysClosedUntilHistogramWarmsUp) {
   EXPECT_FALSE(tracer.tail_exceeds(hist, 1'000'000'000));
 }
 
+TEST(Tracer, TailThresholdAggregatesAcrossRegisteredShardHistograms) {
+  // Sharded servers register one forward histogram each; the tail gate must
+  // compare against the p99 of the *merged* distribution, not whichever
+  // shard happened to trigger the refresh. Shard a is uniformly fast, shard
+  // b uniformly slow — a's own p99 would call half of b's normal frames
+  // "slow" and flood the ledger.
+  Tracer tracer;
+  tracer.set_enabled(true);
+  Histogram a;
+  Histogram b;
+  tracer.add_tail_histogram(&a);
+  tracer.add_tail_histogram(&b);
+  for (int i = 0; i < 512; ++i) a.record(1'000);
+  for (int i = 0; i < 512; ++i) b.record(1'000'000);
+  for (std::uint64_t i = 0; i <= Tracer::kTailRefreshPeriod; ++i) {
+    (void)tracer.tail_exceeds(a, 1'000);  // a's gate, merged estimate
+  }
+  // Merged p99 sits in b's magnitude, far above a's 1µs world.
+  EXPECT_GE(tracer.tail_threshold_ns(), 100'000u);
+  EXPECT_FALSE(tracer.tail_exceeds(b, 500'000));  // normal for shard b
+  EXPECT_TRUE(tracer.tail_exceeds(a, 1'000'000'000));
+  // Dropping b (its shard shut down) re-tightens the merged threshold.
+  tracer.remove_tail_histogram(&b);
+  for (std::uint64_t i = 0; i <= Tracer::kTailRefreshPeriod; ++i) {
+    (void)tracer.tail_exceeds(a, 1'000);
+  }
+  EXPECT_GT(tracer.tail_threshold_ns(), 0u);
+  EXPECT_LT(tracer.tail_threshold_ns(), 100'000u);
+  EXPECT_TRUE(tracer.tail_exceeds(a, 500'000));
+}
+
+TEST(Tracer, TailRegistrationIsSafeInEitherDestructionOrder) {
+  // Regression: RouteServer's destructor used to call
+  // remove_tail_histogram() on its tracer unconditionally. A fixture that
+  // declares the tracer after the server destroys the tracer first, and
+  // the unregister locked a destroyed mutex (garbage memory decides
+  // between a futex hang and a pthread assertion — and a zeroed heap page
+  // makes it "pass", which is why only the plain build ever crashed).
+  Histogram hist;
+  hist.record(7);
+
+  // Tracer dies first: releasing the registration must be a no-op.
+  Tracer::TailRegistration outliving;
+  {
+    Tracer tracer;
+    outliving = tracer.register_tail_histogram(&hist);
+  }
+  outliving.reset();
+
+  // Registrant dies first: the handle must actually deregister, so a
+  // later refresh never touches the dead histogram.
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Histogram shard_hist;
+    for (int i = 0; i < 512; ++i) shard_hist.record(1'000'000);
+    Tracer::TailRegistration registration =
+        tracer.register_tail_histogram(&shard_hist);
+    for (std::uint64_t i = 0; i <= Tracer::kTailRefreshPeriod; ++i) {
+      (void)tracer.tail_exceeds(shard_hist, 1'000);
+    }
+    EXPECT_GE(tracer.tail_threshold_ns(), 100'000u);
+  }
+  for (int i = 0; i < 512; ++i) hist.record(1'000);
+  for (std::uint64_t i = 0; i <= Tracer::kTailRefreshPeriod; ++i) {
+    (void)tracer.tail_exceeds(hist, 1'000);
+  }
+  // Only `hist` (1µs world) remains registered: the dead shard's 1ms
+  // distribution no longer inflates the merged p99.
+  EXPECT_GT(tracer.tail_threshold_ns(), 0u);
+  EXPECT_LT(tracer.tail_threshold_ns(), 100'000u);
+}
+
 TEST(Tracer, SlowLedgerKeepsTheNewestEntries) {
   Tracer tracer;
   for (std::uint64_t i = 1; i <= 100; ++i) {
