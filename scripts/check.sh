@@ -4,7 +4,7 @@
 # data plane hands out views into reusable buffers, so lifetime mistakes tend
 # to pass plain tests and only show up under the sanitizers.
 #
-# Usage: scripts/check.sh [--metrics] [--faults] [--lint] [--fuzz] [--tsan] [--bench] [--trace] [jobs]
+# Usage: scripts/check.sh [--metrics] [--faults] [--lint] [--fuzz] [--tsan] [--bench] [--trace] [--model] [--all] [jobs]
 #   --metrics  additionally run the observability smoke binary
 #              (examples/metrics_smoke) from the sanitizer build: boots a
 #              sim testbed, routes traffic, and asserts metrics.dump is
@@ -22,7 +22,11 @@
 #              to a separate GCC build with RNL_LINT=ON (-Werror plus the
 #              curated warning set in CMakeLists.txt). Fails on any new
 #              diagnostic either way. Also runs a warn-only clang-format
-#              check when clang-format is installed.
+#              check when clang-format is installed, and always runs the
+#              concurrency-discipline lint (scripts/lint_concurrency.py):
+#              relaxed-ordering justification comments, shared-type member
+#              audit, owner-thread DCHECKs in posted handlers — failing
+#              with path:line pointers, plus its seeded-fixture selftest.
 #   --fuzz     adversarial-input gate. Builds with RNL_FUZZ=ON and replays
 #              the checked-in corpus (tests/corpus/) through every harness
 #              with extra chunking variants; when the compiler supports
@@ -42,6 +46,12 @@
 #              regression where frames stop traversing decode -> port
 #              lookup -> egress and the numbers go vacuous, or where shards
 #              re-serialize on a shared lock.
+#   --model    deterministic model-check gate: re-run the modelcheck ctests
+#              (bounded-exhaustive schedule exploration of the SPSC wire
+#              ring, seqlock SpanRing, posted-command teardown, and metrics
+#              hot path, ≥10k interleavings each) from the plain build.
+#   --all      convenience: run every gate above, so pre-merge runs stop
+#              hand-enumerating flags.
 #   --trace    tracing smoke: run examples/trace_smoke (a 2-site forwarding
 #              burst over TCP loopback at 1-in-1 head sampling, which
 #              asserts >= 1 complete cross-process trace and the sub-span
@@ -58,6 +68,7 @@ fuzz=0
 tsan=0
 bench=0
 trace=0
+model=0
 jobs=""
 for arg in "$@"; do
   case "$arg" in
@@ -68,6 +79,8 @@ for arg in "$@"; do
     --tsan) tsan=1 ;;
     --bench) bench=1 ;;
     --trace) trace=1 ;;
+    --model) model=1 ;;
+    --all) metrics=1; faults=1; lint=1; fuzz=1; tsan=1; bench=1; trace=1; model=1 ;;
     *) jobs="$arg" ;;
   esac
 done
@@ -119,6 +132,9 @@ if [[ "$faults" == 1 ]]; then
 fi
 
 if [[ "$lint" == 1 ]]; then
+  echo "=== lint: concurrency discipline (scripts/lint_concurrency.py) ==="
+  python3 scripts/lint_concurrency.py
+  python3 scripts/lint_concurrency.py --selftest
   if command -v clang-tidy >/dev/null 2>&1; then
     echo "=== lint: clang-tidy (.clang-tidy profile) ==="
     # compile_commands.json comes from the plain build configure above.
@@ -206,6 +222,13 @@ assert len(ids) > 1, "spans do not carry distinct trace ids"
 print(f"perfetto OK: {len(events)} events, {len(spans)} spans, "
       f"{len(ids)} trace ids")
 EOF
+fi
+
+if [[ "$model" == 1 ]]; then
+  echo "=== model: bounded-exhaustive schedule exploration ==="
+  # The harnesses assert ≥10k distinct interleavings each; a violation
+  # prints the exact schedule trace plus an mc1: replay token.
+  ctest --test-dir build -R 'ModelCheck' --output-on-failure -j "$jobs"
 fi
 
 if [[ "$tsan" == 1 ]]; then

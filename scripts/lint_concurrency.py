@@ -1,0 +1,341 @@
+#!/usr/bin/env python3
+"""Concurrency-discipline lint for the sharded data plane.
+
+The sharded route server's correctness rests on a small set of hand-rolled
+lock-free protocols (SPSC wire rings, the seqlock SpanRing, the atomic
+metrics hot path, the posted-command teardown plane). This lint enforces the
+project discipline that keeps that surface reviewable:
+
+  R1 relaxed-justification
+      Every `memory_order_relaxed` must carry a comment on the same or the
+      immediately preceding line saying why relaxed is safe there. Relaxed
+      is the one ordering whose correctness is invisible at the use site.
+
+  R2 shared-type-members
+      Types named in the checked-in allowlist (scripts/
+      concurrency_shared_types.txt) are accessed by more than one thread
+      without a lock. Every mutable data member of such a type must be an
+      atomic / modeled-atomic / mutex, or carry a comment on the same or
+      preceding line explaining how it is synchronized.
+
+  R3 posted-command-dcheck
+      Lambda handlers passed to `post(...)` run later on a shard's thread.
+      Each inline handler body must contain an owner-thread RNL_DCHECK so a
+      mis-routed command fails loudly in debug builds.
+
+Usage:
+  lint_concurrency.py [--allowlist FILE] [paths...]   # default: src/
+  lint_concurrency.py --selftest                      # run fixture checks
+
+Exit status 0 when clean, 1 with `path:line: [rule] message` diagnostics
+otherwise.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_ALLOWLIST = REPO_ROOT / "scripts" / "concurrency_shared_types.txt"
+FIXTURE_DIR = REPO_ROOT / "tests" / "lint_fixtures"
+SOURCE_SUFFIXES = {".h", ".cpp", ".cc", ".hpp"}
+
+ATOMIC_MEMBER_RE = re.compile(
+    r"std::atomic\b|\bAtomic<|\bShared<|std::mutex\b"
+    r"|std::condition_variable\b|std::once_flag\b"
+)
+# Project style: data members end in `_` (or carry a brace initializer in
+# small protocol structs). Function declarations are excluded by the ban on
+# parentheses in the matched text.
+MEMBER_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?[A-Za-z_][\w:<>,\s&*]*\s"
+    r"(?:[A-Za-z_]\w*_|\w+)\s*(?:\{[^{}]*\})?\s*(?:=[^;]*)?;\s*$"
+)
+CLASS_OPEN_RE = re.compile(r"\b(?:class|struct)\s+([A-Za-z_]\w*)")
+POST_CALL_RE = re.compile(r"(?<!:)\bpost\s*\(")
+
+
+class Diagnostic:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text):
+    """Blank out comments and string literals, preserving line structure.
+
+    Returns (stripped_text, has_comment) where has_comment[i] is True when
+    source line i+1 contains (part of) a comment.
+    """
+    out = []
+    has_comment = [False] * (text.count("\n") + 1)
+    i, n, line = 0, len(text), 0
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            out.append(c)
+            line += 1
+            if state == "line_comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                has_comment[line] = True
+                out.append(" ")
+                i += 1
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                has_comment[line] = True
+                out.append(" ")
+                i += 1
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+            else:
+                out.append(c)
+        elif state in ("line_comment", "block_comment"):
+            has_comment[line] = True
+            out.append(" ")
+            if state == "block_comment" and c == "*" and nxt == "/":
+                state = "code"
+                out.append(" ")
+                i += 1
+        elif state == "string":
+            out.append(" ")
+            if c == "\\":
+                out.append(" ")
+                i += 1
+            elif c == '"':
+                state = "code"
+        elif state == "char":
+            out.append(" ")
+            if c == "\\":
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "code"
+        i += 1
+    return "".join(out), has_comment
+
+
+def justified(has_comment, line_index):
+    """A comment on the same or immediately preceding line."""
+    if has_comment[line_index]:
+        return True
+    return line_index > 0 and has_comment[line_index - 1]
+
+
+def check_relaxed(path, stripped_lines, has_comment, diags):
+    for idx, line in enumerate(stripped_lines):
+        if "memory_order_relaxed" not in line:
+            continue
+        if justified(has_comment, idx):
+            continue
+        diags.append(Diagnostic(
+            path, idx + 1, "relaxed-justification",
+            "memory_order_relaxed without a justification comment on the "
+            "same or preceding line"))
+
+
+def match_brace(text, open_index):
+    """Index just past the brace matching text[open_index] (which is '{')."""
+    depth = 0
+    for i in range(open_index, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def check_shared_members(path, stripped, stripped_lines, has_comment,
+                         allowlist, diags):
+    for match in CLASS_OPEN_RE.finditer(stripped):
+        name = match.group(1)
+        if name not in allowlist:
+            continue
+        open_brace = stripped.find("{", match.end())
+        if open_brace < 0:
+            continue  # forward declaration
+        semi = stripped.find(";", match.end())
+        if 0 <= semi < open_brace:
+            continue  # forward declaration
+        end = match_brace(stripped, open_brace)
+        body = stripped[open_brace + 1:end - 1]
+        body_first_line = stripped.count("\n", 0, open_brace + 1)
+        # Walk the class body; member declarations live at depth 0 (directly
+        # in the class) -- nested function/struct bodies are handled by the
+        # depth counter, and nested struct bodies get their own pass only if
+        # the nested type is itself allowlisted.
+        depth = 0
+        for rel, line in enumerate(body.split("\n")):
+            opens, closes = line.count("{"), line.count("}")
+            at_top = depth == 0
+            depth += opens - closes
+            if not at_top or "(" in line:
+                continue
+            if not MEMBER_DECL_RE.match(line) or "using " in line:
+                continue
+            decl = line.strip()
+            if ATOMIC_MEMBER_RE.search(decl):
+                continue
+            if decl.startswith(("static", "constexpr", "const ")):
+                continue
+            idx = body_first_line + rel
+            if justified(has_comment, idx):
+                continue
+            diags.append(Diagnostic(
+                path, idx + 1, "shared-type-members",
+                f"non-atomic mutable member of shared type '{name}' "
+                "without a synchronization comment on the same or "
+                "preceding line"))
+
+
+def check_posted_handlers(path, stripped, diags):
+    for match in POST_CALL_RE.finditer(stripped):
+        args_open = stripped.index("(", match.end() - 1)
+        # Extent of the call's argument list.
+        depth, i = 0, args_open
+        while i < len(stripped):
+            if stripped[i] in "([{":
+                depth += 1
+            elif stripped[i] in ")]}":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        args = stripped[args_open + 1:i]
+        lam = args.find("[")
+        if lam < 0:
+            continue  # handler passed as a variable; not statically checkable
+        body_open = args.find("{", lam)
+        if body_open < 0:
+            continue  # declaration (`std::function<void()> fn`), not a call
+        body_end = match_brace(args, body_open)
+        if "RNL_DCHECK" in args[body_open:body_end]:
+            continue
+        line = stripped.count("\n", 0, match.start()) + 1
+        diags.append(Diagnostic(
+            path, line, "posted-command-dcheck",
+            "posted command handler without an owner-thread RNL_DCHECK"))
+
+
+def lint_file(path, allowlist):
+    text = path.read_text(encoding="utf-8", errors="replace")
+    stripped, has_comment = strip_comments(text)
+    stripped_lines = stripped.split("\n")
+    diags = []
+    rel = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) \
+        else path
+    check_relaxed(rel, stripped_lines, has_comment, diags)
+    check_shared_members(rel, stripped, stripped_lines, has_comment,
+                         allowlist, diags)
+    check_posted_handlers(rel, stripped, diags)
+    return diags
+
+
+def load_allowlist(path):
+    names = set()
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        entry = raw.split("#", 1)[0].strip()
+        if entry:
+            names.add(entry)
+    return names
+
+
+def collect_sources(paths):
+    files = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(sorted(
+                f for f in p.rglob("*") if f.suffix in SOURCE_SUFFIXES))
+        else:
+            files.append(p)
+    return files
+
+
+def run_lint(paths, allowlist):
+    diags = []
+    for f in collect_sources(paths):
+        diags.extend(lint_file(f, allowlist))
+    return diags
+
+
+def selftest(allowlist):
+    """Prove each rule class actually fires on its seeded fixture."""
+    expected = {
+        "bad_relaxed.cpp": "relaxed-justification",
+        "bad_shared_member.h": "shared-type-members",
+        "bad_post_handler.cpp": "posted-command-dcheck",
+    }
+    failures = []
+    for name, rule in sorted(expected.items()):
+        fixture = FIXTURE_DIR / name
+        if not fixture.is_file():
+            failures.append(f"missing fixture {fixture}")
+            continue
+        diags = lint_file(fixture, allowlist)
+        fired = {d.rule for d in diags}
+        if rule not in fired:
+            failures.append(
+                f"{fixture.name}: expected rule '{rule}' to fire, got "
+                f"{sorted(fired) or 'nothing'}")
+        else:
+            hit = next(d for d in diags if d.rule == rule)
+            print(f"selftest OK: {fixture.name} trips [{rule}] "
+                  f"at line {hit.line}")
+    clean = FIXTURE_DIR / "clean.cpp"
+    if clean.is_file():
+        diags = lint_file(clean, allowlist)
+        if diags:
+            failures.append(
+                "clean.cpp should pass but produced: " +
+                "; ".join(str(d) for d in diags))
+        else:
+            print("selftest OK: clean.cpp passes all rules")
+    for failure in failures:
+        print(f"selftest FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=pathlib.Path,
+                        help="files or directories (default: src/)")
+    parser.add_argument("--allowlist", type=pathlib.Path,
+                        default=DEFAULT_ALLOWLIST)
+    parser.add_argument("--selftest", action="store_true",
+                        help="verify each rule fires on its seeded fixture")
+    args = parser.parse_args(argv)
+
+    allowlist = load_allowlist(args.allowlist)
+    if args.selftest:
+        return selftest(allowlist)
+
+    paths = args.paths or [REPO_ROOT / "src"]
+    diags = run_lint(paths, allowlist)
+    for diag in sorted(diags, key=lambda d: (str(d.path), d.line)):
+        print(diag, file=sys.stderr)
+    if diags:
+        print(f"lint_concurrency: {len(diags)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -234,7 +234,7 @@ void RouteServer::flush_site(Site* site) {
 }
 
 void RouteServer::flush_pending() {
-  RNL_DCHECK(owner_thread_ == std::this_thread::get_id());
+  RNL_DCHECK(on_owner_thread());
   // flush_site may tear sites down reentrantly (which leaves flush_list_
   // alone but marks them dead) — iterate a detached copy. Site objects
   // outlive this loop: purge_dead_sites only runs from accept/destruction.
@@ -375,7 +375,7 @@ void RouteServer::set_liveness_timeout(util::Duration timeout) {
 }
 
 void RouteServer::on_site_data(Site* site, util::BytesView chunk) {
-  RNL_DCHECK(owner_thread_ == std::this_thread::get_id());
+  RNL_DCHECK(on_owner_thread());
   if (site->dead) {
     // Bytes still in flight from a dead incarnation (the WAN kept carrying
     // them after the server gave up on the session). Count the data frames
@@ -791,7 +791,7 @@ void RouteServer::handle_data(Site* site,
 
 void RouteServer::deliver_remote(wire::PortId port, util::BytesView frame,
                                  std::uint64_t trace_id) {
-  RNL_DCHECK(owner_thread_ == std::this_thread::get_id());
+  RNL_DCHECK(on_owner_thread());
   ++stats_.cross_shard_frames_in;
   // Slow path by definition: the frame was copied through the ring, so the
   // zero-copy accounting does not apply. The drain loop batches flushes
@@ -801,7 +801,7 @@ void RouteServer::deliver_remote(wire::PortId port, util::BytesView frame,
 
 void RouteServer::deliver_to_port(wire::PortId port, util::BytesView frame,
                                   bool slow, std::uint64_t trace_id) {
-  RNL_DCHECK(owner_thread_ == std::this_thread::get_id());
+  RNL_DCHECK(on_owner_thread());
   PortRecord* record = port_record(port);
   if (record == nullptr) return;  // site vanished mid-flight
   Site* site = record->site;
@@ -914,7 +914,7 @@ void RouteServer::remove_site(Site* site, bool orderly) {
   // lives with its shard), so flush_list_/in_flush_list stay single-
   // threaded even in the sharded server. Cross-shard peers learn about the
   // loss only through posted commands, never by calling in here.
-  RNL_DCHECK(owner_thread_ == std::this_thread::get_id());
+  RNL_DCHECK(on_owner_thread());
   if (site->dead) return;
   site->dead = true;
   if (site->joined && !site->name.empty()) {

@@ -232,6 +232,11 @@ class RouteServer {
   /// builds): every per-frame entry point RNL_DCHECKs it runs on this
   /// thread afterwards. A shard's thread loop calls this once at start.
   void bind_owner_thread();
+  /// True when the calling thread is the bound data-plane owner. Posted
+  /// command handlers RNL_DCHECK this (enforced by lint_concurrency.py).
+  [[nodiscard]] bool on_owner_thread() const {
+    return owner_thread_ == std::this_thread::get_id();
+  }
 
   void set_compression_enabled(bool enabled) { compression_enabled_ = enabled; }
   /// Sites silent longer than `timeout` are presumed dead and dropped

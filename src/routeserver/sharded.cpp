@@ -119,6 +119,7 @@ ShardedRouteServer::ShardedRouteServer(Options options)
         [this](wire::PortId /*local*/, wire::PortId peer) {
           const std::size_t d = shard_of_port(peer);
           post(d, [this, d, peer] {
+            RNL_DCHECK(shards_[d]->server->on_owner_thread());
             shards_[d]->server->clear_remote_wire_end(peer);
           });
         });
@@ -375,7 +376,8 @@ void ShardedRouteServer::run_on_shard(std::size_t s,
     return;
   }
   std::atomic<bool> done{false};
-  post(s, [&fn, &done] {
+  post(s, [this, s, &fn, &done] {
+    RNL_DCHECK(shards_[s]->server->on_owner_thread());
     fn();
     done.store(true, std::memory_order_release);
   });
@@ -425,11 +427,13 @@ void ShardedRouteServer::shard_loop(std::size_t s) {
   shard.server->bind_owner_thread();
   while (!stop_requested_.load(std::memory_order_acquire)) {
     const bool busy = pump_shard(s);
+    // Relaxed: monitoring-only CPU gauge, read by shard_cpu_seconds().
     shard.cpu_ns.store(thread_cpu_ns(), std::memory_order_relaxed);
     if (!busy) std::this_thread::sleep_for(kIdleSleep);
   }
   // Final drain so stop() never strands queued commands or ring frames.
   pump_shard(s);
+  // Relaxed: monitoring-only CPU gauge, read by shard_cpu_seconds().
   shard.cpu_ns.store(thread_cpu_ns(), std::memory_order_relaxed);
 }
 
@@ -466,9 +470,10 @@ void ShardedRouteServer::pump_all() {
 }
 
 double ShardedRouteServer::shard_cpu_seconds(std::size_t s) const {
-  return static_cast<double>(
-             shards_[s]->cpu_ns.load(std::memory_order_relaxed)) /
-         1e9;
+  const std::uint64_t ns =
+      // Relaxed: monitoring read of the gauge the shard loop maintains.
+      shards_[s]->cpu_ns.load(std::memory_order_relaxed);
+  return static_cast<double>(ns) / 1e9;
 }
 
 }  // namespace rnl::routeserver

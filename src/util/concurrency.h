@@ -1,0 +1,32 @@
+#pragma once
+
+// Concurrency traits for the lock-free primitives (SpscRing, SpanRing, the
+// metrics instrument cells). Each primitive is parameterized over a traits
+// type supplying its atomic words and its cross-thread-shared plain members,
+// defaulting to StdConcurrency — real std::atomic and a bare member — so the
+// shipped templates instantiate to exactly the code they were before the
+// parameterization. The model checker (util/modelcheck.h) provides
+// ModelConcurrency, whose Atomic/Shared record memory orders, inject a
+// scheduling point at every access, and run vector-clock race detection, so
+// the very same template code that ships can be exhaustively explored for
+// schedule bugs (DESIGN.md §13).
+
+#include <atomic>
+
+namespace rnl::util {
+
+struct StdConcurrency {
+  /// Atomic word type: real std::atomic in shipped builds.
+  template <typename U>
+  using Atomic = std::atomic<U>;
+  /// A plain member whose cross-thread accesses are synchronized by the
+  /// surrounding protocol (e.g. the SPSC slot payload published by the seq
+  /// word). The model swaps in a race-checked wrapper.
+  template <typename U>
+  using Shared = U;
+  static void thread_fence(std::memory_order order) {
+    std::atomic_thread_fence(order);
+  }
+};
+
+}  // namespace rnl::util

@@ -30,10 +30,11 @@ class Logger {
   static Logger& instance();
 
   void set_threshold(LogLevel level) {
+    // Relaxed: a retuned threshold may lag by a few log calls, harmlessly.
     threshold_.store(level, std::memory_order_relaxed);
   }
   [[nodiscard]] LogLevel threshold() const {
-    return threshold_.load(std::memory_order_relaxed);
+    return threshold_.load(std::memory_order_relaxed);  // relaxed: see above
   }
   void set_sink(Sink sink);
 
@@ -45,6 +46,7 @@ class Logger {
   bool apply_level_spec(const char* spec);
 
   [[nodiscard]] bool enabled(LogLevel level) const {
+    // Relaxed: only gates log verbosity; no data is published through it.
     return level >= threshold_.load(std::memory_order_relaxed);
   }
   void write(LogLevel level, std::string_view component, std::string_view msg);

@@ -17,78 +17,8 @@ std::uint64_t monotonic_ns() {
           .count());
 }
 
-// ---------------------------------------------------------------------------
-// Histogram
-// ---------------------------------------------------------------------------
-
-std::size_t Histogram::bucket_of(std::uint64_t value) {
-  return static_cast<std::size_t>(std::bit_width(value));
-}
-
-std::uint64_t Histogram::bucket_floor(std::size_t b) {
-  if (b == 0) return 0;
-  return std::uint64_t{1} << (b - 1);
-}
-
-std::uint64_t Histogram::bucket_ceil(std::size_t b) {
-  if (b == 0) return 0;
-  if (b >= 64) return std::numeric_limits<std::uint64_t>::max();
-  return (std::uint64_t{1} << b) - 1;
-}
-
-void Histogram::record(std::uint64_t value) {
-  // Relaxed throughout: the hot path has one writer per instrument (one
-  // shard); atomics only make the cross-shard snapshot reads defined.
-  buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(value, std::memory_order_relaxed);
-  std::uint64_t seen = min_.load(std::memory_order_relaxed);
-  while (value < seen &&
-         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
-  }
-  seen = max_.load(std::memory_order_relaxed);
-  while (value > seen &&
-         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
-  }
-}
-
-Histogram::Buckets Histogram::buckets() const {
-  Buckets out{};
-  for (std::size_t b = 0; b < kBucketCount; ++b) {
-    out[b] = buckets_[b].load(std::memory_order_relaxed);
-  }
-  return out;
-}
-
-std::uint64_t Histogram::percentile_from(const Buckets& buckets,
-                                         std::uint64_t count,
-                                         std::uint64_t min, std::uint64_t max,
-                                         double p) {
-  if (count == 0) return 0;
-  if (p < 0) p = 0;
-  if (p > 100) p = 100;
-  // Rank of the order statistic, 1-based; p=0 means the first sample.
-  auto rank = static_cast<std::uint64_t>(
-      std::ceil(p / 100.0 * static_cast<double>(count)));
-  if (rank == 0) rank = 1;
-  std::uint64_t cumulative = 0;
-  for (std::size_t b = 0; b < kBucketCount; ++b) {
-    cumulative += buckets[b];
-    if (cumulative >= rank) {
-      // The bucket's upper bound, clamped to the observed extremes so a
-      // single-sample histogram reports the sample itself.
-      std::uint64_t bound = bucket_ceil(b);
-      if (bound > max) bound = max;
-      if (bound < min) bound = min;
-      return bound;
-    }
-  }
-  return max;
-}
-
-std::uint64_t Histogram::percentile(double p) const {
-  return percentile_from(buckets(), count(), min(), max(), p);
-}
+// Histogram/Counter/Gauge bodies live in metrics.h: they are templates over
+// the concurrency traits so the model checker can instantiate them.
 
 // ---------------------------------------------------------------------------
 // FlightRecorder

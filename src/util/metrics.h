@@ -39,14 +39,18 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/concurrency.h"
 #include "util/json.h"
 #include "util/time.h"
 
@@ -56,29 +60,43 @@ namespace rnl::util {
 /// For instrumentation only — simulated time stays in SimTime/Duration.
 std::uint64_t monotonic_ns();
 
-class Counter {
+// The instrument cells are parameterized over concurrency traits
+// (util/concurrency.h): the default StdConcurrency aliases below are
+// byte-identical to the former plain classes, while the model checker
+// instantiates Basic*<ModelConcurrency> to explore the hot-path increments
+// against a concurrent snapshot reader (DESIGN.md §13).
+
+template <typename Concurrency = StdConcurrency>
+class BasicCounter {
  public:
   void inc(std::uint64_t n = 1) {
+    // Relaxed: single hot-path writer per shard; atomicity only makes the
+    // cross-shard dump reads defined (file comment above).
     value_.fetch_add(n, std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t value() const {
+    // Relaxed: monitoring read, same contract as inc().
     return value_.load(std::memory_order_relaxed);
   }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  typename Concurrency::template Atomic<std::uint64_t> value_{0};
 };
 
-class Gauge {
+template <typename Concurrency = StdConcurrency>
+class BasicGauge {
  public:
+  // Relaxed throughout: single hot-path writer per shard; atomicity only
+  // makes the cross-shard dump reads defined (file comment above).
   void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  // Relaxed: same single-writer contract as set() above.
   void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
   [[nodiscard]] std::int64_t value() const {
-    return value_.load(std::memory_order_relaxed);
+    return value_.load(std::memory_order_relaxed);  // relaxed: dump read
   }
 
  private:
-  std::atomic<std::int64_t> value_{0};
+  typename Concurrency::template Atomic<std::int64_t> value_{0};
 };
 
 /// Fixed-bucket log2 histogram: bucket b holds values whose bit width is b,
@@ -87,36 +105,75 @@ class Gauge {
 /// the matched bucket's upper bound, so a reported percentile is an upper
 /// estimate within 2x of the true order statistic — the right resolution
 /// for latency tails, where powers of two are the story.
-class Histogram {
+template <typename Concurrency = StdConcurrency>
+class BasicHistogram {
  public:
   static constexpr std::size_t kBucketCount = 65;  // bit widths 0..64
   /// Plain snapshot of the bucket counters (see buckets()).
   using Buckets = std::array<std::uint64_t, kBucketCount>;
 
-  void record(std::uint64_t value);
+  void record(std::uint64_t value) {
+    // Relaxed throughout: the hot path has one writer per instrument (one
+    // shard); atomics only make the cross-shard snapshot reads defined.
+    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);    // relaxed: see above
+    sum_.fetch_add(value, std::memory_order_relaxed);  // relaxed: see above
+    std::uint64_t seen = min_.load(std::memory_order_relaxed);  // see above
+    while (value < seen && !min_.compare_exchange_weak(
+                               seen, value,
+                               std::memory_order_relaxed)) {  // see above
+    }
+    seen = max_.load(std::memory_order_relaxed);  // relaxed: see above
+    while (value > seen && !max_.compare_exchange_weak(
+                               seen, value,
+                               std::memory_order_relaxed)) {  // see above
+    }
+  }
 
   [[nodiscard]] std::uint64_t count() const {
+    // Relaxed: monitoring reads, same contract as record().
     return count_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t sum() const {
+    // Relaxed: monitoring read (see record()).
     return sum_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t min() const {
+    // Relaxed: monitoring read (see record()).
     return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t max() const {
+    // Relaxed: monitoring read (see record()).
     return max_.load(std::memory_order_relaxed);
   }
   /// p in [0, 100]. Empty histogram reports 0.
-  [[nodiscard]] std::uint64_t percentile(double p) const;
+  [[nodiscard]] std::uint64_t percentile(double p) const {
+    return percentile_from(buckets(), count(), min(), max(), p);
+  }
 
-  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value);
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value) {
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
   /// Inclusive bounds of bucket b: [bucket_floor(b), bucket_ceil(b)].
-  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t b);
-  [[nodiscard]] static std::uint64_t bucket_ceil(std::size_t b);
+  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t b) {
+    if (b == 0) return 0;
+    return std::uint64_t{1} << (b - 1);
+  }
+  [[nodiscard]] static std::uint64_t bucket_ceil(std::size_t b) {
+    if (b == 0) return 0;
+    if (b >= 64) return std::numeric_limits<std::uint64_t>::max();
+    return (std::uint64_t{1} << b) - 1;
+  }
   /// By-value snapshot (relaxed loads), so readers on other threads never
   /// hold a reference into words the owner keeps writing.
-  [[nodiscard]] Buckets buckets() const;
+  [[nodiscard]] Buckets buckets() const {
+    Buckets out{};
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      // Relaxed: monitoring read (see record()).
+      out[b] = buckets_[b].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
 
   /// Percentile walk over an explicit bucket array — the shared core of
   /// percentile(), the Tracer's cross-shard tail aggregation, and
@@ -125,15 +182,45 @@ class Histogram {
                                                      std::uint64_t count,
                                                      std::uint64_t min,
                                                      std::uint64_t max,
-                                                     double p);
+                                                     double p) {
+    if (count == 0) return 0;
+    if (p < 0) p = 0;
+    if (p > 100) p = 100;
+    // Rank of the order statistic, 1-based; p=0 means the first sample.
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count)));
+    if (rank == 0) rank = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      cumulative += buckets[b];
+      if (cumulative >= rank) {
+        // The bucket's upper bound, clamped to the observed extremes so a
+        // single-sample histogram reports the sample itself.
+        std::uint64_t bound = bucket_ceil(b);
+        if (bound > max) bound = max;
+        if (bound < min) bound = min;
+        return bound;
+      }
+    }
+    return max;
+  }
 
  private:
-  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_{0};
-  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
-  std::atomic<std::uint64_t> max_{0};
+  template <typename U>
+  using Atomic = typename Concurrency::template Atomic<U>;
+
+  std::array<Atomic<std::uint64_t>, kBucketCount> buckets_{};
+  Atomic<std::uint64_t> count_{0};
+  Atomic<std::uint64_t> sum_{0};
+  Atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  Atomic<std::uint64_t> max_{0};
 };
+
+/// The shipped instruments: plain std::atomic cells, exactly as before the
+/// traits parameterization.
+using Counter = BasicCounter<StdConcurrency>;
+using Gauge = BasicGauge<StdConcurrency>;
+using Histogram = BasicHistogram<StdConcurrency>;
 
 /// Bounded ring of the last N per-frame events on the route server's data
 /// plane — enough to reconstruct where a misrouted frame went without

@@ -1,0 +1,1002 @@
+#include "util/modelcheck.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdio>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <string_view>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace rnl::util::modelcheck {
+
+namespace {
+
+constexpr int kControllerId = -1;
+/// Clock slot for controller-context operations (setup / after checks).
+constexpr int kControllerSlot = Model::kMaxThreads;
+
+using ClockVec = std::array<std::uint64_t, Model::kMaxThreads + 1>;
+
+void join_clock(ClockVec& into, const ClockVec& from) {
+  for (std::size_t i = 0; i < into.size(); ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+bool has_acquire(std::memory_order order) {
+  return order == std::memory_order_acquire ||
+         order == std::memory_order_consume ||
+         order == std::memory_order_acq_rel ||
+         order == std::memory_order_seq_cst;
+}
+
+bool has_release(std::memory_order order) {
+  return order == std::memory_order_release ||
+         order == std::memory_order_acq_rel ||
+         order == std::memory_order_seq_cst;
+}
+
+const char* order_name(std::memory_order order) {
+  switch (order) {
+    case std::memory_order_relaxed: return "relaxed";  // name table
+    case std::memory_order_consume: return "consume";
+    case std::memory_order_acquire: return "acquire";
+    case std::memory_order_release: return "release";
+    case std::memory_order_acq_rel: return "acq_rel";
+    case std::memory_order_seq_cst: return "seq_cst";
+  }
+  return "?";
+}
+
+const char* kind_name(detail::ObjKind kind) {
+  switch (kind) {
+    case detail::ObjKind::kAtomic: return "atomic";
+    case detail::ObjKind::kRaced: return "raced";
+    case detail::ObjKind::kMutex: return "mutex";
+  }
+  return "?";
+}
+
+/// Unwinds a virtual thread whose execution was aborted (violation found on
+/// another thread, deadlock drain, step budget). Caught by the thread
+/// wrapper only — harness bodies must not catch(...).
+struct AbortExecution {};
+
+/// Internal carrier for a violated invariant; converted into a public
+/// Violation (with token and trace) by the engine.
+struct ViolationError {
+  std::string kind;
+  std::string message;
+};
+
+std::string encode_token(const std::vector<std::uint8_t>& choices) {
+  std::string out = "mc1:";
+  out.reserve(out.size() + choices.size());
+  for (std::uint8_t c : choices) {
+    out += "0123456789abcdef"[c & 0xF];
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> decode_token(const std::string& token) {
+  std::vector<std::uint8_t> out;
+  std::string_view body = token;
+  if (body.substr(0, 4) == "mc1:") body.remove_prefix(4);
+  for (char c : body) {
+    if (c >= '0' && c <= '9') {
+      out.push_back(static_cast<std::uint8_t>(c - '0'));
+    } else if (c >= 'a' && c <= 'f') {
+      out.push_back(static_cast<std::uint8_t>(c - 'a' + 10));
+    } else {
+      throw std::runtime_error("modelcheck: bad replay token digit");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace detail {
+
+struct ObjState {
+  ObjKind kind = ObjKind::kAtomic;
+  std::uint32_t id = 0;
+  // Atomic / mutex: the release clock an acquire access joins.
+  ClockVec sync{};
+  bool sync_valid = false;
+  // Raced: FastTrack-style write epoch plus per-thread read epochs.
+  int writer = -1;
+  std::uint64_t writer_clk = 0;
+  ClockVec reads{};
+  // Mutex: current holder's clock slot, -1 when free.
+  int held_by = -1;
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine() { shutdown_workers(); }
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Result run(const Options& options,
+             const std::function<void(Model&)>& setup);
+
+  // ---- registration (Model) ----
+  void add_thread(std::string name, std::function<void()> body);
+  void add_after(std::function<void()> fn);
+
+  // ---- hooks (detail::) ----
+  detail::ObjState* new_object(detail::ObjKind kind);
+  void sched(detail::ObjState* state, detail::OpKind op,
+             std::memory_order order);
+  void note_load(detail::ObjState* s, std::memory_order order,
+                 std::uint64_t value);
+  void note_store(detail::ObjState* s, std::memory_order order,
+                  std::uint64_t value);
+  void note_rmw(detail::ObjState* s, std::memory_order order,
+                std::uint64_t before, std::uint64_t after);
+  void note_cas_fail(detail::ObjState* s, std::memory_order order,
+                     std::uint64_t seen);
+  void raced_read(detail::ObjState* s);
+  void raced_write(detail::ObjState* s);
+  void mutex_lock(detail::ObjState* s);
+  void mutex_unlock(detail::ObjState* s);
+  void note_fence(std::memory_order order);
+  [[noreturn]] void fail_check(const std::string& what);
+
+ private:
+  struct PendingOp {
+    bool lock = false;
+    detail::ObjState* mutex = nullptr;
+  };
+
+  struct VThread {
+    std::string name;
+    std::function<void()> body;
+    bool finished = false;
+    PendingOp pending;
+  };
+
+  /// One DFS decision point: a step where more than one thread was
+  /// runnable. Alternatives are tried in `enabled` order, skipping the
+  /// default `chosen` and any choice that would exceed the preemption
+  /// bound given the preemption count when the decision was first met.
+  struct Decision {
+    std::size_t step = 0;
+    std::vector<int> enabled;
+    int chosen = 0;
+    std::size_t next_alt = 0;
+    int preemptions_before = 0;
+    int prev_running = kControllerId;
+  };
+
+  void execute_once(Result& result);
+  void run_schedule();
+  int decide_step();
+  int pick(const std::vector<int>& enabled);
+  bool advance_stack();
+  void abort_all();
+  [[nodiscard]] bool runnable(const VThread& vt) const;
+  void diagnostic_replay(Result& result);
+
+  // ---- baton ----
+  void set_baton(int who);
+  void wait_baton(int me);
+  void resume(int tid);
+  void ensure_worker(int id);
+  void worker_main(int id);
+  void shutdown_workers();
+
+  // ---- clocks & tracing ----
+  [[nodiscard]] int clock_slot() const;
+  void bump(int slot) { clocks_[slot][slot] += 1; }
+  void trace_op(const std::string& desc);
+  [[nodiscard]] std::string obj_label(const detail::ObjState* s) const {
+    return std::string(kind_name(s->kind)) + "#" + std::to_string(s->id);
+  }
+  [[nodiscard]] std::string thread_label(int slot) const;
+
+  Options opts_;
+  const std::function<void(Model&)>* setup_ = nullptr;
+
+  // Exploration state (controller only).
+  bool exploring_ = false;      // DFS mode: record decision points
+  bool random_mode_ = false;
+  bool record_trace_ = false;
+  std::vector<Decision> stack_;
+  std::vector<std::uint8_t> forced_;
+  std::vector<std::uint8_t> last_choices_;
+  std::unique_ptr<Rng> walk_rng_;
+
+  // Per-execution state. Mutated only while holding the baton, so the
+  // controller and the single running virtual thread never touch it
+  // concurrently.
+  std::vector<VThread> threads_;
+  std::vector<std::function<void()>> after_;
+  std::deque<detail::ObjState> arena_;
+  std::array<std::uint32_t, 3> obj_counts_{};
+  std::array<ClockVec, Model::kMaxThreads + 1> clocks_{};
+  std::vector<std::uint8_t> choices_;
+  int prev_running_ = kControllerId;
+  int preemptions_used_ = 0;
+  std::optional<ViolationError> exec_violation_;
+  std::vector<Step> trace_;
+  std::atomic<bool> aborting_{false};
+
+  // Baton: exactly one of {controller, one virtual thread} runs at a time.
+  // Each party sleeps on its own condition variable so a handoff wakes only
+  // its target, never the whole pool.
+  std::mutex baton_mutex_;
+  std::condition_variable controller_cv_;
+  std::array<std::condition_variable, Model::kMaxThreads> worker_cv_;
+  std::atomic<int> baton_{kControllerId};
+  std::vector<std::thread> workers_;
+  std::array<bool, Model::kMaxThreads> has_job_{};
+  bool shutdown_ = false;
+
+  friend Result explore(const Options&, const std::function<void(Model&)>&);
+};
+
+namespace {
+thread_local Engine* tls_engine = nullptr;
+thread_local int tls_tid = kControllerId;
+}  // namespace
+
+// ---- detail dispatch ------------------------------------------------------
+
+namespace detail {
+
+Engine* active_engine() { return tls_engine; }
+
+ObjState* new_object(ObjKind kind) {
+  return tls_engine == nullptr ? nullptr : tls_engine->new_object(kind);
+}
+
+void sched_atomic(ObjState* state, OpKind op, std::memory_order order) {
+  if (tls_engine != nullptr && state != nullptr) {
+    tls_engine->sched(state, op, order);
+  }
+}
+void note_load(ObjState* state, std::memory_order order, std::uint64_t value) {
+  if (tls_engine != nullptr && state != nullptr) {
+    tls_engine->note_load(state, order, value);
+  }
+}
+void note_store(ObjState* state, std::memory_order order,
+                std::uint64_t value) {
+  if (tls_engine != nullptr && state != nullptr) {
+    tls_engine->note_store(state, order, value);
+  }
+}
+void note_rmw(ObjState* state, std::memory_order order, std::uint64_t before,
+              std::uint64_t after) {
+  if (tls_engine != nullptr && state != nullptr) {
+    tls_engine->note_rmw(state, order, before, after);
+  }
+}
+void note_cas_fail(ObjState* state, std::memory_order order,
+                   std::uint64_t seen) {
+  if (tls_engine != nullptr && state != nullptr) {
+    tls_engine->note_cas_fail(state, order, seen);
+  }
+}
+void raced_read(ObjState* state) {
+  if (tls_engine != nullptr && state != nullptr) {
+    tls_engine->raced_read(state);
+  }
+}
+void raced_write(ObjState* state) {
+  if (tls_engine != nullptr && state != nullptr) {
+    tls_engine->raced_write(state);
+  }
+}
+void mutex_lock(ObjState* state) {
+  if (tls_engine != nullptr && state != nullptr) {
+    tls_engine->mutex_lock(state);
+  }
+}
+void mutex_unlock(ObjState* state) {
+  if (tls_engine != nullptr && state != nullptr) {
+    tls_engine->mutex_unlock(state);
+  }
+}
+void fence(std::memory_order order) {
+  if (tls_engine != nullptr) tls_engine->note_fence(order);
+}
+void yield() {
+  if (tls_engine != nullptr) {
+    // The order argument is unused for a pure yield point.
+    tls_engine->sched(nullptr, OpKind::kYield, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace detail
+
+// ---- public surface -------------------------------------------------------
+
+void Model::thread(std::string name, std::function<void()> body) {
+  engine_->add_thread(std::move(name), std::move(body));
+}
+
+void Model::after(std::function<void()> fn) {
+  engine_->add_after(std::move(fn));
+}
+
+void check(bool ok, const std::string& what) {
+  if (ok) return;
+  Engine* engine = detail::active_engine();
+  if (engine == nullptr) {
+    throw std::runtime_error("modelcheck::check failed outside exploration: " +
+                             what);
+  }
+  engine->fail_check(what);
+}
+
+std::string Violation::format() const {
+  std::string out = "modelcheck violation: " + kind + "\n  " + message + "\n";
+  out += "  schedule (" + std::to_string(trace.size()) + " steps):\n";
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Step& step = trace[i];
+    out += "    #" + std::to_string(i) + " " + step.thread_name + ": " +
+           step.op + "\n";
+  }
+  out += "  replay token: " + token + "\n";
+  return out;
+}
+
+std::string Result::summary() const {
+  std::string out = "explored " + std::to_string(executions) +
+                    " executions, " + std::to_string(steps) + " steps";
+  out += exhausted ? " (schedule space exhausted within bounds)"
+                   : " (stopped at the execution cap)";
+  if (violation.has_value()) {
+    out += "; VIOLATION: " + violation->kind + " — " + violation->message;
+  } else {
+    out += "; no violation";
+  }
+  return out;
+}
+
+Result explore(const Options& options,
+               const std::function<void(Model&)>& setup) {
+  if (tls_engine != nullptr) {
+    throw std::runtime_error("modelcheck::explore does not nest");
+  }
+  Engine engine;
+  return engine.run(options, setup);
+}
+
+// ---- Engine: exploration modes --------------------------------------------
+
+Result Engine::run(const Options& options,
+                   const std::function<void(Model&)>& setup) {
+  opts_ = options;
+  setup_ = &setup;
+  tls_engine = this;
+  tls_tid = kControllerId;
+  Result result;
+  try {
+    switch (opts_.mode) {
+      case Options::Mode::kReplay: {
+        forced_ = decode_token(opts_.replay_token);
+        record_trace_ = true;
+        execute_once(result);
+        if (result.violation.has_value()) result.violation->trace = trace_;
+        break;
+      }
+      case Options::Mode::kRandomWalk: {
+        random_mode_ = true;
+        for (std::uint64_t walk = 0; walk < opts_.random_walks; ++walk) {
+          walk_rng_ = std::make_unique<Rng>(
+              derive_seed(opts_.seed, "walk" + std::to_string(walk)));
+          execute_once(result);
+          if (result.violation.has_value()) break;
+        }
+        if (!result.violation.has_value()) result.exhausted = false;
+        break;
+      }
+      case Options::Mode::kExhaustive: {
+        exploring_ = true;
+        forced_.clear();
+        while (true) {
+          execute_once(result);
+          last_choices_ = choices_;
+          if (result.violation.has_value()) break;
+          if (result.executions >= opts_.max_executions) break;
+          if (!advance_stack()) {
+            result.exhausted = true;
+            break;
+          }
+        }
+        exploring_ = false;
+        break;
+      }
+    }
+    if (result.violation.has_value() &&
+        opts_.mode != Options::Mode::kReplay) {
+      diagnostic_replay(result);
+    }
+  } catch (...) {
+    tls_engine = nullptr;
+    throw;
+  }
+  tls_engine = nullptr;
+  if (result.violation.has_value() && !opts_.quiet) {
+    std::fputs(result.violation->format().c_str(), stderr);
+  }
+  return result;
+}
+
+void Engine::diagnostic_replay(Result& result) {
+  // Re-run the violating schedule once with per-step tracing to produce
+  // the human-readable report; the violation itself was already captured.
+  forced_.assign(last_choices_.begin(), last_choices_.end());
+  const bool was_exploring = exploring_;
+  const bool was_random = random_mode_;
+  exploring_ = false;
+  random_mode_ = false;
+  record_trace_ = true;
+  Result scratch;
+  execute_once(scratch);
+  record_trace_ = false;
+  exploring_ = was_exploring;
+  random_mode_ = was_random;
+  result.violation->trace = trace_;
+}
+
+void Engine::execute_once(Result& result) {
+  // Reset per-execution state.
+  arena_.clear();
+  obj_counts_ = {};
+  for (ClockVec& clock : clocks_) clock.fill(0);
+  clocks_[kControllerSlot][kControllerSlot] = 1;
+  threads_.clear();
+  after_.clear();
+  choices_.clear();
+  trace_.clear();
+  prev_running_ = kControllerId;
+  preemptions_used_ = 0;
+  exec_violation_.reset();
+  aborting_.store(false, std::memory_order_release);
+
+  Model model(this);
+  try {
+    (*setup_)(model);
+  } catch (const ViolationError& v) {
+    exec_violation_ = v;
+  }
+
+  if (!exec_violation_.has_value() && !threads_.empty()) {
+    // Every thread inherits the controller clock: setup writes
+    // happen-before all thread starts.
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      clocks_[i] = clocks_[kControllerSlot];
+      clocks_[i][i] += 1;
+      ensure_worker(static_cast<int>(i));
+    }
+    {
+      std::lock_guard<std::mutex> lock(baton_mutex_);
+      for (std::size_t i = 0; i < threads_.size(); ++i) has_job_[i] = true;
+    }
+    run_schedule();
+  }
+
+  if (!exec_violation_.has_value()) {
+    try {
+      for (const auto& fn : after_) fn();
+    } catch (const ViolationError& v) {
+      exec_violation_ = v;
+    }
+  }
+
+  result.executions += 1;
+  result.steps += choices_.size();
+  if (exec_violation_.has_value()) {
+    Violation violation;
+    violation.kind = exec_violation_->kind;
+    violation.message = exec_violation_->message;
+    violation.token = encode_token(choices_);
+    result.violation = std::move(violation);
+  }
+}
+
+bool Engine::runnable(const VThread& vt) const {
+  if (vt.finished) return false;
+  if (vt.pending.lock && vt.pending.mutex != nullptr &&
+      vt.pending.mutex->held_by != -1) {
+    return false;
+  }
+  return true;
+}
+
+// Scheduling is run by whichever thread currently holds the baton (the
+// virtual threads hand the schedule forward themselves), so the common
+// case — the default policy continues the running thread — is a plain
+// function call with no OS handoff at all. On the single-core boxes this
+// matters enormously: a baton pass costs a futex wake plus a context
+// switch, and the controller-arbitrated design paid that twice per step.
+//
+// The controller only makes the first decision, then sleeps until the last
+// finishing thread (or a violation) batons back to it.
+void Engine::run_schedule() {
+  try {
+    const int first = decide_step();
+    if (first == kControllerId) return;  // no threads registered
+    set_baton(first);
+  } catch (const ViolationError& v) {
+    exec_violation_ = v;  // livelock with max_steps == 0; nothing started
+    return;
+  }
+  wait_baton(kControllerId);
+  if (exec_violation_.has_value()) {
+    // Violation/deadlock/livelock path: other threads may still be parked.
+    abort_all();
+  }
+  // All threads finished: their clocks order the after() checks.
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    join_clock(clocks_[kControllerSlot], clocks_[i]);
+  }
+}
+
+/// One scheduling decision, made by the thread holding the baton. Returns
+/// the thread to run next, or kControllerId when every thread finished.
+/// Throws ViolationError on deadlock or a blown step budget.
+int Engine::decide_step() {
+  std::vector<int> enabled;
+  bool any_alive = false;
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    if (threads_[i].finished) continue;
+    any_alive = true;
+    if (runnable(threads_[i])) enabled.push_back(static_cast<int>(i));
+  }
+  if (!any_alive) return kControllerId;
+  if (choices_.size() >= opts_.max_steps) {
+    throw ViolationError{
+        "livelock", "step budget (" + std::to_string(opts_.max_steps) +
+                        ") exceeded — unbounded spin or schedule too deep"};
+  }
+  if (enabled.empty()) {
+    std::string blocked;
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      if (threads_[i].finished) continue;
+      if (!blocked.empty()) blocked += ", ";
+      blocked += threads_[i].name;
+    }
+    throw ViolationError{"deadlock",
+                         "no runnable thread; blocked: " + blocked};
+  }
+  const int choice = pick(enabled);
+  if (prev_running_ >= 0 && choice != prev_running_ &&
+      std::find(enabled.begin(), enabled.end(), prev_running_) !=
+          enabled.end()) {
+    preemptions_used_ += 1;
+  }
+  choices_.push_back(static_cast<std::uint8_t>(choice));
+  if (record_trace_) {
+    trace_.push_back(Step{choice, thread_label(choice), "start"});
+  }
+  prev_running_ = choice;
+  return choice;
+}
+
+int Engine::pick(const std::vector<int>& enabled) {
+  const std::size_t step = choices_.size();
+  if (step < forced_.size()) {
+    const int forced = forced_[step];
+    if (std::find(enabled.begin(), enabled.end(), forced) != enabled.end()) {
+      return forced;
+    }
+    // A diverging replay (edited harness): fall through to the default.
+  }
+  if (random_mode_) {
+    return enabled[static_cast<std::size_t>(
+        walk_rng_->below(enabled.size()))];
+  }
+  const bool prev_enabled =
+      std::find(enabled.begin(), enabled.end(), prev_running_) !=
+      enabled.end();
+  const int def = prev_enabled ? prev_running_ : enabled.front();
+  if (exploring_ && step >= forced_.size() && enabled.size() > 1) {
+    stack_.push_back(Decision{step, enabled, def, 0, preemptions_used_,
+                              prev_running_});
+  }
+  return def;
+}
+
+bool Engine::advance_stack() {
+  while (!stack_.empty()) {
+    Decision& d = stack_.back();
+    while (d.next_alt < d.enabled.size()) {
+      const int cand = d.enabled[d.next_alt];
+      d.next_alt += 1;
+      if (cand == d.chosen) continue;
+      const bool preempt =
+          d.prev_running >= 0 && cand != d.prev_running &&
+          std::find(d.enabled.begin(), d.enabled.end(), d.prev_running) !=
+              d.enabled.end();
+      if (preempt && d.preemptions_before >= opts_.preemption_bound) continue;
+      forced_.assign(last_choices_.begin(),
+                     last_choices_.begin() +
+                         static_cast<std::ptrdiff_t>(d.step));
+      forced_.push_back(static_cast<std::uint8_t>(cand));
+      return true;
+    }
+    stack_.pop_back();
+  }
+  return false;
+}
+
+void Engine::abort_all() {
+  aborting_.store(true, std::memory_order_release);
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    if (!threads_[i].finished) resume(static_cast<int>(i));
+  }
+}
+
+// ---- Engine: baton --------------------------------------------------------
+
+void Engine::set_baton(int who) {
+  {
+    std::lock_guard<std::mutex> lock(baton_mutex_);
+    baton_.store(who, std::memory_order_release);
+  }
+  if (who == kControllerId) {
+    controller_cv_.notify_one();
+  } else {
+    worker_cv_[static_cast<std::size_t>(who)].notify_one();
+  }
+}
+
+void Engine::wait_baton(int me) {
+  // With spare cores a handoff lands within a short spin; on a single-core
+  // box the peer cannot progress while we spin, so go straight to the futex.
+  static const int kSpins =
+      std::thread::hardware_concurrency() > 1 ? 4000 : 0;
+  for (int spin = 0; spin < kSpins; ++spin) {
+    if (baton_.load(std::memory_order_acquire) == me) return;
+  }
+  std::condition_variable& cv =
+      me == kControllerId ? controller_cv_
+                          : worker_cv_[static_cast<std::size_t>(me)];
+  std::unique_lock<std::mutex> lock(baton_mutex_);
+  cv.wait(lock, [&] {
+    // Relaxed: the predicate runs under baton_mutex_, which orders it.
+    return baton_.load(std::memory_order_relaxed) == me;
+  });
+}
+
+void Engine::resume(int tid) {
+  set_baton(tid);
+  wait_baton(kControllerId);
+}
+
+void Engine::ensure_worker(int id) {
+  while (static_cast<int>(workers_.size()) <= id) {
+    const int worker_id = static_cast<int>(workers_.size());
+    workers_.emplace_back([this, worker_id] { worker_main(worker_id); });
+  }
+}
+
+void Engine::worker_main(int id) {
+  tls_engine = this;
+  tls_tid = id;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(baton_mutex_);
+      worker_cv_[static_cast<std::size_t>(id)].wait(lock, [&] {
+        return shutdown_ ||
+               (has_job_[static_cast<std::size_t>(id)] &&
+                // Relaxed: predicate runs under baton_mutex_.
+                baton_.load(std::memory_order_relaxed) == id);
+      });
+      if (shutdown_) return;
+    }
+    VThread& vt = threads_[static_cast<std::size_t>(id)];
+    try {
+      vt.body();
+    } catch (const AbortExecution&) {
+    } catch (const ViolationError& v) {
+      if (!exec_violation_.has_value()) exec_violation_ = v;
+    } catch (const std::exception& e) {
+      if (!exec_violation_.has_value()) {
+        exec_violation_ = ViolationError{
+            "check", std::string("unhandled exception in thread body: ") +
+                         e.what()};
+      }
+    }
+    // Still holding the baton: make the next scheduling decision here and
+    // hand off directly to the chosen thread, so thread termination costs
+    // one handoff, not a round trip through the controller. The controller
+    // is only woken when everything finished or a violation needs draining.
+    vt.finished = true;
+    int next = kControllerId;
+    if (!exec_violation_.has_value() &&
+        !aborting_.load(std::memory_order_acquire)) {
+      try {
+        next = decide_step();
+      } catch (const ViolationError& v) {
+        exec_violation_ = v;
+        next = kControllerId;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(baton_mutex_);
+      has_job_[static_cast<std::size_t>(id)] = false;
+      baton_.store(next, std::memory_order_release);
+    }
+    if (next == kControllerId) {
+      controller_cv_.notify_one();
+    } else {
+      worker_cv_[static_cast<std::size_t>(next)].notify_one();
+    }
+  }
+}
+
+void Engine::shutdown_workers() {
+  {
+    std::lock_guard<std::mutex> lock(baton_mutex_);
+    shutdown_ = true;
+  }
+  for (std::condition_variable& cv : worker_cv_) cv.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+// ---- Engine: registration & hooks ----------------------------------------
+
+void Engine::add_thread(std::string name, std::function<void()> body) {
+  if (threads_.size() >= static_cast<std::size_t>(Model::kMaxThreads)) {
+    throw std::runtime_error("modelcheck: more than kMaxThreads threads");
+  }
+  if (tls_tid != kControllerId) {
+    throw std::runtime_error(
+        "modelcheck: threads must be registered during setup");
+  }
+  threads_.push_back(VThread{std::move(name), std::move(body), false, {}});
+}
+
+void Engine::add_after(std::function<void()> fn) {
+  after_.push_back(std::move(fn));
+}
+
+detail::ObjState* Engine::new_object(detail::ObjKind kind) {
+  arena_.emplace_back();
+  detail::ObjState& state = arena_.back();
+  state.kind = kind;
+  state.id = obj_counts_[static_cast<std::size_t>(kind)]++;
+  return &state;
+}
+
+int Engine::clock_slot() const {
+  return tls_tid < 0 ? kControllerSlot : tls_tid;
+}
+
+std::string Engine::thread_label(int slot) const {
+  if (slot < 0 || slot >= static_cast<int>(threads_.size())) {
+    return "controller";
+  }
+  return "T" + std::to_string(slot) + " " +
+         threads_[static_cast<std::size_t>(slot)].name;
+}
+
+void Engine::trace_op(const std::string& desc) {
+  if (!record_trace_) return;
+  if (tls_tid == kControllerId) {
+    trace_.push_back(Step{kControllerId, "controller", desc});
+    return;
+  }
+  // The scheduled step that resumed this thread already appended a Step
+  // with a placeholder op; fill in what actually executed.
+  if (!trace_.empty() && trace_.back().thread == tls_tid) {
+    trace_.back().op = desc;
+  }
+}
+
+void Engine::sched(detail::ObjState* state, detail::OpKind op,
+                   std::memory_order /*order*/) {
+  if (tls_tid == kControllerId) return;  // setup/after run unscheduled
+  // Destructors running during an unwind (abort drain or a violation
+  // propagating out of harness code) keep the baton and finish without
+  // rescheduling.
+  if (std::uncaught_exceptions() > 0) return;
+  if (aborting_.load(std::memory_order_acquire)) throw AbortExecution{};
+  VThread& vt = threads_[static_cast<std::size_t>(tls_tid)];
+  vt.pending = PendingOp{op == detail::OpKind::kLock, state};
+  const int choice = decide_step();  // throws on deadlock/livelock
+  if (choice == tls_tid) return;     // keep running: no handoff
+  set_baton(choice);
+  wait_baton(tls_tid);
+  if (aborting_.load(std::memory_order_acquire)) throw AbortExecution{};
+}
+
+void Engine::note_load(detail::ObjState* s, std::memory_order order,
+                       std::uint64_t value) {
+  const int slot = clock_slot();
+  if (has_acquire(order) && s->sync_valid) {
+    join_clock(clocks_[slot], s->sync);
+  }
+  bump(slot);
+  if (record_trace_) {
+    trace_op(obj_label(s) + ".load(" + order_name(order) + ") -> " +
+             std::to_string(value));
+  }
+}
+
+void Engine::note_store(detail::ObjState* s, std::memory_order order,
+                        std::uint64_t value) {
+  const int slot = clock_slot();
+  if (has_release(order)) {
+    s->sync = clocks_[slot];
+    s->sync_valid = true;
+  } else {
+    // A relaxed store starts a new, clock-less release sequence: acquire
+    // loads that observe it get no happens-before edge.
+    s->sync_valid = false;
+  }
+  bump(slot);
+  if (record_trace_) {
+    trace_op(obj_label(s) + ".store(" + std::to_string(value) + ", " +
+             order_name(order) + ")");
+  }
+}
+
+void Engine::note_rmw(detail::ObjState* s, std::memory_order order,
+                      std::uint64_t before, std::uint64_t after) {
+  const int slot = clock_slot();
+  if (has_acquire(order) && s->sync_valid) {
+    join_clock(clocks_[slot], s->sync);
+  }
+  if (has_release(order)) {
+    // An RMW continues the release sequence: join rather than replace.
+    if (s->sync_valid) {
+      join_clock(s->sync, clocks_[slot]);
+    } else {
+      s->sync = clocks_[slot];
+    }
+    s->sync_valid = true;
+  }
+  bump(slot);
+  if (record_trace_) {
+    trace_op(obj_label(s) + ".rmw(" + order_name(order) + ") " +
+             std::to_string(before) + " -> " + std::to_string(after));
+  }
+}
+
+void Engine::note_cas_fail(detail::ObjState* s, std::memory_order order,
+                           std::uint64_t seen) {
+  const int slot = clock_slot();
+  if (has_acquire(order) && s->sync_valid) {
+    join_clock(clocks_[slot], s->sync);
+  }
+  bump(slot);
+  if (record_trace_) {
+    trace_op(obj_label(s) + ".cas_fail(" + order_name(order) + ") saw " +
+             std::to_string(seen));
+  }
+}
+
+void Engine::raced_read(detail::ObjState* s) {
+  // The order argument is decorative here: plain accesses have no order.
+  sched(s, detail::OpKind::kRacedRead, std::memory_order_relaxed);
+  if (std::uncaught_exceptions() > 0) return;  // destructor during unwind
+  const int slot = clock_slot();
+  if (s->writer >= 0 && s->writer != slot &&
+      s->writer_clk > clocks_[slot][static_cast<std::size_t>(s->writer)]) {
+    throw ViolationError{
+        "data_race",
+        "read of " + obj_label(s) + " by " + thread_label(slot) +
+            " is unordered with the write by " + thread_label(s->writer) +
+            " (missing release/acquire edge)"};
+  }
+  s->reads[static_cast<std::size_t>(slot)] =
+      clocks_[slot][static_cast<std::size_t>(slot)];
+  bump(slot);
+  if (record_trace_) trace_op(obj_label(s) + ".read");
+}
+
+void Engine::raced_write(detail::ObjState* s) {
+  // The order argument is decorative here: plain accesses have no order.
+  sched(s, detail::OpKind::kRacedWrite, std::memory_order_relaxed);
+  if (std::uncaught_exceptions() > 0) return;  // destructor during unwind
+  const int slot = clock_slot();
+  if (s->writer >= 0 && s->writer != slot &&
+      s->writer_clk > clocks_[slot][static_cast<std::size_t>(s->writer)]) {
+    throw ViolationError{
+        "data_race",
+        "write of " + obj_label(s) + " by " + thread_label(slot) +
+            " is unordered with the write by " + thread_label(s->writer)};
+  }
+  for (std::size_t u = 0; u < s->reads.size(); ++u) {
+    if (static_cast<int>(u) == slot) continue;
+    if (s->reads[u] > clocks_[slot][u]) {
+      throw ViolationError{
+          "data_race",
+          "write of " + obj_label(s) + " by " + thread_label(slot) +
+              " is unordered with a read by " +
+              thread_label(static_cast<int>(u))};
+    }
+  }
+  s->writer = slot;
+  s->writer_clk = clocks_[slot][static_cast<std::size_t>(slot)];
+  bump(slot);
+  if (record_trace_) trace_op(obj_label(s) + ".write");
+}
+
+void Engine::mutex_lock(detail::ObjState* s) {
+  sched(s, detail::OpKind::kLock, std::memory_order_acquire);
+  if (std::uncaught_exceptions() > 0) return;  // destructor during unwind
+  const int slot = clock_slot();
+  if (s->held_by != -1) {
+    // Only reachable from controller context (the scheduler never resumes
+    // a thread whose pending lock is held) or a recursive lock.
+    throw ViolationError{"deadlock",
+                         "lock of held " + obj_label(s) + " by " +
+                             thread_label(slot)};
+  }
+  s->held_by = slot;
+  if (s->sync_valid) join_clock(clocks_[slot], s->sync);
+  bump(slot);
+  if (record_trace_) trace_op(obj_label(s) + ".lock");
+}
+
+void Engine::mutex_unlock(detail::ObjState* s) {
+  sched(s, detail::OpKind::kUnlock, std::memory_order_release);
+  if (std::uncaught_exceptions() > 0) {
+    // lock_guard destructor during unwind: release the hold so the abort
+    // drain of other threads does not see a phantom holder, but never throw.
+    if (s->held_by == clock_slot()) s->held_by = -1;
+    return;
+  }
+  const int slot = clock_slot();
+  if (s->held_by != slot) {
+    throw ViolationError{"check", "unlock of " + obj_label(s) + " by " +
+                                      thread_label(slot) +
+                                      " which does not hold it"};
+  }
+  s->sync = clocks_[slot];
+  s->sync_valid = true;
+  s->held_by = -1;
+  bump(slot);
+  if (record_trace_) trace_op(obj_label(s) + ".unlock");
+}
+
+void Engine::note_fence(std::memory_order order) {
+  // Interleavings are sequentially consistent, so a fence is only a
+  // scheduling point; fence-mediated happens-before is out of model scope.
+  sched(nullptr, detail::OpKind::kFence, order);
+  if (record_trace_) {
+    trace_op(std::string("fence(") + order_name(order) + ")");
+  }
+}
+
+void Engine::fail_check(const std::string& what) {
+  if (record_trace_) {
+    if (tls_tid == kControllerId) {
+      trace_.push_back(Step{kControllerId, "controller",
+                            "check FAILED: " + what});
+    } else {
+      trace_.push_back(Step{tls_tid, thread_label(tls_tid),
+                            "check FAILED: " + what});
+    }
+  }
+  throw ViolationError{"check", what};
+}
+
+}  // namespace rnl::util::modelcheck

@@ -1,0 +1,339 @@
+#pragma once
+
+// Deterministic concurrency model checker (loom/relacy style) for the
+// hand-rolled lock-free protocols the sharded route server rests on: the
+// Vyukov SPSC wire rings, the SpanRing seqlock tracer, the atomic metrics
+// cells, and the posted-command teardown plane (DESIGN.md §13).
+//
+// ThreadSanitizer only validates the interleavings the OS scheduler happens
+// to produce; this layer makes *schedule coverage* explicit. A harness
+// re-runs a small multi-threaded scenario thousands of times under a
+// controlled scheduler that owns every interleaving decision:
+//
+//   - Virtual threads are real OS threads driven cooperatively: a single
+//     baton is handed between the controller and exactly one runnable
+//     thread, so an execution is a pure function of the choice sequence.
+//   - Modeled atomics (modelcheck::Atomic<T>) record the memory order of
+//     every load/store/RMW and inject a scheduling point at each one.
+//     Happens-before is tracked with vector clocks: release stores publish
+//     the writer's clock, acquire loads join it; relaxed accesses carry no
+//     edge. Interleavings themselves are sequentially consistent (a load
+//     always observes the newest store) — stale-value simulation is out of
+//     scope; missing release/acquire pairs are caught as data races on the
+//     plain payloads they were supposed to publish (modelcheck::Raced<T>).
+//   - The scheduler explores interleavings by bounded exhaustive DFS over
+//     the decision points (CHESS-style preemption bound: alternatives that
+//     would preempt a still-runnable thread beyond the bound are pruned),
+//     or by a seeded random walk for deep runs.
+//   - Any violated invariant — a failed modelcheck::check(), a data race, a
+//     deadlock, or a step-budget livelock — aborts the execution, prints
+//     the exact schedule trace, and yields a replay token ("mc1:<hex>"):
+//     feeding the token back via Options::replay_token re-executes that one
+//     schedule with full per-step tracing.
+//
+// The primitives under test are the real shipped templates: instantiate
+// SpscRing<T, ModelConcurrency>, BasicSpanRing<ModelConcurrency>, or
+// BasicHistogram<ModelConcurrency> inside a harness and the very code that
+// ships is what gets explored. Modeled objects must be created inside one
+// execution (the setup callback or a thread body) and must not outlive it.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace rnl::util::modelcheck {
+
+class Engine;
+
+namespace detail {
+
+struct ObjState;
+
+enum class ObjKind : std::uint8_t { kAtomic = 0, kRaced = 1, kMutex = 2 };
+
+enum class OpKind : std::uint8_t {
+  kLoad = 0,
+  kStore = 1,
+  kRmw = 2,
+  kCasFail = 3,
+  kRacedRead = 4,
+  kRacedWrite = 5,
+  kLock = 6,
+  kUnlock = 7,
+  kFence = 8,
+  kYield = 9,
+};
+
+/// Engine active on the calling thread's current exploration, or nullptr
+/// when no exploration is running (shipped default path).
+[[nodiscard]] Engine* active_engine();
+
+/// Allocate per-object model state from the active execution's arena.
+/// Returns nullptr outside an exploration; every hook below is a no-op on a
+/// nullptr state, so the modeled types degrade to plain behaviour.
+[[nodiscard]] ObjState* new_object(ObjKind kind);
+
+/// Scheduling point before an atomic access: parks the calling virtual
+/// thread until the controller picks it, then returns to perform the op.
+void sched_atomic(ObjState* state, OpKind op, std::memory_order order);
+/// Bookkeeping after the access executed (runs while holding the baton).
+void note_load(ObjState* state, std::memory_order order, std::uint64_t value);
+void note_store(ObjState* state, std::memory_order order, std::uint64_t value);
+void note_rmw(ObjState* state, std::memory_order order, std::uint64_t before,
+              std::uint64_t after);
+void note_cas_fail(ObjState* state, std::memory_order order,
+                   std::uint64_t seen);
+
+/// Scheduling point + vector-clock race check for a plain shared access.
+/// Throws the internal violation exception on a detected race.
+void raced_read(ObjState* state);
+void raced_write(ObjState* state);
+
+/// Mutex model: lock blocks (the thread is descheduled, not spinning) until
+/// the holder unlocks; lock/unlock carry release/acquire edges.
+void mutex_lock(ObjState* state);
+void mutex_unlock(ObjState* state);
+
+void fence(std::memory_order order);
+void yield();
+
+template <typename T>
+[[nodiscard]] std::uint64_t value_bits(T v) {
+  if constexpr (std::is_integral_v<T> || std::is_enum_v<T>) {
+    return static_cast<std::uint64_t>(v);
+  } else if constexpr (std::is_pointer_v<T>) {
+    return reinterpret_cast<std::uint64_t>(v);
+  } else {
+    return 0;  // non-scalar payloads render as "?" in traces
+  }
+}
+
+}  // namespace detail
+
+/// Modeled std::atomic<T>: same call surface the shipped primitives use,
+/// every access a scheduling point with its memory order recorded.
+template <typename T>
+class Atomic {
+ public:
+  Atomic() : Atomic(T{}) {}
+  Atomic(T v)  // NOLINT(google-explicit-constructor): mirrors std::atomic
+      : value_(v), state_(detail::new_object(detail::ObjKind::kAtomic)) {}
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order order = std::memory_order_seq_cst) const {
+    detail::sched_atomic(state_, detail::OpKind::kLoad, order);
+    T v = value_;
+    detail::note_load(state_, order, detail::value_bits(v));
+    return v;
+  }
+  void store(T v, std::memory_order order = std::memory_order_seq_cst) {
+    detail::sched_atomic(state_, detail::OpKind::kStore, order);
+    value_ = v;
+    detail::note_store(state_, order, detail::value_bits(v));
+  }
+  T fetch_add(T d, std::memory_order order = std::memory_order_seq_cst) {
+    detail::sched_atomic(state_, detail::OpKind::kRmw, order);
+    T before = value_;
+    value_ = static_cast<T>(before + d);
+    detail::note_rmw(state_, order, detail::value_bits(before),
+                     detail::value_bits(value_));
+    return before;
+  }
+  T fetch_sub(T d, std::memory_order order = std::memory_order_seq_cst) {
+    return fetch_add(static_cast<T>(T{} - d), order);
+  }
+  T exchange(T v, std::memory_order order = std::memory_order_seq_cst) {
+    detail::sched_atomic(state_, detail::OpKind::kRmw, order);
+    T before = value_;
+    value_ = v;
+    detail::note_rmw(state_, order, detail::value_bits(before),
+                     detail::value_bits(v));
+    return before;
+  }
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order order = std::memory_order_seq_cst) {
+    detail::sched_atomic(state_, detail::OpKind::kRmw, order);
+    if (value_ == expected) {
+      T before = value_;
+      value_ = desired;
+      detail::note_rmw(state_, order, detail::value_bits(before),
+                       detail::value_bits(desired));
+      return true;
+    }
+    expected = value_;
+    detail::note_cas_fail(state_, order, detail::value_bits(value_));
+    return false;
+  }
+  /// The model has no spurious failures: weak == strong.
+  bool compare_exchange_weak(
+      T& expected, T desired,
+      std::memory_order order = std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, desired, order);
+  }
+
+ private:
+  T value_;
+  detail::ObjState* state_;
+};
+
+/// Modeled plain shared member: the payload a surrounding protocol claims
+/// to publish (SPSC slot value, data guarded by a mutex). Reads and writes
+/// are scheduling points checked for data races via vector clocks — a
+/// demoted release/acquire pair shows up here as a race on the payload.
+template <typename T>
+class Raced {
+ public:
+  Raced() : state_(detail::new_object(detail::ObjKind::kRaced)) {}
+  Raced(T v)  // NOLINT(google-explicit-constructor): mirrors a plain member
+      : value_(std::move(v)),
+        state_(detail::new_object(detail::ObjKind::kRaced)) {}
+  Raced(const Raced&) = delete;
+  Raced& operator=(const Raced&) = delete;
+
+  Raced& operator=(T v) {
+    detail::raced_write(state_);
+    value_ = std::move(v);
+    return *this;
+  }
+  operator T() const {  // NOLINT(google-explicit-constructor)
+    detail::raced_read(state_);
+    return value_;
+  }
+
+ private:
+  T value_{};
+  detail::ObjState* state_;
+};
+
+/// Modeled mutex for protocols that mix lock-free and locked planes (the
+/// posted-command queues). Outside an exploration it degrades to a real
+/// std::mutex so helper code stays usable in plain tests.
+class Mutex {
+ public:
+  Mutex() : state_(detail::new_object(detail::ObjKind::kMutex)) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() {
+    if (state_ == nullptr) {
+      fallback_.lock();
+      return;
+    }
+    detail::mutex_lock(state_);
+  }
+  void unlock() {
+    if (state_ == nullptr) {
+      fallback_.unlock();
+      return;
+    }
+    detail::mutex_unlock(state_);
+  }
+
+ private:
+  detail::ObjState* state_;
+  std::mutex fallback_;
+};
+
+/// Concurrency traits handed to the shipped primitive templates
+/// (util/concurrency.h): SpscRing<T, ModelConcurrency> is the exact shipped
+/// push/pop code running on modeled words.
+struct ModelConcurrency {
+  template <typename U>
+  using Atomic = modelcheck::Atomic<U>;
+  template <typename U>
+  using Shared = modelcheck::Raced<U>;
+  static void thread_fence(std::memory_order order) { detail::fence(order); }
+};
+
+/// Harness invariant: on failure, aborts the execution and reports the
+/// violating schedule (trace + replay token). Callable from thread bodies,
+/// the setup callback, and after() checks.
+void check(bool ok, const std::string& what);
+
+/// Explicit scheduling point for harness code between modeled accesses.
+inline void yield() { detail::yield(); }
+
+struct Options {
+  enum class Mode {
+    kExhaustive,  // bounded DFS over decision points (distinct schedules)
+    kRandomWalk,  // seeded uniform choice at every decision (deep runs)
+    kReplay,      // follow replay_token once, with full tracing
+  };
+  Mode mode = Mode::kExhaustive;
+  /// CHESS-style bound: max scheduler-forced preemptions of a still-
+  /// runnable thread per execution (kExhaustive only).
+  int preemption_bound = 3;
+  /// Exploration cap; DFS stops here even if alternatives remain.
+  std::uint64_t max_executions = 60000;
+  /// Per-execution step budget; exceeding it is a livelock violation.
+  std::uint64_t max_steps = 4096;
+  /// Number of executions in kRandomWalk mode.
+  std::uint64_t random_walks = 20000;
+  std::uint64_t seed = 1;
+  /// Schedule to follow in kReplay mode ("mc1:<hex>", one digit per step).
+  std::string replay_token;
+  /// Suppress the stderr trace print on violation (tests that expect one).
+  bool quiet = false;
+};
+
+struct Step {
+  int thread = -1;  // -1: controller (setup / after)
+  std::string thread_name;
+  std::string op;
+};
+
+struct Violation {
+  std::string kind;     // "check" | "data_race" | "deadlock" | "livelock"
+  std::string message;
+  std::string token;    // replay token for this schedule
+  std::vector<Step> trace;
+  /// Human-readable multi-line report: kind, message, numbered schedule
+  /// trace, and the replay token.
+  [[nodiscard]] std::string format() const;
+};
+
+struct Result {
+  std::uint64_t executions = 0;  // distinct schedules in kExhaustive mode
+  std::uint64_t steps = 0;       // scheduling decisions across executions
+  /// kExhaustive: every schedule within the bounds was explored (the DFS
+  /// frontier emptied before max_executions).
+  bool exhausted = false;
+  std::optional<Violation> violation;
+  [[nodiscard]] bool ok() const { return !violation.has_value(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Per-execution registration facade passed to the setup callback.
+class Model {
+ public:
+  /// Register a virtual thread. All threads must be registered during
+  /// setup, before any of them runs. At most kMaxThreads per execution.
+  void thread(std::string name, std::function<void()> body);
+  /// Run after every thread finished (joined into the controller's clock):
+  /// final-state invariants live here.
+  void after(std::function<void()> fn);
+
+  static constexpr int kMaxThreads = 6;
+
+ private:
+  friend class Engine;
+  explicit Model(Engine* engine) : engine_(engine) {}
+  Engine* engine_;
+};
+
+/// Run the explorer: `setup` is invoked once per execution with a fresh
+/// Model; it builds the scenario state and registers the threads. On a
+/// violation the failing schedule's trace is printed to stderr (unless
+/// Options::quiet) and returned in the result.
+Result explore(const Options& options,
+               const std::function<void(Model&)>& setup);
+
+}  // namespace rnl::util::modelcheck

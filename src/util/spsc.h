@@ -15,24 +15,39 @@
 // touches the slot after the producer's release store, and the producer
 // only reuses it after the consumer's. A full ring rejects the push (the
 // caller counts the drop); the data plane never blocks.
+//
+// The ring is parameterized over concurrency traits (util/concurrency.h):
+// the default StdConcurrency instantiation is exactly the plain
+// std::atomic code, while the model checker instantiates
+// SpscRing<T, modelcheck::ModelConcurrency> to exhaustively explore the
+// very same push/pop code under every bounded interleaving (DESIGN.md §13).
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "util/concurrency.h"
+
 namespace rnl::util {
 
-template <typename T>
+template <typename T, typename Concurrency = StdConcurrency>
 class SpscRing {
  public:
-  /// Capacity is rounded up to a power of two (minimum 2).
+  /// Ceiling for the rounded-up capacity. Rounding up a pathological
+  /// request (say SIZE_MAX) would otherwise shift past the top power of
+  /// two and spin forever without ever reaching it.
+  static constexpr std::size_t kMaxCapacity = std::size_t{1} << 20;
+
+  /// Capacity is rounded up to a power of two in [2, kMaxCapacity].
   explicit SpscRing(std::size_t capacity = 1024) {
     std::size_t size = 2;
-    while (size < capacity) size <<= 1;
+    while (size < capacity && size < kMaxCapacity) size <<= 1;
     slots_ = std::vector<Slot>(size);
     mask_ = size - 1;
     for (std::size_t i = 0; i < size; ++i) {
+      // Relaxed: pre-publication init; the ring is handed to the producer/
+      // consumer threads by whatever mechanism shares `this` (happens-before).
       slots_[i].seq.store(i, std::memory_order_relaxed);
     }
   }
@@ -44,12 +59,14 @@ class SpscRing {
   bool push(T value) {
     Slot& slot = slots_[head_ & mask_];
     if (slot.seq.load(std::memory_order_acquire) != head_) {
+      // Relaxed: monitoring counter only, no protocol role.
       dropped_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     slot.value = std::move(value);
     slot.seq.store(head_ + 1, std::memory_order_release);
     ++head_;
+    // Relaxed: monitoring counter only, no protocol role.
     pushed_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
@@ -61,6 +78,7 @@ class SpscRing {
     out = std::move(slot.value);
     slot.seq.store(tail_ + slots_.size(), std::memory_order_release);
     ++tail_;
+    // Relaxed: monitoring counter only, no protocol role.
     popped_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
@@ -68,13 +86,13 @@ class SpscRing {
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
   /// Monitoring counters; safe to read from any thread (relaxed).
   [[nodiscard]] std::uint64_t pushed() const {
-    return pushed_.load(std::memory_order_relaxed);
+    return pushed_.load(std::memory_order_relaxed);  // Relaxed: monitoring
   }
   [[nodiscard]] std::uint64_t popped() const {
-    return popped_.load(std::memory_order_relaxed);
+    return popped_.load(std::memory_order_relaxed);  // Relaxed: monitoring
   }
   [[nodiscard]] std::uint64_t dropped() const {
-    return dropped_.load(std::memory_order_relaxed);
+    return dropped_.load(std::memory_order_relaxed);  // Relaxed: monitoring
   }
   /// Approximate (racy between the two counters); exact when quiescent.
   [[nodiscard]] std::size_t size() const {
@@ -84,18 +102,30 @@ class SpscRing {
   }
 
  private:
+  template <typename U>
+  using Atomic = typename Concurrency::template Atomic<U>;
+
   struct Slot {
-    std::atomic<std::uint64_t> seq{0};
-    T value{};
+    // seq is the protocol word; value's cross-thread safety is entirely
+    // carried by seq's release/acquire pair, which is exactly what the
+    // Shared<T> model wrapper verifies.
+    Atomic<std::uint64_t> seq{0};
+    typename Concurrency::template Shared<T> value{};
   };
 
+  // slots_/mask_ are immutable after construction (the vector itself is
+  // never resized; only the Slot cells inside it mutate, per the protocol).
   std::vector<Slot> slots_;
-  std::size_t mask_ = 0;
+  std::size_t mask_ = 0;  // immutable after construction
   // head_/tail_ are private to the producer/consumer thread respectively;
   // cross-thread visibility flows through the per-slot seq words. Separate
   // cache lines so the two sides do not false-share.
   alignas(64) std::uint64_t head_ = 0;
   alignas(64) std::uint64_t tail_ = 0;
+  // Monitoring counters stay real std::atomic even in a model build: they
+  // are observability-only (relaxed, no protocol role), and modeling them
+  // would triple the scheduling points without covering any new protocol
+  // behaviour.
   alignas(64) std::atomic<std::uint64_t> pushed_{0};
   std::atomic<std::uint64_t> dropped_{0};
   alignas(64) std::atomic<std::uint64_t> popped_{0};

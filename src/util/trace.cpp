@@ -39,71 +39,8 @@ std::string_view to_string(TraceInstant instant) {
   return "unknown";
 }
 
-namespace {
-
-std::uint64_t pack_meta(TraceStage stage, TraceInstant detail,
-                        std::uint32_t arg) {
-  return static_cast<std::uint64_t>(stage) |
-         (static_cast<std::uint64_t>(
-              static_cast<std::uint32_t>(detail) & 0xFFFFFFu)
-          << 8) |
-         (static_cast<std::uint64_t>(arg) << 32);
-}
-
-void unpack_meta(std::uint64_t meta, TraceEvent& event) {
-  event.stage = static_cast<TraceStage>(meta & 0xFFu);
-  event.detail = static_cast<TraceInstant>((meta >> 8) & 0xFFFFFFu);
-  event.arg = static_cast<std::uint32_t>(meta >> 32);
-}
-
-}  // namespace
-
-SpanRing::SpanRing(std::size_t capacity)
-    : slots_(std::bit_ceil(std::max<std::size_t>(capacity, 2))),
-      mask_(slots_.size() - 1) {}
-
-void SpanRing::push(const TraceEvent& event) {
-  const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
-  Slot& slot = slots_[ticket & mask_];
-  slot.seq.store(2 * ticket + 1, std::memory_order_release);
-  slot.trace_id.store(event.trace_id, std::memory_order_relaxed);
-  slot.ts_ns.store(event.ts_ns, std::memory_order_relaxed);
-  slot.dur_ns.store(event.dur_ns, std::memory_order_relaxed);
-  slot.meta.store(pack_meta(event.stage, event.detail, event.arg),
-                  std::memory_order_relaxed);
-  slot.seq.store(2 * ticket + 2, std::memory_order_release);
-}
-
-std::vector<TraceEvent> SpanRing::snapshot() const {
-  struct Ticketed {
-    std::uint64_t ticket;
-    TraceEvent event;
-  };
-  std::vector<Ticketed> collected;
-  collected.reserve(slots_.size());
-  for (const Slot& slot : slots_) {
-    // Seqlock read: the payload is only valid if the slot was published
-    // (even seq) both before and after we read the words.
-    const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
-    if (before == 0 || (before & 1) != 0) continue;  // empty or in flight
-    TraceEvent event;
-    event.trace_id = slot.trace_id.load(std::memory_order_relaxed);
-    event.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
-    event.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
-    unpack_meta(slot.meta.load(std::memory_order_relaxed), event);
-    std::atomic_thread_fence(std::memory_order_acquire);
-    if (slot.seq.load(std::memory_order_relaxed) != before) continue;  // torn
-    collected.push_back({(before - 2) / 2, event});
-  }
-  std::sort(collected.begin(), collected.end(),
-            [](const Ticketed& a, const Ticketed& b) {
-              return a.ticket < b.ticket;
-            });
-  std::vector<TraceEvent> out;
-  out.reserve(collected.size());
-  for (const Ticketed& t : collected) out.push_back(t.event);
-  return out;
-}
+// BasicSpanRing's push/snapshot live in trace.h: they are templates over the
+// concurrency traits so the model checker can instantiate them.
 
 Tracer::Tracer() = default;
 
@@ -125,13 +62,16 @@ void Tracer::set_head_sample_period(std::uint32_t period) {
   head_period_.store(
       period == 0 ? 0
                   : (period > kMaxPeriod ? kMaxPeriod : std::bit_ceil(period)),
-      std::memory_order_relaxed);
+      std::memory_order_relaxed);  // relaxed: sampling policy, no data
 }
 
 std::uint64_t Tracer::head_sample() {
   if (!enabled()) return 0;
+  // Relaxed pair: the period is policy and the counter only needs
+  // uniqueness; neither publishes data.
   const std::uint32_t period = head_period_.load(std::memory_order_relaxed);
   if (period == 0) return 0;
+  // Relaxed: see the pair comment above.
   const std::uint64_t n = head_counter_.fetch_add(1, std::memory_order_relaxed);
   if ((n & (period - 1)) != 0) return 0;
   return next_trace_id();
@@ -216,7 +156,7 @@ void Tracer::refresh_tail_threshold(const Histogram* caller_hist) {
       count >= kTailMinCount
           ? Histogram::percentile_from(merged, count, min, max, 99)
           : 0,
-      std::memory_order_relaxed);
+      std::memory_order_relaxed);  // relaxed: estimate, staleness is fine
 }
 
 bool Tracer::tail_exceeds(const Histogram& hist, std::uint64_t forward_ns) {
@@ -224,16 +164,18 @@ bool Tracer::tail_exceeds(const Histogram& hist, std::uint64_t forward_ns) {
   // Refresh the cached p99 estimate periodically instead of merging bucket
   // arrays on every frame. The counter is global: with S shards the merge
   // still happens about every kTailRefreshPeriod frames process-wide.
-  if ((tail_calls_.fetch_add(1, std::memory_order_relaxed) %
+  if ((tail_calls_.fetch_add(1, std::memory_order_relaxed) %  // counter only
        kTailRefreshPeriod) == 0) {
     refresh_tail_threshold(&hist);
   }
   const std::uint64_t threshold =
+      // Relaxed: a stale threshold gates a few frames differently, that's ok.
       tail_threshold_ns_.load(std::memory_order_relaxed);
   return threshold != 0 && forward_ns > threshold;
 }
 
 void Tracer::note_slow(const SlowFrame& slow) {
+  // Relaxed: monitoring counter only.
   slow_total_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   if (slow_.size() < kSlowLedgerCapacity) {

@@ -31,7 +31,9 @@
 // does not happen in practice, and a torn diagnostic event is an accepted
 // failure mode — the protocol is race-free by construction either way.
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -39,11 +41,14 @@
 #include <string_view>
 #include <vector>
 
+#include "util/concurrency.h"
 #include "util/json.h"
 
 namespace rnl::util {
 
-class Histogram;
+template <typename Concurrency>
+class BasicHistogram;
+using Histogram = BasicHistogram<StdConcurrency>;
 
 /// One-in-N sampling period shared by the RIS capture/replay stage clocks
 /// and the route server's stage clocks (README "knobs"). Power of two: all
@@ -102,43 +107,123 @@ struct TraceEvent {
   std::uint32_t arg = 0;  // stage-specific: port id, frame count, epoch...
 };
 
+namespace trace_detail {
+
+/// stage(8) | detail(24) | arg(32), packed so the slot payload is all-atomic.
+inline std::uint64_t pack_meta(TraceStage stage, TraceInstant detail,
+                               std::uint32_t arg) {
+  return static_cast<std::uint64_t>(stage) |
+         (static_cast<std::uint64_t>(
+              static_cast<std::uint32_t>(detail) & 0xFFFFFFu)
+          << 8) |
+         (static_cast<std::uint64_t>(arg) << 32);
+}
+
+inline void unpack_meta(std::uint64_t meta, TraceEvent& event) {
+  event.stage = static_cast<TraceStage>(meta & 0xFFu);
+  event.detail = static_cast<TraceInstant>((meta >> 8) & 0xFFFFFFu);
+  event.arg = static_cast<std::uint32_t>(meta >> 32);
+}
+
+}  // namespace trace_detail
+
 /// Fixed-capacity, lock-free ring of TraceEvents. Writers never block and
 /// never allocate; old events are overwritten. See the file comment for the
 /// seqlock protocol and its (accepted) full-lap caveat.
-class SpanRing {
+///
+/// Parameterized over concurrency traits (util/concurrency.h): the shipped
+/// SpanRing alias is the plain std::atomic instantiation, and the model
+/// checker runs this exact template on modeled words (DESIGN.md §13).
+template <typename Concurrency = StdConcurrency>
+class BasicSpanRing {
  public:
   static constexpr std::size_t kDefaultCapacity = 4096;  // power of two
 
-  explicit SpanRing(std::size_t capacity = kDefaultCapacity);
+  explicit BasicSpanRing(std::size_t capacity = kDefaultCapacity)
+      : slots_(std::bit_ceil(std::max<std::size_t>(capacity, 2))),
+        mask_(slots_.size() - 1) {}
 
   /// Wait-free, safe from any thread.
-  void push(const TraceEvent& event);
+  void push(const TraceEvent& event) {
+    // Relaxed ticket: tickets only need to be unique; the slot's seq word
+    // carries the publication ordering.
+    const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = slots_[ticket & mask_];
+    slot.seq.store(2 * ticket + 1, std::memory_order_release);
+    // Relaxed payload stores: ordered by the surrounding odd/even seq pair.
+    slot.trace_id.store(event.trace_id, std::memory_order_relaxed);
+    slot.ts_ns.store(event.ts_ns, std::memory_order_relaxed);    // see above
+    slot.dur_ns.store(event.dur_ns, std::memory_order_relaxed);  // see above
+    slot.meta.store(trace_detail::pack_meta(event.stage, event.detail,
+                                            event.arg),
+                    std::memory_order_relaxed);  // see above
+    slot.seq.store(2 * ticket + 2, std::memory_order_release);
+  }
 
   /// Snapshot of retained events, oldest ticket first. Torn slots (a write
   /// in flight during the read) are skipped, not blocked on.
-  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const {
+    struct Ticketed {
+      std::uint64_t ticket;
+      TraceEvent event;
+    };
+    std::vector<Ticketed> collected;
+    collected.reserve(slots_.size());
+    for (const Slot& slot : slots_) {
+      // Seqlock read: the payload is only valid if the slot was published
+      // (even seq) both before and after we read the words.
+      const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+      if (before == 0 || (before & 1) != 0) continue;  // empty or in flight
+      TraceEvent event;
+      // Relaxed payload loads: validated by the fence + seq re-check below.
+      event.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      event.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);    // ditto
+      event.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);  // ditto
+      trace_detail::unpack_meta(slot.meta.load(std::memory_order_relaxed),
+                                event);  // relaxed: validated by re-check
+      Concurrency::thread_fence(std::memory_order_acquire);
+      // Relaxed re-check: the fence above orders it after the payload reads.
+      if (slot.seq.load(std::memory_order_relaxed) != before) continue;
+      collected.push_back({(before - 2) / 2, event});
+    }
+    std::sort(collected.begin(), collected.end(),
+              [](const Ticketed& a, const Ticketed& b) {
+                return a.ticket < b.ticket;
+              });
+    std::vector<TraceEvent> out;
+    out.reserve(collected.size());
+    for (const Ticketed& t : collected) out.push_back(t.event);
+    return out;
+  }
 
   /// Events ever pushed (including overwritten ones).
   [[nodiscard]] std::uint64_t total() const {
+    // Relaxed: monitoring read; see the ticket comment in push().
     return head_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
 
  private:
+  template <typename U>
+  using Atomic = typename Concurrency::template Atomic<U>;
+
   struct Slot {
     /// 2*ticket+1 while the write is in flight, 2*ticket+2 once published.
-    std::atomic<std::uint64_t> seq{0};
-    std::atomic<std::uint64_t> trace_id{0};
-    std::atomic<std::uint64_t> ts_ns{0};
-    std::atomic<std::uint64_t> dur_ns{0};
-    /// stage(8) | detail(24) | arg(32), packed so the payload is all-atomic.
-    std::atomic<std::uint64_t> meta{0};
+    Atomic<std::uint64_t> seq{0};
+    Atomic<std::uint64_t> trace_id{0};
+    Atomic<std::uint64_t> ts_ns{0};
+    Atomic<std::uint64_t> dur_ns{0};
+    /// Packed by trace_detail::pack_meta.
+    Atomic<std::uint64_t> meta{0};
   };
 
-  std::atomic<std::uint64_t> head_{0};  // next ticket
-  std::vector<Slot> slots_;             // size is a power of two
+  Atomic<std::uint64_t> head_{0};  // next ticket
+  std::vector<Slot> slots_;        // size is a power of two
   std::size_t mask_;
 };
+
+/// The shipped tracer ring: plain std::atomic words.
+using SpanRing = BasicSpanRing<StdConcurrency>;
 
 /// Process-wide trace sink: owns one SpanRing per (component, site) pair,
 /// allocates trace ids, decides head sampling, and gates tail capture on a
@@ -165,15 +250,18 @@ class Tracer {
 
   // ---- enable / sampling policy ----
 
+  // Relaxed: enabled_ is an on/off flag; spans racing a toggle may be
+  // kept or dropped either way, both acceptable outcomes.
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
   [[nodiscard]] bool enabled() const {
-    return enabled_.load(std::memory_order_relaxed);
+    return enabled_.load(std::memory_order_relaxed);  // relaxed: see above
   }
   /// Head-sample 1 frame in `period` (rounded up to a power of two;
   /// 1 = every frame, 0 = head sampling off). Default
   /// kDefaultHeadSamplePeriod.
   void set_head_sample_period(std::uint32_t period);
   [[nodiscard]] std::uint32_t head_sample_period() const {
+    // Relaxed: sampling-policy read; a stale period misroutes no data.
     return head_period_.load(std::memory_order_relaxed);
   }
 
@@ -183,6 +271,7 @@ class Tracer {
 
   /// Fresh nonzero trace id (tail captures and tests mint ids directly).
   [[nodiscard]] std::uint64_t next_trace_id() {
+    // Relaxed: ids only need uniqueness, not ordering.
     return next_id_.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -251,6 +340,7 @@ class Tracer {
   /// The cached p99 estimate the gate currently compares against (0 while
   /// the merged distribution is still below kTailMinCount samples).
   [[nodiscard]] std::uint64_t tail_threshold_ns() const {
+    // Relaxed: a gate threshold; off-by-a-refresh reads are fine.
     return tail_threshold_ns_.load(std::memory_order_relaxed);
   }
 
@@ -268,7 +358,7 @@ class Tracer {
   void note_slow(const SlowFrame& slow);
   [[nodiscard]] std::vector<SlowFrame> slow_frames() const;
   [[nodiscard]] std::uint64_t slow_total() const {
-    return slow_total_.load(std::memory_order_relaxed);
+    return slow_total_.load(std::memory_order_relaxed);  // monitoring read
   }
   static constexpr std::size_t kSlowLedgerCapacity = 64;
 

@@ -1,0 +1,14 @@
+// Seeded violation: a relaxed access with no justification comment on the
+// same or preceding line. lint_concurrency.py must flag the fetch_add.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+inline std::uint64_t bump(std::atomic<std::uint64_t>& counter) {
+  const std::uint64_t arg = 1;
+
+  return counter.fetch_add(arg, std::memory_order_relaxed);
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Seeded violation: a type with an allowlisted shared-across-threads name
+// (SpscRing) declaring a plain mutable member with no synchronization
+// comment. lint_concurrency.py must flag `head_`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class SpscRing {
+ public:
+  SpscRing() = default;
+
+ private:
+  std::atomic<std::uint64_t> tail_{0};
+
+  std::uint64_t head_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Control fixture: exercises every rule's trigger pattern in its compliant
+// form. lint_concurrency.py must report nothing here.
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#define RNL_DCHECK(cond) ((void)(cond))
+
+namespace fixture {
+
+void post(std::size_t shard, std::function<void()> fn);
+bool on_owner_thread();
+
+class SpscRing {
+ public:
+  std::uint64_t pushed() const {
+    // Relaxed: monitoring counter, read by scrapers only; no ordering needed.
+    return pushed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> pushed_{0};
+  // Consumer-private cursor: only the single consumer thread touches it.
+  std::uint64_t head_ = 0;
+};
+
+inline void teardown(std::size_t shard, std::size_t peer) {
+  post(shard, [peer] {
+    RNL_DCHECK(on_owner_thread());
+    (void)peer;
+  });
+}
+
+}  // namespace fixture

@@ -262,6 +262,40 @@ TEST(MetricsRegistryTest, PrometheusExpositionFormat) {
             std::string::npos);
 }
 
+TEST(MetricsRegistryTest, PrometheusQuantileGaugeLineShape) {
+  // The quantile companion series (PR 7) emits precomputed p50/p90/p99 as
+  // a gauge named <metric>_quantile with a two-decimal quantile label.
+  MetricsRegistry registry;
+  util::Histogram& h = registry.histogram("routeserver.forward_ns");
+  for (int i = 0; i < 9; ++i) h.record(100);  // bucket le=127
+  h.record(5000);                             // the p99 tail
+  const std::string text = registry.to_prometheus();
+
+  EXPECT_NE(text.find("# TYPE rnl_routeserver_forward_ns_quantile gauge"),
+            std::string::npos);
+  const struct {
+    const char* label;
+    double q;
+  } kQuantiles[] = {{"0.50", 50.0}, {"0.90", 90.0}, {"0.99", 99.0}};
+  for (const auto& [label, q] : kQuantiles) {
+    const std::string line =
+        "rnl_routeserver_forward_ns_quantile{quantile=\"" +
+        std::string(label) + "\"} " + std::to_string(h.percentile(q));
+    EXPECT_NE(text.find(line), std::string::npos)
+        << "missing exposition line: " << line << "\nfull text:\n" << text;
+  }
+  // Pin the semantics, not just the shape: nine samples in the le=127
+  // bucket put p50/p90 at that bucket's ceiling, and the tail sample is
+  // the p99 (clamped to the observed max).
+  EXPECT_EQ(h.percentile(50.0), 127u);
+  EXPECT_EQ(h.percentile(90.0), 127u);
+  EXPECT_EQ(h.percentile(99.0), 5000u);
+  // Exactly one TYPE header for the quantile series.
+  const std::string type_line =
+      "# TYPE rnl_routeserver_forward_ns_quantile gauge";
+  EXPECT_EQ(text.find(type_line), text.rfind(type_line));
+}
+
 TEST(MetricsRegistryTest, MergeSnapshotsSumsShardsAndRecomputesPercentiles) {
   // The sharded route server dumps one registry per shard and merges the
   // snapshots: counters and gauges sum, histogram buckets add bucket-wise,

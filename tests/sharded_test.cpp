@@ -8,7 +8,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -41,6 +43,22 @@ TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
   EXPECT_EQ(util::SpscRing<int>(3).capacity(), 4u);
   EXPECT_EQ(util::SpscRing<int>(4).capacity(), 4u);
   EXPECT_EQ(util::SpscRing<int>(4097).capacity(), 8192u);
+}
+
+TEST(SpscRing, PathologicalCapacityClampsInsteadOfSpinningForever) {
+  // Rounding up a capacity past the top power of two used to shift `size`
+  // to zero and loop forever (`size < capacity` stays true once size
+  // overflows). The constructor now clamps at kMaxCapacity and stays a
+  // working ring.
+  constexpr std::size_t kMax = util::SpscRing<int>::kMaxCapacity;
+  util::SpscRing<int> huge(std::numeric_limits<std::size_t>::max());
+  EXPECT_EQ(huge.capacity(), kMax);
+  util::SpscRing<int> above(kMax + 1);
+  EXPECT_EQ(above.capacity(), kMax);
+  EXPECT_TRUE(above.push(7));
+  int out = 0;
+  EXPECT_TRUE(above.pop(out));
+  EXPECT_EQ(out, 7);
 }
 
 TEST(SpscRing, FifoOrderSurvivesWraparound) {
