@@ -4,7 +4,7 @@
 # data plane hands out views into reusable buffers, so lifetime mistakes tend
 # to pass plain tests and only show up under the sanitizers.
 #
-# Usage: scripts/check.sh [--metrics] [--faults] [--lint] [--fuzz] [--tsan] [--bench] [--trace] [--model] [--all] [jobs]
+# Usage: scripts/check.sh [--metrics] [--faults] [--lint] [--fuzz] [--tsan] [--bench] [--trace] [--model] [--soak] [--all] [jobs]
 #   --metrics  additionally run the observability smoke binary
 #              (examples/metrics_smoke) from the sanitizer build: boots a
 #              sim testbed, routes traffic, and asserts metrics.dump is
@@ -52,6 +52,13 @@
 #              hot path, ≥10k interleavings each) from the plain build.
 #   --all      convenience: run every gate above, so pre-merge runs stop
 #              hand-enumerating flags.
+#   --soak     fleet-scale chaos soak (E14): run bench_fleet --quick at a
+#              fixed seed — 1k sites on a sharded route server with a
+#              journal-backed service plane driven through cuts, stalls,
+#              overload waves, abandons, and a server kill/restart — then
+#              assert the report's invariants (bounded port tables, zero
+#              retained ports, journal recovery with torn-tail truncation,
+#              deploys kept landing) from the emitted BENCH_fleet.json.
 #   --trace    tracing smoke: run examples/trace_smoke (a 2-site forwarding
 #              burst over TCP loopback at 1-in-1 head sampling, which
 #              asserts >= 1 complete cross-process trace and the sub-span
@@ -69,6 +76,7 @@ tsan=0
 bench=0
 trace=0
 model=0
+soak=0
 jobs=""
 for arg in "$@"; do
   case "$arg" in
@@ -80,7 +88,8 @@ for arg in "$@"; do
     --bench) bench=1 ;;
     --trace) trace=1 ;;
     --model) model=1 ;;
-    --all) metrics=1; faults=1; lint=1; fuzz=1; tsan=1; bench=1; trace=1; model=1 ;;
+    --soak) soak=1 ;;
+    --all) metrics=1; faults=1; lint=1; fuzz=1; tsan=1; bench=1; trace=1; model=1; soak=1 ;;
     *) jobs="$arg" ;;
   esac
 done
@@ -160,7 +169,7 @@ fi
 if [[ "$fuzz" == 1 ]]; then
   echo "=== fuzz: corpus replay (RNL_FUZZ=ON, sanitized when available) ==="
   run_config build-fuzz -DCMAKE_BUILD_TYPE=Debug -DRNL_FUZZ=ON -DRNL_SANITIZE=address
-  for harness in message_decoder tunnel_roundtrip decompressor json api; do
+  for harness in message_decoder tunnel_roundtrip decompressor json api journal; do
     echo "--- replay: $harness (16 chunking variants) ---"
     "./build-fuzz/fuzz/replay_${harness}" --variants 16 "tests/corpus/${harness}"
     if [[ -x "./build-fuzz/fuzz/fuzz_${harness}" ]]; then
@@ -229,6 +238,39 @@ if [[ "$model" == 1 ]]; then
   # The harnesses assert ≥10k distinct interleavings each; a violation
   # prints the exact schedule trace plus an mc1: replay token.
   ctest --test-dir build -R 'ModelCheck' --output-on-failure -j "$jobs"
+fi
+
+if [[ "$soak" == 1 ]]; then
+  echo "=== soak: fleet-scale chaos soak (E14, fixed seed) ==="
+  build_config build
+  # The binary already exits nonzero on any invariant violation; the JSON
+  # re-check below guards against the report and the verdict drifting apart.
+  ./build/bench/bench_fleet --quick --seed 42 \
+    --store build/fleet_soak_store --out build/BENCH_fleet_quick.json
+  python3 - <<'EOF'
+import json
+with open("build/BENCH_fleet_quick.json") as f:
+    report = json.load(f)
+assert report["ok"], f"soak failed: {report['failures']}"
+assert report["sites"] >= 1000, "soak ran below fleet scale"
+server = report["server"]
+assert server["retained_ports"] == 0, "retained inventory leaked"
+assert server["pending_dispatch"] == 0, "connections stuck in dispatch"
+assert server["sites_forgotten"] >= 1, "retention sweep never fired"
+store = report["store"]
+assert store["recoveries"] >= 1, "journal never recovered"
+assert store["torn_tail_truncations"] >= 1, "torn tail not exercised"
+assert store["records_replayed"] > 0, "recovery replayed nothing"
+deploys = report["deploys"]
+assert deploys["ok"] > 0, "no deploy succeeded under chaos"
+assert "p99_us" in deploys, "deploy latency missing from report"
+faults = report["faults"]
+total = sum(faults.values())
+print(f"soak OK: {report['sites']} sites, {total} faults applied, "
+      f"{deploys['ok']}/{deploys['scheduled']} deploys ok "
+      f"(p99 {deploys['p99_us']:.0f} us), "
+      f"{store['records_replayed']} records replayed at restart")
+EOF
 fi
 
 if [[ "$tsan" == 1 ]]; then

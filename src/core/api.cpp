@@ -293,6 +293,7 @@ util::Json ApiServer::dispatch(const std::string& method,
     result.set("sites_joined", stats.sites_joined);
     result.set("sites_lost", stats.sites_lost);
     result.set("sites_rejoined", stats.sites_rejoined);
+    result.set("sites_forgotten", stats.sites_forgotten);
     result.set("stale_epoch_drops", stats.stale_epoch_drops);
     result.set("spoofed_port_drops", stats.spoofed_port_drops);
     result.set("matrix_entries_restored", stats.matrix_entries_restored);

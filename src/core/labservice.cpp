@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/journal.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -354,15 +355,33 @@ std::optional<std::string> LabService::archived_config(
   return std::nullopt;
 }
 
-void LabService::attach_store(FileStore* store) {
+void LabService::attach_store(Store* store) {
   store_ = store;
-  if (store_ == nullptr) return;
+  if (store_ == nullptr) {
+    calendar_.set_mutation_observer(nullptr);
+    return;
+  }
   for (const auto& key : store_->keys("design")) {
     auto json = store_->get(key);
     if (json.ok()) {
       stored_designs_[key.substr(std::string("design/").size())] =
           std::move(*json);
     }
+  }
+  // Event-sourced backend: the calendar journals its mutations instead of
+  // being rewritten wholesale. register_stream replays any recovered
+  // snapshot + tail into the calendar immediately.
+  if (auto* journal = dynamic_cast<JournalStore*>(store_)) {
+    journal->register_stream(
+        "reservations",
+        JournalStore::StreamHooks{
+            [this] { return calendar_.to_json(); },
+            [this](const util::Json& state) { calendar_.restore(state); },
+            [this](const util::Json& event) { calendar_.apply(event); },
+        });
+    calendar_.set_mutation_observer([journal](const util::Json& event) {
+      (void)journal->append("reservations", event);
+    });
   }
 }
 

@@ -122,11 +122,14 @@ class LabService {
   [[nodiscard]] util::Tracer* tracer() { return server_.tracer(); }
 
   // -- Durable storage (§2.1: designs live on the web server) --
-  /// Attaches a file store (non-owning). Stored designs are loaded
+  /// Attaches a store backend (non-owning). Stored designs are loaded
   /// immediately; subsequent design saves and config archives write
   /// through. Config archives are keyed by inventory name, so they survive
-  /// server restarts where router ids change.
-  void attach_store(FileStore* store);
+  /// server restarts where router ids change. When the store is a
+  /// JournalStore, the reservation calendar becomes event-sourced: each
+  /// reserve/cancel/expire appends one journal event, recovery replays
+  /// them, and compaction snapshots the calendar (DESIGN.md §14).
+  void attach_store(Store* store);
 
   // -- Layer-1 switches (§4, Fig 7) --
   /// Registers a programmable cross-connect so the web-services API can
@@ -168,7 +171,7 @@ class LabService {
   std::map<wire::RouterId, std::string> console_logs_;
   std::map<wire::RouterId, std::string> config_archive_;
   std::map<std::string, wire::Layer1Switch*> layer1_switches_;
-  FileStore* store_ = nullptr;
+  Store* store_ = nullptr;
   DesignId next_design_id_ = 1;
   DeploymentId next_deployment_id_ = 1;
   std::uint64_t deploys_performed_ = 0;

@@ -38,6 +38,18 @@ util::Result<ReservationId> ReservationCalendar::reserve(
   reservation.start = start;
   reservation.end = end;
   ReservationId id = reservation.id;
+  if (observer_) {
+    util::Json event = util::Json::object();
+    event.set("op", "reserve");
+    event.set("id", id);
+    event.set("user", reservation.user);
+    util::Json router_list = util::Json::array();
+    for (auto router : reservation.routers) router_list.push_back(router);
+    event.set("routers", std::move(router_list));
+    event.set("start", reservation.start.nanos);
+    event.set("end", reservation.end.nanos);
+    notify(event);
+  }
   reservations_[id] = std::move(reservation);
   return id;
 }
@@ -48,6 +60,12 @@ util::Status ReservationCalendar::cancel(ReservationId id) {
     return util::Error{"cancel: no such reservation"};
   }
   it->second.cancelled = true;
+  if (observer_) {
+    util::Json event = util::Json::object();
+    event.set("op", "cancel");
+    event.set("id", id);
+    notify(event);
+  }
   return util::Status::Ok();
 }
 
@@ -129,7 +147,91 @@ std::vector<ReservationId> ReservationCalendar::expire(util::SimTime now) {
       ++it;
     }
   }
+  if (!expired.empty() && observer_) {
+    // One event for the whole sweep: replaying it re-derives the same
+    // removals, because expiry is a pure function of (state, now).
+    util::Json event = util::Json::object();
+    event.set("op", "expire");
+    event.set("now", now.nanos);
+    notify(event);
+  }
   return expired;
+}
+
+// --- Event sourcing --------------------------------------------------------
+
+void ReservationCalendar::set_mutation_observer(MutationObserver observer) {
+  observer_ = std::move(observer);
+}
+
+void ReservationCalendar::notify(const util::Json& event) {
+  if (observer_) observer_(event);
+}
+
+void ReservationCalendar::apply(const util::Json& event) {
+  const std::string& op = event["op"].as_string();
+  if (op == "reserve") {
+    Reservation reservation;
+    reservation.id = static_cast<ReservationId>(event["id"].as_int());
+    reservation.user = event["user"].as_string();
+    for (const util::Json& router : event["routers"].as_array()) {
+      reservation.routers.push_back(
+          static_cast<wire::RouterId>(router.as_int()));
+    }
+    reservation.start = util::SimTime{event["start"].as_int()};
+    reservation.end = util::SimTime{event["end"].as_int()};
+    if (reservation.id >= next_id_) next_id_ = reservation.id + 1;
+    reservations_[reservation.id] = std::move(reservation);
+  } else if (op == "cancel") {
+    auto it = reservations_.find(static_cast<ReservationId>(event["id"].as_int()));
+    if (it != reservations_.end()) it->second.cancelled = true;
+  } else if (op == "expire") {
+    // Replay without re-journaling: suppress the observer for the sweep.
+    MutationObserver saved = std::move(observer_);
+    observer_ = nullptr;
+    expire(util::SimTime{event["now"].as_int()});
+    observer_ = std::move(saved);
+  }
+  // Unknown ops are skipped: forward compatibility with newer journals.
+}
+
+util::Json ReservationCalendar::to_json() const {
+  util::Json list = util::Json::array();
+  for (const auto& [id, reservation] : reservations_) {
+    util::Json entry = util::Json::object();
+    entry.set("id", reservation.id);
+    entry.set("user", reservation.user);
+    util::Json router_list = util::Json::array();
+    for (auto router : reservation.routers) router_list.push_back(router);
+    entry.set("routers", std::move(router_list));
+    entry.set("start", reservation.start.nanos);
+    entry.set("end", reservation.end.nanos);
+    entry.set("cancelled", reservation.cancelled);
+    list.push_back(std::move(entry));
+  }
+  util::Json state = util::Json::object();
+  state.set("next_id", next_id_);
+  state.set("reservations", std::move(list));
+  return state;
+}
+
+void ReservationCalendar::restore(const util::Json& state) {
+  reservations_.clear();
+  next_id_ = static_cast<ReservationId>(state["next_id"].as_int());
+  if (next_id_ == 0) next_id_ = 1;
+  for (const util::Json& entry : state["reservations"].as_array()) {
+    Reservation reservation;
+    reservation.id = static_cast<ReservationId>(entry["id"].as_int());
+    reservation.user = entry["user"].as_string();
+    for (const util::Json& router : entry["routers"].as_array()) {
+      reservation.routers.push_back(
+          static_cast<wire::RouterId>(router.as_int()));
+    }
+    reservation.start = util::SimTime{entry["start"].as_int()};
+    reservation.end = util::SimTime{entry["end"].as_int()};
+    reservation.cancelled = entry["cancelled"].as_bool();
+    reservations_[reservation.id] = std::move(reservation);
+  }
 }
 
 }  // namespace rnl::core

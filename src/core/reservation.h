@@ -11,11 +11,13 @@
 // router in the design.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "util/json.h"
 #include "util/result.h"
 #include "util/time.h"
 #include "wire/tunnel.h"
@@ -70,12 +72,34 @@ class ReservationCalendar {
 
   [[nodiscard]] std::size_t size() const { return reservations_.size(); }
 
+  // --- Event sourcing (DESIGN.md §14) ------------------------------------
+  // Every committed mutation is describable as a self-contained JSON event:
+  //   {"op":"reserve","id":...,"user":...,"routers":[...],"start":...,"end":...}
+  //   {"op":"cancel","id":...}
+  //   {"op":"expire","now":...}
+  // The observer fires after the mutation commits (never during apply()),
+  // so LabService can journal the event; apply() replays one on recovery.
+
+  using MutationObserver = std::function<void(const util::Json&)>;
+  void set_mutation_observer(MutationObserver observer);
+
+  /// Replays one journaled mutation event. Trusts the event (no conflict
+  /// re-check): the journal records mutations that were already admitted.
+  void apply(const util::Json& event);
+
+  /// Full calendar state, for snapshot compaction.
+  [[nodiscard]] util::Json to_json() const;
+  /// Replaces all state with to_json() output.
+  void restore(const util::Json& state);
+
  private:
   [[nodiscard]] bool router_free(wire::RouterId router, util::SimTime start,
                                  util::SimTime end) const;
+  void notify(const util::Json& event);
 
   std::map<ReservationId, Reservation> reservations_;
   ReservationId next_id_ = 1;
+  MutationObserver observer_;
 };
 
 }  // namespace rnl::core

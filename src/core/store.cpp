@@ -2,20 +2,44 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
 
+#include "core/fsutil.h"
 #include "util/strings.h"
 
 namespace rnl::core {
 
 namespace fs = std::filesystem;
 
+const char* to_string(StoreErrorKind kind) {
+  switch (kind) {
+    case StoreErrorKind::kNone:
+      return "none";
+    case StoreErrorKind::kInvalidKey:
+      return "invalid-key";
+    case StoreErrorKind::kNotFound:
+      return "not-found";
+    case StoreErrorKind::kCorrupt:
+      return "corrupt";
+    case StoreErrorKind::kIo:
+      return "io";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void set_kind(StoreErrorKind* out, StoreErrorKind kind) {
+  if (out != nullptr) *out = kind;
+}
+
+}  // namespace
+
 FileStore::FileStore(std::string root) : root_(std::move(root)) {
   std::error_code ec;
   fs::create_directories(root_, ec);
 }
 
-bool FileStore::valid_key(const std::string& key) {
+bool Store::valid_key(const std::string& key) {
   if (key.empty()) return false;
   for (const auto& segment : util::split(key, '/')) {
     if (segment.empty()) return false;
@@ -41,27 +65,34 @@ util::Status FileStore::put(const std::string& key, const util::Json& value) {
   std::error_code ec;
   fs::create_directories(path.parent_path(), ec);
   if (ec) return util::Error{"store: cannot create " + path.parent_path().string()};
-  // Write-then-rename for atomicity against readers.
-  fs::path tmp = path;
-  tmp += ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return util::Error{"store: cannot open " + tmp.string()};
-    out << value.dump_pretty() << "\n";
-    if (!out.good()) return util::Error{"store: write failed"};
-  }
-  fs::rename(tmp, path, ec);
-  if (ec) return util::Error{"store: rename failed: " + ec.message()};
-  return util::Status::Ok();
+  return fsutil::write_file_durable(path.string(), value.dump_pretty() + "\n");
 }
 
-util::Result<util::Json> FileStore::get(const std::string& key) const {
-  if (!valid_key(key)) return util::Error{"store: invalid key '" + key + "'"};
-  std::ifstream in(path_for(key));
-  if (!in) return util::Error{"store: no such key '" + key + "'"};
-  std::string text((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  return util::Json::parse(text);
+util::Result<util::Json> FileStore::get(const std::string& key,
+                                        StoreErrorKind* kind) const {
+  if (!valid_key(key)) {
+    set_kind(kind, StoreErrorKind::kInvalidKey);
+    return util::Error{"store: invalid key '" + key + "'"};
+  }
+  std::string text;
+  bool found = false;
+  util::Status status = fsutil::read_file(path_for(key), &text, &found);
+  if (!status.ok()) {
+    set_kind(kind, StoreErrorKind::kIo);
+    return util::Error{"store: " + status.error()};
+  }
+  if (!found) {
+    set_kind(kind, StoreErrorKind::kNotFound);
+    return util::Error{"store: no such key '" + key + "'"};
+  }
+  util::Result<util::Json> parsed = util::Json::parse(text);
+  if (!parsed.ok()) {
+    set_kind(kind, StoreErrorKind::kCorrupt);
+    return util::Error{"store: corrupt document '" + key +
+                       "': " + parsed.error()};
+  }
+  set_kind(kind, StoreErrorKind::kNone);
+  return parsed;
 }
 
 bool FileStore::contains(const std::string& key) const {

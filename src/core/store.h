@@ -1,15 +1,21 @@
 #pragma once
 
-// File-backed storage for the web server's durable state (§2.1: "The design
-// data is stored in the web server, but the users could export the data to
-// their local drive if desired"; saved router configurations likewise
-// survive between sessions).
+// Durable storage for the web server's state (§2.1: "The design data is
+// stored in the web server, but the users could export the data to their
+// local drive if desired"; saved router configurations likewise survive
+// between sessions).
 //
-// One JSON document per key, laid out as files under a root directory. Keys
-// look like "design/alice/failover-lab"; each path segment becomes a
-// directory, with the final segment a ".json" file. Key segments are
-// restricted to a safe character set so a hostile design name cannot climb
-// out of the root.
+// Two backends share one `Store` interface:
+//   - FileStore: one JSON document per key, laid out as files under a root
+//     directory. Keys look like "design/alice/failover-lab"; each path
+//     segment becomes a directory, with the final segment a ".json" file.
+//   - JournalStore (core/journal.h): an event-sourced write-ahead journal
+//     with snapshot compaction — mutations append checksummed records
+//     instead of rewriting whole documents, and recovery replays
+//     snapshot + tail (DESIGN.md §14).
+//
+// Key segments are restricted to a safe character set so a hostile design
+// name cannot climb out of the root.
 
 #include <string>
 #include <vector>
@@ -19,23 +25,56 @@
 
 namespace rnl::core {
 
-class FileStore {
+/// Why a `Store::get` failed — callers that repair or alarm need to tell a
+/// key that was never written from one whose bytes rotted on disk.
+enum class StoreErrorKind {
+  kNone = 0,    // no error (get succeeded)
+  kInvalidKey,  // key fails valid_key()
+  kNotFound,    // no document under this key
+  kCorrupt,     // document exists but its bytes do not parse
+  kIo,          // underlying read failed (permissions, transient I/O)
+};
+
+[[nodiscard]] const char* to_string(StoreErrorKind kind);
+
+class Store {
+ public:
+  virtual ~Store() = default;
+
+  virtual util::Status put(const std::string& key, const util::Json& value) = 0;
+  /// On failure, `*kind` (when non-null) is set to the failure class;
+  /// on success it is set to kNone.
+  [[nodiscard]] virtual util::Result<util::Json> get(
+      const std::string& key, StoreErrorKind* kind = nullptr) const = 0;
+  [[nodiscard]] virtual bool contains(const std::string& key) const = 0;
+  virtual util::Status remove(const std::string& key) = 0;
+  /// All keys under `prefix` (e.g. "design/alice"), sorted.
+  [[nodiscard]] virtual std::vector<std::string> keys(
+      const std::string& prefix) const = 0;
+
+  /// True iff every '/'-separated segment is non-empty and uses only
+  /// [A-Za-z0-9._-] (and '.' segments like ".." are rejected outright).
+  static bool valid_key(const std::string& key);
+};
+
+class FileStore final : public Store {
  public:
   /// `root` is created if missing.
   explicit FileStore(std::string root);
 
   [[nodiscard]] const std::string& root() const { return root_; }
 
-  util::Status put(const std::string& key, const util::Json& value);
-  [[nodiscard]] util::Result<util::Json> get(const std::string& key) const;
-  [[nodiscard]] bool contains(const std::string& key) const;
-  util::Status remove(const std::string& key);
-  /// All keys under `prefix` (e.g. "design/alice"), sorted.
-  [[nodiscard]] std::vector<std::string> keys(const std::string& prefix) const;
-
-  /// True iff every '/'-separated segment is non-empty and uses only
-  /// [A-Za-z0-9._-] (and '.' segments like ".." are rejected outright).
-  static bool valid_key(const std::string& key);
+  /// Durable: the document is written to a sibling temp file, fsynced, and
+  /// atomically renamed into place (then the directory entry is fsynced),
+  /// so a crash leaves either the old document or the new one — never a
+  /// torn hybrid.
+  util::Status put(const std::string& key, const util::Json& value) override;
+  [[nodiscard]] util::Result<util::Json> get(
+      const std::string& key, StoreErrorKind* kind = nullptr) const override;
+  [[nodiscard]] bool contains(const std::string& key) const override;
+  util::Status remove(const std::string& key) override;
+  [[nodiscard]] std::vector<std::string> keys(
+      const std::string& prefix) const override;
 
  private:
   [[nodiscard]] std::string path_for(const std::string& key) const;

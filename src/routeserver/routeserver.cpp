@@ -70,6 +70,7 @@ RouteServer::RouteServer(simnet::Scheduler& scheduler,
   expose("routeserver.shed_entries", &stats_.shed_entries);
   expose("routeserver.hard_cap_evictions", &stats_.hard_cap_evictions);
   expose("routeserver.stalled_evictions", &stats_.stalled_evictions);
+  expose("routeserver.sites_forgotten", &stats_.sites_forgotten);
   expose("routeserver.cross_shard_frames_out", &stats_.cross_shard_frames_out);
   expose("routeserver.cross_shard_frames_in", &stats_.cross_shard_frames_in);
   expose("routeserver.fast_path_frames", &stats_.dataplane.fast_path_frames);
@@ -99,6 +100,17 @@ RouteServer::RouteServer(simnet::Scheduler& scheduler,
   });
   metrics_->probe_gauge("routeserver.overloaded",
                         [this] { return overloaded() ? 1 : 0; });
+  // Memory-bound probes (the fleet soak's RSS proxy): parked identities,
+  // their retained ports, and the dense port-table footprint.
+  metrics_->probe_gauge("routeserver.retained_sites", [this] {
+    return static_cast<std::int64_t>(retained_site_count());
+  });
+  metrics_->probe_gauge("routeserver.retained_ports", [this] {
+    return static_cast<std::int64_t>(retained_port_count());
+  });
+  metrics_->probe_gauge("routeserver.port_table_slots", [this] {
+    return static_cast<std::int64_t>(ports_.size());
+  });
 }
 
 RouteServer::~RouteServer() {
@@ -369,9 +381,57 @@ void RouteServer::set_liveness_timeout(util::Duration timeout) {
     for (auto& [site, verdict] : overloaded_sites) {
       evict_for_overload(site, verdict);
     }
+    // Retention rides the same sweep: parked identities that never rejoined
+    // must not hold inventory (and wires) forever under fleet churn.
+    forget_expired_retained(scheduler_.now());
     scheduler_.schedule_after(liveness_timeout_ / 4, *self);
   };
   scheduler_.schedule_after(liveness_timeout_ / 4, *liveness_loop_);
+}
+
+std::size_t RouteServer::retained_site_count() const {
+  std::size_t count = 0;
+  for (const auto& [name, entry] : site_registry_) {
+    if (!entry.routers.empty()) ++count;
+  }
+  return count;
+}
+
+std::size_t RouteServer::retained_port_count() const {
+  std::size_t count = 0;
+  for (const auto& [name, entry] : site_registry_) {
+    for (const auto& router : entry.routers) count += router.ports.size();
+  }
+  return count;
+}
+
+void RouteServer::restore_site_epoch(const std::string& site,
+                                     std::uint32_t next_epoch) {
+  RetainedSite& registry = site_registry_[site];
+  if (next_epoch > registry.next_epoch) registry.next_epoch = next_epoch;
+}
+
+void RouteServer::forget_expired_retained(util::SimTime now) {
+  if (retention_deadline_.nanos <= 0) return;
+  for (auto& [name, entry] : site_registry_) {
+    if (entry.routers.empty()) continue;
+    if (now - entry.parked_at <= retention_deadline_) continue;
+    // Tear down the wires that were being held for the rejoin; this is the
+    // same disconnect path a rejoin shape mismatch takes, so cross-shard
+    // peers are notified through the remote-disconnect handler.
+    std::size_t ports = 0;
+    for (const auto& router : entry.routers) {
+      for (const auto& port : router.ports) {
+        disconnect_port(port.id);
+        ++ports;
+      }
+    }
+    entry.routers.clear();
+    entry.routers.shrink_to_fit();  // actually release the parked memory
+    ++stats_.sites_forgotten;
+    RNL_LOG(kInfo, kLog) << "site '" << name << "' never rejoined; retained "
+                         << ports << " ports forgotten (epoch counter kept)";
+  }
 }
 
 void RouteServer::on_site_data(Site* site, util::BytesView chunk) {
@@ -546,6 +606,10 @@ void RouteServer::handle_join(Site* site,
   // next_epoch is monotonic per site name and never reset — that is the
   // whole basis of the stale-frame gate. A wrap would take 2^32 rejoins.
   RNL_DCHECK(registry.next_epoch == site->epoch + 1);
+  // Journal hook: a crash-safe deployment records every epoch advance so a
+  // restarted server restores the counters (restore_site_epoch) and late
+  // frames from pre-restart incarnations still gate correctly.
+  if (epoch_observer_) epoch_observer_(request->site_name, registry.next_epoch);
 
   wire::JoinAck ack;
   ack.epoch = site->epoch;
@@ -944,7 +1008,10 @@ void RouteServer::remove_site(Site* site, bool orderly) {
       !orderly && site->joined && !site->name.empty()
           ? &site_registry_[site->name]
           : nullptr;
-  if (registry != nullptr) registry->routers.clear();
+  if (registry != nullptr) {
+    registry->routers.clear();
+    registry->parked_at = scheduler_.now();  // retention deadline base
+  }
   for (wire::RouterId router_id : site->router_ids) {
     auto router = routers_.find(router_id);
     if (router != routers_.end()) {

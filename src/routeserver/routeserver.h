@@ -144,6 +144,10 @@ struct RouteServerStats {
   std::uint64_t hard_cap_evictions = 0;
   /// Sites evicted for staying backpressured past the stall deadline.
   std::uint64_t stalled_evictions = 0;
+  /// Parked (un-orderly lost) sites whose retained inventory was dropped
+  /// because they stayed gone past the retention deadline. Their next_epoch
+  /// survives — only the parked routers/ports memory is released.
+  std::uint64_t sites_forgotten = 0;
   /// Frames routed over a cross-shard wire: handed to the remote-deliver
   /// handler (out) / received from another shard via deliver_remote (in).
   /// Zero on an unsharded server.
@@ -243,6 +247,37 @@ class RouteServer {
   /// (checked once per `timeout`/4 of simulated time). Zero disables.
   void set_liveness_timeout(util::Duration timeout);
 
+  // -- RetainedSite retention (bounded memory under churn) --
+  /// How long a parked identity (un-orderly loss awaiting rejoin) keeps its
+  /// retained inventory + surviving wires. The sweep rides the liveness
+  /// pass, so retention only acts while a liveness timeout is set. A site
+  /// forgotten this way can still rejoin — it just gets fresh ids, and its
+  /// monotonic next_epoch is preserved so stale-frame gating never resets.
+  /// Zero disables forgetting (the pre-retention behaviour).
+  static constexpr util::Duration kDefaultRetentionDeadline =
+      util::Duration::minutes(10);
+  void set_retention_deadline(util::Duration deadline) {
+    retention_deadline_ = deadline;
+  }
+  /// Parked identities currently holding retained inventory.
+  [[nodiscard]] std::size_t retained_site_count() const;
+  /// Ports across all retained (parked) inventory.
+  [[nodiscard]] std::size_t retained_port_count() const;
+
+  // -- Crash recovery hooks (journal-backed restart; DESIGN.md §14) --
+  /// Fired whenever a JOIN advances a site name's monotonic epoch counter,
+  /// with the name and the *next* epoch to hand out. A journal-backed
+  /// deployment appends these so a restarted server can restore the
+  /// counters and keep the stale-frame gate sound across restarts.
+  using EpochObserver =
+      std::function<void(const std::string& site, std::uint32_t next_epoch)>;
+  void set_epoch_observer(EpochObserver observer) {
+    epoch_observer_ = std::move(observer);
+  }
+  /// Restores a site name's epoch counter from a journal (max-merge: never
+  /// moves the counter backwards). Call before the site rejoins.
+  void restore_site_epoch(const std::string& site, std::uint32_t next_epoch);
+
   // -- Overload protection --
   // Per-site egress budget (§4: the route server is the shared bottleneck;
   // one stalled RIS must not exhaust it). Three regimes per site: normal;
@@ -331,6 +366,9 @@ class RouteServer {
 
   [[nodiscard]] const RouteServerStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+  /// Dense port-table footprint (slots, not live ports) — the fleet soak's
+  /// memory-bound proxy: it grows only with the highest id ever assigned.
+  [[nodiscard]] std::size_t port_table_slots() const { return ports_.size(); }
 
   // -- Observability --
   [[nodiscard]] util::MetricsRegistry& metrics() const { return *metrics_; }
@@ -427,6 +465,9 @@ class RouteServer {
   struct RetainedSite {
     std::uint32_t next_epoch = 0;
     std::vector<InventoryRouter> routers;  // empty unless awaiting rejoin
+    /// When the inventory was parked (un-orderly loss). The retention sweep
+    /// forgets parked inventory older than the retention deadline.
+    util::SimTime parked_at{};
   };
 
   struct PortRecord {
@@ -463,6 +504,11 @@ class RouteServer {
   /// Frees sites marked dead. Only called from contexts where no site
   /// transport callback can be on the stack (accept, destruction).
   void purge_dead_sites();
+  /// Retention sweep (rides the liveness loop): drops retained inventory —
+  /// and tears down its surviving wires — for identities parked longer
+  /// than the retention deadline. next_epoch entries are kept (tiny, and
+  /// the basis of the stale-frame gate).
+  void forget_expired_retained(util::SimTime now);
   /// Ships a frame to the RIS owning `port` (direction: into the port).
   /// `slow` marks frames that already left the zero-allocation path
   /// upstream (decompressed, or re-materialized by an impaired wire).
@@ -549,6 +595,8 @@ class RouteServer {
   std::vector<Site*> flush_list_;
   util::Duration stall_deadline_{util::Duration::seconds(30)};
   util::Duration liveness_timeout_{};
+  util::Duration retention_deadline_{kDefaultRetentionDeadline};
+  EpochObserver epoch_observer_;
   // Owns the liveness sweep loop; scheduled copies hold weak references.
   std::shared_ptr<std::function<void()>> liveness_loop_;
   wire::RouterId next_router_id_ = 1;

@@ -47,6 +47,7 @@ void accumulate(RouteServerStats& total, const RouteServerStats& part) {
   total.sites_joined += part.sites_joined;
   total.sites_lost += part.sites_lost;
   total.sites_rejoined += part.sites_rejoined;
+  total.sites_forgotten += part.sites_forgotten;
   total.stale_epoch_drops += part.stale_epoch_drops;
   total.spoofed_port_drops += part.spoofed_port_drops;
   total.matrix_entries_restored += part.matrix_entries_restored;

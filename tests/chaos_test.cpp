@@ -1,0 +1,134 @@
+// Tests for the deterministic chaos soak (core/chaos.h, DESIGN.md §14).
+//
+// The schedule generator is a pure function of the options, so determinism
+// is asserted directly on it; the fleet orchestrator is exercised through a
+// miniature soak (dozens of sites, seconds of virtual time) that must hold
+// every invariant the full E14 run asserts.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/chaos.h"
+#include "util/logging.h"
+
+namespace rnl::core::chaos {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string pattern =
+        std::filesystem::temp_directory_path() / "rnl-chaos-XXXXXX";
+    std::vector<char> buffer(pattern.begin(), pattern.end());
+    buffer.push_back('\0');
+    path_ = mkdtemp(buffer.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+FleetOptions mini_options(const std::string& store_root) {
+  FleetOptions options;
+  options.sites = 40;
+  options.shards = 2;
+  options.service_sites = 8;
+  options.phase_len = util::Duration::seconds(4);
+  options.deploys = 12;
+  options.abandons = 3;
+  options.overload_bursts = 1;
+  options.server_restarts = 1;
+  options.store_root = store_root;
+  // Shrunk to fit 4 s phases: abandons land early in phase 4 (~17 s) and
+  // must be detected (liveness) and forgotten (retention) before the 24 s
+  // run ends.
+  options.keepalive = util::Duration::milliseconds(250);
+  options.liveness_timeout = util::Duration::seconds(1);
+  options.retention_deadline = util::Duration::seconds(3);
+  return options;
+}
+
+TEST(ChaosSchedule, SameSeedSameSchedule) {
+  FleetOptions options = mini_options("unused");
+  ChaosSchedule a = ChaosSchedule::generate(options);
+  ChaosSchedule b = ChaosSchedule::generate(options);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+}
+
+TEST(ChaosSchedule, DifferentSeedDifferentSchedule) {
+  FleetOptions options = mini_options("unused");
+  ChaosSchedule a = ChaosSchedule::generate(options);
+  options.seed = 43;
+  ChaosSchedule b = ChaosSchedule::generate(options);
+  EXPECT_NE(a.to_json().dump(), b.to_json().dump());
+}
+
+TEST(ChaosSchedule, EventsAreSortedAndCoverEveryFaultClass) {
+  ChaosSchedule schedule = ChaosSchedule::generate(mini_options("unused"));
+  std::size_t per_op[7] = {};
+  util::SimTime last{};
+  for (const ChaosEvent& event : schedule.events) {
+    EXPECT_GE(event.at, last) << "schedule not sorted";
+    last = event.at;
+    ++per_op[static_cast<std::size_t>(event.op)];
+  }
+  EXPECT_GT(per_op[static_cast<std::size_t>(ChaosEvent::Op::kCut)], 0u);
+  EXPECT_GT(per_op[static_cast<std::size_t>(ChaosEvent::Op::kStall)], 0u);
+  EXPECT_EQ(per_op[static_cast<std::size_t>(ChaosEvent::Op::kStall)],
+            per_op[static_cast<std::size_t>(ChaosEvent::Op::kResume)]);
+  EXPECT_EQ(per_op[static_cast<std::size_t>(ChaosEvent::Op::kAbandon)], 3u);
+  EXPECT_EQ(per_op[static_cast<std::size_t>(ChaosEvent::Op::kRestartServer)],
+            1u);
+  EXPECT_EQ(per_op[static_cast<std::size_t>(ChaosEvent::Op::kDeployCycle)],
+            12u);
+}
+
+TEST(FleetSoak, MiniSoakHoldsEveryInvariant) {
+  // The schedule fires WARN-level cut/stall/eviction logs by design.
+  util::Logger::instance().set_threshold(util::LogLevel::kError);
+  TempDir dir;
+  FleetReport report = run_fleet_soak(mini_options(dir.path() + "/store"));
+  EXPECT_TRUE(report.ok) << [&] {
+    std::string all;
+    for (const auto& failure : report.failures) all += failure + "; ";
+    return all;
+  }();
+  const util::Json& server = report.report["server"];
+  EXPECT_EQ(server["retained_ports"].as_int(), 0);
+  EXPECT_EQ(server["pending_dispatch"].as_int(), 0);
+  EXPECT_GE(server["sites_forgotten"].as_int(), 3);
+  const util::Json& store = report.report["store"];
+  EXPECT_GE(store["recoveries"].as_int(), 1);
+  EXPECT_GE(store["torn_tail_truncations"].as_int(), 1);
+  EXPECT_GT(report.report["deploys"]["ok"].as_int(), 0);
+  util::Logger::instance().set_threshold(util::LogLevel::kWarn);
+}
+
+TEST(FleetSoak, SameSeedReplaysIdenticalRun) {
+  util::Logger::instance().set_threshold(util::LogLevel::kError);
+  TempDir dir;
+  FleetReport first = run_fleet_soak(mini_options(dir.path() + "/a"));
+  FleetReport second = run_fleet_soak(mini_options(dir.path() + "/b"));
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(second.ok);
+  // Deploy latency percentiles are wall-clock measurements; everything else
+  // in the report is a pure function of the seed.
+  EXPECT_EQ(first.report["faults"].dump(), second.report["faults"].dump());
+  EXPECT_EQ(first.report["server"].dump(), second.report["server"].dump());
+  EXPECT_EQ(first.report["store"].dump(), second.report["store"].dump());
+  EXPECT_EQ(first.report["phases"].dump(), second.report["phases"].dump());
+  util::Logger::instance().set_threshold(util::LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace rnl::core::chaos

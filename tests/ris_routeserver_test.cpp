@@ -1578,5 +1578,48 @@ TEST_F(RnlStack, SpoofedPortDropEmitsDropReasonInstant) {
   EXPECT_EQ(drops[0]["arg"].as_int(), static_cast<std::int64_t>(p1));
 }
 
+TEST_F(RnlStack, RetentionSweepForgetsAbandonedSitesAndBoundsMemory) {
+  // Churn regression for the RetainedSite retention bound: a site that is
+  // lost un-orderly and never redials must not pin its parked inventory
+  // forever. Three abandon/rejoin generations — each time the sweep forgets
+  // the parked identity, releases its ports and wires, and the eventual
+  // rejoin gets fresh ids with the monotonic epoch preserved.
+  site1.set_keepalive_interval(util::Duration::seconds(3600));  // hangs after
+  site2.set_keepalive_interval(util::Duration::milliseconds(500));
+  join(site2);
+  wire::PortId previous_port = 0;
+  for (std::uint64_t generation = 1; generation <= 3; ++generation) {
+    server.set_liveness_timeout(util::Duration{});  // quiet while joining
+    join(site1);
+    ASSERT_TRUE(site1.joined()) << "generation " << generation;
+    EXPECT_EQ(site1.session_epoch(), generation - 1);
+    wire::PortId p1 = port_of("us-west/h1");
+    EXPECT_NE(p1, previous_port);  // forgotten identity -> fresh ids
+    previous_port = p1;
+    ASSERT_TRUE(server.connect_ports(p1, port_of("eu-central/h2")).ok());
+
+    server.set_liveness_timeout(util::Duration::seconds(2));
+    server.set_retention_deadline(util::Duration::seconds(5));
+    net.run_for(util::Duration::seconds(4));  // silent -> evicted, parked
+    EXPECT_EQ(server.stats().sites_lost, generation);
+    EXPECT_EQ(server.retained_site_count(), 1u);
+    EXPECT_GE(server.retained_port_count(), 1u);
+    EXPECT_EQ(server.stats().sites_forgotten, generation - 1);
+    EXPECT_EQ(server.wire_count(), 1u);  // retained for a timely rejoin
+
+    net.run_for(util::Duration::seconds(6));  // past the retention deadline
+    EXPECT_EQ(server.stats().sites_forgotten, generation);
+    EXPECT_EQ(server.retained_site_count(), 0u);
+    EXPECT_EQ(server.retained_port_count(), 0u);
+    EXPECT_EQ(server.wire_count(), 0u);  // forget released the wire too
+  }
+  // Forgetting never reset the stale-frame gate: each rejoin kept advancing
+  // the same monotonic epoch counter.
+  server.set_liveness_timeout(util::Duration{});
+  join(site1);
+  EXPECT_EQ(site1.session_epoch(), 3u);
+  EXPECT_EQ(server.stats().sites_rejoined, 0u);  // fresh ids, not rebinds
+}
+
 }  // namespace
 }  // namespace rnl

@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
 #include "core/store.h"
 #include "core/testbed.h"
@@ -96,6 +97,52 @@ TEST(FileStoreTest, SurvivesReopen) {
   }
   FileStore reopened(dir.path());
   EXPECT_EQ(reopened.get("design/a/x")->as_string(), "persisted");
+}
+
+TEST(FileStoreTest, GetReportsTypedErrorKinds) {
+  TempDir dir;
+  FileStore store(dir.path());
+  StoreErrorKind kind = StoreErrorKind::kNone;
+  EXPECT_FALSE(store.get("missing", &kind).ok());
+  EXPECT_EQ(kind, StoreErrorKind::kNotFound);
+  EXPECT_FALSE(store.get("../../etc/passwd", &kind).ok());
+  EXPECT_EQ(kind, StoreErrorKind::kInvalidKey);
+  // A document whose bytes no longer parse is kCorrupt, not kNotFound —
+  // callers must be able to tell "never existed" from "rotted on disk".
+  ASSERT_TRUE(store.put("doc", util::Json(1)).ok());
+  {
+    std::ofstream out(dir.path() + "/doc.json",
+                      std::ios::binary | std::ios::trunc);
+    out << "{not json";
+  }
+  EXPECT_FALSE(store.get("doc", &kind).ok());
+  EXPECT_EQ(kind, StoreErrorKind::kCorrupt);
+  ASSERT_TRUE(store.put("fine", util::Json(2)).ok());
+  EXPECT_EQ(store.get("fine", &kind)->as_int(), 2);
+  EXPECT_EQ(kind, StoreErrorKind::kNone);
+}
+
+TEST(FileStoreTest, PutIsAtomicNoTempFileSurvivesAndReopenSeesDoc) {
+  // The durable put goes through temp + rename + fsync; a finished put must
+  // leave exactly the final document (no .tmp droppings a crashed writer
+  // would have orphaned), and a reopened store reads it back.
+  TempDir dir;
+  {
+    FileStore store(dir.path());
+    util::Json value = util::Json::object();
+    value.set("generation", 3);
+    ASSERT_TRUE(store.put("design/alice/lab", value).ok());
+  }
+  std::size_t files = 0;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir.path())) {
+    if (!entry.is_regular_file()) continue;
+    ++files;
+    EXPECT_EQ(entry.path().extension(), ".json") << entry.path();
+  }
+  EXPECT_EQ(files, 1u);
+  FileStore reopened(dir.path());
+  EXPECT_EQ((*reopened.get("design/alice/lab"))["generation"].as_int(), 3);
 }
 
 TEST(Persistence, DesignsSurviveServiceRestart) {
